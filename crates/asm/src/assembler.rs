@@ -1,0 +1,541 @@
+use std::collections::BTreeMap;
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::expr::Expr;
+use crate::image::ProgramImage;
+use crate::instrs::{encode_instr, is_control_transfer, plan_words};
+use crate::parser::{parse_line, DirArg, Item};
+
+/// How the assembler handles branch delay slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelaySlotMode {
+    /// Insert a `nop` after every control transfer (the classic
+    /// `.set reorder` behaviour). Default.
+    #[default]
+    Reorder,
+    /// Emit instructions exactly as written; the programmer fills delay
+    /// slots (`.set noreorder`).
+    NoReorder,
+}
+
+/// Configuration for [`assemble_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AssembleOptions {
+    /// Base address of the text segment. The CCRP Line Address Table
+    /// indexes shifted text addresses, so text should start at a
+    /// 256-byte-aligned address; 0 matches the paper's contiguous
+    /// 24-bit instruction space.
+    pub text_base: u32,
+    /// Base address of the data segment.
+    pub data_base: u32,
+    /// Initial delay-slot mode (changeable per-region with `.set`).
+    pub delay_slots: DelaySlotMode,
+}
+
+impl Default for AssembleOptions {
+    fn default() -> Self {
+        Self {
+            text_base: 0x0000_0000,
+            data_base: 0x0040_0000,
+            delay_slots: DelaySlotMode::Reorder,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// Assembles MIPS R2000 source with default options.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, tagged with its source line.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_asm::assemble;
+///
+/// let image = assemble("
+///     .text
+///     main:
+///         li   $t0, 5
+///         move $a0, $t0
+///         jr   $ra
+/// ")?;
+/// assert!(image.text_size() > 0);
+/// # Ok::<(), ccrp_asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<ProgramImage, AsmError> {
+    assemble_with(source, AssembleOptions::default())
+}
+
+/// Assembles MIPS R2000 source with explicit options.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, tagged with its source line.
+pub fn assemble_with(source: &str, options: AssembleOptions) -> Result<ProgramImage, AsmError> {
+    let mut items: Vec<(usize, Item)> = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        for item in parse_line(line, line_no)? {
+            items.push((line_no, item));
+        }
+    }
+
+    // ---- Pass 1: addresses and symbols ----------------------------------
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut section = Section::Text;
+    let mut text_lc = options.text_base;
+    let mut data_lc = options.data_base;
+    let mut mode = options.delay_slots;
+
+    for &(line_no, ref item) in &items {
+        match item {
+            Item::Label(name) => {
+                let addr = match section {
+                    Section::Text => text_lc,
+                    Section::Data => data_lc,
+                };
+                if symbols.insert(name.clone(), addr).is_some() {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::DuplicateLabel(name.clone()),
+                    ));
+                }
+            }
+            Item::Instr { mnemonic, operands } => {
+                if section != Section::Text {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::Syntax("instruction outside .text".into()),
+                    ));
+                }
+                let mut words = plan_words(mnemonic, operands, line_no)?;
+                if mode == DelaySlotMode::Reorder && is_control_transfer(mnemonic) {
+                    words += 1;
+                }
+                text_lc += (words * 4) as u32;
+            }
+            Item::Directive { name, args } => {
+                directive_pass1(
+                    name,
+                    args,
+                    line_no,
+                    &mut section,
+                    &mut text_lc,
+                    &mut data_lc,
+                    &mut mode,
+                    &mut symbols,
+                )?;
+            }
+        }
+    }
+
+    // ---- Pass 2: encoding ------------------------------------------------
+    let mut text: Vec<u8> = Vec::with_capacity((text_lc - options.text_base) as usize);
+    let mut data: Vec<u8> = Vec::with_capacity((data_lc - options.data_base) as usize);
+    section = Section::Text;
+    mode = options.delay_slots;
+
+    for &(line_no, ref item) in &items {
+        match item {
+            Item::Label(_) => {}
+            Item::Instr { mnemonic, operands } => {
+                let addr = options.text_base + text.len() as u32;
+                let mut planned = plan_words(mnemonic, operands, line_no)?;
+                let insert_nop = mode == DelaySlotMode::Reorder && is_control_transfer(mnemonic);
+                if insert_nop {
+                    planned += 1;
+                }
+                let mut encoded = encode_instr(mnemonic, operands, addr, &symbols, line_no)?;
+                if insert_nop {
+                    encoded.push(ccrp_isa::Instruction::NOP);
+                }
+                if encoded.len() != planned {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::SizeMismatch {
+                            mnemonic: mnemonic.clone(),
+                            planned,
+                            emitted: encoded.len(),
+                        },
+                    ));
+                }
+                for inst in encoded {
+                    text.extend_from_slice(&inst.encode().to_le_bytes());
+                }
+            }
+            Item::Directive { name, args } => {
+                directive_pass2(
+                    name,
+                    args,
+                    line_no,
+                    &mut section,
+                    &mut text,
+                    &mut data,
+                    &options,
+                    &mut mode,
+                    &symbols,
+                )?;
+            }
+        }
+    }
+
+    let entry = symbols.get("main").copied().unwrap_or(options.text_base);
+    Ok(ProgramImage::new(
+        options.text_base,
+        text,
+        options.data_base,
+        data,
+        entry,
+        symbols,
+    ))
+}
+
+fn align_up(value: u32, align: u32) -> u32 {
+    debug_assert!(align.is_power_of_two());
+    (value + align - 1) & !(align - 1)
+}
+
+struct DirSize {
+    bytes: u32,
+}
+
+/// Computes the size effect of a data-emitting directive without
+/// evaluating symbol-dependent arguments (only `.space`/`.align` need a
+/// value, and those must be constant).
+fn directive_size(
+    name: &str,
+    args: &[DirArg],
+    line_no: usize,
+    symbols: &BTreeMap<String, u32>,
+) -> Result<Option<DirSize>, AsmError> {
+    let unit = match name {
+        "byte" => 1,
+        "half" => 2,
+        "word" => 4,
+        "float" => 4,
+        "double" => 8,
+        "ascii" | "asciiz" => {
+            let mut total = 0u32;
+            for arg in args {
+                match arg {
+                    DirArg::Str(s) => {
+                        total += s.len() as u32;
+                        if name == "asciiz" {
+                            total += 1;
+                        }
+                    }
+                    _ => {
+                        return Err(AsmError::new(
+                            line_no,
+                            AsmErrorKind::Syntax(format!(".{name} expects string literals")),
+                        ))
+                    }
+                }
+            }
+            return Ok(Some(DirSize { bytes: total }));
+        }
+        "space" => {
+            let n = constant_arg(args, line_no, ".space", symbols)?;
+            if n < 0 {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::ValueOutOfRange {
+                        what: ".space size",
+                        value: n,
+                    },
+                ));
+            }
+            return Ok(Some(DirSize { bytes: n as u32 }));
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(DirSize {
+        bytes: unit * args.len() as u32,
+    }))
+}
+
+/// Evaluates a directive's single expression argument. Symbols must have
+/// been defined on earlier lines (labels or `.equ` constants), so both
+/// passes compute identical values.
+fn constant_arg(
+    args: &[DirArg],
+    line_no: usize,
+    what: &str,
+    symbols: &BTreeMap<String, u32>,
+) -> Result<i64, AsmError> {
+    match args {
+        [DirArg::Expr(e)] => e.eval(symbols, line_no),
+        [DirArg::Ident(sym)] => Expr::Sym(sym.clone()).eval(symbols, line_no),
+        _ => Err(AsmError::new(
+            line_no,
+            AsmErrorKind::Syntax(format!("{what} expects one constant expression")),
+        )),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn directive_pass1(
+    name: &str,
+    args: &[DirArg],
+    line_no: usize,
+    section: &mut Section,
+    text_lc: &mut u32,
+    data_lc: &mut u32,
+    mode: &mut DelaySlotMode,
+    symbols: &mut BTreeMap<String, u32>,
+) -> Result<(), AsmError> {
+    match name {
+        "text" => *section = Section::Text,
+        "data" => *section = Section::Data,
+        "globl" | "global" | "ent" | "end" | "extern" | "frame" | "mask" | "fmask" | "file" => {}
+        "set" => apply_set(args, line_no, mode)?,
+        "equ" => {
+            let (name, value) = equ_args(args, symbols, line_no)?;
+            if symbols.insert(name.clone(), value).is_some() {
+                return Err(AsmError::new(line_no, AsmErrorKind::DuplicateLabel(name)));
+            }
+        }
+        "align" => {
+            let n = constant_arg(args, line_no, ".align", symbols)?;
+            if !(0..=16).contains(&n) {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::ValueOutOfRange {
+                        what: ".align exponent",
+                        value: n,
+                    },
+                ));
+            }
+            let align = 1u32 << n;
+            match *section {
+                Section::Text => *text_lc = align_up(*text_lc, align),
+                Section::Data => *data_lc = align_up(*data_lc, align),
+            }
+        }
+        _ => {
+            let Some(size) = directive_size(name, args, line_no, symbols)? else {
+                return Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::UnknownMnemonic(format!(".{name}")),
+                ));
+            };
+            let lc = match *section {
+                Section::Text => text_lc,
+                Section::Data => data_lc,
+            };
+            *lc += size.bytes;
+        }
+    }
+    Ok(())
+}
+
+fn apply_set(args: &[DirArg], line_no: usize, mode: &mut DelaySlotMode) -> Result<(), AsmError> {
+    match args {
+        [DirArg::Ident(word)] => {
+            match word.as_str() {
+                "reorder" => *mode = DelaySlotMode::Reorder,
+                "noreorder" => *mode = DelaySlotMode::NoReorder,
+                // accepted and ignored for source compatibility
+                "noat" | "at" | "nomacro" | "macro" | "volatile" | "novolatile" => {}
+                other => {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::Syntax(format!("unknown .set option `{other}`")),
+                    ))
+                }
+            }
+            Ok(())
+        }
+        _ => Err(AsmError::new(
+            line_no,
+            AsmErrorKind::Syntax(".set expects one option name".into()),
+        )),
+    }
+}
+
+fn equ_args(
+    args: &[DirArg],
+    symbols: &BTreeMap<String, u32>,
+    line_no: usize,
+) -> Result<(String, u32), AsmError> {
+    match args {
+        [DirArg::Ident(name), DirArg::Expr(e)] => {
+            // .equ may reference previously defined symbols only, so both
+            // passes compute identical values.
+            let v = e.eval(symbols, line_no)?;
+            Ok((name.clone(), v as u32))
+        }
+        _ => Err(AsmError::new(
+            line_no,
+            AsmErrorKind::Syntax(".equ expects `name, expression`".into()),
+        )),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn directive_pass2(
+    name: &str,
+    args: &[DirArg],
+    line_no: usize,
+    section: &mut Section,
+    text: &mut Vec<u8>,
+    data: &mut Vec<u8>,
+    options: &AssembleOptions,
+    mode: &mut DelaySlotMode,
+    symbols: &BTreeMap<String, u32>,
+) -> Result<(), AsmError> {
+    match name {
+        "text" => {
+            *section = Section::Text;
+            return Ok(());
+        }
+        "data" => {
+            *section = Section::Data;
+            return Ok(());
+        }
+        "globl" | "global" | "ent" | "end" | "extern" | "frame" | "mask" | "fmask" | "file"
+        | "equ" => return Ok(()),
+        "set" => return apply_set(args, line_no, mode),
+        _ => {}
+    }
+
+    let (buf, base) = match *section {
+        Section::Text => (text, options.text_base),
+        Section::Data => (data, options.data_base),
+    };
+
+    if name == "align" {
+        let n = constant_arg(args, line_no, ".align", symbols)?;
+        let align = 1u32 << n;
+        let target = align_up(base + buf.len() as u32, align);
+        buf.resize((target - base) as usize, 0);
+        return Ok(());
+    }
+
+    // Data directives emit at the current location counter; alignment is
+    // the programmer's responsibility via `.align`, as in classic `as`.
+    let arg_value = |arg: &DirArg| -> Result<i64, AsmError> {
+        match arg {
+            DirArg::Expr(e) => e.eval(symbols, line_no),
+            DirArg::Ident(sym) => Expr::Sym(sym.clone()).eval(symbols, line_no),
+            DirArg::Float(_) | DirArg::Str(_) => Err(AsmError::new(
+                line_no,
+                AsmErrorKind::Syntax(format!(".{name} expects integer expressions")),
+            )),
+        }
+    };
+
+    match name {
+        "byte" => {
+            for arg in args {
+                let v = arg_value(arg)?;
+                if !(-128..=255).contains(&v) {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::ValueOutOfRange {
+                            what: ".byte value",
+                            value: v,
+                        },
+                    ));
+                }
+                buf.push(v as u8);
+            }
+        }
+        "half" => {
+            for arg in args {
+                let v = arg_value(arg)?;
+                if !(-32768..=65535).contains(&v) {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::ValueOutOfRange {
+                            what: ".half value",
+                            value: v,
+                        },
+                    ));
+                }
+                buf.extend_from_slice(&(v as u16).to_le_bytes());
+            }
+        }
+        "word" => {
+            for arg in args {
+                let v = arg_value(arg)?;
+                if v < i64::from(i32::MIN) || v > i64::from(u32::MAX) {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::ValueOutOfRange {
+                            what: ".word value",
+                            value: v,
+                        },
+                    ));
+                }
+                buf.extend_from_slice(&(v as u32).to_le_bytes());
+            }
+        }
+        "float" => {
+            for arg in args {
+                let v = match arg {
+                    DirArg::Float(v) => *v,
+                    DirArg::Expr(e) if e.is_constant() => e.eval(symbols, line_no)? as f64,
+                    _ => {
+                        return Err(AsmError::new(
+                            line_no,
+                            AsmErrorKind::Syntax(".float expects numeric literals".into()),
+                        ))
+                    }
+                };
+                buf.extend_from_slice(&(v as f32).to_le_bytes());
+            }
+        }
+        "double" => {
+            for arg in args {
+                let v = match arg {
+                    DirArg::Float(v) => *v,
+                    DirArg::Expr(e) if e.is_constant() => e.eval(symbols, line_no)? as f64,
+                    _ => {
+                        return Err(AsmError::new(
+                            line_no,
+                            AsmErrorKind::Syntax(".double expects numeric literals".into()),
+                        ))
+                    }
+                };
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        "ascii" | "asciiz" => {
+            for arg in args {
+                match arg {
+                    DirArg::Str(s) => {
+                        buf.extend_from_slice(s.as_bytes());
+                        if name == "asciiz" {
+                            buf.push(0);
+                        }
+                    }
+                    _ => {
+                        return Err(AsmError::new(
+                            line_no,
+                            AsmErrorKind::Syntax(format!(".{name} expects string literals")),
+                        ))
+                    }
+                }
+            }
+        }
+        "space" => {
+            let n = constant_arg(args, line_no, ".space", symbols)?;
+            buf.resize(buf.len() + n as usize, 0);
+        }
+        other => {
+            return Err(AsmError::new(
+                line_no,
+                AsmErrorKind::UnknownMnemonic(format!(".{other}")),
+            ))
+        }
+    }
+    Ok(())
+}

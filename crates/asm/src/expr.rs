@@ -1,0 +1,387 @@
+use std::collections::BTreeMap;
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::token::Token;
+
+/// A constant expression appearing as an instruction or directive operand.
+///
+/// Symbols are resolved against the final symbol table during pass 2, so
+/// forward references assemble correctly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Symbol reference (label or `.equ` constant).
+    Sym(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Bitwise complement.
+    Not(Box<Expr>),
+    /// `%hi(expr)` — the high 16 bits, adjusted for the signed `lo` part
+    /// exactly as MIPS linkers compute it.
+    Hi(Box<Expr>),
+    /// `%lo(expr)` — the low 16 bits.
+    Lo(Box<Expr>),
+}
+
+/// Binary operators, in C-like precedence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Truncating division.
+    Div,
+    /// Left shift (`<<`).
+    Shl,
+    /// Logical right shift (`>>`).
+    Shr,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+}
+
+/// A cursor over a token slice shared by the operand and expression parsers.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor at the start of `tokens`, reporting errors at `line`.
+    pub fn new(tokens: &'a [Token], line: usize) -> Self {
+        Self {
+            tokens,
+            pos: 0,
+            line,
+        }
+    }
+
+    /// Peeks the next token without consuming it.
+    pub fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// Peeks `ahead` tokens past the cursor (0 = same as [`peek`][Self::peek]).
+    pub fn peek_at(&self, ahead: usize) -> Option<&'a Token> {
+        self.tokens.get(self.pos + ahead)
+    }
+
+    /// Number of tokens consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Consumes and returns the next token.
+    pub fn next(&mut self) -> Option<&'a Token> {
+        let tok = self.tokens.get(self.pos);
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    /// True when all tokens are consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes the next token if it equals `punct`.
+    pub fn eat_punct(&mut self, punct: char) -> bool {
+        if self.peek() == Some(&Token::Punct(punct)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires `punct` as the next token.
+    pub fn expect_punct(&mut self, punct: char) -> Result<(), AsmError> {
+        if self.eat_punct(punct) {
+            Ok(())
+        } else {
+            Err(self.syntax(format!("expected `{punct}`")))
+        }
+    }
+
+    /// Builds a syntax error at this cursor's line.
+    pub fn syntax(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.line, AsmErrorKind::Syntax(msg.into()))
+    }
+}
+
+/// Parses an expression at C-like precedence from `cur`.
+///
+/// Grammar (loosest to tightest): `|` `^` `&`, shifts, `+ -`, `* /`,
+/// unary `- ~ %hi %lo`, atoms (number, symbol, parenthesized).
+///
+/// # Errors
+///
+/// Returns a syntax error if no valid expression starts at the cursor.
+pub fn parse_expr(cur: &mut Cursor<'_>) -> Result<Expr, AsmError> {
+    parse_or(cur)
+}
+
+fn parse_or(cur: &mut Cursor<'_>) -> Result<Expr, AsmError> {
+    let mut lhs = parse_xor(cur)?;
+    while cur.eat_punct('|') {
+        let rhs = parse_xor(cur)?;
+        lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_xor(cur: &mut Cursor<'_>) -> Result<Expr, AsmError> {
+    let mut lhs = parse_and(cur)?;
+    while cur.eat_punct('^') {
+        let rhs = parse_and(cur)?;
+        lhs = Expr::Bin(BinOp::Xor, Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_and(cur: &mut Cursor<'_>) -> Result<Expr, AsmError> {
+    let mut lhs = parse_shift(cur)?;
+    while cur.eat_punct('&') {
+        let rhs = parse_shift(cur)?;
+        lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_shift(cur: &mut Cursor<'_>) -> Result<Expr, AsmError> {
+    let mut lhs = parse_additive(cur)?;
+    loop {
+        if cur.peek() == Some(&Token::Punct('<')) {
+            let save = cur.pos;
+            cur.next();
+            if !cur.eat_punct('<') {
+                cur.pos = save;
+                break;
+            }
+            let rhs = parse_additive(cur)?;
+            lhs = Expr::Bin(BinOp::Shl, Box::new(lhs), Box::new(rhs));
+        } else if cur.peek() == Some(&Token::Punct('>')) {
+            let save = cur.pos;
+            cur.next();
+            if !cur.eat_punct('>') {
+                cur.pos = save;
+                break;
+            }
+            let rhs = parse_additive(cur)?;
+            lhs = Expr::Bin(BinOp::Shr, Box::new(lhs), Box::new(rhs));
+        } else {
+            break;
+        }
+    }
+    Ok(lhs)
+}
+
+fn parse_additive(cur: &mut Cursor<'_>) -> Result<Expr, AsmError> {
+    let mut lhs = parse_multiplicative(cur)?;
+    loop {
+        if cur.eat_punct('+') {
+            let rhs = parse_multiplicative(cur)?;
+            lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+        } else if cur.eat_punct('-') {
+            let rhs = parse_multiplicative(cur)?;
+            lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+        } else {
+            break;
+        }
+    }
+    Ok(lhs)
+}
+
+fn parse_multiplicative(cur: &mut Cursor<'_>) -> Result<Expr, AsmError> {
+    let mut lhs = parse_unary(cur)?;
+    loop {
+        if cur.eat_punct('*') {
+            let rhs = parse_unary(cur)?;
+            lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+        } else if cur.eat_punct('/') {
+            let rhs = parse_unary(cur)?;
+            lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+        } else {
+            break;
+        }
+    }
+    Ok(lhs)
+}
+
+fn parse_unary(cur: &mut Cursor<'_>) -> Result<Expr, AsmError> {
+    if cur.eat_punct('-') {
+        return Ok(Expr::Neg(Box::new(parse_unary(cur)?)));
+    }
+    if cur.eat_punct('~') {
+        return Ok(Expr::Not(Box::new(parse_unary(cur)?)));
+    }
+    if cur.eat_punct('+') {
+        return parse_unary(cur);
+    }
+    match cur.next() {
+        Some(Token::Num(n)) => Ok(Expr::Num(*n)),
+        Some(Token::Ident(name)) => Ok(Expr::Sym(name.clone())),
+        Some(Token::HiOp) => {
+            cur.expect_punct('(')?;
+            let inner = parse_expr(cur)?;
+            cur.expect_punct(')')?;
+            Ok(Expr::Hi(Box::new(inner)))
+        }
+        Some(Token::LoOp) => {
+            cur.expect_punct('(')?;
+            let inner = parse_expr(cur)?;
+            cur.expect_punct(')')?;
+            Ok(Expr::Lo(Box::new(inner)))
+        }
+        Some(Token::Punct('(')) => {
+            let inner = parse_expr(cur)?;
+            cur.expect_punct(')')?;
+            Ok(inner)
+        }
+        other => Err(cur.syntax(format!("expected expression, found {other:?}"))),
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression against a symbol table.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmErrorKind::UndefinedSymbol`] for an unknown name or
+    /// [`AsmErrorKind::DivideByZero`] for a zero divisor; errors carry
+    /// `line` for reporting.
+    pub fn eval(&self, symbols: &BTreeMap<String, u32>, line: usize) -> Result<i64, AsmError> {
+        match self {
+            Expr::Num(n) => Ok(*n),
+            Expr::Sym(name) => symbols
+                .get(name)
+                .map(|&v| i64::from(v))
+                .ok_or_else(|| AsmError::new(line, AsmErrorKind::UndefinedSymbol(name.clone()))),
+            Expr::Neg(e) => Ok(e.eval(symbols, line)?.wrapping_neg()),
+            Expr::Not(e) => Ok(!e.eval(symbols, line)?),
+            Expr::Hi(e) => {
+                let v = e.eval(symbols, line)? as u32;
+                // Adjust for the sign-extension of the paired %lo addend.
+                Ok(i64::from((v.wrapping_add(0x8000)) >> 16))
+            }
+            Expr::Lo(e) => {
+                let v = e.eval(symbols, line)? as u32;
+                Ok(i64::from(v as u16 as i16))
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let l = lhs.eval(symbols, line)?;
+                let r = rhs.eval(symbols, line)?;
+                match op {
+                    BinOp::Add => Ok(l.wrapping_add(r)),
+                    BinOp::Sub => Ok(l.wrapping_sub(r)),
+                    BinOp::Mul => Ok(l.wrapping_mul(r)),
+                    BinOp::Div => {
+                        if r == 0 {
+                            Err(AsmError::new(line, AsmErrorKind::DivideByZero))
+                        } else {
+                            Ok(l.wrapping_div(r))
+                        }
+                    }
+                    BinOp::Shl => Ok(l.wrapping_shl(r as u32)),
+                    BinOp::Shr => Ok(((l as u64).wrapping_shr(r as u32)) as i64),
+                    BinOp::And => Ok(l & r),
+                    BinOp::Or => Ok(l | r),
+                    BinOp::Xor => Ok(l ^ r),
+                }
+            }
+        }
+    }
+
+    /// True when the expression references no symbols (pure literal).
+    pub fn is_constant(&self) -> bool {
+        match self {
+            Expr::Num(_) => true,
+            Expr::Sym(_) => false,
+            Expr::Neg(e) | Expr::Not(e) | Expr::Hi(e) | Expr::Lo(e) => e.is_constant(),
+            Expr::Bin(_, l, r) => l.is_constant() && r.is_constant(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize_line;
+
+    fn eval_str(src: &str, symbols: &[(&str, u32)]) -> Result<i64, AsmError> {
+        let toks = tokenize_line(src, 1).unwrap();
+        let mut cur = Cursor::new(&toks, 1);
+        let expr = parse_expr(&mut cur)?;
+        assert!(cur.at_end(), "trailing tokens in {src}");
+        let table: BTreeMap<String, u32> =
+            symbols.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        expr.eval(&table, 1)
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(eval_str("2+3*4", &[]).unwrap(), 14);
+        assert_eq!(eval_str("(2+3)*4", &[]).unwrap(), 20);
+        assert_eq!(eval_str("1<<4|1", &[]).unwrap(), 17);
+        assert_eq!(eval_str("255 & 0x0F", &[]).unwrap(), 15);
+        assert_eq!(eval_str("6/2-1", &[]).unwrap(), 2);
+        assert_eq!(eval_str("0x10 >> 2", &[]).unwrap(), 4);
+    }
+
+    #[test]
+    fn unary() {
+        assert_eq!(eval_str("-5", &[]).unwrap(), -5);
+        assert_eq!(eval_str("~0", &[]).unwrap(), -1);
+        assert_eq!(eval_str("--3", &[]).unwrap(), 3);
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        assert_eq!(eval_str("base+8", &[("base", 0x100)]).unwrap(), 0x108);
+        assert!(matches!(
+            eval_str("missing", &[]).unwrap_err().kind,
+            AsmErrorKind::UndefinedSymbol(_)
+        ));
+    }
+
+    #[test]
+    fn hi_lo_pair_reconstructs_address() {
+        // The defining property: (hi << 16) + sign_extend(lo) == addr.
+        for addr in [0u32, 0x1234_5678, 0x0001_8000, 0x00FF_FFFC, 0x7FFF_F000] {
+            let hi = eval_str("%hi(a)", &[("a", addr)]).unwrap();
+            let lo = eval_str("%lo(a)", &[("a", addr)]).unwrap();
+            let rebuilt = ((hi as u32) << 16).wrapping_add(lo as u32);
+            assert_eq!(rebuilt, addr, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn divide_by_zero_is_caught() {
+        assert!(matches!(
+            eval_str("1/0", &[]).unwrap_err().kind,
+            AsmErrorKind::DivideByZero
+        ));
+    }
+
+    #[test]
+    fn constant_detection() {
+        let toks = tokenize_line("3*(4+1)", 1).unwrap();
+        let expr = parse_expr(&mut Cursor::new(&toks, 1)).unwrap();
+        assert!(expr.is_constant());
+        let toks = tokenize_line("label+4", 1).unwrap();
+        let expr = parse_expr(&mut Cursor::new(&toks, 1)).unwrap();
+        assert!(!expr.is_constant());
+    }
+}

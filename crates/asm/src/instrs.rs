@@ -1,0 +1,967 @@
+//! Mnemonic-level encoding: real R2000 instructions and the pseudo
+//! instructions 1992-era MIPS assemblers accepted (`li`, `la`, `move`,
+//! compound branches, `mul`, `l.d`, ...).
+
+use std::collections::BTreeMap;
+
+use ccrp_isa::{
+    AluOp, BranchOp, BranchZOp, Cp1MoveOp, FpCond, FpFmt, FpOp, FpReg, FpUnaryOp, HiLoOp, IAluOp,
+    Instruction, MemOp, MultDivOp, Reg, ShiftOp,
+};
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::expr::Expr;
+use crate::parser::Operand;
+
+/// Operand accessor with uniform error reporting.
+struct Ops<'a> {
+    mnemonic: &'a str,
+    ops: &'a [Operand],
+    line: usize,
+}
+
+impl<'a> Ops<'a> {
+    fn bad(&self, expected: &'static str) -> AsmError {
+        AsmError::new(
+            self.line,
+            AsmErrorKind::BadOperands {
+                mnemonic: self.mnemonic.to_string(),
+                expected,
+            },
+        )
+    }
+
+    fn count(&self, n: usize, expected: &'static str) -> Result<(), AsmError> {
+        if self.ops.len() == n {
+            Ok(())
+        } else {
+            Err(self.bad(expected))
+        }
+    }
+
+    fn reg(&self, i: usize, expected: &'static str) -> Result<Reg, AsmError> {
+        match self.ops.get(i) {
+            Some(Operand::Reg(r)) => Ok(*r),
+            _ => Err(self.bad(expected)),
+        }
+    }
+
+    fn fp(&self, i: usize, expected: &'static str) -> Result<FpReg, AsmError> {
+        match self.ops.get(i) {
+            Some(Operand::Fp(f)) => Ok(*f),
+            _ => Err(self.bad(expected)),
+        }
+    }
+
+    fn expr(&self, i: usize, expected: &'static str) -> Result<&'a Expr, AsmError> {
+        match self.ops.get(i) {
+            Some(Operand::Expr(e)) => Ok(e),
+            _ => Err(self.bad(expected)),
+        }
+    }
+
+    fn mem(&self, i: usize, expected: &'static str) -> Result<(&'a Expr, Reg), AsmError> {
+        match self.ops.get(i) {
+            Some(Operand::Mem { offset, base }) => Ok((offset, *base)),
+            _ => Err(self.bad(expected)),
+        }
+    }
+}
+
+fn eval_range(
+    expr: &Expr,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+    lo: i64,
+    hi: i64,
+    what: &'static str,
+) -> Result<i64, AsmError> {
+    let v = expr.eval(symbols, line)?;
+    if v < lo || v > hi {
+        return Err(AsmError::new(
+            line,
+            AsmErrorKind::ValueOutOfRange { what, value: v },
+        ));
+    }
+    Ok(v)
+}
+
+fn eval_i16(
+    expr: &Expr,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+    what: &'static str,
+) -> Result<i16, AsmError> {
+    Ok(eval_range(expr, symbols, line, -32768, 32767, what)? as i16)
+}
+
+fn eval_u16(
+    expr: &Expr,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+    what: &'static str,
+) -> Result<u16, AsmError> {
+    Ok(eval_range(expr, symbols, line, 0, 0xFFFF, what)? as u16)
+}
+
+/// Computes a 16-bit branch word offset.
+///
+/// Convention: a symbol-bearing expression is an absolute target address;
+/// a pure constant is the literal word offset (matching the
+/// disassembler's output, so disassembly re-assembles bit-identically).
+fn branch_offset(
+    expr: &Expr,
+    branch_addr: u32,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+) -> Result<i16, AsmError> {
+    if expr.is_constant() {
+        return eval_i16(expr, symbols, line, "branch offset");
+    }
+    let target = expr.eval(symbols, line)? as u32;
+    if !target.is_multiple_of(4) {
+        return Err(AsmError::new(line, AsmErrorKind::MisalignedTarget(target)));
+    }
+    let diff = i64::from(target) - i64::from(branch_addr) - 4;
+    let words = diff / 4;
+    if diff % 4 != 0 || !(-32768..=32767).contains(&words) {
+        return Err(AsmError::new(
+            line,
+            AsmErrorKind::BranchOutOfRange {
+                from: branch_addr,
+                to: target,
+            },
+        ));
+    }
+    Ok(words as i16)
+}
+
+fn jump_target(expr: &Expr, symbols: &BTreeMap<String, u32>, line: usize) -> Result<u32, AsmError> {
+    let target = expr.eval(symbols, line)? as u32;
+    if !target.is_multiple_of(4) {
+        return Err(AsmError::new(line, AsmErrorKind::MisalignedTarget(target)));
+    }
+    let field = target >> 2;
+    if field >= (1 << 26) {
+        return Err(AsmError::new(
+            line,
+            AsmErrorKind::ValueOutOfRange {
+                what: "26-bit jump target",
+                value: i64::from(target),
+            },
+        ));
+    }
+    Ok(field)
+}
+
+fn lookup_alu(name: &str) -> Option<AluOp> {
+    AluOp::ALL.iter().copied().find(|op| op.mnemonic() == name)
+}
+
+fn lookup_ialu(name: &str) -> Option<IAluOp> {
+    IAluOp::ALL.iter().copied().find(|op| op.mnemonic() == name)
+}
+
+fn lookup_mem(name: &str) -> Option<MemOp> {
+    MemOp::ALL.iter().copied().find(|op| op.mnemonic() == name)
+}
+
+fn lookup_shift_imm(name: &str) -> Option<ShiftOp> {
+    ShiftOp::ALL
+        .iter()
+        .copied()
+        .find(|op| op.mnemonic_imm() == name)
+}
+
+fn lookup_shift_var(name: &str) -> Option<ShiftOp> {
+    ShiftOp::ALL
+        .iter()
+        .copied()
+        .find(|op| op.mnemonic_var() == name)
+}
+
+fn lookup_multdiv(name: &str) -> Option<MultDivOp> {
+    MultDivOp::ALL
+        .iter()
+        .copied()
+        .find(|op| op.mnemonic() == name)
+}
+
+fn lookup_hilo(name: &str) -> Option<HiLoOp> {
+    HiLoOp::ALL.iter().copied().find(|op| op.mnemonic() == name)
+}
+
+fn lookup_branchz(name: &str) -> Option<BranchZOp> {
+    BranchZOp::ALL
+        .iter()
+        .copied()
+        .find(|op| op.mnemonic() == name)
+}
+
+fn lookup_cp1move(name: &str) -> Option<Cp1MoveOp> {
+    Cp1MoveOp::ALL
+        .iter()
+        .copied()
+        .find(|op| op.mnemonic() == name)
+}
+
+/// Splits `add.d` into (`add`, format). Returns `None` for non-FP names.
+fn split_fp(name: &str) -> Option<(&str, FpFmt)> {
+    let (stem, suffix) = name.rsplit_once('.')?;
+    let fmt = match suffix {
+        "s" => FpFmt::Single,
+        "d" => FpFmt::Double,
+        "w" => FpFmt::Word,
+        _ => return None,
+    };
+    Some((stem, fmt))
+}
+
+/// Whether this mnemonic (real or pseudo) ends a basic block with a delay
+/// slot, i.e. the assembler must insert a `nop` after it in reorder mode.
+pub fn is_control_transfer(mnemonic: &str) -> bool {
+    matches!(
+        mnemonic,
+        "j" | "jal"
+            | "jr"
+            | "jalr"
+            | "beq"
+            | "bne"
+            | "blez"
+            | "bgtz"
+            | "bltz"
+            | "bgez"
+            | "bltzal"
+            | "bgezal"
+            | "bc1t"
+            | "bc1f"
+            | "b"
+            | "bal"
+            | "beqz"
+            | "bnez"
+            | "blt"
+            | "bgt"
+            | "ble"
+            | "bge"
+            | "bltu"
+            | "bgtu"
+            | "bleu"
+            | "bgeu"
+    )
+}
+
+/// Number of machine words `mnemonic operands` will occupy, *excluding*
+/// any reorder-mode delay-slot `nop`.
+///
+/// Pass 1 of the assembler uses this to lay out addresses before symbols
+/// are resolved, so the result must not depend on symbol values; `li`
+/// sizes are decided by the literal form of the operand.
+///
+/// # Errors
+///
+/// Returns [`AsmErrorKind::UnknownMnemonic`] for unrecognized names and
+/// operand-shape errors for malformed uses whose size is ambiguous.
+pub fn plan_words(mnemonic: &str, operands: &[Operand], line: usize) -> Result<usize, AsmError> {
+    let ops = Ops {
+        mnemonic,
+        ops: operands,
+        line,
+    };
+    let two_op_pseudo_branch = matches!(
+        mnemonic,
+        "blt" | "bgt" | "ble" | "bge" | "bltu" | "bgtu" | "bleu" | "bgeu"
+    );
+    if two_op_pseudo_branch {
+        return Ok(2);
+    }
+    match mnemonic {
+        "li" => {
+            ops.count(2, "li rt, imm")?;
+            let expr = ops.expr(1, "li rt, imm")?;
+            if expr.is_constant() {
+                let v = expr.eval(&BTreeMap::new(), line)?;
+                if (-32768..=0xFFFF).contains(&v) {
+                    Ok(1)
+                } else {
+                    Ok(2)
+                }
+            } else {
+                Ok(2)
+            }
+        }
+        "la" => Ok(2),
+        "mul" | "rem" | "remu" => Ok(2),
+        "div" | "divu" => Ok(if operands.len() == 3 { 2 } else { 1 }),
+        "l.d" | "s.d" => Ok(2),
+        name if lookup_mem(name).is_some() || matches!(name, "lwc1" | "swc1" | "l.s" | "s.s") => {
+            // Absolute-address form (`lw $t0, sym`) expands via $at.
+            match operands.get(1) {
+                Some(Operand::Expr(_)) => Ok(2),
+                _ => Ok(1),
+            }
+        }
+        name if known_single_word(name) => Ok(1),
+        _ => Err(AsmError::new(
+            line,
+            AsmErrorKind::UnknownMnemonic(mnemonic.to_string()),
+        )),
+    }
+}
+
+fn known_single_word(name: &str) -> bool {
+    if lookup_alu(name).is_some()
+        || lookup_ialu(name).is_some()
+        || lookup_shift_imm(name).is_some()
+        || lookup_shift_var(name).is_some()
+        || lookup_multdiv(name).is_some()
+        || lookup_hilo(name).is_some()
+        || lookup_branchz(name).is_some()
+        || lookup_cp1move(name).is_some()
+    {
+        return true;
+    }
+    if matches!(
+        name,
+        "nop"
+            | "move"
+            | "not"
+            | "neg"
+            | "negu"
+            | "jr"
+            | "jalr"
+            | "j"
+            | "jal"
+            | "syscall"
+            | "break"
+            | "lui"
+            | "beq"
+            | "bne"
+            | "b"
+            | "bal"
+            | "beqz"
+            | "bnez"
+            | "bc1t"
+            | "bc1f"
+            | "l.s"
+            | "s.s"
+    ) {
+        return true;
+    }
+    if let Some((stem, fmt)) = split_fp(name) {
+        if fmt != FpFmt::Word
+            && matches!(stem, "add" | "sub" | "mul" | "div" | "abs" | "mov" | "neg")
+        {
+            return true;
+        }
+        if matches!(stem, "c.eq" | "c.lt" | "c.le") && fmt != FpFmt::Word {
+            return true;
+        }
+        if let Some(rest) = stem.strip_prefix("cvt.") {
+            let to_ok = matches!(rest, "s" | "d" | "w");
+            return to_ok;
+        }
+    }
+    false
+}
+
+/// Encodes `mnemonic operands` at address `addr` into machine
+/// instructions (one or more for pseudo instructions).
+///
+/// # Errors
+///
+/// Reports unknown mnemonics, operand-shape mismatches, out-of-range
+/// immediates, undefined symbols, and unreachable branch targets, all
+/// tagged with `line`.
+pub fn encode_instr(
+    mnemonic: &str,
+    operands: &[Operand],
+    addr: u32,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+) -> Result<Vec<Instruction>, AsmError> {
+    let ops = Ops {
+        mnemonic,
+        ops: operands,
+        line,
+    };
+
+    // Real three-register ALU ops.
+    if let Some(op) = lookup_alu(mnemonic) {
+        ops.count(3, "rd, rs, rt")?;
+        return Ok(vec![Instruction::RAlu {
+            op,
+            rd: ops.reg(0, "rd, rs, rt")?,
+            rs: ops.reg(1, "rd, rs, rt")?,
+            rt: ops.reg(2, "rd, rs, rt")?,
+        }]);
+    }
+    if let Some(op) = lookup_ialu(mnemonic) {
+        ops.count(3, "rt, rs, imm")?;
+        let rt = ops.reg(0, "rt, rs, imm")?;
+        let rs = ops.reg(1, "rt, rs, imm")?;
+        let expr = ops.expr(2, "rt, rs, imm")?;
+        let imm = if op.sign_extends() {
+            eval_i16(expr, symbols, line, "16-bit signed immediate")? as u16
+        } else {
+            eval_u16(expr, symbols, line, "16-bit unsigned immediate")?
+        };
+        return Ok(vec![Instruction::IAlu { op, rt, rs, imm }]);
+    }
+    if let Some(op) = lookup_shift_imm(mnemonic) {
+        ops.count(3, "rd, rt, shamt")?;
+        let shamt = eval_range(
+            ops.expr(2, "rd, rt, shamt")?,
+            symbols,
+            line,
+            0,
+            31,
+            "shift amount",
+        )? as u8;
+        return Ok(vec![Instruction::Shift {
+            op,
+            rd: ops.reg(0, "rd, rt, shamt")?,
+            rt: ops.reg(1, "rd, rt, shamt")?,
+            shamt,
+        }]);
+    }
+    if let Some(op) = lookup_shift_var(mnemonic) {
+        ops.count(3, "rd, rt, rs")?;
+        return Ok(vec![Instruction::ShiftV {
+            op,
+            rd: ops.reg(0, "rd, rt, rs")?,
+            rt: ops.reg(1, "rd, rt, rs")?,
+            rs: ops.reg(2, "rd, rt, rs")?,
+        }]);
+    }
+    if let Some(op) = lookup_hilo(mnemonic) {
+        ops.count(1, "reg")?;
+        return Ok(vec![Instruction::HiLo {
+            op,
+            reg: ops.reg(0, "reg")?,
+        }]);
+    }
+    if let Some(op) = lookup_branchz(mnemonic) {
+        ops.count(2, "rs, target")?;
+        let rs = ops.reg(0, "rs, target")?;
+        let offset = branch_offset(ops.expr(1, "rs, target")?, addr, symbols, line)?;
+        return Ok(vec![Instruction::BranchZ { op, rs, offset }]);
+    }
+    if let Some(op) = lookup_cp1move(mnemonic) {
+        ops.count(2, "rt, fs")?;
+        return Ok(vec![Instruction::Cp1Move {
+            op,
+            rt: ops.reg(0, "rt, fs")?,
+            fs: ops.fp(1, "rt, fs")?,
+        }]);
+    }
+
+    match mnemonic {
+        "nop" => {
+            ops.count(0, "no operands")?;
+            Ok(vec![Instruction::NOP])
+        }
+        "move" => {
+            ops.count(2, "rd, rs")?;
+            Ok(vec![Instruction::RAlu {
+                op: AluOp::Addu,
+                rd: ops.reg(0, "rd, rs")?,
+                rs: ops.reg(1, "rd, rs")?,
+                rt: Reg::ZERO,
+            }])
+        }
+        "not" => {
+            ops.count(2, "rd, rs")?;
+            Ok(vec![Instruction::RAlu {
+                op: AluOp::Nor,
+                rd: ops.reg(0, "rd, rs")?,
+                rs: ops.reg(1, "rd, rs")?,
+                rt: Reg::ZERO,
+            }])
+        }
+        "neg" | "negu" => {
+            ops.count(2, "rd, rs")?;
+            let op = if mnemonic == "neg" {
+                AluOp::Sub
+            } else {
+                AluOp::Subu
+            };
+            Ok(vec![Instruction::RAlu {
+                op,
+                rd: ops.reg(0, "rd, rs")?,
+                rs: Reg::ZERO,
+                rt: ops.reg(1, "rd, rs")?,
+            }])
+        }
+        "mult" | "multu" => {
+            ops.count(2, "rs, rt")?;
+            let op = lookup_multdiv(mnemonic).expect("mult/multu in table");
+            Ok(vec![Instruction::MultDiv {
+                op,
+                rs: ops.reg(0, "rs, rt")?,
+                rt: ops.reg(1, "rs, rt")?,
+            }])
+        }
+        "div" | "divu" if operands.len() == 2 => {
+            let op = lookup_multdiv(mnemonic).expect("div/divu in table");
+            Ok(vec![Instruction::MultDiv {
+                op,
+                rs: ops.reg(0, "rs, rt")?,
+                rt: ops.reg(1, "rs, rt")?,
+            }])
+        }
+        "div" | "divu" => {
+            ops.count(3, "rd, rs, rt")?;
+            let op = lookup_multdiv(mnemonic).expect("div/divu in table");
+            Ok(vec![
+                Instruction::MultDiv {
+                    op,
+                    rs: ops.reg(1, "rd, rs, rt")?,
+                    rt: ops.reg(2, "rd, rs, rt")?,
+                },
+                Instruction::HiLo {
+                    op: HiLoOp::Mflo,
+                    reg: ops.reg(0, "rd, rs, rt")?,
+                },
+            ])
+        }
+        "rem" | "remu" => {
+            ops.count(3, "rd, rs, rt")?;
+            let op = if mnemonic == "rem" {
+                MultDivOp::Div
+            } else {
+                MultDivOp::Divu
+            };
+            Ok(vec![
+                Instruction::MultDiv {
+                    op,
+                    rs: ops.reg(1, "rd, rs, rt")?,
+                    rt: ops.reg(2, "rd, rs, rt")?,
+                },
+                Instruction::HiLo {
+                    op: HiLoOp::Mfhi,
+                    reg: ops.reg(0, "rd, rs, rt")?,
+                },
+            ])
+        }
+        "mul" => {
+            ops.count(3, "rd, rs, rt")?;
+            Ok(vec![
+                Instruction::MultDiv {
+                    op: MultDivOp::Mult,
+                    rs: ops.reg(1, "rd, rs, rt")?,
+                    rt: ops.reg(2, "rd, rs, rt")?,
+                },
+                Instruction::HiLo {
+                    op: HiLoOp::Mflo,
+                    reg: ops.reg(0, "rd, rs, rt")?,
+                },
+            ])
+        }
+        "jr" => {
+            ops.count(1, "rs")?;
+            Ok(vec![Instruction::Jr {
+                rs: ops.reg(0, "rs")?,
+            }])
+        }
+        "jalr" => match operands.len() {
+            1 => Ok(vec![Instruction::Jalr {
+                rd: Reg::RA,
+                rs: ops.reg(0, "rs")?,
+            }]),
+            2 => Ok(vec![Instruction::Jalr {
+                rd: ops.reg(0, "rd, rs")?,
+                rs: ops.reg(1, "rd, rs")?,
+            }]),
+            _ => Err(ops.bad("rs or rd, rs")),
+        },
+        "syscall" | "break" => {
+            let code = match operands.len() {
+                0 => 0,
+                1 => eval_range(
+                    ops.expr(0, "code")?,
+                    symbols,
+                    line,
+                    0,
+                    (1 << 20) - 1,
+                    "code",
+                )? as u32,
+                _ => return Err(ops.bad("optional code")),
+            };
+            if mnemonic == "syscall" {
+                Ok(vec![Instruction::Syscall { code }])
+            } else {
+                Ok(vec![Instruction::Break { code }])
+            }
+        }
+        "lui" => {
+            ops.count(2, "rt, imm")?;
+            let rt = ops.reg(0, "rt, imm")?;
+            let imm = eval_u16(ops.expr(1, "rt, imm")?, symbols, line, "lui immediate")?;
+            Ok(vec![Instruction::Lui { rt, imm }])
+        }
+        "beq" | "bne" => {
+            ops.count(3, "rs, rt, target")?;
+            let op = if mnemonic == "beq" {
+                BranchOp::Beq
+            } else {
+                BranchOp::Bne
+            };
+            let offset = branch_offset(ops.expr(2, "rs, rt, target")?, addr, symbols, line)?;
+            Ok(vec![Instruction::Branch {
+                op,
+                rs: ops.reg(0, "rs, rt, target")?,
+                rt: ops.reg(1, "rs, rt, target")?,
+                offset,
+            }])
+        }
+        "beqz" | "bnez" => {
+            ops.count(2, "rs, target")?;
+            let op = if mnemonic == "beqz" {
+                BranchOp::Beq
+            } else {
+                BranchOp::Bne
+            };
+            let offset = branch_offset(ops.expr(1, "rs, target")?, addr, symbols, line)?;
+            Ok(vec![Instruction::Branch {
+                op,
+                rs: ops.reg(0, "rs, target")?,
+                rt: Reg::ZERO,
+                offset,
+            }])
+        }
+        "b" => {
+            ops.count(1, "target")?;
+            let offset = branch_offset(ops.expr(0, "target")?, addr, symbols, line)?;
+            Ok(vec![Instruction::Branch {
+                op: BranchOp::Beq,
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                offset,
+            }])
+        }
+        "bal" => {
+            ops.count(1, "target")?;
+            let offset = branch_offset(ops.expr(0, "target")?, addr, symbols, line)?;
+            Ok(vec![Instruction::BranchZ {
+                op: BranchZOp::Bgezal,
+                rs: Reg::ZERO,
+                offset,
+            }])
+        }
+        "blt" | "bgt" | "ble" | "bge" | "bltu" | "bgtu" | "bleu" | "bgeu" => {
+            ops.count(3, "rs, rt, target")?;
+            let rs = ops.reg(0, "rs, rt, target")?;
+            let rt = ops.reg(1, "rs, rt, target")?;
+            let unsigned = mnemonic.ends_with('u');
+            let slt_op = if unsigned { AluOp::Sltu } else { AluOp::Slt };
+            let stem = mnemonic.trim_end_matches('u');
+            // blt: slt $at,rs,rt; bne  — bgt: slt $at,rt,rs; bne
+            // ble: slt $at,rt,rs; beq  — bge: slt $at,rs,rt; beq
+            let (a, b, branch) = match stem {
+                "blt" => (rs, rt, BranchOp::Bne),
+                "bgt" => (rt, rs, BranchOp::Bne),
+                "ble" => (rt, rs, BranchOp::Beq),
+                "bge" => (rs, rt, BranchOp::Beq),
+                _ => unreachable!("matched above"),
+            };
+            // The branch word sits 4 bytes after the slt.
+            let offset = branch_offset(ops.expr(2, "rs, rt, target")?, addr + 4, symbols, line)?;
+            Ok(vec![
+                Instruction::RAlu {
+                    op: slt_op,
+                    rd: Reg::AT,
+                    rs: a,
+                    rt: b,
+                },
+                Instruction::Branch {
+                    op: branch,
+                    rs: Reg::AT,
+                    rt: Reg::ZERO,
+                    offset,
+                },
+            ])
+        }
+        "j" | "jal" => {
+            ops.count(1, "target")?;
+            let target = jump_target(ops.expr(0, "target")?, symbols, line)?;
+            Ok(vec![Instruction::Jump {
+                link: mnemonic == "jal",
+                target,
+            }])
+        }
+        "bc1t" | "bc1f" => {
+            ops.count(1, "target")?;
+            let offset = branch_offset(ops.expr(0, "target")?, addr, symbols, line)?;
+            Ok(vec![Instruction::Bc1 {
+                on_true: mnemonic == "bc1t",
+                offset,
+            }])
+        }
+        "li" => {
+            ops.count(2, "rt, imm")?;
+            let rt = ops.reg(0, "rt, imm")?;
+            let expr = ops.expr(1, "rt, imm")?;
+            if expr.is_constant() {
+                let v = eval_range(
+                    expr,
+                    symbols,
+                    line,
+                    i64::from(i32::MIN),
+                    i64::from(u32::MAX),
+                    "32-bit immediate",
+                )?;
+                if (0..=0xFFFF).contains(&v) {
+                    return Ok(vec![Instruction::IAlu {
+                        op: IAluOp::Ori,
+                        rt,
+                        rs: Reg::ZERO,
+                        imm: v as u16,
+                    }]);
+                }
+                if (-32768..0).contains(&v) {
+                    return Ok(vec![Instruction::IAlu {
+                        op: IAluOp::Addiu,
+                        rt,
+                        rs: Reg::ZERO,
+                        imm: v as i16 as u16,
+                    }]);
+                }
+                let v = v as u32;
+                return Ok(vec![
+                    Instruction::Lui {
+                        rt,
+                        imm: (v >> 16) as u16,
+                    },
+                    Instruction::IAlu {
+                        op: IAluOp::Ori,
+                        rt,
+                        rs: rt,
+                        imm: (v & 0xFFFF) as u16,
+                    },
+                ]);
+            }
+            encode_la(rt, expr, symbols, line)
+        }
+        "la" => {
+            ops.count(2, "rt, address")?;
+            let rt = ops.reg(0, "rt, address")?;
+            encode_la(rt, ops.expr(1, "rt, address")?, symbols, line)
+        }
+        "lwc1" | "swc1" | "l.s" | "s.s" => {
+            ops.count(2, "ft, offset(base)")?;
+            let store = mnemonic == "swc1" || mnemonic == "s.s";
+            let ft = ops.fp(0, "ft, offset(base)")?;
+            match &operands[1] {
+                Operand::Mem { offset, base } => {
+                    let off = eval_i16(offset, symbols, line, "memory offset")?;
+                    Ok(vec![Instruction::FpMem {
+                        store,
+                        ft,
+                        base: *base,
+                        offset: off,
+                    }])
+                }
+                Operand::Expr(e) => {
+                    let (hi, lo) = hi_lo_of(e, symbols, line)?;
+                    Ok(vec![
+                        Instruction::Lui {
+                            rt: Reg::AT,
+                            imm: hi,
+                        },
+                        Instruction::FpMem {
+                            store,
+                            ft,
+                            base: Reg::AT,
+                            offset: lo,
+                        },
+                    ])
+                }
+                _ => Err(ops.bad("ft, offset(base)")),
+            }
+        }
+        "l.d" | "s.d" => {
+            ops.count(2, "ft, offset(base)")?;
+            let store = mnemonic == "s.d";
+            let ft = ops.fp(0, "ft, offset(base)")?;
+            if ft.number() % 2 != 0 {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::ValueOutOfRange {
+                        what: "even FP register for double access",
+                        value: i64::from(ft.number()),
+                    },
+                ));
+            }
+            let (offset, base) = ops.mem(1, "ft, offset(base)")?;
+            let off = eval_range(offset, symbols, line, -32768, 32763, "memory offset")? as i16;
+            let ft_hi = FpReg::new(ft.number() + 1).expect("even reg + 1 in range");
+            Ok(vec![
+                Instruction::FpMem {
+                    store,
+                    ft,
+                    base,
+                    offset: off,
+                },
+                Instruction::FpMem {
+                    store,
+                    ft: ft_hi,
+                    base,
+                    offset: off + 4,
+                },
+            ])
+        }
+        name => {
+            if let Some(op) = lookup_mem(name) {
+                ops.count(2, "rt, offset(base)")?;
+                let rt = ops.reg(0, "rt, offset(base)")?;
+                return match &operands[1] {
+                    Operand::Mem { offset, base } => {
+                        let off = eval_i16(offset, symbols, line, "memory offset")?;
+                        Ok(vec![Instruction::Mem {
+                            op,
+                            rt,
+                            base: *base,
+                            offset: off,
+                        }])
+                    }
+                    Operand::Expr(e) => {
+                        let (hi, lo) = hi_lo_of(e, symbols, line)?;
+                        Ok(vec![
+                            Instruction::Lui {
+                                rt: Reg::AT,
+                                imm: hi,
+                            },
+                            Instruction::Mem {
+                                op,
+                                rt,
+                                base: Reg::AT,
+                                offset: lo,
+                            },
+                        ])
+                    }
+                    _ => Err(ops.bad("rt, offset(base)")),
+                };
+            }
+            encode_fp(&ops, name, symbols, line)
+        }
+    }
+}
+
+fn encode_la(
+    rt: Reg,
+    expr: &Expr,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+) -> Result<Vec<Instruction>, AsmError> {
+    let (hi, lo) = hi_lo_of(expr, symbols, line)?;
+    Ok(vec![
+        Instruction::Lui { rt, imm: hi },
+        Instruction::IAlu {
+            op: IAluOp::Addiu,
+            rt,
+            rs: rt,
+            imm: lo as u16,
+        },
+    ])
+}
+
+/// The `%hi`/`%lo` pair of an address: `(hi << 16) + sign_extend(lo)`
+/// reconstructs it.
+fn hi_lo_of(
+    expr: &Expr,
+    symbols: &BTreeMap<String, u32>,
+    line: usize,
+) -> Result<(u16, i16), AsmError> {
+    let v = expr.eval(symbols, line)? as u32;
+    let hi = (v.wrapping_add(0x8000) >> 16) as u16;
+    let lo = v as u16 as i16;
+    Ok((hi, lo))
+}
+
+fn encode_fp(
+    ops: &Ops<'_>,
+    name: &str,
+    _symbols: &BTreeMap<String, u32>,
+    line: usize,
+) -> Result<Vec<Instruction>, AsmError> {
+    let Some((stem, fmt)) = split_fp(name) else {
+        return Err(AsmError::new(
+            line,
+            AsmErrorKind::UnknownMnemonic(name.to_string()),
+        ));
+    };
+    // cvt.to.from
+    if let Some(to_suffix) = stem.strip_prefix("cvt.") {
+        let to = match to_suffix {
+            "s" => FpFmt::Single,
+            "d" => FpFmt::Double,
+            "w" => FpFmt::Word,
+            _ => {
+                return Err(AsmError::new(
+                    line,
+                    AsmErrorKind::UnknownMnemonic(name.to_string()),
+                ))
+            }
+        };
+        if to == fmt {
+            return Err(AsmError::new(
+                line,
+                AsmErrorKind::UnknownMnemonic(name.to_string()),
+            ));
+        }
+        ops.count(2, "fd, fs")?;
+        return Ok(vec![Instruction::FpCvt {
+            to,
+            from: fmt,
+            fd: ops.fp(0, "fd, fs")?,
+            fs: ops.fp(1, "fd, fs")?,
+        }]);
+    }
+    if fmt == FpFmt::Word {
+        return Err(AsmError::new(
+            line,
+            AsmErrorKind::UnknownMnemonic(name.to_string()),
+        ));
+    }
+    if let Some(cond_name) = stem.strip_prefix("c.") {
+        let cond = FpCond::ALL
+            .iter()
+            .copied()
+            .find(|c| c.mnemonic() == cond_name)
+            .ok_or_else(|| AsmError::new(line, AsmErrorKind::UnknownMnemonic(name.to_string())))?;
+        ops.count(2, "fs, ft")?;
+        return Ok(vec![Instruction::FpCmp {
+            cond,
+            fmt,
+            fs: ops.fp(0, "fs, ft")?,
+            ft: ops.fp(1, "fs, ft")?,
+        }]);
+    }
+    if let Some(op) = FpOp::ALL.iter().copied().find(|op| op.mnemonic() == stem) {
+        ops.count(3, "fd, fs, ft")?;
+        return Ok(vec![Instruction::FpArith {
+            op,
+            fmt,
+            fd: ops.fp(0, "fd, fs, ft")?,
+            fs: ops.fp(1, "fd, fs, ft")?,
+            ft: ops.fp(2, "fd, fs, ft")?,
+        }]);
+    }
+    if let Some(op) = FpUnaryOp::ALL
+        .iter()
+        .copied()
+        .find(|op| op.mnemonic() == stem)
+    {
+        ops.count(2, "fd, fs")?;
+        return Ok(vec![Instruction::FpUnary {
+            op,
+            fmt,
+            fd: ops.fp(0, "fd, fs")?,
+            fs: ops.fp(1, "fd, fs")?,
+        }]);
+    }
+    Err(AsmError::new(
+        line,
+        AsmErrorKind::UnknownMnemonic(name.to_string()),
+    ))
+}

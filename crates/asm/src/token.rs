@@ -1,0 +1,295 @@
+use ccrp_isa::{FpReg, Reg};
+
+use crate::error::{AsmError, AsmErrorKind};
+
+/// A lexical token of MIPS assembly source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Mnemonic, directive, or symbol name (may contain `.` and `_`).
+    Ident(String),
+    /// A general-purpose register (`$t0`, `$29`, ...).
+    Reg(Reg),
+    /// A floating-point register (`$f12`).
+    Fp(FpReg),
+    /// An integer literal (decimal, `0x` hex, `0b` binary, or `'c'` char).
+    Num(i64),
+    /// A floating-point literal (only valid after `.float`/`.double`).
+    Float(f64),
+    /// A quoted string literal with escapes processed.
+    Str(String),
+    /// Single punctuation character: `, ( ) : + - * / & | ^ ~ < >`.
+    Punct(char),
+    /// The `%hi` relocation operator.
+    HiOp,
+    /// The `%lo` relocation operator.
+    LoOp,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Splits one source line into tokens. Comments (`#` or `;` to end of
+/// line) are stripped.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] (tagged with `line_no`) on malformed numbers,
+/// unknown registers, unterminated strings, or stray characters.
+pub fn tokenize_line(line: &str, line_no: usize) -> Result<Vec<Token>, AsmError> {
+    let mut tokens = Vec::new();
+    let mut chars = line.char_indices().peekable();
+    let err = |kind| AsmError::new(line_no, kind);
+
+    while let Some(&(start, c)) = chars.peek() {
+        match c {
+            '#' | ';' => break,
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some((_, c)) = chars.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => {
+                            let esc = chars
+                                .next()
+                                .ok_or_else(|| err(AsmErrorKind::UnterminatedString))?
+                                .1;
+                            s.push(unescape(esc));
+                        }
+                        c => s.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(err(AsmErrorKind::UnterminatedString));
+                }
+                tokens.push(Token::Str(s));
+            }
+            '\'' => {
+                chars.next();
+                let c = chars
+                    .next()
+                    .ok_or_else(|| err(AsmErrorKind::UnterminatedString))?
+                    .1;
+                let value = if c == '\\' {
+                    let esc = chars
+                        .next()
+                        .ok_or_else(|| err(AsmErrorKind::UnterminatedString))?
+                        .1;
+                    unescape(esc)
+                } else {
+                    c
+                };
+                match chars.next() {
+                    Some((_, '\'')) => tokens.push(Token::Num(value as i64)),
+                    _ => return Err(err(AsmErrorKind::UnterminatedString)),
+                }
+            }
+            '$' => {
+                chars.next();
+                let mut name = String::from("$");
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if let Ok(fp) = name.parse::<FpReg>() {
+                    tokens.push(Token::Fp(fp));
+                } else {
+                    let reg = name.parse::<Reg>().map_err(|e| err(AsmErrorKind::Isa(e)))?;
+                    tokens.push(Token::Reg(reg));
+                }
+            }
+            '%' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphabetic() {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match name.as_str() {
+                    "hi" => tokens.push(Token::HiOp),
+                    "lo" => tokens.push(Token::LoOp),
+                    _ => {
+                        return Err(err(AsmErrorKind::Syntax(format!(
+                            "unknown relocation operator %{name}"
+                        ))))
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '.' {
+                        text.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                // Scientific notation: 1.5e-3 / 2e+6 need the sign pulled in.
+                if text.ends_with('e') || text.ends_with('E') {
+                    if let Some(&(_, sign)) = chars.peek() {
+                        if sign == '+' || sign == '-' {
+                            text.push(sign);
+                            chars.next();
+                            while let Some(&(_, c)) = chars.peek() {
+                                if c.is_ascii_digit() {
+                                    text.push(c);
+                                    chars.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                tokens.push(parse_number(&text, line_no)?);
+                let _ = start;
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_char(c) {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(name));
+            }
+            ',' | '(' | ')' | ':' | '+' | '-' | '*' | '/' | '&' | '|' | '^' | '~' | '<' | '>' => {
+                chars.next();
+                tokens.push(Token::Punct(c));
+            }
+            other => return Err(err(AsmErrorKind::UnexpectedChar(other))),
+        }
+    }
+    Ok(tokens)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_number(text: &str, line_no: usize) -> Result<Token, AsmError> {
+    let bad = || AsmError::new(line_no, AsmErrorKind::BadNumber(text.to_string()));
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16)
+            .map(|v| Token::Num(v as i64))
+            .map_err(|_| bad());
+    }
+    if let Some(bin) = text.strip_prefix("0b").or_else(|| text.strip_prefix("0B")) {
+        return u64::from_str_radix(bin, 2)
+            .map(|v| Token::Num(v as i64))
+            .map_err(|_| bad());
+    }
+    if text.contains('.') || text.contains('e') || text.contains('E') {
+        return text.parse::<f64>().map(Token::Float).map_err(|_| bad());
+    }
+    text.parse::<i64>().map(Token::Num).map_err(|_| bad())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_instruction_line() {
+        let toks = tokenize_line("loop: addiu $t0, $t0, -1  # decrement", 1).unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("loop".into()),
+                Token::Punct(':'),
+                Token::Ident("addiu".into()),
+                Token::Reg(Reg::T0),
+                Token::Punct(','),
+                Token::Reg(Reg::T0),
+                Token::Punct(','),
+                Token::Punct('-'),
+                Token::Num(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        assert_eq!(tokenize_line("0x1F", 1).unwrap(), vec![Token::Num(31)]);
+        assert_eq!(tokenize_line("0b101", 1).unwrap(), vec![Token::Num(5)]);
+        assert_eq!(tokenize_line("'A'", 1).unwrap(), vec![Token::Num(65)]);
+        assert_eq!(tokenize_line("'\\n'", 1).unwrap(), vec![Token::Num(10)]);
+        assert_eq!(tokenize_line("3.5", 1).unwrap(), vec![Token::Float(3.5)]);
+        assert_eq!(tokenize_line("1e3", 1).unwrap(), vec![Token::Float(1000.0)]);
+        assert_eq!(
+            tokenize_line("2.5e-2", 1).unwrap(),
+            vec![Token::Float(0.025)]
+        );
+    }
+
+    #[test]
+    fn tokenizes_registers_and_fp() {
+        let toks = tokenize_line("mtc1 $a0, $f12", 1).unwrap();
+        assert!(matches!(toks[1], Token::Reg(r) if r == Reg::A0));
+        assert!(matches!(toks[3], Token::Fp(f) if f.number() == 12));
+    }
+
+    #[test]
+    fn tokenizes_strings_with_escapes() {
+        let toks = tokenize_line(r#".asciiz "hi\n""#, 1).unwrap();
+        assert_eq!(toks[1], Token::Str("hi\n".into()));
+    }
+
+    #[test]
+    fn tokenizes_mem_operand() {
+        let toks = tokenize_line("lw $t0, 4($sp)", 1).unwrap();
+        assert_eq!(toks[3], Token::Num(4));
+        assert_eq!(toks[4], Token::Punct('('));
+        assert_eq!(toks[6], Token::Punct(')'));
+    }
+
+    #[test]
+    fn tokenizes_hi_lo() {
+        let toks = tokenize_line("lui $at, %hi(table)", 1).unwrap();
+        assert_eq!(toks[3], Token::HiOp);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize_line("@@@", 1).is_err());
+        assert!(tokenize_line("\"open", 1).is_err());
+        assert!(tokenize_line("$t99", 1).is_err());
+        assert!(tokenize_line("0xZZ", 1).is_err());
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert!(tokenize_line("# whole line", 1).unwrap().is_empty());
+        assert_eq!(tokenize_line("nop ; done", 1).unwrap().len(), 1);
+    }
+}

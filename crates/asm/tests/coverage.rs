@@ -1,0 +1,349 @@
+//! Assembler surface coverage: every pseudo-instruction, every
+//! directive, and the error paths, checked against hand-computed
+//! encodings.
+
+use ccrp_asm::{assemble, assemble_with, AsmErrorKind, AssembleOptions, DelaySlotMode};
+use ccrp_isa::{decode, disassemble_word, Instruction, Reg};
+
+fn words_noreorder(body: &str) -> Vec<u32> {
+    assemble(&format!(".set noreorder\n{body}\n"))
+        .expect("fragment assembles")
+        .text_words()
+        .collect()
+}
+
+#[test]
+fn every_real_mnemonic_assembles() {
+    let lines = [
+        "add $t0, $t1, $t2",
+        "addu $t0, $t1, $t2",
+        "sub $t0, $t1, $t2",
+        "subu $t0, $t1, $t2",
+        "and $t0, $t1, $t2",
+        "or $t0, $t1, $t2",
+        "xor $t0, $t1, $t2",
+        "nor $t0, $t1, $t2",
+        "slt $t0, $t1, $t2",
+        "sltu $t0, $t1, $t2",
+        "sll $t0, $t1, 3",
+        "srl $t0, $t1, 3",
+        "sra $t0, $t1, 3",
+        "sllv $t0, $t1, $t2",
+        "srlv $t0, $t1, $t2",
+        "srav $t0, $t1, $t2",
+        "mult $t0, $t1",
+        "multu $t0, $t1",
+        "div $t0, $t1",
+        "divu $t0, $t1",
+        "mfhi $t0",
+        "mflo $t0",
+        "mthi $t0",
+        "mtlo $t0",
+        "jr $ra",
+        "jalr $t0",
+        "jalr $t1, $t0",
+        "syscall",
+        "break",
+        "break 7",
+        "addi $t0, $t1, -5",
+        "addiu $t0, $t1, -5",
+        "slti $t0, $t1, 5",
+        "sltiu $t0, $t1, 5",
+        "andi $t0, $t1, 0xFF",
+        "ori $t0, $t1, 0xFF",
+        "xori $t0, $t1, 0xFF",
+        "lui $t0, 0x1234",
+        "lb $t0, 0($sp)",
+        "lbu $t0, 1($sp)",
+        "lh $t0, 2($sp)",
+        "lhu $t0, 2($sp)",
+        "lw $t0, 4($sp)",
+        "lwl $t0, 3($sp)",
+        "lwr $t0, 0($sp)",
+        "sb $t0, 0($sp)",
+        "sh $t0, 2($sp)",
+        "sw $t0, 4($sp)",
+        "swl $t0, 3($sp)",
+        "swr $t0, 0($sp)",
+        "lwc1 $f2, 0($sp)",
+        "swc1 $f2, 4($sp)",
+        "mfc1 $t0, $f2",
+        "mtc1 $t0, $f2",
+        "cfc1 $t0, $f31",
+        "ctc1 $t0, $f31",
+        "add.s $f0, $f2, $f4",
+        "add.d $f0, $f2, $f4",
+        "sub.s $f0, $f2, $f4",
+        "sub.d $f0, $f2, $f4",
+        "mul.s $f0, $f2, $f4",
+        "mul.d $f0, $f2, $f4",
+        "div.s $f0, $f2, $f4",
+        "div.d $f0, $f2, $f4",
+        "abs.s $f0, $f2",
+        "abs.d $f0, $f2",
+        "neg.s $f0, $f2",
+        "neg.d $f0, $f2",
+        "mov.s $f0, $f2",
+        "mov.d $f0, $f2",
+        "cvt.s.d $f0, $f2",
+        "cvt.s.w $f0, $f2",
+        "cvt.d.s $f0, $f2",
+        "cvt.d.w $f0, $f2",
+        "cvt.w.s $f0, $f2",
+        "cvt.w.d $f0, $f2",
+        "c.eq.s $f0, $f2",
+        "c.eq.d $f0, $f2",
+        "c.lt.s $f0, $f2",
+        "c.lt.d $f0, $f2",
+        "c.le.s $f0, $f2",
+        "c.le.d $f0, $f2",
+        "nop",
+    ];
+    for line in lines {
+        let words = words_noreorder(line);
+        assert_eq!(words.len(), 1, "{line}");
+        // Every emitted word decodes and the decode agrees with itself.
+        decode(words[0]).unwrap_or_else(|e| panic!("{line}: {e}"));
+    }
+}
+
+#[test]
+fn pseudo_expansions_by_shape() {
+    // (source, expected disassembly of the expansion)
+    let cases: &[(&str, &[&str])] = &[
+        ("move $t0, $t1", &["addu $t0, $t1, $zero"]),
+        ("not $t0, $t1", &["nor $t0, $t1, $zero"]),
+        ("neg $t0, $t1", &["sub $t0, $zero, $t1"]),
+        ("negu $t0, $t1", &["subu $t0, $zero, $t1"]),
+        ("li $t0, 7", &["ori $t0, $zero, 0x7"]),
+        ("li $t0, -7", &["addiu $t0, $zero, -7"]),
+        ("li $t0, 0x00050006", &["lui $t0, 0x5", "ori $t0, $t0, 0x6"]),
+        ("mul $t0, $t1, $t2", &["mult $t1, $t2", "mflo $t0"]),
+        ("div $t0, $t1, $t2", &["div $t1, $t2", "mflo $t0"]),
+        ("rem $t0, $t1, $t2", &["div $t1, $t2", "mfhi $t0"]),
+        ("remu $t0, $t1, $t2", &["divu $t1, $t2", "mfhi $t0"]),
+        ("l.s $f2, 8($sp)", &["lwc1 $f2, 8($sp)"]),
+        ("s.s $f2, 8($sp)", &["swc1 $f2, 8($sp)"]),
+        (
+            "l.d $f2, 8($sp)",
+            &["lwc1 $f2, 8($sp)", "lwc1 $f3, 12($sp)"],
+        ),
+        (
+            "s.d $f2, 8($sp)",
+            &["swc1 $f2, 8($sp)", "swc1 $f3, 12($sp)"],
+        ),
+    ];
+    for (source, expected) in cases {
+        let words = words_noreorder(source);
+        let got: Vec<String> = words.iter().map(|&w| disassemble_word(w)).collect();
+        assert_eq!(got, *expected, "{source}");
+    }
+}
+
+#[test]
+fn pseudo_branches_encode_correct_comparisons() {
+    // blt/bgt/ble/bge and their unsigned forms, each against a target
+    // label two instructions ahead.
+    for (mn, slt_args, branch) in [
+        ("blt", "$at, $t0, $t1", "bne"),
+        ("bgt", "$at, $t1, $t0", "bne"),
+        ("ble", "$at, $t1, $t0", "beq"),
+        ("bge", "$at, $t0, $t1", "beq"),
+    ] {
+        let words = words_noreorder(&format!("{mn} $t0, $t1, target\n nop\ntarget: nop"));
+        let slt = disassemble_word(words[0]);
+        assert_eq!(slt, format!("slt {slt_args}"), "{mn}");
+        let b = disassemble_word(words[1]);
+        assert!(b.starts_with(branch), "{mn}: {b}");
+        // unsigned form swaps slt for sltu
+        let words = words_noreorder(&format!("{mn}u $t0, $t1, target\n nop\ntarget: nop"));
+        assert!(disassemble_word(words[0]).starts_with("sltu"), "{mn}u");
+    }
+}
+
+#[test]
+fn absolute_load_pseudo_uses_at() {
+    let image = assemble(
+        "
+        .data
+var:    .word 42
+        .text
+main:   lw $t0, var
+        ",
+    )
+    .unwrap();
+    let words: Vec<u32> = image.text_words().collect();
+    match decode(words[0]).unwrap() {
+        Instruction::Lui { rt, .. } => assert_eq!(rt, Reg::AT),
+        other => panic!("{other}"),
+    }
+    match decode(words[1]).unwrap() {
+        Instruction::Mem { base, .. } => assert_eq!(base, Reg::AT),
+        other => panic!("{other}"),
+    }
+}
+
+#[test]
+fn branch_range_checks() {
+    // A branch 40000 instructions away cannot encode.
+    let mut source = String::from("main: beq $t0, $t1, far\n");
+    for _ in 0..40_000 {
+        source.push_str(" nop\n");
+    }
+    source.push_str("far: nop\n");
+    let err = assemble(&source).unwrap_err();
+    assert!(matches!(err.kind, AsmErrorKind::BranchOutOfRange { .. }));
+}
+
+#[test]
+fn delay_slot_modes_differ_in_size() {
+    let reorder = assemble("main: jr $ra").unwrap().text_size();
+    let noreorder = assemble_with(
+        "main: jr $ra",
+        AssembleOptions {
+            delay_slots: DelaySlotMode::NoReorder,
+            ..AssembleOptions::default()
+        },
+    )
+    .unwrap()
+    .text_size();
+    assert_eq!(reorder, 8);
+    assert_eq!(noreorder, 4);
+}
+
+#[test]
+fn directive_coverage() {
+    let image = assemble(
+        r#"
+        .equ COUNT, 3
+        .globl main
+        .data
+bytes:  .byte 1, -1, 255
+halves: .half -2, 0xBEEF
+        .align 2
+words:  .word COUNT, bytes, 1 << 16
+text1:  .ascii "ab"
+text2:  .asciiz "cd"
+gap:    .space COUNT * 2
+        .align 3
+dbl:    .double 0.5
+flt:    .float -1.5
+        .text
+main:   jr $ra
+        "#,
+    )
+    .unwrap();
+    let base = image.data_base();
+    assert_eq!(image.symbol("bytes"), Some(base));
+    assert_eq!(image.symbol("halves"), Some(base + 3));
+    assert_eq!(image.symbol("words"), Some(base + 8));
+    assert_eq!(image.symbol("text1"), Some(base + 20));
+    assert_eq!(image.symbol("text2"), Some(base + 22));
+    assert_eq!(image.symbol("gap"), Some(base + 25));
+    let data = image.data_bytes();
+    assert_eq!(data[0], 1);
+    assert_eq!(data[1], 0xFF);
+    assert_eq!(&data[3..5], &(-2i16 as u16).to_le_bytes());
+    assert_eq!(&data[8..12], &3u32.to_le_bytes());
+    assert_eq!(&data[12..16], &base.to_le_bytes());
+    assert_eq!(&data[16..20], &(1u32 << 16).to_le_bytes());
+    assert_eq!(&data[20..22], b"ab");
+    assert_eq!(&data[22..25], b"cd\0");
+    let dbl_at = image.symbol("dbl").unwrap() - base;
+    assert_eq!(
+        &data[dbl_at as usize..dbl_at as usize + 8],
+        &0.5f64.to_le_bytes()
+    );
+    let flt_at = image.symbol("flt").unwrap() - base;
+    assert_eq!(
+        &data[flt_at as usize..flt_at as usize + 4],
+        &(-1.5f32).to_le_bytes()
+    );
+}
+
+type KindCheck = fn(&AsmErrorKind) -> bool;
+
+#[test]
+fn error_taxonomy() {
+    let cases: &[(&str, KindCheck)] = &[
+        ("main: frobnicate $t0", |k| {
+            matches!(k, AsmErrorKind::UnknownMnemonic(_))
+        }),
+        ("main: add $t0, $t1", |k| {
+            matches!(k, AsmErrorKind::BadOperands { .. })
+        }),
+        ("main: sll $t0, $t1, 32", |k| {
+            matches!(k, AsmErrorKind::ValueOutOfRange { .. })
+        }),
+        ("main: lui $t0, 0x10000", |k| {
+            matches!(k, AsmErrorKind::ValueOutOfRange { .. })
+        }),
+        ("main: b missing", |k| {
+            matches!(k, AsmErrorKind::UndefinedSymbol(_))
+        }),
+        ("x: nop\nx: nop", |k| {
+            matches!(k, AsmErrorKind::DuplicateLabel(_))
+        }),
+        (".data\n nop", |k| matches!(k, AsmErrorKind::Syntax(_))),
+        (".word 1/0", |k| matches!(k, AsmErrorKind::DivideByZero)),
+        (".bogus 1", |k| {
+            matches!(k, AsmErrorKind::UnknownMnemonic(_))
+        }),
+        ("main: l.d $f3, 0($sp)", |k| {
+            matches!(k, AsmErrorKind::ValueOutOfRange { .. })
+        }),
+        ("main: j 2", |k| {
+            matches!(k, AsmErrorKind::MisalignedTarget(_))
+        }),
+    ];
+    for (source, matches_kind) in cases {
+        let err = assemble(source).unwrap_err();
+        assert!(matches_kind(&err.kind), "{source}: got {:?}", err.kind);
+        assert!(err.line >= 1, "{source}: errors carry line numbers");
+    }
+}
+
+#[test]
+fn hi_lo_relocation_operators() {
+    let image = assemble(
+        "
+        .data
+        .space 0x8100
+var:    .word 9
+        .text
+main:   lui $t0, %hi(var)
+        lw  $t1, %lo(var)($t0)
+        ",
+    )
+    .unwrap();
+    let var = image.symbol("var").unwrap();
+    let words: Vec<u32> = image.text_words().collect();
+    let hi = match decode(words[0]).unwrap() {
+        Instruction::Lui { imm, .. } => u32::from(imm),
+        other => panic!("{other}"),
+    };
+    let lo = match decode(words[1]).unwrap() {
+        Instruction::Mem { offset, .. } => i64::from(offset),
+        other => panic!("{other}"),
+    };
+    assert_eq!(
+        ((hi << 16) as i64 + lo) as u32,
+        var,
+        "%hi/%lo must reconstruct"
+    );
+}
+
+#[test]
+fn comments_and_blank_lines_everywhere() {
+    let image = assemble(
+        "
+        # leading comment
+main:                      ; trailing-style comment
+        nop                # after instruction
+
+        jr $ra             # done
+        ",
+    )
+    .unwrap();
+    assert_eq!(image.text_words().count(), 3); // nop, jr, auto-nop
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks: throughput of the building blocks
+//! (codecs, refill engine, cache model, emulator, assembler).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use ccrp::{CompressedImage, MemoryTiming, RefillConfig, RefillEngine};
+use ccrp_compress::{block, lzw, BlockAlignment, ByteCode, ByteHistogram};
+use ccrp_sim::{simulate_ccrp, simulate_standard, ICache, MemoryModel, SystemConfig};
+use ccrp_workloads::{generate_text, CodeProfile, TracedWorkload};
+
+fn codec_benches(c: &mut Criterion) {
+    let text = generate_text(&CodeProfile::integer(), 64 * 1024, 11);
+    let hist = ByteHistogram::of(&text);
+    let code = ByteCode::bounded(&hist).expect("code builds");
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("histogram", |b| {
+        b.iter(|| ByteHistogram::of(std::hint::black_box(&text)))
+    });
+    group.bench_function("bounded_code_build", |b| {
+        b.iter(|| ByteCode::bounded(std::hint::black_box(&hist)).expect("code builds"))
+    });
+    group.bench_function("huffman_encode", |b| {
+        b.iter(|| code.encode(std::hint::black_box(&text)))
+    });
+    let encoded = code.encode(&text);
+    group.bench_function("huffman_decode", |b| {
+        b.iter(|| {
+            code.decode(std::hint::black_box(&encoded), text.len())
+                .expect("decodes")
+        })
+    });
+    group.bench_function("lzw_compress", |b| {
+        b.iter(|| lzw::compress(std::hint::black_box(&text)))
+    });
+    group.bench_function("block_compress_image", |b| {
+        b.iter(|| block::compress_image(&code, std::hint::black_box(&text), BlockAlignment::Word))
+    });
+    group.finish();
+}
+
+fn refill_benches(c: &mut Criterion) {
+    let text = generate_text(&CodeProfile::integer(), 16 * 1024, 12);
+    let code = ByteCode::preselected(&ByteHistogram::of(&text)).expect("code builds");
+    let image = CompressedImage::build(0, &text, code, BlockAlignment::Word).expect("builds");
+
+    struct Burst;
+    impl MemoryTiming for Burst {
+        fn read_burst(&mut self, words: u32, now: u64, arrivals: &mut Vec<u64>) {
+            arrivals.clear();
+            arrivals.extend((0..u64::from(words)).map(|i| now + 3 + i));
+        }
+    }
+
+    c.bench_function("refill_engine_miss", |b| {
+        let mut engine = RefillEngine::new(RefillConfig::default()).expect("valid config");
+        let mut memory = Burst;
+        let mut addr = 0u32;
+        b.iter(|| {
+            let outcome = engine
+                .refill(&image, addr, 0, &mut memory)
+                .expect("in range");
+            addr = (addr + 32) % (16 * 1024);
+            std::hint::black_box(outcome)
+        })
+    });
+
+    c.bench_function("icache_access", |b| {
+        let mut cache = ICache::new(1024).expect("valid size");
+        let mut addr = 0u32;
+        b.iter(|| {
+            addr = addr.wrapping_add(68) & 0xFFFF;
+            std::hint::black_box(cache.access(addr))
+        })
+    });
+}
+
+fn system_benches(c: &mut Criterion) {
+    let workload = TracedWorkload::Eightq.build().expect("eightq builds");
+    let code = ccrp_workloads::preselected_code().clone();
+    let image =
+        CompressedImage::build(0, &workload.text, code, BlockAlignment::Word).expect("builds");
+    let config = SystemConfig {
+        memory: MemoryModel::Eprom,
+        ..SystemConfig::default()
+    };
+
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(workload.trace.len() as u64));
+    group.bench_function(BenchmarkId::new("standard", workload.trace.len()), |b| {
+        b.iter(|| simulate_standard(workload.trace.iter(), &config).expect("simulates"))
+    });
+    group.bench_function(BenchmarkId::new("ccrp", workload.trace.len()), |b| {
+        b.iter(|| simulate_ccrp(&image, workload.trace.iter(), &config).expect("simulates"))
+    });
+    group.finish();
+}
+
+fn frontend_benches(c: &mut Criterion) {
+    let source = TracedWorkload::Eightq.source();
+    c.bench_function("assemble_eightq", |b| {
+        b.iter(|| ccrp_asm::assemble(std::hint::black_box(&source)).expect("assembles"))
+    });
+    let image = ccrp_asm::assemble(&source).expect("assembles");
+    c.bench_function("emulate_eightq", |b| {
+        b.iter(|| {
+            let mut machine = ccrp_emu::Machine::new(&image);
+            machine.run(&mut ccrp_emu::NullSink).expect("runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = codec_benches, refill_benches, system_benches, frontend_benches
+}
+criterion_main!(benches);

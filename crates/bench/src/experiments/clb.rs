@@ -1,0 +1,114 @@
+//! Tables 9–10: the effect of CLB size (4, 8, 16 entries) on relative
+//! performance for NASA7 and espresso.
+
+use ccrp_sim::{compare, DataCacheModel, MemoryModel, SystemConfig};
+
+use crate::experiments::perf::CACHE_SIZES;
+use crate::suite::{Prepared, Suite};
+
+/// The CLB capacities of §4.2.2.
+pub const CLB_SIZES: [usize; 3] = [16, 8, 4];
+
+/// One row of Table 9/10: a cache size with relative performance per
+/// CLB capacity (ordered as [`CLB_SIZES`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClbRow {
+    /// Memory model for this block of rows.
+    pub memory: MemoryModel,
+    /// Instruction-cache bytes.
+    pub cache_bytes: u32,
+    /// Relative performance for 16/8/4 CLB entries.
+    pub relative: [f64; 3],
+    /// CLB miss rate (of cache-miss probes) for 16/8/4 entries.
+    pub clb_miss_rate: [f64; 3],
+}
+
+/// Runs the CLB sweep for one workload.
+///
+/// # Panics
+///
+/// Panics on simulator configuration errors (impossible for the fixed
+/// paper parameters).
+pub fn clb_sweep(prepared: &Prepared) -> Vec<ClbRow> {
+    let mut rows = Vec::new();
+    for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
+        for &cache_bytes in &CACHE_SIZES {
+            let mut relative = [0.0; 3];
+            let mut clb_miss = [0.0; 3];
+            for (slot, &clb_entries) in CLB_SIZES.iter().enumerate() {
+                let config = SystemConfig {
+                    cache_bytes,
+                    memory,
+                    clb_entries,
+                    decode_bytes_per_cycle: 2,
+                    dcache: DataCacheModel::NONE,
+                };
+                let cmp = compare(&prepared.image, prepared.workload.trace.iter(), &config)
+                    .expect("paper configurations are valid");
+                relative[slot] = cmp.relative_execution_time();
+                clb_miss[slot] = cmp.ccrp.clb.expect("CCRP runs track the CLB").miss_rate();
+            }
+            rows.push(ClbRow {
+                memory,
+                cache_bytes,
+                relative,
+                clb_miss_rate: clb_miss,
+            });
+        }
+    }
+    rows
+}
+
+/// Tables 9 and 10: NASA7 and espresso.
+pub fn tables_9_10(suite: &Suite) -> Vec<(&'static str, Vec<ClbRow>)> {
+    ["NASA7", "espresso"]
+        .iter()
+        .map(|&name| (suite.get(name).workload.name, clb_sweep(suite.get(name))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::suite;
+
+    #[test]
+    fn smaller_clb_never_helps() {
+        for (name, rows) in tables_9_10(suite()) {
+            for row in &rows {
+                // relative[0] is the 16-entry CLB; shrinking the CLB can
+                // only add LAT reads, so CCRP time (and thus the ratio)
+                // must not decrease.
+                assert!(
+                    row.relative[1] >= row.relative[0] - 1e-12
+                        && row.relative[2] >= row.relative[1] - 1e-12,
+                    "{name} {:?} {}B: {:?}",
+                    row.memory,
+                    row.cache_bytes,
+                    row.relative
+                );
+                assert!(
+                    row.clb_miss_rate[2] >= row.clb_miss_rate[0] - 1e-12,
+                    "{name}: CLB miss rate fell when shrinking"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variations_are_minor_as_paper_observes() {
+        // §4.2.2: "These programs show only minor variations with
+        // respect to CLB size over this range."
+        for (name, rows) in tables_9_10(suite()) {
+            for row in &rows {
+                let spread = row.relative[2] - row.relative[0];
+                assert!(
+                    spread < 0.08,
+                    "{name} {:?} {}B: spread {spread:.3}",
+                    row.memory,
+                    row.cache_bytes
+                );
+            }
+        }
+    }
+}

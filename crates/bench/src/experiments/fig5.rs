@@ -1,0 +1,113 @@
+//! Figure 5: "Four Compression Methods" — static compressed size of the
+//! ten-program corpus under Unix-compress-style LZW, Traditional
+//! Huffman, Bounded Huffman, and the Preselected Bounded Huffman code.
+//!
+//! As §2.2 specifies, the Huffman methods compress 32-byte blocks
+//! (byte-aligned, with the original-encoding bypass) and per-program
+//! codes carry their code table; the preselected code's table is
+//! hardwired and costs nothing.
+
+use ccrp_compress::{block, lzw, BlockAlignment, ByteCode, ByteHistogram};
+use ccrp_workloads::{figure5_corpus, preselected_code};
+
+/// One bar group of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Program name.
+    pub name: &'static str,
+    /// Original program bytes.
+    pub original_bytes: usize,
+    /// Unix-compress (LZW) size, percent of original.
+    pub compress_pct: f64,
+    /// Traditional Huffman blocks + code table, percent.
+    pub traditional_pct: f64,
+    /// Bounded (≤16-bit) Huffman blocks + code table, percent.
+    pub bounded_pct: f64,
+    /// Preselected Bounded Huffman blocks (hardwired table), percent.
+    pub preselected_pct: f64,
+}
+
+fn block_pct(code: &ByteCode, text: &[u8], table_bytes: u32) -> f64 {
+    let lines = block::compress_image(code, text, BlockAlignment::Byte);
+    let total = block::compressed_size(&lines) + table_bytes as usize;
+    total as f64 / text.len() as f64 * 100.0
+}
+
+/// Computes every per-program row of Figure 5.
+///
+/// # Panics
+///
+/// Panics if a per-program code cannot be built (impossible for
+/// non-empty programs).
+pub fn figure5() -> Vec<Fig5Row> {
+    let preselected = preselected_code();
+    figure5_corpus()
+        .into_iter()
+        .map(|program| {
+            let hist = ByteHistogram::of(&program.text);
+            let traditional = ByteCode::traditional(&hist).expect("non-empty program");
+            let bounded = ByteCode::bounded(&hist).expect("non-empty program");
+            Fig5Row {
+                name: program.name,
+                original_bytes: program.text.len(),
+                compress_pct: lzw::compress(&program.text).len() as f64 / program.text.len() as f64
+                    * 100.0,
+                traditional_pct: block_pct(
+                    &traditional,
+                    &program.text,
+                    traditional.table_storage_bytes(),
+                ),
+                bounded_pct: block_pct(&bounded, &program.text, bounded.table_storage_bytes()),
+                preselected_pct: block_pct(preselected, &program.text, 0),
+            }
+        })
+        .collect()
+}
+
+/// The "Weighted Averages" bar group: sizes weighted by original bytes.
+pub fn weighted_average(rows: &[Fig5Row]) -> Fig5Row {
+    let total: f64 = rows.iter().map(|r| r.original_bytes as f64).sum();
+    let avg = |f: fn(&Fig5Row) -> f64| {
+        rows.iter()
+            .map(|r| f(r) * r.original_bytes as f64)
+            .sum::<f64>()
+            / total
+    };
+    Fig5Row {
+        name: "Weighted Averages",
+        original_bytes: total as usize,
+        compress_pct: avg(|r| r.compress_pct),
+        traditional_pct: avg(|r| r.traditional_pct),
+        bounded_pct: avg(|r| r.bounded_pct),
+        preselected_pct: avg(|r| r.preselected_pct),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_reproduces_paper_structure() {
+        let rows = figure5();
+        assert_eq!(rows.len(), 10);
+        let avg = weighted_average(&rows);
+        // The paper's ordering: compress < traditional <= bounded <=
+        // preselected, all well under 100%.
+        assert!(avg.compress_pct < avg.traditional_pct);
+        assert!(avg.traditional_pct <= avg.bounded_pct + 1e-9);
+        assert!(avg.bounded_pct <= avg.preselected_pct + 1e-9);
+        assert!(
+            avg.preselected_pct < 85.0,
+            "preselected {:.1}%",
+            avg.preselected_pct
+        );
+        assert!(avg.compress_pct > 50.0, "lzw implausibly strong");
+        // Every method shrinks every program (the bypass guarantees the
+        // Huffman methods never exceed original + table).
+        for r in &rows {
+            assert!(r.preselected_pct < 100.0, "{}", r.name);
+            assert!(r.bounded_pct < 100.0, "{}", r.name);
+        }
+    }
+}

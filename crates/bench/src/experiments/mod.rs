@@ -1,0 +1,9 @@
+//! One module per paper table/figure (plus ablations); each exposes a
+//! data-producing function used by both the `cargo bench` report targets
+//! and the assertion tests.
+
+pub mod ablate;
+pub mod clb;
+pub mod dcache;
+pub mod fig5;
+pub mod perf;

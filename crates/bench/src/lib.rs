@@ -1,0 +1,51 @@
+//! Experiment harness for the CCRP reproduction.
+//!
+//! Every table and figure in the evaluation of Wolfe & Chanin
+//! (MICRO-25 1992) has a regenerator here, exposed both as a library
+//! function returning structured rows (so tests can assert the paper's
+//! claims) and as a `cargo bench` target that prints the table:
+//!
+//! | Paper artifact | Function | Bench target |
+//! |---|---|---|
+//! | Figure 5 | [`experiments::fig5::figure5`] | `fig5` |
+//! | Tables 1–8 | [`experiments::perf::tables_1_to_8`] | `tables1_8` |
+//! | Tables 9–10 | [`experiments::clb::tables_9_10`] | `tables9_10` |
+//! | Figure 9 | [`experiments::perf::figure9`] | `fig9` |
+//! | Tables 11–13 | [`experiments::dcache::tables_11_13`] | `tables11_13` |
+//! | §3.2/§3.4/Fig. 1 ablations | [`experiments::ablate`] | `ablations` |
+//!
+//! The expensive part — assembling, executing, and compressing the eight
+//! workloads — happens once per process through [`suite::suite`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+mod suite;
+mod table;
+
+pub use suite::{suite, Prepared, Suite};
+pub use table::Table;
+
+/// Formats a ratio the way the paper's tables print "Relative
+/// Performance" (three decimals).
+pub fn fmt_rel(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a rate as a percentage with two decimals, as in the paper's
+/// "Cache Miss Rate" columns.
+pub fn fmt_pct(rate: f64) -> String {
+    format!("{:.2}%", rate * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_matches_table_style() {
+        assert_eq!(fmt_rel(0.9764), "0.976");
+        assert_eq!(fmt_pct(0.0513), "5.13%");
+    }
+}

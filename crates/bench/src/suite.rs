@@ -1,0 +1,73 @@
+//! Shared experiment context: the eight traced workloads, compressed
+//! once with the preselected code, cached for every experiment.
+
+use std::sync::OnceLock;
+
+use ccrp::CompressedImage;
+use ccrp_compress::BlockAlignment;
+use ccrp_workloads::{preselected_code, TracedWorkload, Workload};
+
+/// A workload and its compressed image, ready for simulation.
+#[derive(Debug)]
+pub struct Prepared {
+    /// The traced workload.
+    pub workload: Workload,
+    /// Its text compressed with the preselected code (word-aligned
+    /// blocks, as §3.1 simulates).
+    pub image: CompressedImage,
+}
+
+/// The complete experiment suite.
+#[derive(Debug)]
+pub struct Suite {
+    prepared: Vec<Prepared>,
+}
+
+impl Suite {
+    /// Builds all eight workloads and their compressed images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a workload kernel fails its self-check — a bug in the
+    /// workload crate, not a runtime condition.
+    pub fn build() -> Suite {
+        let code = preselected_code();
+        let prepared = TracedWorkload::ALL
+            .iter()
+            .map(|&wl| {
+                let workload = wl
+                    .build()
+                    .unwrap_or_else(|e| panic!("{} must build: {e}", wl.name()));
+                let image =
+                    CompressedImage::build(0, &workload.text, code.clone(), BlockAlignment::Word)
+                        .unwrap_or_else(|e| panic!("{} must compress: {e}", wl.name()));
+                Prepared { workload, image }
+            })
+            .collect();
+        Suite { prepared }
+    }
+
+    /// All prepared workloads, in the paper's table order.
+    pub fn iter(&self) -> impl Iterator<Item = &Prepared> {
+        self.prepared.iter()
+    }
+
+    /// Looks up one workload by its paper name.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown name (a typo in the calling experiment).
+    pub fn get(&self, name: &str) -> &Prepared {
+        self.prepared
+            .iter()
+            .find(|p| p.workload.name == name)
+            .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+    }
+}
+
+/// The process-wide suite, built on first use (workload construction
+/// costs a few seconds; every experiment shares it).
+pub fn suite() -> &'static Suite {
+    static SUITE: OnceLock<Suite> = OnceLock::new();
+    SUITE.get_or_init(Suite::build)
+}

@@ -1,0 +1,91 @@
+//! MSB-first bit-level I/O.
+//!
+//! The CCRP hardware decoder described by Wolfe & Chanin consumes a
+//! compressed cache line as a stream of bits, most significant bit of each
+//! byte first. This crate provides the [`BitWriter`] and [`BitReader`] that
+//! the compression stack ([`ccrp-compress`]) and the refill-engine timing
+//! model are built on.
+//!
+//! Bit order matters: a Huffman symbol written with [`BitWriter::write_bits`]
+//! occupies the *high* bits of the next byte first, exactly as a shift
+//! register fed from a byte-wide memory port would see them.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccrp_bitstream::{BitReader, BitWriter};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_bits(0b101, 3);
+//! w.write_bits(0b0110, 4);
+//! let bytes = w.into_bytes();
+//! assert_eq!(bytes, vec![0b1010_1100]); // padded with zeros
+//!
+//! let mut r = BitReader::new(&bytes);
+//! assert_eq!(r.read_bits(3).unwrap(), 0b101);
+//! assert_eq!(r.read_bits(4).unwrap(), 0b0110);
+//! ```
+//!
+//! [`ccrp-compress`]: https://example.invalid/ccrp
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod reader;
+mod writer;
+
+pub use reader::{BitReader, ReadBitsError};
+pub use writer::BitWriter;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x5, 3);
+        w.write_bits(0xABCD, 16);
+        w.write_bit(true);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3).unwrap(), 0x5);
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+        assert!(r.read_bit().unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(values in proptest::collection::vec((0u32..=u32::MAX, 1u32..=32), 0..200)) {
+            let mut w = BitWriter::new();
+            for &(v, n) in &values {
+                let masked = if n == 32 { v } else { v & ((1u32 << n) - 1) };
+                w.write_bits(masked, n);
+            }
+            let total_bits: u64 = values.iter().map(|&(_, n)| u64::from(n)).sum();
+            prop_assert_eq!(w.bit_len(), total_bits);
+            let bytes = w.into_bytes();
+            prop_assert_eq!(bytes.len() as u64, total_bits.div_ceil(8));
+            let mut r = BitReader::new(&bytes);
+            for &(v, n) in &values {
+                let masked = if n == 32 { v } else { v & ((1u32 << n) - 1) };
+                prop_assert_eq!(r.read_bits(n).unwrap(), masked);
+            }
+        }
+
+        #[test]
+        fn reader_position_tracks_bits(bits in proptest::collection::vec(any::<bool>(), 0..100)) {
+            let mut w = BitWriter::new();
+            for &b in &bits {
+                w.write_bit(b);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for (i, &b) in bits.iter().enumerate() {
+                prop_assert_eq!(r.bit_pos(), i as u64);
+                prop_assert_eq!(r.read_bit().unwrap(), b);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+/// An MSB-first bit accumulator that grows a byte vector.
+///
+/// Bits are packed into bytes starting at the most significant bit, so the
+/// first bit written becomes bit 7 of byte 0. The final byte is zero-padded
+/// when the stream is not a whole number of bytes.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_bitstream::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bit(true);
+/// w.write_bits(0b01, 2);
+/// assert_eq!(w.bit_len(), 3);
+/// assert_eq!(w.into_bytes(), vec![0b1010_0000]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in `partial`, 0..8.
+    partial_bits: u32,
+    /// Pending bits, left-aligned in the low `partial_bits` positions as a
+    /// value (i.e. the next bit to emit is the MSB of the eventual byte).
+    partial: u8,
+    total_bits: u64,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty writer with room for `bytes` bytes.
+    pub fn with_capacity(bytes: usize) -> Self {
+        Self {
+            bytes: Vec::with_capacity(bytes),
+            ..Self::default()
+        }
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        self.partial = (self.partial << 1) | u8::from(bit);
+        self.partial_bits += 1;
+        self.total_bits += 1;
+        if self.partial_bits == 8 {
+            self.bytes.push(self.partial);
+            self.partial = 0;
+            self.partial_bits = 0;
+        }
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or greater than 32, or if `value` has bits set
+    /// above `count` (the caller is expected to mask).
+    pub fn write_bits(&mut self, value: u32, count: u32) {
+        assert!((1..=32).contains(&count), "bit count {count} out of range");
+        if count < 32 {
+            assert!(
+                value < (1u32 << count),
+                "value {value:#x} wider than {count} bits"
+            );
+        }
+        for i in (0..count).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a whole byte (8 bits).
+    pub fn write_byte(&mut self, byte: u8) {
+        self.write_bits(u32::from(byte), 8);
+    }
+
+    /// Total number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.total_bits
+    }
+
+    /// Number of bytes the stream will occupy once finished (rounded up).
+    pub fn byte_len(&self) -> usize {
+        self.total_bits.div_ceil(8) as usize
+    }
+
+    /// Pads the final partial byte with zeros and returns the byte vector.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.partial_bits > 0 {
+            let byte = self.partial << (8 - self.partial_bits);
+            self.bytes.push(byte);
+        }
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_writer_is_empty() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        assert_eq!(w.byte_len(), 0);
+        assert!(w.into_bytes().is_empty());
+    }
+
+    #[test]
+    fn partial_byte_is_left_aligned() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        assert_eq!(w.into_bytes(), vec![0b1100_0000]);
+    }
+
+    #[test]
+    fn write_byte_matches_write_bits() {
+        let mut a = BitWriter::new();
+        a.write_byte(0xA7);
+        let mut b = BitWriter::new();
+        b.write_bits(0xA7, 8);
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    fn byte_len_rounds_up() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x1FF, 9);
+        assert_eq!(w.byte_len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn unmasked_value_panics() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b100, 2);
+    }
+
+    #[test]
+    fn full_width_write() {
+        let mut w = BitWriter::new();
+        w.write_bits(u32::MAX, 32);
+        assert_eq!(w.into_bytes(), vec![0xFF; 4]);
+    }
+}

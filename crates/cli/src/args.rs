@@ -1,0 +1,147 @@
+//! A small, dependency-free argument parser: positional operands plus
+//! `--flag value` / `--switch` options.
+
+use std::collections::BTreeMap;
+
+use crate::error::CliError;
+
+/// Parsed arguments for one subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments. `value_options` lists the option names that
+    /// consume a following value; any other `--name` is a switch.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] for an option missing its value or an unknown
+    /// option.
+    pub fn parse(
+        raw: &[String],
+        value_options: &[&str],
+        switch_options: &[&str],
+    ) -> Result<Args, CliError> {
+        let mut args = Args::default();
+        let mut iter = raw.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if value_options.contains(&name) {
+                    let value = iter.next().ok_or_else(|| {
+                        CliError::Usage(format!("option --{name} expects a value"))
+                    })?;
+                    args.options.insert(name.to_string(), value.clone());
+                } else if switch_options.contains(&name) {
+                    args.switches.push(name.to_string());
+                } else {
+                    return Err(CliError::Usage(format!("unknown option --{name}")));
+                }
+            } else {
+                args.positional.push(arg.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `index`-th positional operand.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when absent.
+    pub fn positional(&self, index: usize, what: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing {what}")))
+    }
+
+    /// Number of positional operands.
+    pub fn positional_len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// An option's value, if given.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// An option parsed as an integer (decimal or 0x-hex).
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on malformed numbers.
+    pub fn option_u32(&self, name: &str, default: u32) -> Result<u32, CliError> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(text) => parse_u32(text)
+                .ok_or_else(|| CliError::Usage(format!("--{name}: bad number `{text}`"))),
+        }
+    }
+
+    /// Whether a switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// Parses decimal or `0x` hexadecimal.
+pub fn parse_u32(text: &str) -> Option<u32> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_mixed() {
+        let args = Args::parse(
+            &strings(&["input.s", "--cache", "1024", "--verbose", "out.bin"]),
+            &["cache"],
+            &["verbose"],
+        )
+        .unwrap();
+        assert_eq!(args.positional(0, "input").unwrap(), "input.s");
+        assert_eq!(args.positional(1, "output").unwrap(), "out.bin");
+        assert_eq!(args.option_u32("cache", 0).unwrap(), 1024);
+        assert!(args.switch("verbose"));
+        assert!(!args.switch("quiet"));
+        assert_eq!(args.positional_len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(Args::parse(&strings(&["--bogus"]), &[], &[]).is_err());
+        assert!(Args::parse(&strings(&["--cache"]), &["cache"], &[]).is_err());
+    }
+
+    #[test]
+    fn numbers_decimal_and_hex() {
+        assert_eq!(parse_u32("256"), Some(256));
+        assert_eq!(parse_u32("0x100"), Some(256));
+        assert_eq!(parse_u32("xyz"), None);
+        let args = Args::parse(&strings(&["--base", "0x400"]), &["base"], &[]).unwrap();
+        assert_eq!(args.option_u32("base", 0).unwrap(), 0x400);
+        let args = Args::parse(&strings(&["--base", "zz"]), &["base"], &[]).unwrap();
+        assert!(args.option_u32("base", 0).is_err());
+    }
+
+    #[test]
+    fn missing_positional_reports_name() {
+        let args = Args::parse(&[], &[], &[]).unwrap();
+        let err = args.positional(0, "input file").unwrap_err();
+        assert!(err.to_string().contains("input file"));
+    }
+}

@@ -1,0 +1,94 @@
+//! `ccrp-tools asm <input.s> [--out text.bin] [--text-base N] [--symbols]`
+//!
+//! Assembles MIPS source and optionally writes the raw little-endian
+//! text segment.
+
+use std::io::Write;
+
+use ccrp_asm::{assemble_with, AssembleOptions};
+
+use crate::args::Args;
+use crate::error::{read_text, write_file, CliError};
+
+/// Option names consuming a value.
+pub const VALUE_OPTIONS: &[&str] = &["out", "text-base", "data-base"];
+/// Switch names.
+pub const SWITCHES: &[&str] = &["symbols"];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage, I/O, or assembly errors.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input assembly file")?;
+    let source = read_text(input)?;
+    let options = AssembleOptions {
+        text_base: args.option_u32("text-base", 0)?,
+        data_base: args.option_u32("data-base", 0x0040_0000)?,
+        ..AssembleOptions::default()
+    };
+    let image = assemble_with(&source, options)?;
+    writeln!(
+        out,
+        "{input}: {} text bytes at {:#x}, {} data bytes at {:#x}, entry {:#x}",
+        image.text_size(),
+        image.text_base(),
+        image.data_bytes().len(),
+        image.data_base(),
+        image.entry()
+    )
+    .ok();
+    if args.switch("symbols") {
+        for (name, addr) in image.symbols() {
+            writeln!(out, "  {addr:#010x} {name}").ok();
+        }
+    }
+    if let Some(path) = args.option("out") {
+        write_file(path, image.text_bytes())?;
+        writeln!(out, "wrote {} bytes to {path}", image.text_size()).ok();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{temp_path, write_temp};
+
+    #[test]
+    fn assembles_and_writes() {
+        let src = write_temp("asm_in.s", "main: li $t0, 1\n jr $ra\n");
+        let out_path = temp_path("asm_out.bin");
+        let args = Args::parse(
+            &[
+                src.clone(),
+                "--out".into(),
+                out_path.clone(),
+                "--symbols".into(),
+            ],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("text bytes"));
+        assert!(text.contains("main"));
+        let written = std::fs::read(&out_path).unwrap();
+        assert_eq!(written.len() % 4, 0);
+        assert!(!written.is_empty());
+        std::fs::remove_file(src).ok();
+        std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn reports_assembly_errors() {
+        let src = write_temp("asm_bad.s", "bogus $t9\n");
+        let args = Args::parse(std::slice::from_ref(&src), VALUE_OPTIONS, SWITCHES).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("assembly failed"));
+        std::fs::remove_file(src).ok();
+    }
+}

@@ -1,0 +1,119 @@
+//! `ccrp-tools compress <input.s> [--out image.ccrp] [--alignment
+//! byte|word] [--code preselected|self]`
+//!
+//! Compresses a program into a CCRP image (and optionally writes the
+//! container an embedded build would burn to ROM).
+
+use std::io::Write;
+
+use ccrp::CompressedImage;
+use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+use ccrp_workloads::preselected_code;
+
+use crate::args::Args;
+use crate::error::{write_file, CliError};
+use crate::load_text_bytes;
+
+/// Option names consuming a value.
+pub const VALUE_OPTIONS: &[&str] = &["out", "alignment", "code", "text-base"];
+/// Switch names.
+pub const SWITCHES: &[&str] = &[];
+
+pub(crate) fn parse_alignment(args: &Args) -> Result<BlockAlignment, CliError> {
+    match args.option("alignment").unwrap_or("word") {
+        "word" => Ok(BlockAlignment::Word),
+        "byte" => Ok(BlockAlignment::Byte),
+        other => Err(CliError::Usage(format!(
+            "--alignment: `{other}` is not byte|word"
+        ))),
+    }
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage, I/O, assembly, or compression errors.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input file (.s or raw text binary)")?;
+    let text = load_text_bytes(input)?;
+    let alignment = parse_alignment(args)?;
+    let code = match args.option("code").unwrap_or("preselected") {
+        "preselected" => preselected_code().clone(),
+        "self" => ByteCode::bounded(&ByteHistogram::of(&text)).map_err(ccrp::CcrpError::from)?,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--code: `{other}` is not preselected|self"
+            )))
+        }
+    };
+    let text_base = args.option_u32("text-base", 0)?;
+    let image = CompressedImage::build(text_base, &text, code, alignment)?;
+    image.verify()?;
+    writeln!(
+        out,
+        "{input}: {} -> {} bytes ({:.1}%) in {} lines ({} bypassed), LAT {} bytes at {:#x}",
+        image.original_bytes(),
+        image.total_stored_bytes(false),
+        image.compression_ratio() * 100.0,
+        image.line_count(),
+        image.bypass_count(),
+        image.lat().storage_bytes(),
+        image.lat_base()
+    )
+    .ok();
+    if let Some(path) = args.option("out") {
+        let container = image.to_bytes();
+        write_file(path, &container)?;
+        writeln!(out, "wrote {} container bytes to {path}", container.len()).ok();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{temp_path, write_temp};
+
+    #[test]
+    fn compresses_and_writes_container() {
+        let src = write_temp(
+            "cmp_in.s",
+            "main: li $t0, 100\nloop: addiu $t0, $t0, -1\n bnez $t0, loop\n jr $ra\n",
+        );
+        let out_path = temp_path("cmp_out.ccrp");
+        let args = Args::parse(
+            &[
+                src.clone(),
+                "--out".into(),
+                out_path.clone(),
+                "--code".into(),
+                "self".into(),
+            ],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("container bytes"));
+        // The container loads back.
+        let bytes = std::fs::read(&out_path).unwrap();
+        let image = CompressedImage::from_bytes(&bytes).unwrap();
+        image.verify().unwrap();
+        std::fs::remove_file(src).ok();
+        std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        let src = write_temp("cmp_bad.s", "main: jr $ra\n");
+        for (flag, value) in [("--alignment", "diagonal"), ("--code", "magic")] {
+            let raw = vec![src.clone(), flag.to_string(), value.to_string()];
+            let args = Args::parse(&raw, VALUE_OPTIONS, SWITCHES).unwrap();
+            assert!(run(&args, &mut Vec::new()).is_err(), "{flag} {value}");
+        }
+        std::fs::remove_file(src).ok();
+    }
+}

@@ -1,0 +1,93 @@
+//! `ccrp-tools disasm <input> [--base N]`
+//!
+//! Disassembles a raw little-endian text binary (as written by `asm
+//! --out`), or assembles a `.s` file first and disassembles the result.
+
+use std::io::Write;
+
+use ccrp_isa::disassemble_word;
+
+use crate::args::Args;
+use crate::error::{read_file, CliError};
+use crate::load_text_bytes;
+
+/// Option names consuming a value.
+pub const VALUE_OPTIONS: &[&str] = &["base"];
+/// Switch names.
+pub const SWITCHES: &[&str] = &[];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage, I/O, or assembly errors.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input file (.s or raw text binary)")?;
+    let base = args.option_u32("base", 0)?;
+    let bytes = if input.ends_with(".s") || input.ends_with(".asm") {
+        load_text_bytes(input)?
+    } else {
+        read_file(input)?
+    };
+    if bytes.len() % 4 != 0 {
+        return Err(CliError::Usage(format!(
+            "{input}: {} bytes is not a whole number of instruction words",
+            bytes.len()
+        )));
+    }
+    for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+        let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        writeln!(
+            out,
+            "{:#010x}: {word:08x}  {}",
+            base + i as u32 * 4,
+            disassemble_word(word)
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::write_temp;
+
+    #[test]
+    fn disassembles_assembled_source() {
+        let src = write_temp("dis_in.s", "main: addiu $sp, $sp, -8\n jr $ra\n");
+        let args = Args::parse(std::slice::from_ref(&src), VALUE_OPTIONS, SWITCHES).unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("addiu $sp, $sp, -8"));
+        assert!(text.contains("jr $ra"));
+        std::fs::remove_file(src).ok();
+    }
+
+    #[test]
+    fn disassembles_raw_binary_with_base() {
+        let raw = write_temp("dis_raw.bin", "");
+        std::fs::write(&raw, 0x03E0_0008u32.to_le_bytes()).unwrap();
+        let args = Args::parse(
+            &[raw.clone(), "--base".into(), "0x100".into()],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("0x00000100"));
+        assert!(text.contains("jr $ra"));
+        std::fs::remove_file(raw).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_input() {
+        let raw = write_temp("dis_ragged.bin", "abc");
+        let args = Args::parse(std::slice::from_ref(&raw), VALUE_OPTIONS, SWITCHES).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+        std::fs::remove_file(raw).ok();
+    }
+}

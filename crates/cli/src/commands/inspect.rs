@@ -1,0 +1,125 @@
+//! `ccrp-tools inspect <image.ccrp> [--lines N] [--disasm]`
+//!
+//! Loads a serialized CCRP container and reports its layout: sizes, LAT
+//! head, per-line map, and (optionally) a decoder-path disassembly.
+
+use std::io::Write;
+
+use ccrp::CompressedImage;
+use ccrp_isa::disassemble_word;
+
+use crate::args::Args;
+use crate::error::{read_file, CliError};
+
+/// Option names consuming a value.
+pub const VALUE_OPTIONS: &[&str] = &["lines"];
+/// Switch names.
+pub const SWITCHES: &[&str] = &["disasm"];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage, I/O, or container errors.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input .ccrp container")?;
+    let bytes = read_file(input)?;
+    let image = CompressedImage::from_bytes(&bytes)?;
+    image.verify()?;
+    writeln!(
+        out,
+        "{input}: {} original bytes at {:#x}, stored {} ({:.1}%), {} lines, {} bypassed",
+        image.original_bytes(),
+        image.text_base(),
+        image.total_stored_bytes(false),
+        image.compression_ratio() * 100.0,
+        image.line_count(),
+        image.bypass_count()
+    )
+    .ok();
+    writeln!(
+        out,
+        "LAT: {} entries, {} bytes at physical {:#x}",
+        image.lat().len(),
+        image.lat().storage_bytes(),
+        image.lat_base()
+    )
+    .ok();
+
+    let show = args.option_u32("lines", 8)? as usize;
+    for line in 0..image.line_count().min(show) {
+        let addr = image.text_base() + line as u32 * 32;
+        let loc = image.locate(addr)?;
+        writeln!(
+            out,
+            "line {:#06x}: {:>2} bytes at physical {:#06x}{}",
+            addr,
+            loc.stored_len,
+            loc.physical,
+            if loc.bypass { " (bypass)" } else { "" }
+        )
+        .ok();
+        if args.switch("disasm") {
+            let expanded = image.expand_line(addr)?;
+            for (k, chunk) in expanded.chunks_exact(4).enumerate() {
+                let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                writeln!(
+                    out,
+                    "    {:#06x}: {word:08x}  {}",
+                    addr + k as u32 * 4,
+                    disassemble_word(word)
+                )
+                .ok();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{temp_path, write_temp};
+
+    fn make_container() -> String {
+        let src = write_temp("ins_in.s", "main: li $t0, 3\n jr $ra\n");
+        let out_path = temp_path("ins_image.ccrp");
+        let args = crate::Args::parse(
+            &[
+                src.clone(),
+                "--out".into(),
+                out_path.clone(),
+                "--code".into(),
+                "self".into(),
+            ],
+            crate::commands::compress::VALUE_OPTIONS,
+            crate::commands::compress::SWITCHES,
+        )
+        .unwrap();
+        crate::commands::compress::run(&args, &mut Vec::new()).unwrap();
+        std::fs::remove_file(src).ok();
+        out_path
+    }
+
+    #[test]
+    fn inspects_container() {
+        let path = make_container();
+        let args =
+            Args::parse(&[path.clone(), "--disasm".into()], VALUE_OPTIONS, SWITCHES).unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("LAT:"));
+        assert!(text.contains("jr $ra"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_non_container() {
+        let junk = write_temp("ins_junk.ccrp", "not a container");
+        let args = Args::parse(std::slice::from_ref(&junk), VALUE_OPTIONS, SWITCHES).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("container"));
+        std::fs::remove_file(junk).ok();
+    }
+}

@@ -1,0 +1,11 @@
+//! Subcommand implementations. Each takes parsed [`Args`](crate::Args)
+//! and a writer so tests can capture output.
+
+pub mod asm;
+pub mod compress;
+pub mod disasm;
+pub mod inspect;
+pub mod profile;
+pub mod run;
+pub mod simulate;
+pub mod workloads;

@@ -1,0 +1,116 @@
+//! `ccrp-tools run <input.s> [--input 1,2,3] [--max-steps N] [--stats]`
+//!
+//! Assembles and executes a program on the functional R2000 emulator.
+
+use std::io::Write;
+
+use ccrp_emu::{Machine, MachineConfig, ProgramTrace};
+
+use crate::args::Args;
+use crate::error::{read_text, CliError};
+
+/// Option names consuming a value.
+pub const VALUE_OPTIONS: &[&str] = &["input", "max-steps"];
+/// Switch names.
+pub const SWITCHES: &[&str] = &["stats"];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage, I/O, assembly, or runtime errors.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input assembly file")?;
+    let source = read_text(input)?;
+    let image = ccrp_asm::assemble(&source)?;
+    let mut config = MachineConfig::default();
+    if args.option("max-steps").is_some() {
+        config.max_steps = u64::from(args.option_u32("max-steps", 0)?);
+    }
+    let mut machine = Machine::with_config(&image, config);
+    if let Some(list) = args.option("input") {
+        let values: Result<Vec<i32>, _> = list.split(',').map(str::parse).collect();
+        let values =
+            values.map_err(|_| CliError::Usage(format!("--input: bad integer list `{list}`")))?;
+        machine.push_input(values);
+    }
+    let mut trace = ProgramTrace::new();
+    let summary = machine.run(&mut trace)?;
+    write!(out, "{}", machine.output()).ok();
+    if !machine.output().ends_with('\n') {
+        writeln!(out).ok();
+    }
+    if args.switch("stats") {
+        writeln!(
+            out,
+            "exit {} after {} instructions ({} data accesses)",
+            summary.exit_code,
+            summary.instructions,
+            trace.data_accesses()
+        )
+        .ok();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::write_temp;
+
+    #[test]
+    fn runs_and_prints() {
+        let src = write_temp(
+            "run_in.s",
+            "main: li $v0, 5\n syscall\n move $a0, $v0\n li $v0, 1\n syscall\n li $v0, 10\n syscall\n",
+        );
+        let args = Args::parse(
+            &[src.clone(), "--input".into(), "41".into(), "--stats".into()],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.starts_with("41"));
+        assert!(text.contains("exit 0"));
+        std::fs::remove_file(src).ok();
+    }
+
+    #[test]
+    fn reports_runtime_faults() {
+        let src = write_temp("run_div0.s", "main: li $t0, 1\n li $t1, 0\n div $t0, $t1\n");
+        let args = Args::parse(std::slice::from_ref(&src), VALUE_OPTIONS, SWITCHES).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("division by zero"));
+        std::fs::remove_file(src).ok();
+    }
+
+    #[test]
+    fn max_steps_caps_runaway_programs() {
+        let src = write_temp("run_spin.s", "main: b main\n");
+        let args = Args::parse(
+            &[src.clone(), "--max-steps".into(), "1000".into()],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("1000 instructions"));
+        std::fs::remove_file(src).ok();
+    }
+
+    #[test]
+    fn rejects_bad_input_list() {
+        let src = write_temp("run_badin.s", "main: li $v0, 10\n syscall\n");
+        let args = Args::parse(
+            &[src.clone(), "--input".into(), "1,x".into()],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+        std::fs::remove_file(src).ok();
+    }
+}

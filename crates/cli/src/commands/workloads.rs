@@ -1,0 +1,85 @@
+//! `ccrp-tools workloads [--verify]`
+//!
+//! Lists the built-in paper workloads; `--verify` builds each one and
+//! runs its self-check.
+
+use std::io::Write;
+
+use ccrp_workloads::TracedWorkload;
+
+use crate::args::Args;
+use crate::error::CliError;
+
+/// Option names consuming a value.
+pub const VALUE_OPTIONS: &[&str] = &[];
+/// Switch names.
+pub const SWITCHES: &[&str] = &["verify"];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// A workload failing its self-check under `--verify` (a build bug, not
+/// a user condition, but surfaced as an error to keep the tool honest).
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "{:>12} {:>12} description", "workload", "paper bytes").ok();
+    for wl in TracedWorkload::ALL {
+        let description = match wl {
+            TracedWorkload::Eightq => "eight-queens backtracking",
+            TracedWorkload::Matrix25A => "25x25 double matrix multiply",
+            TracedWorkload::Lloop01 => "Livermore loop 1",
+            TracedWorkload::Tomcatv => "mesh relaxation",
+            TracedWorkload::Nasa7 => "seven NAS kernels",
+            TracedWorkload::Nasa1 => "vector daxpy/dot/scale",
+            TracedWorkload::Espresso => "jump-table cube operations",
+            TracedWorkload::Fpppp => "huge straight-line FP block",
+        };
+        writeln!(
+            out,
+            "{:>12} {:>12} {description}",
+            wl.name(),
+            wl.paper_text_bytes()
+        )
+        .ok();
+        if args.switch("verify") {
+            let built = wl.build().map_err(|e| CliError::Usage(e.to_string()))?;
+            writeln!(
+                out,
+                "{:>12} ok: {} dynamic instructions, {} text bytes",
+                "",
+                built.dynamic_instructions(),
+                built.text.len()
+            )
+            .ok();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lists_all_eight() {
+        let args = Args::parse(&[], VALUE_OPTIONS, SWITCHES).unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        for name in ["NASA7", "espresso", "fpppp", "eightq", "tomcatv"] {
+            assert!(text.contains(name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn verify_builds_one() {
+        // Full verification of all eight runs in the workloads crate's
+        // tests; here just exercise the flag path end to end.
+        let args = Args::parse(&["--verify".to_string()], VALUE_OPTIONS, SWITCHES).unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        assert!(String::from_utf8(buffer)
+            .unwrap()
+            .contains("dynamic instructions"));
+    }
+}

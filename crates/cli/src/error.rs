@@ -1,0 +1,117 @@
+use std::error::Error;
+use std::fmt;
+
+/// Top-level tool errors, each rendered as a one-line message.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad command line; the message explains what was expected.
+    Usage(String),
+    /// File I/O failure with the offending path.
+    Io {
+        /// The path being read or written.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// Assembly failure.
+    Asm(ccrp_asm::AsmError),
+    /// Emulation failure.
+    Emu(ccrp_emu::EmuError),
+    /// Compression/image failure.
+    Ccrp(ccrp::CcrpError),
+    /// Simulation failure.
+    Sim(ccrp_sim::SimError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage: {msg}"),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Asm(e) => write!(f, "assembly failed: {e}"),
+            CliError::Emu(e) => write!(f, "execution failed: {e}"),
+            CliError::Ccrp(e) => write!(f, "compression failed: {e}"),
+            CliError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io { source, .. } => Some(source),
+            CliError::Asm(e) => Some(e),
+            CliError::Emu(e) => Some(e),
+            CliError::Ccrp(e) => Some(e),
+            CliError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<ccrp_asm::AsmError> for CliError {
+    fn from(e: ccrp_asm::AsmError) -> Self {
+        CliError::Asm(e)
+    }
+}
+
+impl From<ccrp_emu::EmuError> for CliError {
+    fn from(e: ccrp_emu::EmuError) -> Self {
+        CliError::Emu(e)
+    }
+}
+
+impl From<ccrp::CcrpError> for CliError {
+    fn from(e: ccrp::CcrpError) -> Self {
+        CliError::Ccrp(e)
+    }
+}
+
+impl From<ccrp_sim::SimError> for CliError {
+    fn from(e: ccrp_sim::SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+/// Reads a file with path-tagged errors.
+pub fn read_file(path: &str) -> Result<Vec<u8>, CliError> {
+    std::fs::read(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+/// Reads a UTF-8 text file with path-tagged errors.
+pub fn read_text(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+/// Writes a file with path-tagged errors.
+pub fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    std::fs::write(path, bytes).map_err(|source| CliError::Io {
+        path: path.to_string(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_carry_paths() {
+        let err = read_file("/definitely/not/a/file").unwrap_err();
+        assert!(err.to_string().contains("/definitely/not/a/file"));
+    }
+
+    #[test]
+    fn usage_prefix() {
+        assert!(CliError::Usage("x".into())
+            .to_string()
+            .starts_with("usage:"));
+    }
+}

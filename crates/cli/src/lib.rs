@@ -1,0 +1,235 @@
+//! `ccrp-tools`: the command-line face of the CCRP reproduction.
+//!
+//! One binary covering the embedded development flow the paper describes
+//! in §1 — compile on the host, compress with the development-system
+//! tool, burn the container, and evaluate the memory-system trade-offs:
+//!
+//! ```text
+//! ccrp-tools asm       prog.s --out prog.bin       # assemble
+//! ccrp-tools disasm    prog.bin                    # inspect code
+//! ccrp-tools run       prog.s --stats              # execute on the R2000 emulator
+//! ccrp-tools compress  prog.s --out prog.ccrp      # the paper's "compression tool"
+//! ccrp-tools inspect   prog.ccrp --disasm          # look inside the ROM image
+//! ccrp-tools profile   prog.s --top 10             # hottest cache lines
+//! ccrp-tools simulate  prog.s --sweep              # standard vs CCRP tables
+//! ccrp-tools workloads --verify                    # the paper's benchmark suite
+//! ```
+//!
+//! Library form exists so the subcommands are unit-testable; the binary
+//! in `main.rs` is a thin dispatcher.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+pub mod commands;
+mod error;
+
+pub use args::{parse_u32, Args};
+pub use error::{read_file, read_text, write_file, CliError};
+
+use std::io::Write;
+
+/// Loads program text bytes from `path`: `.s`/`.asm` sources are
+/// assembled; anything else is read as a raw little-endian text binary.
+///
+/// # Errors
+///
+/// I/O or assembly errors.
+pub fn load_text_bytes(path: &str) -> Result<Vec<u8>, CliError> {
+    if path.ends_with(".s") || path.ends_with(".asm") {
+        let image = ccrp_asm::assemble(&read_text(path)?)?;
+        Ok(image.text_bytes().to_vec())
+    } else {
+        read_file(path)
+    }
+}
+
+/// The tool's help text.
+pub const USAGE: &str = "\
+ccrp-tools — Compressed Code RISC Processor toolchain
+
+USAGE: ccrp-tools <command> [options]
+
+COMMANDS:
+  asm <in.s> [--out f] [--text-base N] [--data-base N] [--symbols]
+      assemble MIPS source to a raw text binary
+  disasm <in> [--base N]
+      disassemble a .s file or raw text binary
+  run <in.s> [--input 1,2,3] [--max-steps N] [--stats]
+      execute on the functional R2000 emulator
+  compress <in> [--out f.ccrp] [--alignment byte|word] [--code preselected|self] [--text-base N]
+      compress into a CCRP ROM container
+  inspect <in.ccrp> [--lines N] [--disasm]
+      report a container's layout and LAT
+  profile <in.s> [--top N]
+      execute and rank the hottest cache lines
+  simulate <in.s> [--cache N] [--memory eprom|burst|dram|all] [--clb N]
+           [--dcache-miss PCT] [--code preselected|self] [--alignment byte|word] [--sweep]
+      compare the standard processor against the CCRP
+  workloads [--verify]
+      list (and self-check) the paper's benchmark programs
+  help
+      print this text
+";
+
+/// Dispatches one invocation. `argv` excludes the program name.
+///
+/// # Errors
+///
+/// Any subcommand error; `main` prints it and exits nonzero.
+pub fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = argv.first() else {
+        return Err(CliError::Usage(
+            "no command given; try `ccrp-tools help`".into(),
+        ));
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "asm" => commands::asm::run(
+            &Args::parse(rest, commands::asm::VALUE_OPTIONS, commands::asm::SWITCHES)?,
+            out,
+        ),
+        "disasm" => commands::disasm::run(
+            &Args::parse(
+                rest,
+                commands::disasm::VALUE_OPTIONS,
+                commands::disasm::SWITCHES,
+            )?,
+            out,
+        ),
+        "run" => commands::run::run(
+            &Args::parse(rest, commands::run::VALUE_OPTIONS, commands::run::SWITCHES)?,
+            out,
+        ),
+        "compress" => commands::compress::run(
+            &Args::parse(
+                rest,
+                commands::compress::VALUE_OPTIONS,
+                commands::compress::SWITCHES,
+            )?,
+            out,
+        ),
+        "profile" => commands::profile::run(
+            &Args::parse(
+                rest,
+                commands::profile::VALUE_OPTIONS,
+                commands::profile::SWITCHES,
+            )?,
+            out,
+        ),
+        "inspect" => commands::inspect::run(
+            &Args::parse(
+                rest,
+                commands::inspect::VALUE_OPTIONS,
+                commands::inspect::SWITCHES,
+            )?,
+            out,
+        ),
+        "simulate" => commands::simulate::run(
+            &Args::parse(
+                rest,
+                commands::simulate::VALUE_OPTIONS,
+                commands::simulate::SWITCHES,
+            )?,
+            out,
+        ),
+        "workloads" => commands::workloads::run(
+            &Args::parse(
+                rest,
+                commands::workloads::VALUE_OPTIONS,
+                commands::workloads::SWITCHES,
+            )?,
+            out,
+        ),
+        "help" | "--help" | "-h" => {
+            write!(out, "{USAGE}").ok();
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; try `ccrp-tools help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// A unique path in the system temp directory.
+    pub fn temp_path(tag: &str) -> String {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir()
+            .join(format!("ccrp_tools_{}_{n}_{tag}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    /// Writes `contents` to a fresh temp file and returns its path.
+    pub fn write_temp(tag: &str, contents: &str) -> String {
+        let path = temp_path(tag);
+        std::fs::write(&path, contents).expect("temp file writes");
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_unknown_commands() {
+        let mut buffer = Vec::new();
+        dispatch(&["help".to_string()], &mut buffer).unwrap();
+        assert!(String::from_utf8(buffer).unwrap().contains("COMMANDS"));
+
+        let err = dispatch(&["frobnicate".to_string()], &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+        assert!(dispatch(&[], &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn full_flow_through_dispatch() {
+        // asm -> compress -> inspect -> simulate, all through the public
+        // entry point, sharing temp files.
+        let src = test_util::write_temp(
+            "flow.s",
+            "main: li $t0, 500\nloop: addiu $t0, $t0, -1\n bnez $t0, loop\n li $v0, 10\n syscall\n",
+        );
+        let container = test_util::temp_path("flow.ccrp");
+
+        let mut buffer = Vec::new();
+        dispatch(
+            &[
+                "compress".into(),
+                src.clone(),
+                "--out".into(),
+                container.clone(),
+                "--code".into(),
+                "self".into(),
+            ],
+            &mut buffer,
+        )
+        .unwrap();
+        dispatch(&["inspect".into(), container.clone()], &mut buffer).unwrap();
+        dispatch(
+            &[
+                "simulate".into(),
+                src.clone(),
+                "--memory".into(),
+                "eprom".into(),
+                "--code".into(),
+                "self".into(),
+            ],
+            &mut buffer,
+        )
+        .unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("LAT:"));
+        assert!(text.contains("rel. perf"));
+        std::fs::remove_file(src).ok();
+        std::fs::remove_file(container).ok();
+    }
+}

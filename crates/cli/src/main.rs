@@ -1,0 +1,16 @@
+//! The `ccrp-tools` binary: parse, dispatch, report.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match ccrp_cli::dispatch(&argv, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("ccrp-tools: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Cache-line block compression (Figure 1 of the paper).
+//!
+//! Each 32-byte instruction block is compressed independently so the
+//! refill engine can expand any line on demand. Blocks that would grow
+//! are stored raw ("the original block encoding"), guaranteeing no block
+//! exceeds its original size — the paper's two-code special case that
+//! "only requires a bypass capability in the decoder".
+
+use ccrp_bitstream::{BitReader, BitWriter};
+
+use crate::code::ByteCode;
+use crate::error::CompressError;
+
+/// The paper's instruction-cache line size in bytes.
+pub const LINE_SIZE: usize = 32;
+
+/// Alignment of compressed blocks in instruction memory (Figure 1):
+/// "Byte alignment provides slightly better compression while word
+/// alignment simplifies accessing hardware."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockAlignment {
+    /// Blocks start on any byte boundary.
+    Byte,
+    /// Blocks start on 4-byte boundaries (the simulated hardware default).
+    #[default]
+    Word,
+}
+
+impl BlockAlignment {
+    /// Rounds a byte size up to this alignment.
+    pub fn round_up(self, bytes: usize) -> usize {
+        match self {
+            BlockAlignment::Byte => bytes,
+            BlockAlignment::Word => (bytes + 3) & !3,
+        }
+    }
+}
+
+/// One compressed cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedLine {
+    data: Vec<u8>,
+    bypass: bool,
+}
+
+impl CompressedLine {
+    /// Reconstructs a stored line from container bytes (used when
+    /// loading a serialized compressed image).
+    ///
+    /// # Panics
+    ///
+    /// Panics on stored sizes the LAT cannot represent: a bypassed line
+    /// must be exactly [`LINE_SIZE`] bytes, a compressed one 1..32.
+    pub fn from_stored(data: Vec<u8>, bypass: bool) -> Self {
+        if bypass {
+            assert_eq!(data.len(), LINE_SIZE, "bypassed lines are stored raw");
+        } else {
+            assert!(
+                (1..LINE_SIZE).contains(&data.len()),
+                "compressed line of {} bytes",
+                data.len()
+            );
+        }
+        Self { data, bypass }
+    }
+
+    /// The stored bytes (compressed stream, or the raw line when
+    /// bypassed), padded to the chosen alignment.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Whether the line is stored uncompressed.
+    pub fn is_bypass(&self) -> bool {
+        self.bypass
+    }
+
+    /// Stored size in bytes (after alignment padding).
+    pub fn stored_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Compresses one cache line with `code`, bypassing if compression would
+/// not shrink it below [`LINE_SIZE`] after `alignment` padding.
+///
+/// # Panics
+///
+/// Panics if `line` is not exactly [`LINE_SIZE`] bytes.
+pub fn compress_line(code: &ByteCode, line: &[u8], alignment: BlockAlignment) -> CompressedLine {
+    assert_eq!(line.len(), LINE_SIZE, "cache lines are {LINE_SIZE} bytes");
+    let bits = code.encoded_bits(line);
+    let bytes = alignment.round_up(bits.div_ceil(8) as usize);
+    if bytes >= LINE_SIZE {
+        return CompressedLine {
+            data: line.to_vec(),
+            bypass: true,
+        };
+    }
+    let mut w = BitWriter::with_capacity(bytes);
+    code.encode_into(line, &mut w);
+    let mut data = w.into_bytes();
+    data.resize(bytes, 0);
+    CompressedLine {
+        data,
+        bypass: false,
+    }
+}
+
+/// Decompresses a line produced by [`compress_line`].
+///
+/// # Errors
+///
+/// Propagates decode failures on corrupt data.
+pub fn decompress_line(
+    code: &ByteCode,
+    line: &CompressedLine,
+) -> Result<[u8; LINE_SIZE], CompressError> {
+    let mut out = [0u8; LINE_SIZE];
+    if line.bypass {
+        out.copy_from_slice(&line.data[..LINE_SIZE]);
+        return Ok(out);
+    }
+    let decoded = code.decode_from(&mut BitReader::new(&line.data), LINE_SIZE)?;
+    out.copy_from_slice(&decoded);
+    Ok(out)
+}
+
+/// Compresses a whole text segment line by line. A final partial line is
+/// zero padded to [`LINE_SIZE`] first (zero is the `nop` encoding on
+/// MIPS, matching how linkers pad text sections).
+pub fn compress_image(
+    code: &ByteCode,
+    text: &[u8],
+    alignment: BlockAlignment,
+) -> Vec<CompressedLine> {
+    let mut lines = Vec::with_capacity(text.len().div_ceil(LINE_SIZE));
+    for chunk in text.chunks(LINE_SIZE) {
+        if chunk.len() == LINE_SIZE {
+            lines.push(compress_line(code, chunk, alignment));
+        } else {
+            let mut padded = [0u8; LINE_SIZE];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            lines.push(compress_line(code, &padded, alignment));
+        }
+    }
+    lines
+}
+
+/// Total stored bytes of a compressed image (the sum of aligned block
+/// sizes), excluding the Line Address Table and code table.
+pub fn compressed_size(lines: &[CompressedLine]) -> usize {
+    lines.iter().map(CompressedLine::stored_len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::ByteHistogram;
+    use proptest::prelude::*;
+
+    fn sample_code() -> ByteCode {
+        // Trained on skewed data so common bytes compress well.
+        let mut data = vec![0u8; 2000];
+        data.extend(std::iter::repeat_n(0x24, 500));
+        data.extend(std::iter::repeat_n(0x8F, 300));
+        data.extend((0u16..256).map(|b| b as u8));
+        ByteCode::preselected(&ByteHistogram::of(&data)).unwrap()
+    }
+
+    #[test]
+    fn compressible_line_shrinks_and_roundtrips() {
+        let code = sample_code();
+        let line = [0u8; LINE_SIZE];
+        let c = compress_line(&code, &line, BlockAlignment::Word);
+        assert!(!c.is_bypass());
+        assert!(c.stored_len() < LINE_SIZE);
+        assert_eq!(c.stored_len() % 4, 0);
+        assert_eq!(decompress_line(&code, &c).unwrap(), line);
+    }
+
+    #[test]
+    fn incompressible_line_bypasses() {
+        let code = sample_code();
+        // Bytes chosen from the rare end of the histogram.
+        let mut line = [0u8; LINE_SIZE];
+        for (i, b) in line.iter_mut().enumerate() {
+            *b = 128 + (i as u8 * 3);
+        }
+        let c = compress_line(&code, &line, BlockAlignment::Word);
+        assert!(c.is_bypass());
+        assert_eq!(c.stored_len(), LINE_SIZE);
+        assert_eq!(decompress_line(&code, &c).unwrap(), line);
+    }
+
+    #[test]
+    fn byte_alignment_never_larger_than_word() {
+        let code = sample_code();
+        let line = [0x24u8; LINE_SIZE];
+        let b = compress_line(&code, &line, BlockAlignment::Byte);
+        let w = compress_line(&code, &line, BlockAlignment::Word);
+        assert!(b.stored_len() <= w.stored_len());
+    }
+
+    #[test]
+    fn image_compression_covers_partial_tail() {
+        let code = sample_code();
+        let text = vec![0u8; 100]; // 3 lines + 4-byte tail
+        let lines = compress_image(&code, &text, BlockAlignment::Word);
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let back = decompress_line(&code, line).unwrap();
+            assert_eq!(back, [0u8; LINE_SIZE]);
+        }
+        assert!(compressed_size(&lines) < 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache lines are 32 bytes")]
+    fn wrong_line_size_panics() {
+        compress_line(&sample_code(), &[0u8; 16], BlockAlignment::Word);
+    }
+
+    proptest! {
+        #[test]
+        fn any_line_roundtrips_and_never_grows(line in proptest::collection::vec(any::<u8>(), LINE_SIZE)) {
+            let code = sample_code();
+            for alignment in [BlockAlignment::Byte, BlockAlignment::Word] {
+                let c = compress_line(&code, &line, alignment);
+                prop_assert!(c.stored_len() <= LINE_SIZE);
+                let back = decompress_line(&code, &c).unwrap();
+                prop_assert_eq!(&back[..], &line[..]);
+            }
+        }
+    }
+}

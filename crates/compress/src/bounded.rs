@@ -1,0 +1,251 @@
+//! Length-limited Huffman codes via the package-merge algorithm
+//! (Larmore & Hirschberg's coin-collector formulation).
+//!
+//! The paper's *Bounded Huffman* code caps symbol lengths at 16 bits so
+//! the two-bytes-per-cycle decode hardware stays shallow: "A modified
+//! Huffman encoding scheme was implemented such that no byte is
+//! represented by a code symbol of more than 16 bits" (§2.2).
+
+use crate::error::CompressError;
+use crate::histogram::ByteHistogram;
+
+/// The length bound used throughout the paper's experiments.
+pub const PAPER_MAX_LEN: u8 = 16;
+
+#[derive(Debug, Clone)]
+struct Package {
+    weight: u64,
+    /// Count of each original item contained in this package, indexed by
+    /// position in the sorted symbol list.
+    contents: Vec<u16>,
+}
+
+/// Computes optimal code lengths subject to `max_len`, for every byte
+/// with a nonzero count.
+///
+/// # Errors
+///
+/// * [`CompressError::EmptyHistogram`] if no byte occurs;
+/// * [`CompressError::LengthTooLong`] if `max_len` is too small to code
+///   the alphabet (needs `2^max_len >=` distinct symbols) or over 32.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_compress::{bounded_lengths, ByteHistogram, PAPER_MAX_LEN};
+///
+/// let hist = ByteHistogram::of(b"the quick brown fox jumps over the lazy dog");
+/// let lengths = bounded_lengths(&hist, PAPER_MAX_LEN)?;
+/// assert!(lengths.iter().all(|&l| l <= PAPER_MAX_LEN));
+/// # Ok::<(), ccrp_compress::CompressError>(())
+/// ```
+pub fn bounded_lengths(histogram: &ByteHistogram, max_len: u8) -> Result<[u8; 256], CompressError> {
+    if max_len == 0 || max_len > 32 {
+        return Err(CompressError::LengthTooLong { length: max_len });
+    }
+    let mut symbols: Vec<(u8, u64)> = (0u16..256)
+        .map(|b| (b as u8, histogram.count(b as u8)))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    let n = symbols.len();
+    let mut lengths = [0u8; 256];
+    match n {
+        0 => return Err(CompressError::EmptyHistogram),
+        1 => {
+            lengths[symbols[0].0 as usize] = 1;
+            return Ok(lengths);
+        }
+        _ => {}
+    }
+    if (max_len as u32) < 32 && n as u64 > (1u64 << max_len) {
+        return Err(CompressError::LengthTooLong { length: max_len });
+    }
+
+    symbols.sort_by_key(|&(sym, count)| (count, sym));
+    let items: Vec<Package> = symbols
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, count))| {
+            let mut contents = vec![0u16; n];
+            contents[i] = 1;
+            Package {
+                weight: count,
+                contents,
+            }
+        })
+        .collect();
+
+    // Coin-collector: level `max_len` holds bare items; each shallower
+    // level merges the items with pairs packaged from the level below.
+    let mut current: Vec<Package> = items.clone();
+    for _level in (1..max_len).rev() {
+        let mut packaged: Vec<Package> = Vec::with_capacity(current.len() / 2);
+        let mut iter = current.chunks_exact(2);
+        for pair in &mut iter {
+            let mut contents = pair[0].contents.clone();
+            for (a, b) in contents.iter_mut().zip(&pair[1].contents) {
+                *a += b;
+            }
+            packaged.push(Package {
+                weight: pair[0].weight + pair[1].weight,
+                contents,
+            });
+        }
+        // Merge packaged pairs with the original items, keeping sorted
+        // order by weight (both inputs are already sorted).
+        let mut merged = Vec::with_capacity(items.len() + packaged.len());
+        let (mut i, mut j) = (0, 0);
+        while i < items.len() && j < packaged.len() {
+            if items[i].weight <= packaged[j].weight {
+                merged.push(items[i].clone());
+                i += 1;
+            } else {
+                merged.push(packaged[j].clone());
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&items[i..]);
+        merged.extend_from_slice(&packaged[j..]);
+        current = merged;
+    }
+
+    // Select the cheapest 2(n-1) level-1 packages; each inclusion of an
+    // item deepens its code by one bit.
+    let take = 2 * (n - 1);
+    debug_assert!(
+        current.len() >= take,
+        "package-merge produced too few packages"
+    );
+    let mut depth = vec![0u16; n];
+    for package in current.iter().take(take) {
+        for (d, c) in depth.iter_mut().zip(&package.contents) {
+            *d += c;
+        }
+    }
+    for (i, &(sym, _)) in symbols.iter().enumerate() {
+        lengths[sym as usize] = depth[i] as u8;
+    }
+    Ok(lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::huffman::traditional_lengths;
+
+    fn kraft(lengths: &[u8; 256]) -> f64 {
+        lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum()
+    }
+
+    fn weighted_bits(lengths: &[u8; 256], h: &ByteHistogram) -> u64 {
+        (0u16..256)
+            .map(|b| u64::from(lengths[b as usize]) * h.count(b as u8))
+            .sum()
+    }
+
+    fn skewed_histogram(n: u8) -> ByteHistogram {
+        let mut h = ByteHistogram::new();
+        let mut w = 1u64;
+        let mut prev = 1u64;
+        for sym in 0..n {
+            for _ in 0..w {
+                h.update(&[sym]);
+            }
+            let next = w + prev;
+            prev = w;
+            w = next;
+        }
+        h
+    }
+
+    #[test]
+    fn respects_bound_and_kraft() {
+        let h = skewed_histogram(24); // unbounded Huffman would exceed 16
+        let unbounded = traditional_lengths(&h).unwrap();
+        assert!(unbounded.iter().copied().max().unwrap() > 16);
+        let bounded = bounded_lengths(&h, 16).unwrap();
+        assert!(bounded.iter().all(|&l| l <= 16));
+        let k = kraft(&bounded);
+        assert!(k <= 1.0 + 1e-12, "kraft {k}");
+    }
+
+    #[test]
+    fn matches_huffman_when_bound_is_loose() {
+        // With a generous bound, package-merge's total cost equals Huffman's.
+        let h = ByteHistogram::of(b"abracadabra alakazam");
+        let a = traditional_lengths(&h).unwrap();
+        let b = bounded_lengths(&h, 32).unwrap();
+        assert_eq!(weighted_bits(&a, &h), weighted_bits(&b, &h));
+    }
+
+    #[test]
+    fn optimal_among_bounded() {
+        // For a small alphabet we can brute-force all monotone length
+        // assignments and confirm package-merge is optimal.
+        let mut h = ByteHistogram::new();
+        for (sym, count) in [(0u8, 40u64), (1, 30), (2, 20), (3, 6), (4, 3), (5, 1)] {
+            for _ in 0..count {
+                h.update(&[sym]);
+            }
+        }
+        let max_len = 3;
+        let got = bounded_lengths(&h, max_len).unwrap();
+        let got_cost = weighted_bits(&got, &h);
+        // Brute force: all length tuples in 1..=3 satisfying Kraft.
+        let mut best = u64::MAX;
+        let lens = [1u8, 2, 3];
+        for a in lens {
+            for b in lens {
+                for c in lens {
+                    for d in lens {
+                        for e in lens {
+                            for f in lens {
+                                let tuple = [a, b, c, d, e, f];
+                                let k: f64 = tuple.iter().map(|&l| 2f64.powi(-i32::from(l))).sum();
+                                if k <= 1.0 + 1e-12 {
+                                    let cost: u64 = tuple
+                                        .iter()
+                                        .enumerate()
+                                        .map(|(s, &l)| u64::from(l) * h.count(s as u8))
+                                        .sum();
+                                    best = best.min(cost);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(got_cost, best);
+    }
+
+    #[test]
+    fn full_alphabet_fits_in_16() {
+        let h = ByteHistogram::of(&(0u8..=255).collect::<Vec<_>>()).smoothed();
+        let lengths = bounded_lengths(&h, PAPER_MAX_LEN).unwrap();
+        assert_eq!(lengths.iter().filter(|&&l| l > 0).count(), 256);
+        assert!(lengths.iter().all(|&l| l <= 16));
+    }
+
+    #[test]
+    fn impossible_bound_rejected() {
+        let h = ByteHistogram::of(&(0u8..=255).collect::<Vec<_>>());
+        assert!(matches!(
+            bounded_lengths(&h, 7),
+            Err(CompressError::LengthTooLong { .. })
+        ));
+        assert!(bounded_lengths(&h, 8).is_ok());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(matches!(
+            bounded_lengths(&ByteHistogram::new(), 16),
+            Err(CompressError::EmptyHistogram)
+        ));
+    }
+}

@@ -1,0 +1,365 @@
+use ccrp_bitstream::{BitReader, BitWriter};
+
+use crate::bounded::{bounded_lengths, PAPER_MAX_LEN};
+use crate::error::CompressError;
+use crate::histogram::ByteHistogram;
+use crate::huffman::traditional_lengths;
+
+/// A canonical prefix code over bytes.
+///
+/// Construction assigns codewords in canonical order (shorter first,
+/// ties by symbol value), so a code is fully described by its length
+/// table — which is what the paper stores alongside per-program codes and
+/// what a hardwired decoder implements for the preselected code.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_compress::{ByteCode, ByteHistogram};
+///
+/// let code = ByteCode::traditional(&ByteHistogram::of(b"mississippi"))?;
+/// let compressed = code.encode(b"mississippi");
+/// let back = code.decode(&compressed, 11)?;
+/// assert_eq!(back, b"mississippi");
+/// # Ok::<(), ccrp_compress::CompressError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteCode {
+    lengths: [u8; 256],
+    codes: [u32; 256],
+    max_len: u8,
+    /// Decode acceleration: for each length, the first canonical code
+    /// value, the first index into `ordered`, and the symbol count.
+    first_code: [u32; 33],
+    first_index: [u16; 33],
+    counts: [u16; 33],
+    ordered: Vec<u8>,
+}
+
+impl ByteCode {
+    /// Builds the canonical code for a length table.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::InvalidCodeLengths`] if the lengths over-fill the
+    /// code space (Kraft sum above 1), [`CompressError::LengthTooLong`]
+    /// for lengths above 32, and [`CompressError::EmptyHistogram`] if all
+    /// lengths are zero.
+    pub fn from_lengths(lengths: [u8; 256]) -> Result<Self, CompressError> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len == 0 {
+            return Err(CompressError::EmptyHistogram);
+        }
+        if max_len > 32 {
+            return Err(CompressError::LengthTooLong { length: max_len });
+        }
+        // Kraft check, scaled by 2^max_len to stay in integers.
+        let kraft: u64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 1u64 << (max_len - l))
+            .sum();
+        if kraft > 1u64 << max_len {
+            return Err(CompressError::InvalidCodeLengths { kraft, max_len });
+        }
+
+        let mut counts = [0u16; 33];
+        for &l in lengths.iter().filter(|&&l| l > 0) {
+            counts[l as usize] += 1;
+        }
+        let mut first_code = [0u32; 33];
+        let mut first_index = [0u16; 33];
+        let mut code = 0u32;
+        let mut index = 0u16;
+        #[allow(clippy::needless_range_loop)] // len is both value and index
+        for len in 1..=max_len as usize {
+            code <<= 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            code += u32::from(counts[len]);
+            index += counts[len];
+        }
+
+        // Canonical assignment: symbols sorted by (length, value).
+        let mut ordered = Vec::with_capacity(index as usize);
+        let mut codes = [0u32; 256];
+        let mut next = first_code;
+        #[allow(clippy::needless_range_loop)] // len is both value and index
+        for len in 1..=max_len as usize {
+            for sym in 0u16..256 {
+                if lengths[sym as usize] as usize == len {
+                    codes[sym as usize] = next[len];
+                    next[len] += 1;
+                    ordered.push(sym as u8);
+                }
+            }
+        }
+
+        Ok(Self {
+            lengths,
+            codes,
+            max_len,
+            first_code,
+            first_index,
+            counts,
+            ordered,
+        })
+    }
+
+    /// The paper's Traditional Huffman code for `histogram`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures (empty histogram).
+    pub fn traditional(histogram: &ByteHistogram) -> Result<Self, CompressError> {
+        Self::from_lengths(traditional_lengths(histogram)?)
+    }
+
+    /// The paper's Bounded Huffman code (≤16-bit symbols) for `histogram`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    pub fn bounded(histogram: &ByteHistogram) -> Result<Self, CompressError> {
+        Self::from_lengths(bounded_lengths(histogram, PAPER_MAX_LEN)?)
+    }
+
+    /// A *Preselected* Bounded Huffman code: bounded, built from a
+    /// (typically multi-program) histogram smoothed so every byte value
+    /// decodes — required because the code will be applied to programs
+    /// outside its training corpus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures.
+    pub fn preselected(corpus_histogram: &ByteHistogram) -> Result<Self, CompressError> {
+        Self::from_lengths(bounded_lengths(
+            &corpus_histogram.smoothed(),
+            PAPER_MAX_LEN,
+        )?)
+    }
+
+    /// Code length in bits for `byte` (0 when the byte has no code).
+    pub fn length_of(&self, byte: u8) -> u8 {
+        self.lengths[byte as usize]
+    }
+
+    /// The longest codeword in the table.
+    pub fn max_length(&self) -> u8 {
+        self.max_len
+    }
+
+    /// The length table (canonical codes are reconstructible from it).
+    pub fn lengths(&self) -> &[u8; 256] {
+        &self.lengths
+    }
+
+    /// Whether every byte value has a codeword (required of preselected
+    /// codes).
+    pub fn is_complete_alphabet(&self) -> bool {
+        self.lengths.iter().all(|&l| l > 0)
+    }
+
+    /// Bytes needed to store this code table alongside a program: 5 bits
+    /// per symbol length for bounded codes (lengths 0..=16), 8 bits for
+    /// codes that may exceed 16 bits. The preselected code is hardwired
+    /// and costs nothing — callers simply skip this term.
+    pub fn table_storage_bytes(&self) -> u32 {
+        if self.max_len <= 16 {
+            (256 * 5_u32).div_ceil(8)
+        } else {
+            256
+        }
+    }
+
+    /// Exact compressed size of `data` in bits (without actually encoding).
+    pub fn encoded_bits(&self, data: &[u8]) -> u64 {
+        data.iter()
+            .map(|&b| u64::from(self.lengths[b as usize]))
+            .sum()
+    }
+
+    /// Appends the code for each byte of `data` to `writer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` contains a byte with no codeword; callers encode
+    /// only data drawn from the code's alphabet (guaranteed for
+    /// per-program codes, and by completeness for preselected codes).
+    pub fn encode_into(&self, data: &[u8], writer: &mut BitWriter) {
+        for &b in data {
+            let len = self.lengths[b as usize];
+            assert!(len > 0, "byte {b:#04x} has no codeword");
+            writer.write_bits(self.codes[b as usize], u32::from(len));
+        }
+    }
+
+    /// Encodes `data` into a fresh byte vector (zero-padded final byte).
+    pub fn encode(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::with_capacity(data.len());
+        self.encode_into(data, &mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes exactly `count` symbols from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::Truncated`] if the stream ends mid-symbol or
+    /// [`CompressError::BadSymbol`] on a pattern with no symbol.
+    pub fn decode_from(
+        &self,
+        reader: &mut BitReader<'_>,
+        count: usize,
+    ) -> Result<Vec<u8>, CompressError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(self.decode_symbol(reader)?);
+        }
+        Ok(out)
+    }
+
+    /// Decodes exactly `count` symbols from `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`decode_from`](Self::decode_from).
+    pub fn decode(&self, bytes: &[u8], count: usize) -> Result<Vec<u8>, CompressError> {
+        self.decode_from(&mut BitReader::new(bytes), count)
+    }
+
+    /// Decodes a single symbol.
+    ///
+    /// # Errors
+    ///
+    /// As for [`decode_from`](Self::decode_from).
+    pub fn decode_symbol(&self, reader: &mut BitReader<'_>) -> Result<u8, CompressError> {
+        let start = reader.bit_pos();
+        let mut code = 0u32;
+        for len in 1..=self.max_len as usize {
+            code = (code << 1) | u32::from(reader.read_bit()?);
+            let offset = code.wrapping_sub(self.first_code[len]);
+            if offset < u32::from(self.counts[len]) {
+                let index = self.first_index[len] as usize + offset as usize;
+                return Ok(self.ordered[index]);
+            }
+        }
+        Err(CompressError::BadSymbol { at_bit: start })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonical_order_is_monotone() {
+        let code = ByteCode::traditional(&ByteHistogram::of(b"aaaabbbccd")).unwrap();
+        // 'a' is most frequent -> shortest code.
+        assert!(code.length_of(b'a') <= code.length_of(b'b'));
+        assert!(code.length_of(b'b') <= code.length_of(b'd'));
+    }
+
+    #[test]
+    fn rejects_overfull_lengths() {
+        let mut lengths = [0u8; 256];
+        lengths[0] = 1;
+        lengths[1] = 1;
+        lengths[2] = 1; // 3 codes of length 1 cannot exist
+        assert!(matches!(
+            ByteCode::from_lengths(lengths),
+            Err(CompressError::InvalidCodeLengths { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_all_zero() {
+        assert!(matches!(
+            ByteCode::from_lengths([0u8; 256]),
+            Err(CompressError::EmptyHistogram)
+        ));
+    }
+
+    #[test]
+    fn incomplete_code_decodes_assigned_patterns() {
+        // lengths {a:1, b:2} leaves pattern 11 unassigned.
+        let mut lengths = [0u8; 256];
+        lengths[b'a' as usize] = 1;
+        lengths[b'b' as usize] = 2;
+        let code = ByteCode::from_lengths(lengths).unwrap();
+        let enc = code.encode(b"ab");
+        assert_eq!(code.decode(&enc, 2).unwrap(), b"ab");
+        // 0b11... decodes to nothing.
+        let err = code.decode(&[0b1100_0000], 1).unwrap_err();
+        assert!(matches!(err, CompressError::BadSymbol { at_bit: 0 }));
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let code = ByteCode::traditional(&ByteHistogram::of(b"abcdefgh")).unwrap();
+        let enc = code.encode(b"abcdefgh");
+        let err = code.decode(&enc[..1], 8).unwrap_err();
+        assert!(matches!(err, CompressError::Truncated(_)));
+    }
+
+    #[test]
+    fn encoded_bits_matches_actual() {
+        let data = b"some sample data with repetition repetition repetition";
+        let code = ByteCode::bounded(&ByteHistogram::of(data)).unwrap();
+        let bits = code.encoded_bits(data);
+        let mut w = BitWriter::new();
+        code.encode_into(data, &mut w);
+        assert_eq!(w.bit_len(), bits);
+    }
+
+    #[test]
+    fn preselected_covers_foreign_bytes() {
+        let corpus = ByteHistogram::of(b"only lowercase text");
+        let code = ByteCode::preselected(&corpus).unwrap();
+        assert!(code.is_complete_alphabet());
+        let foreign = [0u8, 255, 17, 128];
+        let enc = code.encode(&foreign);
+        assert_eq!(code.decode(&enc, 4).unwrap(), foreign);
+    }
+
+    #[test]
+    fn table_storage_sizes() {
+        let bounded = ByteCode::bounded(&ByteHistogram::of(b"abc")).unwrap();
+        assert_eq!(bounded.table_storage_bytes(), 160);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_traditional(data in proptest::collection::vec(any::<u8>(), 1..2000)) {
+            let code = ByteCode::traditional(&ByteHistogram::of(&data)).unwrap();
+            let enc = code.encode(&data);
+            prop_assert_eq!(code.decode(&enc, data.len()).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_bounded(data in proptest::collection::vec(any::<u8>(), 1..2000)) {
+            let code = ByteCode::bounded(&ByteHistogram::of(&data)).unwrap();
+            prop_assert!(code.max_length() <= 16);
+            let enc = code.encode(&data);
+            prop_assert_eq!(code.decode(&enc, data.len()).unwrap(), data);
+        }
+
+        #[test]
+        fn bounded_never_beats_traditional(data in proptest::collection::vec(any::<u8>(), 1..1000)) {
+            let h = ByteHistogram::of(&data);
+            let t = ByteCode::traditional(&h).unwrap();
+            let b = ByteCode::bounded(&h).unwrap();
+            prop_assert!(t.encoded_bits(&data) <= b.encoded_bits(&data));
+        }
+
+        #[test]
+        fn entropy_lower_bounds_huffman(data in proptest::collection::vec(any::<u8>(), 1..1000)) {
+            let h = ByteHistogram::of(&data);
+            let code = ByteCode::traditional(&h).unwrap();
+            let avg_bits = code.encoded_bits(&data) as f64 / data.len() as f64;
+            prop_assert!(avg_bits + 1e-9 >= h.entropy_bits());
+            prop_assert!(avg_bits <= h.entropy_bits() + 1.0);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Traditional (unbounded) Huffman code-length construction.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::error::CompressError;
+use crate::histogram::ByteHistogram;
+
+/// Computes optimal Huffman code lengths for every byte with a nonzero
+/// count. Zero-count bytes get length 0 (no code).
+///
+/// This is the paper's "Traditional Huffman" method: optimal for the
+/// histogram but with worst-case symbol lengths up to 255 bits, which §2.2
+/// notes would make decode hardware impractically deep — motivating the
+/// Bounded variant in [`bounded_lengths`](crate::bounded_lengths).
+///
+/// # Errors
+///
+/// [`CompressError::EmptyHistogram`] when no byte has a nonzero count.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_compress::{traditional_lengths, ByteHistogram};
+///
+/// let lengths = traditional_lengths(&ByteHistogram::of(b"aaab"))?;
+/// assert_eq!(lengths[b'a' as usize], 1);
+/// assert_eq!(lengths[b'b' as usize], 1);
+/// assert_eq!(lengths[b'c' as usize], 0);
+/// # Ok::<(), ccrp_compress::CompressError>(())
+/// ```
+pub fn traditional_lengths(histogram: &ByteHistogram) -> Result<[u8; 256], CompressError> {
+    let mut lengths = [0u8; 256];
+    let symbols: Vec<(u8, u64)> = (0u16..256)
+        .map(|b| (b as u8, histogram.count(b as u8)))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    match symbols.len() {
+        0 => return Err(CompressError::EmptyHistogram),
+        1 => {
+            // A one-symbol alphabet still needs one bit per symbol so the
+            // decoder can count symbols.
+            lengths[symbols[0].0 as usize] = 1;
+            return Ok(lengths);
+        }
+        _ => {}
+    }
+
+    // Heap of (weight, tie, node). `tie` keeps construction deterministic.
+    #[derive(Debug)]
+    enum Node {
+        Leaf(u8),
+        Internal(Box<Node>, Box<Node>),
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, u32, usize)>> = BinaryHeap::new();
+    let mut arena: Vec<Node> = Vec::with_capacity(symbols.len() * 2);
+    for (i, &(sym, count)) in symbols.iter().enumerate() {
+        arena.push(Node::Leaf(sym));
+        heap.push(Reverse((count, i as u32, i)));
+    }
+    let mut tie = symbols.len() as u32;
+    while heap.len() > 1 {
+        let Reverse((w1, _, n1)) = heap.pop().expect("len > 1");
+        let Reverse((w2, _, n2)) = heap.pop().expect("len > 1");
+        // Steal the two nodes out of the arena by swapping placeholders in.
+        let a = std::mem::replace(&mut arena[n1], Node::Leaf(0));
+        let b = std::mem::replace(&mut arena[n2], Node::Leaf(0));
+        arena.push(Node::Internal(Box::new(a), Box::new(b)));
+        heap.push(Reverse((w1 + w2, tie, arena.len() - 1)));
+        tie += 1;
+    }
+    let Reverse((_, _, root)) = heap.pop().expect("one node remains");
+
+    fn walk(node: &Node, depth: u8, lengths: &mut [u8; 256]) {
+        match node {
+            Node::Leaf(sym) => lengths[*sym as usize] = depth.max(1),
+            Node::Internal(a, b) => {
+                walk(a, depth + 1, lengths);
+                walk(b, depth + 1, lengths);
+            }
+        }
+    }
+    walk(&arena[root], 0, &mut lengths);
+    Ok(lengths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_example() {
+        // Frequencies 45,13,12,16,9,5 (CLRS) -> lengths 1,3,3,3,4,4.
+        let mut h = ByteHistogram::new();
+        for (sym, count) in [
+            (b'a', 45u64),
+            (b'b', 13),
+            (b'c', 12),
+            (b'd', 16),
+            (b'e', 9),
+            (b'f', 5),
+        ] {
+            for _ in 0..count {
+                h.update(&[sym]);
+            }
+        }
+        let lengths = traditional_lengths(&h).unwrap();
+        assert_eq!(lengths[b'a' as usize], 1);
+        assert_eq!(lengths[b'b' as usize], 3);
+        assert_eq!(lengths[b'c' as usize], 3);
+        assert_eq!(lengths[b'd' as usize], 3);
+        assert_eq!(lengths[b'e' as usize], 4);
+        assert_eq!(lengths[b'f' as usize], 4);
+    }
+
+    #[test]
+    fn empty_is_error() {
+        assert!(matches!(
+            traditional_lengths(&ByteHistogram::new()),
+            Err(CompressError::EmptyHistogram)
+        ));
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = traditional_lengths(&ByteHistogram::of(&[9u8; 50])).unwrap();
+        assert_eq!(lengths[9], 1);
+        assert_eq!(lengths.iter().filter(|&&l| l > 0).count(), 1);
+    }
+
+    #[test]
+    fn skewed_distribution_goes_deep() {
+        // Fibonacci-like weights force a maximally skewed tree.
+        let mut h = ByteHistogram::new();
+        let mut w = 1u64;
+        let mut prev = 1u64;
+        for sym in 0..20u8 {
+            for _ in 0..w {
+                h.update(&[sym]);
+            }
+            let next = w + prev;
+            prev = w;
+            w = next;
+        }
+        let lengths = traditional_lengths(&h).unwrap();
+        let max = lengths.iter().copied().max().unwrap();
+        assert!(max >= 19, "expected deep tree, got max {max}");
+    }
+}

@@ -1,0 +1,212 @@
+//! The Cache Line Address Lookaside Buffer (Figure 8).
+//!
+//! A small fully associative cache of recently used LAT entries, managed
+//! LRU — "essentially identical to a TLB" (§2.1). It is probed in
+//! parallel with every instruction-cache access, so a CLB hit adds no
+//! cycles to a cache miss; a CLB miss adds the LAT-entry read to the
+//! refill.
+
+use crate::error::CcrpError;
+use crate::lat::LatEntry;
+
+/// Hit/miss counters for a [`Clb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClbStats {
+    /// Probes that found their LAT entry resident.
+    pub hits: u64,
+    /// Probes that required a LAT read.
+    pub misses: u64,
+}
+
+impl ClbStats {
+    /// Fraction of probes that missed (0 when never probed).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A fully associative, LRU-replaced buffer of LAT entries.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp::{Clb, LatEntry};
+///
+/// let mut clb = Clb::new(4)?;
+/// let entry = LatEntry::new(0x40, [8; 8])?;
+/// assert!(clb.probe(7).is_none());   // cold miss
+/// clb.insert(7, entry);
+/// assert!(clb.probe(7).is_some());   // now resident
+/// # Ok::<(), ccrp::CcrpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Clb {
+    capacity: usize,
+    /// Resident entries, most recently used last.
+    slots: Vec<(u32, LatEntry)>,
+    stats: ClbStats,
+}
+
+impl Clb {
+    /// Creates a CLB holding `capacity` LAT entries (the paper evaluates
+    /// 4, 8, and 16).
+    ///
+    /// # Errors
+    ///
+    /// [`CcrpError::EmptyClb`] for a zero capacity.
+    pub fn new(capacity: usize) -> Result<Self, CcrpError> {
+        if capacity == 0 {
+            return Err(CcrpError::EmptyClb);
+        }
+        Ok(Self {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            stats: ClbStats::default(),
+        })
+    }
+
+    /// Number of entries the CLB can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `lat_index`, updating LRU order and statistics.
+    pub fn probe(&mut self, lat_index: u32) -> Option<LatEntry> {
+        if let Some(pos) = self.slots.iter().position(|&(tag, _)| tag == lat_index) {
+            let slot = self.slots.remove(pos);
+            let entry = slot.1;
+            self.slots.push(slot);
+            self.stats.hits += 1;
+            Some(entry)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Installs an entry fetched from the in-memory LAT, evicting the
+    /// least recently used entry if full.
+    pub fn insert(&mut self, lat_index: u32, entry: LatEntry) {
+        if let Some(pos) = self.slots.iter().position(|&(tag, _)| tag == lat_index) {
+            self.slots.remove(pos);
+        } else if self.slots.len() == self.capacity {
+            self.slots.remove(0);
+        }
+        self.slots.push((lat_index, entry));
+    }
+
+    /// Invalidates all entries (keeps statistics).
+    pub fn flush(&mut self) {
+        self.slots.clear();
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> ClbStats {
+        self.stats
+    }
+
+    /// Resets the counters (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = ClbStats::default();
+    }
+
+    /// Currently resident LAT indices, least recently used first.
+    pub fn resident(&self) -> impl Iterator<Item = u32> + '_ {
+        self.slots.iter().map(|&(tag, _)| tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(n: u32) -> LatEntry {
+        LatEntry::new(n * 64, [4; 8]).expect("valid entry")
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(matches!(Clb::new(0), Err(CcrpError::EmptyClb)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut clb = Clb::new(2).unwrap();
+        clb.insert(1, entry(1));
+        clb.insert(2, entry(2));
+        // Touch 1, making 2 the LRU victim.
+        assert!(clb.probe(1).is_some());
+        clb.insert(3, entry(3));
+        assert!(clb.probe(2).is_none(), "2 should be evicted");
+        assert!(clb.probe(1).is_some());
+        assert!(clb.probe(3).is_some());
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate() {
+        let mut clb = Clb::new(2).unwrap();
+        clb.insert(1, entry(1));
+        clb.insert(1, entry(1));
+        clb.insert(2, entry(2));
+        assert_eq!(clb.resident().count(), 2);
+        assert!(clb.probe(1).is_some());
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut clb = Clb::new(4).unwrap();
+        assert!(clb.probe(9).is_none());
+        clb.insert(9, entry(9));
+        assert!(clb.probe(9).is_some());
+        assert!(clb.probe(9).is_some());
+        let s = clb.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 1);
+        assert!((s.miss_rate() - 1.0 / 3.0).abs() < 1e-12);
+        clb.reset_stats();
+        assert_eq!(clb.stats(), ClbStats::default());
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_stats() {
+        let mut clb = Clb::new(4).unwrap();
+        clb.insert(1, entry(1));
+        clb.probe(1);
+        clb.flush();
+        assert!(clb.probe(1).is_none());
+        assert_eq!(clb.stats().hits, 1);
+    }
+
+    #[test]
+    fn larger_clb_holds_bigger_working_set() {
+        // The paper's tables 9-10 premise: a 16-entry CLB covers working
+        // sets a 4-entry one cannot.
+        let indices: Vec<u32> = (0..8).collect();
+        for (cap, expect_all_hits) in [(4usize, false), (16, true)] {
+            let mut clb = Clb::new(cap).unwrap();
+            for &i in &indices {
+                clb.insert(i, entry(i));
+            }
+            clb.reset_stats();
+            let mut all = true;
+            for &i in &indices {
+                if clb.probe(i).is_none() {
+                    all = false;
+                    clb.insert(i, entry(i));
+                }
+            }
+            assert_eq!(all, expect_all_hits, "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn miss_rate_zero_when_unprobed() {
+        let clb = Clb::new(1).unwrap();
+        assert_eq!(clb.stats().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! On-disk container for compressed program images.
+//!
+//! What an embedded build flow burns into the instruction ROM plus the
+//! metadata a loader/debugger needs. Layout (all integers little-endian,
+//! as on the DECstation):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "CCRP"
+//! 4       2     format version (1)
+//! 6       1     alignment (0 = byte, 1 = word)
+//! 7       1     reserved (0)
+//! 8       4     text base (CPU address)
+//! 12      4     original text bytes (multiple of 32)
+//! 16      4     packed block bytes
+//! 20      4     LAT base (physical address of the table)
+//! 24      256   code table: canonical length of each byte value
+//! 280     —     packed compressed blocks
+//! …       —     encoded LAT (8 bytes per entry)
+//! ```
+//!
+//! Deserialization rebuilds the original text by running every block
+//! through the decoder, so a loaded image is verified by construction.
+
+use ccrp_compress::{BlockAlignment, ByteCode};
+
+use crate::error::CcrpError;
+use crate::image::CompressedImage;
+use crate::lat::ENTRY_BYTES;
+
+const MAGIC: &[u8; 4] = b"CCRP";
+const VERSION: u16 = 1;
+const HEADER_BYTES: usize = 280;
+
+impl CompressedImage {
+    /// Serializes the image to the container format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let blocks = self.packed_blocks();
+        let lat = self.lat().encode();
+        let mut out = Vec::with_capacity(HEADER_BYTES + blocks.len() + lat.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(match self.alignment() {
+            BlockAlignment::Byte => 0,
+            BlockAlignment::Word => 1,
+        });
+        out.push(0);
+        out.extend_from_slice(&self.text_base().to_le_bytes());
+        out.extend_from_slice(&self.original_bytes().to_le_bytes());
+        out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.lat_base().to_le_bytes());
+        out.extend_from_slice(&self.code().lengths()[..]);
+        out.extend_from_slice(&blocks);
+        out.extend_from_slice(&lat);
+        out
+    }
+
+    /// Parses a container produced by [`to_bytes`](Self::to_bytes),
+    /// decompressing every block to rebuild (and thereby verify) the
+    /// original program text.
+    ///
+    /// # Errors
+    ///
+    /// [`CcrpError::BadContainer`] on malformed input (wrong magic,
+    /// truncated sections, inconsistent sizes) and decode errors on
+    /// corrupt block data.
+    pub fn from_bytes(bytes: &[u8]) -> Result<CompressedImage, CcrpError> {
+        let bad = |what: &'static str| CcrpError::BadContainer { what };
+        if bytes.len() < HEADER_BYTES {
+            return Err(bad("shorter than the fixed header"));
+        }
+        if &bytes[0..4] != MAGIC {
+            return Err(bad("magic is not \"CCRP\""));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != VERSION {
+            return Err(bad("unsupported format version"));
+        }
+        let alignment = match bytes[6] {
+            0 => BlockAlignment::Byte,
+            1 => BlockAlignment::Word,
+            _ => return Err(bad("unknown alignment code")),
+        };
+        let word = |at: usize| {
+            u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]])
+        };
+        let text_base = word(8);
+        let original_bytes = word(12) as usize;
+        let block_bytes = word(16) as usize;
+        let lat_base = word(20);
+        if !original_bytes.is_multiple_of(32) {
+            return Err(bad("original size is not a whole number of lines"));
+        }
+        let mut lengths = [0u8; 256];
+        lengths.copy_from_slice(&bytes[24..280]);
+        let code = ByteCode::from_lengths(lengths)?;
+
+        let lines = original_bytes / 32;
+        let lat_entries = lines.div_ceil(crate::lat::RECORDS_PER_ENTRY);
+        let expected = HEADER_BYTES + block_bytes + lat_entries * ENTRY_BYTES;
+        if bytes.len() != expected {
+            return Err(bad("container length disagrees with header"));
+        }
+        let blocks = &bytes[HEADER_BYTES..HEADER_BYTES + block_bytes];
+        let lat_bytes = &bytes[HEADER_BYTES + block_bytes..];
+
+        CompressedImage::from_parts(
+            text_base, alignment, code, blocks, lat_bytes, lines, lat_base,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccrp_compress::ByteHistogram;
+
+    fn sample_image(alignment: BlockAlignment) -> CompressedImage {
+        let mut text = vec![0u8; 1024];
+        let mut x = 9u32;
+        for (i, b) in text.iter_mut().enumerate() {
+            x = x.wrapping_mul(48271);
+            *b = if i % 3 == 0 { (x >> 27) as u8 } else { 0x24 };
+        }
+        let code = ByteCode::preselected(&ByteHistogram::of(&text)).expect("code");
+        CompressedImage::build(0x400, &text, code, alignment).expect("builds")
+    }
+
+    #[test]
+    fn roundtrip_both_alignments() {
+        for alignment in [BlockAlignment::Word, BlockAlignment::Byte] {
+            let image = sample_image(alignment);
+            let bytes = image.to_bytes();
+            let back = CompressedImage::from_bytes(&bytes).expect("parses");
+            assert_eq!(back.text_base(), image.text_base());
+            assert_eq!(back.original_bytes(), image.original_bytes());
+            assert_eq!(back.alignment(), image.alignment());
+            assert_eq!(back.lat_base(), image.lat_base());
+            assert_eq!(back.compressed_code_bytes(), image.compressed_code_bytes());
+            back.verify().expect("loaded image verifies");
+            // Bit-identical re-serialization.
+            assert_eq!(back.to_bytes(), bytes);
+            // Identical expansion of every line.
+            for line in 0..image.line_count() {
+                let addr = image.text_base() + line as u32 * 32;
+                assert_eq!(
+                    back.expand_line(addr).unwrap(),
+                    image.expand_line(addr).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let image = sample_image(BlockAlignment::Word);
+        let good = image.to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            CompressedImage::from_bytes(&bad_magic),
+            Err(CcrpError::BadContainer { .. })
+        ));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 0xFF;
+        assert!(CompressedImage::from_bytes(&bad_version).is_err());
+
+        let truncated = &good[..good.len() - 1];
+        assert!(CompressedImage::from_bytes(truncated).is_err());
+
+        assert!(CompressedImage::from_bytes(&good[..10]).is_err());
+
+        // Flipping a bit inside a compressed block must surface as a
+        // decode error or a changed (non-verifying) image — never a
+        // silently wrong success that still matches the original.
+        let mut bad_block = good.clone();
+        bad_block[HEADER_BYTES + 3] ^= 0x40;
+        match CompressedImage::from_bytes(&bad_block) {
+            Err(_) => {}
+            Ok(loaded) => {
+                let differs = (0..image.line_count()).any(|line| {
+                    let addr = image.text_base() + line as u32 * 32;
+                    loaded.expand_line(addr).ok() != image.expand_line(addr).ok()
+                });
+                assert!(differs, "corruption must not load back identical");
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use ccrp_compress::CompressError;
+
+/// Errors from building or using a compressed program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CcrpError {
+    /// A block base address that does not fit the LAT's 24-bit pointer.
+    BaseOverflow {
+        /// The offending physical address.
+        address: u64,
+    },
+    /// A compressed block length outside the 5-bit record's range
+    /// (1..=31 bytes compressed, or exactly 32 uncompressed).
+    BadBlockLength {
+        /// The offending length in bytes.
+        length: usize,
+    },
+    /// An instruction address outside the compressed program.
+    AddressOutOfRange {
+        /// The requested address.
+        address: u32,
+    },
+    /// A CLB capacity of zero entries.
+    EmptyClb,
+    /// Text whose base is not aligned to a LAT group (256 bytes).
+    MisalignedTextBase {
+        /// The offending base address.
+        base: u32,
+    },
+    /// A malformed on-disk container (see the `container` module docs).
+    BadContainer {
+        /// What was wrong with it.
+        what: &'static str,
+    },
+    /// An underlying compression failure.
+    Compress(CompressError),
+}
+
+impl fmt::Display for CcrpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcrpError::BaseOverflow { address } => {
+                write!(
+                    f,
+                    "block address {address:#x} exceeds the 24-bit LAT base pointer"
+                )
+            }
+            CcrpError::BadBlockLength { length } => {
+                write!(f, "compressed block length {length} outside 1..=32")
+            }
+            CcrpError::AddressOutOfRange { address } => {
+                write!(f, "address {address:#010x} outside the compressed program")
+            }
+            CcrpError::EmptyClb => write!(f, "CLB capacity must be at least one entry"),
+            CcrpError::MisalignedTextBase { base } => {
+                write!(
+                    f,
+                    "text base {base:#010x} not aligned to a 256-byte LAT group"
+                )
+            }
+            CcrpError::BadContainer { what } => write!(f, "malformed CCRP container: {what}"),
+            CcrpError::Compress(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CcrpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CcrpError::Compress(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompressError> for CcrpError {
+    fn from(e: CompressError) -> Self {
+        CcrpError::Compress(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CcrpError::EmptyClb.to_string().contains("CLB"));
+        assert!(CcrpError::BadBlockLength { length: 99 }
+            .to_string()
+            .contains("99"));
+    }
+}

@@ -1,0 +1,277 @@
+//! The Line Address Table (Figures 3 and 6 of the paper).
+//!
+//! One 8-byte entry per 8 cache lines (256 original bytes / 64
+//! instructions): a 24-bit base pointer to the first compressed block of
+//! the group, followed by eight 5-bit length records. A record of 0
+//! denotes an uncompressed (bypassed) 32-byte block; 1..=31 is the
+//! compressed length in bytes. Block addresses are recovered by summing
+//! length records onto the base — the CLB's adder tree in hardware.
+//!
+//! Storage overhead: 8 bytes per 256 program bytes = **3.125%**, the
+//! figure quoted in §3.2.
+
+use crate::addr::{LINES_PER_ENTRY, LINE_SIZE};
+use crate::error::CcrpError;
+
+/// Compressed-block length records per LAT entry.
+pub const RECORDS_PER_ENTRY: usize = LINES_PER_ENTRY as usize;
+/// Encoded size of one LAT entry in bytes (24-bit base + 8×5-bit records).
+pub const ENTRY_BYTES: usize = 8;
+
+/// One Line Address Table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatEntry {
+    base: u32,
+    /// Raw 5-bit records (0 = uncompressed 32-byte block).
+    records: [u8; RECORDS_PER_ENTRY],
+}
+
+impl LatEntry {
+    /// Builds an entry from a base pointer and eight *actual* block
+    /// lengths in bytes (each 1..=32; 32 means stored uncompressed).
+    ///
+    /// # Errors
+    ///
+    /// [`CcrpError::BaseOverflow`] if `base` needs more than 24 bits, or
+    /// [`CcrpError::BadBlockLength`] for a length outside 1..=32.
+    pub fn new(base: u32, lengths: [u32; RECORDS_PER_ENTRY]) -> Result<Self, CcrpError> {
+        if base >= (1 << 24) {
+            return Err(CcrpError::BaseOverflow {
+                address: u64::from(base),
+            });
+        }
+        let mut records = [0u8; RECORDS_PER_ENTRY];
+        for (record, &len) in records.iter_mut().zip(&lengths) {
+            *record = match len {
+                1..=31 => len as u8,
+                32 => 0,
+                other => {
+                    return Err(CcrpError::BadBlockLength {
+                        length: other as usize,
+                    })
+                }
+            };
+        }
+        Ok(Self { base, records })
+    }
+
+    /// The 24-bit pointer to the group's first compressed block.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Actual stored length in bytes of block `index` (record 0 decodes
+    /// to 32, per the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn block_length(&self, index: usize) -> u32 {
+        match self.records[index] {
+            0 => LINE_SIZE,
+            n => u32::from(n),
+        }
+    }
+
+    /// Whether block `index` is stored uncompressed (decoder bypass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn is_uncompressed(&self, index: usize) -> bool {
+        self.records[index] == 0
+    }
+
+    /// Physical address of block `index`: the base plus the lengths of
+    /// the preceding blocks (the Address Computation Unit of Figure 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn block_address(&self, index: usize) -> u32 {
+        assert!(
+            index < RECORDS_PER_ENTRY,
+            "block index {index} out of range"
+        );
+        let prefix: u32 = (0..index).map(|i| self.block_length(i)).sum();
+        self.base + prefix
+    }
+
+    /// Serializes to the 8-byte in-memory format: 3 little-endian base
+    /// bytes, then the eight 5-bit records packed MSB-first.
+    pub fn encode(&self) -> [u8; ENTRY_BYTES] {
+        let mut out = [0u8; ENTRY_BYTES];
+        out[0] = self.base as u8;
+        out[1] = (self.base >> 8) as u8;
+        out[2] = (self.base >> 16) as u8;
+        let mut acc: u64 = 0;
+        for &r in &self.records {
+            acc = (acc << 5) | u64::from(r);
+        }
+        // 40 bits of records into bytes 3..8.
+        for i in 0..5 {
+            out[3 + i] = (acc >> (32 - 8 * i)) as u8;
+        }
+        out
+    }
+
+    /// Deserializes the 8-byte in-memory format.
+    pub fn decode(bytes: [u8; ENTRY_BYTES]) -> Self {
+        let base = u32::from(bytes[0]) | (u32::from(bytes[1]) << 8) | (u32::from(bytes[2]) << 16);
+        let mut acc: u64 = 0;
+        for &b in &bytes[3..8] {
+            acc = (acc << 8) | u64::from(b);
+        }
+        let mut records = [0u8; RECORDS_PER_ENTRY];
+        for (i, record) in records.iter_mut().enumerate() {
+            *record = ((acc >> (35 - 5 * i)) & 0x1F) as u8;
+        }
+        Self { base, records }
+    }
+}
+
+/// The complete Line Address Table of a compressed program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineAddressTable {
+    entries: Vec<LatEntry>,
+}
+
+impl LineAddressTable {
+    /// Wraps a built entry list.
+    pub(crate) fn new(entries: Vec<LatEntry>) -> Self {
+        Self { entries }
+    }
+
+    /// The entry for `lat_index`, or `None` past the end of the program.
+    pub fn entry(&self, lat_index: u32) -> Option<&LatEntry> {
+        self.entries.get(lat_index as usize)
+    }
+
+    /// Number of entries (one per 256 original program bytes).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes the table occupies in instruction memory.
+    pub fn storage_bytes(&self) -> u32 {
+        (self.entries.len() * ENTRY_BYTES) as u32
+    }
+
+    /// Parses a table serialized by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::CcrpError::BadContainer`] if `bytes` is not a whole
+    /// number of entries.
+    pub fn from_encoded(bytes: &[u8]) -> Result<Self, crate::CcrpError> {
+        if !bytes.len().is_multiple_of(ENTRY_BYTES) {
+            return Err(crate::CcrpError::BadContainer {
+                what: "LAT section is not a whole number of entries",
+            });
+        }
+        let entries = bytes
+            .chunks_exact(ENTRY_BYTES)
+            .map(|chunk| {
+                let mut raw = [0u8; ENTRY_BYTES];
+                raw.copy_from_slice(chunk);
+                LatEntry::decode(raw)
+            })
+            .collect();
+        Ok(Self { entries })
+    }
+
+    /// Serializes every entry, in index order, to the in-memory layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.entries.len() * ENTRY_BYTES);
+        for e in &self.entries {
+            out.extend_from_slice(&e.encode());
+        }
+        out
+    }
+
+    /// Iterates entries in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &LatEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::needless_range_loop)]
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn addresses_are_prefix_sums() {
+        let entry = LatEntry::new(0x100, [10, 32, 5, 31, 1, 12, 8, 20]).unwrap();
+        assert_eq!(entry.block_address(0), 0x100);
+        assert_eq!(entry.block_address(1), 0x10A);
+        assert_eq!(entry.block_address(2), 0x10A + 32);
+        assert_eq!(
+            entry.block_address(7),
+            0x100 + 10 + 32 + 5 + 31 + 1 + 12 + 8
+        );
+        assert!(entry.is_uncompressed(1));
+        assert!(!entry.is_uncompressed(0));
+        assert_eq!(entry.block_length(1), 32);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(matches!(
+            LatEntry::new(1 << 24, [1; 8]),
+            Err(CcrpError::BaseOverflow { .. })
+        ));
+        assert!(matches!(
+            LatEntry::new(0, [0, 1, 1, 1, 1, 1, 1, 1]),
+            Err(CcrpError::BadBlockLength { length: 0 })
+        ));
+        assert!(matches!(
+            LatEntry::new(0, [33, 1, 1, 1, 1, 1, 1, 1]),
+            Err(CcrpError::BadBlockLength { length: 33 })
+        ));
+    }
+
+    #[test]
+    fn entry_is_eight_bytes_and_overhead_matches_paper() {
+        let entry = LatEntry::new(0, [1; 8]).unwrap();
+        assert_eq!(entry.encode().len(), 8);
+        // 8 bytes per 256 program bytes = 3.125%.
+        assert_eq!(8.0 / 256.0, 0.03125);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(
+            base in 0u32..(1 << 24),
+            lengths in proptest::array::uniform8(1u32..=32),
+        ) {
+            let entry = LatEntry::new(base, lengths).unwrap();
+            let back = LatEntry::decode(entry.encode());
+            prop_assert_eq!(back, entry);
+            for i in 0..8 {
+                prop_assert_eq!(back.block_length(i), lengths[i]);
+            }
+        }
+
+        #[test]
+        fn block_addresses_monotone(
+            base in 0u32..(1 << 20),
+            lengths in proptest::array::uniform8(1u32..=32),
+        ) {
+            let entry = LatEntry::new(base, lengths).unwrap();
+            for i in 1..8 {
+                prop_assert!(entry.block_address(i) > entry.block_address(i - 1));
+                prop_assert_eq!(
+                    entry.block_address(i),
+                    entry.block_address(i - 1) + entry.block_length(i - 1)
+                );
+            }
+        }
+    }
+}

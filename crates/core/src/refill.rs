@@ -1,0 +1,371 @@
+//! The cache-line refill engine and its cycle-accurate timing model.
+//!
+//! On an instruction-cache miss (§3.4): the CLB is probed (in parallel
+//! with the cache, so a hit costs nothing); on a CLB miss the 8-byte LAT
+//! entry is first read from instruction memory; then the compressed block
+//! streams in over the 32-bit bus while the decoder expands it at 2 bytes
+//! per cycle, stalling whenever the bits for the next symbols have not
+//! arrived yet. Bypassed (uncompressed) blocks refill exactly like a
+//! standard processor's.
+
+use ccrp_compress::ByteCode;
+
+use crate::addr::LINE_SIZE;
+use crate::clb::{Clb, ClbStats};
+use crate::error::CcrpError;
+use crate::image::CompressedImage;
+
+/// Timing oracle for the instruction memory: the three models of §4.2.1
+/// (EPROM, burst EPROM, static-column DRAM) implement this in `ccrp-sim`.
+pub trait MemoryTiming {
+    /// Starts a read of `words` consecutive 32-bit words at cycle `now`
+    /// (a new random access; bursts never span calls) and pushes the
+    /// arrival cycle of each word onto `arrivals` (cleared first).
+    fn read_burst(&mut self, words: u32, now: u64, arrivals: &mut Vec<u64>);
+}
+
+/// Configuration of the refill engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefillConfig {
+    /// CLB capacity in LAT entries (the paper sweeps 4/8/16; default 16).
+    pub clb_entries: usize,
+    /// Decoder throughput in original bytes per cycle (the paper's
+    /// decoder retires 2 by decoding one byte on each clock edge).
+    pub decode_bytes_per_cycle: u32,
+}
+
+impl Default for RefillConfig {
+    fn default() -> Self {
+        Self {
+            clb_entries: 16,
+            decode_bytes_per_cycle: 2,
+        }
+    }
+}
+
+/// What one refill cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefillOutcome {
+    /// Cycle at which the expanded line is fully in the cache.
+    pub ready_at: u64,
+    /// Bytes moved over the instruction-memory bus (block + any LAT
+    /// entry read), counting whole words.
+    pub bytes_fetched: u32,
+    /// Whether the LAT entry was already in the CLB.
+    pub clb_hit: bool,
+    /// Whether the block was stored uncompressed.
+    pub bypass: bool,
+}
+
+/// The code-expanding refill engine (cache side of Figure 4).
+#[derive(Debug, Clone)]
+pub struct RefillEngine {
+    clb: Clb,
+    decode_rate: u32,
+    scratch: Vec<u64>,
+}
+
+impl RefillEngine {
+    /// Creates an engine.
+    ///
+    /// # Errors
+    ///
+    /// [`CcrpError::EmptyClb`] for a zero-entry CLB; a zero decode rate
+    /// is also reported as [`CcrpError::BadBlockLength`] (no throughput).
+    pub fn new(config: RefillConfig) -> Result<Self, CcrpError> {
+        if config.decode_bytes_per_cycle == 0 {
+            return Err(CcrpError::BadBlockLength { length: 0 });
+        }
+        Ok(Self {
+            clb: Clb::new(config.clb_entries)?,
+            decode_rate: config.decode_bytes_per_cycle,
+            scratch: Vec::with_capacity(8),
+        })
+    }
+
+    /// CLB hit/miss statistics.
+    pub fn clb_stats(&self) -> ClbStats {
+        self.clb.stats()
+    }
+
+    /// Refills the cache line holding CPU address `address` from `image`,
+    /// starting at cycle `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`CcrpError::AddressOutOfRange`] for addresses outside the program.
+    pub fn refill(
+        &mut self,
+        image: &CompressedImage,
+        address: u32,
+        now: u64,
+        memory: &mut dyn MemoryTiming,
+    ) -> Result<RefillOutcome, CcrpError> {
+        let location = image.locate(address)?;
+        let mut bytes_fetched = 0u32;
+        let mut start = now;
+
+        let clb_hit = self.clb.probe(location.lat_index).is_some();
+        if !clb_hit {
+            // Read the 8-byte LAT entry (2 words) before the block fetch
+            // can be addressed.
+            memory.read_burst(2, start, &mut self.scratch);
+            start = *self.scratch.last().expect("burst returns arrivals");
+            bytes_fetched += 8;
+            let entry = image
+                .lat()
+                .entry(location.lat_index)
+                .ok_or(CcrpError::AddressOutOfRange { address })?;
+            self.clb.insert(location.lat_index, *entry);
+        }
+
+        // Whole-word bus: the block occupies the words its bytes span.
+        let first_byte = location.physical;
+        let last_byte = location.physical + location.stored_len - 1;
+        let words = (last_byte / 4) - (first_byte / 4) + 1;
+        memory.read_burst(words, start, &mut self.scratch);
+        bytes_fetched += words * 4;
+        let last_arrival = *self.scratch.last().expect("burst returns arrivals");
+
+        let ready_at = if location.bypass {
+            // Raw line: bytes go straight to the cache as they arrive.
+            last_arrival
+        } else {
+            let original = image.original_line(address)?;
+            let byte_offset_in_burst = first_byte % 4;
+            decode_completion(
+                image.code(),
+                original,
+                byte_offset_in_burst,
+                &self.scratch,
+                self.decode_rate,
+                start,
+            )
+        };
+
+        Ok(RefillOutcome {
+            ready_at,
+            bytes_fetched,
+            clb_hit,
+            bypass: location.bypass,
+        })
+    }
+}
+
+/// Completion cycle of the pipelined decoder.
+///
+/// The decoder retires `rate` original bytes per cycle but can only
+/// consume compressed bits that have arrived from memory. For each output
+/// group we find the last *input* byte its symbols need (from the actual
+/// code lengths — this is bit exact, not an estimate), map that byte to
+/// the word burst that delivers it, and stall accordingly.
+///
+/// `byte_offset` is the block's starting byte within the first fetched
+/// word (nonzero only for byte-aligned images).
+pub(crate) fn decode_completion(
+    code: &ByteCode,
+    original_line: &[u8],
+    byte_offset: u32,
+    word_arrivals: &[u64],
+    rate: u32,
+    start: u64,
+) -> u64 {
+    debug_assert_eq!(original_line.len(), LINE_SIZE as usize);
+    let mut t = start;
+    let mut bits_consumed: u64 = 0;
+    let mut index = 0usize;
+    while index < original_line.len() {
+        let group_end = (index + rate as usize).min(original_line.len());
+        for &byte in &original_line[index..group_end] {
+            bits_consumed += u64::from(code.length_of(byte));
+        }
+        // Last compressed byte needed, relative to the block start.
+        let last_input_byte = (bits_consumed.max(1) - 1) / 8;
+        let word = (u64::from(byte_offset) + last_input_byte) / 4;
+        let arrival = word_arrivals[(word as usize).min(word_arrivals.len() - 1)];
+        t = t.max(arrival) + 1;
+        index = group_end;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccrp_compress::{BlockAlignment, ByteHistogram};
+
+    /// Memory that delivers the first word after `first` cycles and one
+    /// word per cycle after (burst-EPROM-like), counting calls.
+    struct TestMemory {
+        first: u64,
+        calls: Vec<(u32, u64)>,
+    }
+
+    impl TestMemory {
+        fn new(first: u64) -> Self {
+            Self {
+                first,
+                calls: Vec::new(),
+            }
+        }
+    }
+
+    impl MemoryTiming for TestMemory {
+        fn read_burst(&mut self, words: u32, now: u64, arrivals: &mut Vec<u64>) {
+            self.calls.push((words, now));
+            arrivals.clear();
+            for i in 0..u64::from(words) {
+                arrivals.push(now + self.first + i);
+            }
+        }
+    }
+
+    fn test_image(len: usize) -> CompressedImage {
+        let mut text = vec![0u8; len];
+        for (i, b) in text.iter_mut().enumerate() {
+            *b = match i % 4 {
+                0 => (i / 7) as u8,
+                1 => 0,
+                2 => 0x3C,
+                _ => 0x24,
+            };
+        }
+        let code = ByteCode::preselected(&ByteHistogram::of(&text)).unwrap();
+        CompressedImage::build(0, &text, code, BlockAlignment::Word).unwrap()
+    }
+
+    #[test]
+    fn decode_floor_is_16_cycles() {
+        // With all input available instantly, a 2 B/cycle decoder takes
+        // exactly 16 cycles past the start.
+        let image = test_image(256);
+        let original = image.original_line(0).unwrap();
+        let arrivals = vec![0u64; 8];
+        let done = decode_completion(image.code(), original, 0, &arrivals, 2, 0);
+        assert_eq!(done, 16);
+    }
+
+    #[test]
+    fn decoder_stalls_on_slow_memory() {
+        // One word per 3 cycles (EPROM-like): input arrives at
+        // 1.33 B/cycle < 2 B/cycle decode, so memory dominates.
+        let image = test_image(256);
+        let original = image.original_line(0).unwrap();
+        let loc = image.locate(0).unwrap();
+        let words = loc.stored_len.div_ceil(4) as usize;
+        let arrivals: Vec<u64> = (0..words).map(|i| 3 * (i as u64 + 1)).collect();
+        let done = decode_completion(image.code(), original, 0, &arrivals, 2, 0);
+        let last = *arrivals.last().unwrap();
+        assert!(done > last, "decoder cannot finish before data arrives");
+        assert!(done <= last + 16, "at most one full decode pipeline behind");
+    }
+
+    #[test]
+    fn clb_hit_skips_lat_read() {
+        let image = test_image(512);
+        let mut engine = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut mem = TestMemory::new(3);
+
+        let miss = engine.refill(&image, 0x00, 0, &mut mem).unwrap();
+        assert!(!miss.clb_hit);
+        // First call reads the 2-word LAT entry.
+        assert_eq!(mem.calls[0].0, 2);
+        assert_eq!(miss.bytes_fetched % 4, 0);
+        assert!(miss.bytes_fetched >= 8);
+
+        // Line 1 shares LAT entry 0 -> CLB hit, only the block is read.
+        let hit = engine.refill(&image, 0x20, 100, &mut mem).unwrap();
+        assert!(hit.clb_hit);
+        assert_eq!(mem.calls.len(), 3);
+        assert!(hit.bytes_fetched < miss.bytes_fetched);
+        assert_eq!(engine.clb_stats().hits, 1);
+        assert_eq!(engine.clb_stats().misses, 1);
+    }
+
+    #[test]
+    fn compressed_refill_beats_standard_on_slow_memory() {
+        // EPROM-like: 3 cycles per word, no burst advantage. A standard
+        // refill is 8 words = 24 cycles. The compressed block is fewer
+        // words; even with the decode pipe it should win.
+        struct Eprom;
+        impl MemoryTiming for Eprom {
+            fn read_burst(&mut self, words: u32, now: u64, arrivals: &mut Vec<u64>) {
+                arrivals.clear();
+                for i in 0..u64::from(words) {
+                    arrivals.push(now + 3 * (i + 1));
+                }
+            }
+        }
+        let image = test_image(256);
+        let mut engine = RefillEngine::new(RefillConfig::default()).unwrap();
+        // Warm the CLB so we compare pure line refills.
+        let mut mem = Eprom;
+        engine.refill(&image, 0, 0, &mut mem).unwrap();
+        let outcome = engine.refill(&image, 0, 0, &mut mem).unwrap();
+        assert!(outcome.clb_hit);
+        let standard_cycles = 24;
+        assert!(
+            outcome.ready_at < standard_cycles,
+            "compressed refill took {} cycles",
+            outcome.ready_at
+        );
+    }
+
+    #[test]
+    fn bypass_refills_like_standard() {
+        // Build an image whose lines cannot compress (uniform random
+        // bytes against a hostile code).
+        let mut text = vec![0u8; 256];
+        let mut x = 123u32;
+        for b in &mut text {
+            x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            *b = (x >> 17) as u8;
+        }
+        // Code trained on completely different, highly skewed data.
+        let code = ByteCode::preselected(&ByteHistogram::of(&vec![0u8; 4096])).unwrap();
+        let image = CompressedImage::build(0, &text, code, BlockAlignment::Word).unwrap();
+        assert!(image.bypass_count() > 0, "expected bypassed lines");
+        let mut engine = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut mem = TestMemory::new(3);
+        engine.refill(&image, 0, 0, &mut mem).unwrap();
+        let outcome = engine.refill(&image, 0, 0, &mut mem).unwrap();
+        assert!(outcome.bypass);
+        // 8 words, first at 3, then one per cycle -> ready at 10.
+        assert_eq!(outcome.ready_at, 10);
+        assert_eq!(outcome.bytes_fetched, 32);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let image = test_image(64);
+        let mut engine = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut mem = TestMemory::new(1);
+        assert!(matches!(
+            engine.refill(&image, 0x1000, 0, &mut mem),
+            Err(CcrpError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_decode_rate_rejected() {
+        assert!(RefillEngine::new(RefillConfig {
+            clb_entries: 4,
+            decode_bytes_per_cycle: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn faster_decoder_is_never_slower() {
+        let image = test_image(512);
+        for addr in (0..512).step_by(32) {
+            let original = image.original_line(addr).unwrap();
+            let arrivals: Vec<u64> = (0..8).map(|i| 3 * (i + 1)).collect();
+            let d2 = decode_completion(image.code(), original, 0, &arrivals, 2, 0);
+            let d4 = decode_completion(image.code(), original, 0, &arrivals, 4, 0);
+            let d1 = decode_completion(image.code(), original, 0, &arrivals, 1, 0);
+            assert!(d4 <= d2, "4 B/cy must not lose to 2 B/cy");
+            assert!(d2 <= d1, "2 B/cy must not lose to 1 B/cy");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Model-based testing of the CLB: the hardware-style LRU buffer must
+//! behave identically to an obviously-correct reference model over
+//! arbitrary probe/insert sequences.
+
+use ccrp::{Clb, LatEntry};
+use proptest::prelude::*;
+
+/// An obviously-correct reference: a vector ordered least-recent first.
+#[derive(Debug, Default)]
+struct ModelClb {
+    capacity: usize,
+    entries: Vec<u32>,
+}
+
+impl ModelClb {
+    fn probe(&mut self, tag: u32) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&t| t == tag) {
+            let tag = self.entries.remove(pos);
+            self.entries.push(tag);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, tag: u32) {
+        if let Some(pos) = self.entries.iter().position(|&t| t == tag) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(tag);
+    }
+}
+
+fn entry_for(tag: u32) -> LatEntry {
+    LatEntry::new((tag % 1000) * 16, [4; 8]).expect("valid")
+}
+
+proptest! {
+    #[test]
+    fn clb_matches_reference_model(
+        capacity in 1usize..20,
+        operations in proptest::collection::vec((any::<bool>(), 0u32..12), 0..300),
+    ) {
+        let mut clb = Clb::new(capacity).expect("nonzero capacity");
+        let mut model = ModelClb { capacity, entries: Vec::new() };
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (is_probe, tag) in operations {
+            if is_probe {
+                let got = clb.probe(tag).is_some();
+                let expected = model.probe(tag);
+                prop_assert_eq!(got, expected, "probe({}) diverged", tag);
+                if expected {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            } else {
+                clb.insert(tag, entry_for(tag));
+                model.insert(tag);
+            }
+            // Residency sets and LRU order agree at every step.
+            let got: Vec<u32> = clb.resident().collect();
+            prop_assert_eq!(&got, &model.entries);
+        }
+        prop_assert_eq!(clb.stats().hits, hits);
+        prop_assert_eq!(clb.stats().misses, misses);
+    }
+
+    #[test]
+    fn probe_returns_the_inserted_entry(tags in proptest::collection::vec(0u32..32, 1..64)) {
+        let mut clb = Clb::new(8).expect("valid");
+        for &tag in &tags {
+            clb.insert(tag, entry_for(tag));
+            let got = clb.probe(tag).expect("just inserted");
+            prop_assert_eq!(got.base(), entry_for(tag).base());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Container robustness: arbitrary corruption of a serialized image
+//! must surface as a clean error or a loadable-but-different image —
+//! never a panic. A ROM loader lives on this property.
+
+use ccrp::CompressedImage;
+use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+use proptest::prelude::*;
+
+fn sample_container() -> Vec<u8> {
+    let mut text = vec![0u8; 2048];
+    let mut x = 3u32;
+    for (i, byte) in text.iter_mut().enumerate() {
+        x = x.wrapping_mul(48271);
+        *byte = if i % 3 == 0 { (x >> 27) as u8 } else { 0x24 };
+    }
+    let code = ByteCode::preselected(&ByteHistogram::of(&text)).expect("code builds");
+    CompressedImage::build(0, &text, code, BlockAlignment::Word)
+        .expect("builds")
+        .to_bytes()
+}
+
+proptest! {
+    #[test]
+    fn single_byte_corruption_never_panics(
+        index in 0usize..4096,
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = sample_container();
+        let index = index % bytes.len();
+        bytes[index] ^= flip;
+        // Either a clean parse error, or a structurally valid image —
+        // whose accessors must also hold up.
+        if let Ok(image) = CompressedImage::from_bytes(&bytes) {
+            let _ = image.compression_ratio();
+            let _ = image.verify();
+            for line in 0..image.line_count().min(4) {
+                let _ = image.expand_line(image.text_base() + line as u32 * 32);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(keep in 0usize..4096) {
+        let bytes = sample_container();
+        let keep = keep % (bytes.len() + 1);
+        prop_assert!(CompressedImage::from_bytes(&bytes[..keep]).is_err() || keep == bytes.len());
+    }
+
+    #[test]
+    fn random_garbage_never_parses(noise in proptest::collection::vec(any::<u8>(), 0..600)) {
+        // Without the magic, parsing must fail immediately.
+        if noise.len() < 4 || &noise[0..4] != b"CCRP" {
+            prop_assert!(CompressedImage::from_bytes(&noise).is_err());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+/// Runtime faults raised by the emulator.
+///
+/// These model the R2000's exception conditions; in this reproduction they
+/// terminate the run (the embedded workloads are expected not to fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EmuError {
+    /// A read from memory that was never written or mapped.
+    UnmappedRead {
+        /// Faulting data address.
+        addr: u32,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// An instruction fetch from outside the text segment.
+    BadFetch {
+        /// Faulting instruction address.
+        pc: u32,
+    },
+    /// A word the decoder rejected.
+    IllegalInstruction {
+        /// Address of the word.
+        pc: u32,
+        /// The undecodable word.
+        word: u32,
+    },
+    /// A halfword/word access that is not naturally aligned.
+    UnalignedAccess {
+        /// Faulting data address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// Signed overflow in `add`, `addi`, or `sub` (the R2000 traps).
+    ArithmeticOverflow {
+        /// Program counter of the trapping instruction.
+        pc: u32,
+    },
+    /// Integer division by zero (left undefined by MIPS; we trap to
+    /// surface workload bugs).
+    DivideByZero {
+        /// Program counter of the faulting instruction.
+        pc: u32,
+    },
+    /// A `break` instruction was executed.
+    BreakTrap {
+        /// Program counter of the `break`.
+        pc: u32,
+        /// The 20-bit code field.
+        code: u32,
+    },
+    /// An unknown syscall number in `$v0`.
+    UnknownSyscall {
+        /// Program counter of the `syscall`.
+        pc: u32,
+        /// The requested service number.
+        number: u32,
+    },
+    /// The step budget was exhausted before the program exited.
+    StepLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EmuError::UnmappedRead { addr, pc } => {
+                write!(
+                    f,
+                    "read from unmapped address {addr:#010x} at pc {pc:#010x}"
+                )
+            }
+            EmuError::BadFetch { pc } => write!(f, "instruction fetch outside text at {pc:#010x}"),
+            EmuError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            EmuError::UnalignedAccess { addr, align, pc } => write!(
+                f,
+                "address {addr:#010x} not {align}-byte aligned at pc {pc:#010x}"
+            ),
+            EmuError::ArithmeticOverflow { pc } => {
+                write!(f, "arithmetic overflow trap at pc {pc:#010x}")
+            }
+            EmuError::DivideByZero { pc } => write!(f, "division by zero at pc {pc:#010x}"),
+            EmuError::BreakTrap { pc, code } => {
+                write!(f, "break trap (code {code}) at pc {pc:#010x}")
+            }
+            EmuError::UnknownSyscall { pc, number } => {
+                write!(f, "unknown syscall {number} at pc {pc:#010x}")
+            }
+            EmuError::StepLimitExceeded { limit } => {
+                write!(f, "program did not exit within {limit} instructions")
+            }
+        }
+    }
+}
+
+impl Error for EmuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_pc() {
+        let e = EmuError::DivideByZero { pc: 0x40 };
+        assert!(e.to_string().contains("0x00000040"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Functional MIPS R2000 emulator and trace capture.
+//!
+//! The CCRP paper's performance methodology is trace driven: the authors
+//! profiled DECstation 3100 programs with `pixie` and replayed the
+//! resulting instruction-address traces through a cache/memory simulator.
+//! This crate is the reproduction's `pixie` + R2000: it executes images
+//! assembled by [`ccrp-asm`](ccrp_asm) and records
+//! [`ProgramTrace`]s for [`ccrp-sim`] to replay.
+//!
+//! Modeled faithfully: branch delay slots, little-endian data layout,
+//! HI/LO multiply/divide, overflow traps, the R2010 FPA subset emitted by
+//! 1992 compilers, and SPIM-style syscalls for I/O. Deliberately absent:
+//! cycle timing (that is `ccrp-sim`'s job) and kernel mode.
+//!
+//! [`ccrp-sim`]: https://example.invalid/ccrp
+//!
+//! # Examples
+//!
+//! ```
+//! use ccrp_asm::assemble;
+//! use ccrp_emu::{Machine, ProgramTrace};
+//!
+//! let image = assemble("
+//!     main:
+//!         li   $t0, 3
+//!     loop:
+//!         addiu $t0, $t0, -1
+//!         bnez $t0, loop
+//!         li   $v0, 10
+//!         syscall
+//! ")?;
+//! let mut trace = ProgramTrace::new();
+//! Machine::new(&image).run(&mut trace)?;
+//! assert!(trace.len() > 6); // loop ran three times
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod machine;
+mod memory;
+mod trace;
+
+pub use error::EmuError;
+pub use machine::{Machine, MachineConfig, RunSummary};
+pub use memory::Memory;
+pub use trace::{CountingSink, NullSink, ProgramTrace, TraceSink};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccrp_asm::assemble;
+
+    fn run_src(src: &str) -> (Machine, RunSummary) {
+        let image = assemble(src).expect("assembles");
+        let mut m = Machine::new(&image);
+        let summary = m.run(&mut NullSink).expect("runs");
+        (m, summary)
+    }
+
+    #[test]
+    fn arithmetic_loop() {
+        // Sum 1..=10 = 55.
+        let (m, _) = run_src(
+            "
+            main:
+                li   $t0, 10
+                li   $t1, 0
+            loop:
+                addu $t1, $t1, $t0
+                addiu $t0, $t0, -1
+                bnez $t0, loop
+                li   $v0, 1
+                move $a0, $t1
+                syscall
+                li   $v0, 10
+                syscall
+            ",
+        );
+        assert_eq!(m.output(), "55");
+    }
+
+    #[test]
+    fn delay_slot_executes_before_branch_target() {
+        let (m, _) = run_src(
+            "
+            .set noreorder
+            main:
+                li   $t0, 0
+                b    after
+                addiu $t0, $t0, 1    # delay slot: must execute
+                addiu $t0, $t0, 100  # skipped
+            after:
+                move $a0, $t0
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+                nop
+            ",
+        );
+        assert_eq!(m.output(), "1");
+    }
+
+    #[test]
+    fn jal_links_past_delay_slot() {
+        let (m, _) = run_src(
+            "
+            .set noreorder
+            main:
+                jal  func
+                li   $t5, 7          # delay slot
+                move $a0, $t5
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+                nop
+            func:
+                jr   $ra
+                nop
+            ",
+        );
+        assert_eq!(m.output(), "7");
+    }
+
+    #[test]
+    fn function_call_with_stack() {
+        // Recursive factorial(6) = 720 through the standard calling
+        // convention.
+        let (m, _) = run_src(
+            "
+            main:
+                li   $a0, 6
+                jal  fact
+                move $a0, $v0
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+            fact:
+                addiu $sp, $sp, -8
+                sw   $ra, 4($sp)
+                sw   $a0, 0($sp)
+                li   $v0, 1
+                blez $a0, done
+                addiu $a0, $a0, -1
+                jal  fact
+                lw   $a0, 0($sp)
+                mult $v0, $a0
+                mflo $v0
+            done:
+                lw   $ra, 4($sp)
+                addiu $sp, $sp, 8
+                jr   $ra
+            ",
+        );
+        assert_eq!(m.output(), "720");
+    }
+
+    #[test]
+    fn memory_and_strings() {
+        let (m, _) = run_src(
+            r#"
+            .data
+            msg: .asciiz "hi "
+            buf: .space 4
+            .text
+            main:
+                li  $v0, 4
+                la  $a0, msg
+                syscall
+                la  $t0, buf
+                li  $t1, 0x216B6F21   # LE bytes: 21 6F 6B 21
+                sw  $t1, 0($t0)
+                lb  $a0, 2($t0)       # 'k' = 0x6B
+                li  $v0, 11
+                syscall
+                li  $v0, 10
+                syscall
+            "#,
+        );
+        assert_eq!(m.output(), "hi k");
+    }
+
+    #[test]
+    fn signed_and_unsigned_compares() {
+        let (m, _) = run_src(
+            "
+            main:
+                li   $t0, -1
+                li   $t1, 1
+                slt  $t2, $t0, $t1      # signed: -1 < 1 -> 1
+                sltu $t3, $t0, $t1      # unsigned: 0xFFFFFFFF < 1 -> 0
+                sll  $t2, $t2, 1
+                or   $a0, $t2, $t3      # 2
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+            ",
+        );
+        assert_eq!(m.output(), "2");
+    }
+
+    #[test]
+    fn hi_lo_multiply_divide() {
+        let (m, _) = run_src(
+            "
+            main:
+                li   $t0, 100000
+                li   $t1, 100000
+                multu $t0, $t1         # 10^10 = 0x2540BE400
+                mfhi $a0               # 2
+                li   $v0, 1
+                syscall
+                li   $t2, 47
+                li   $t3, 10
+                div  $t2, $t3
+                mflo $a0               # 4
+                li   $v0, 1
+                syscall
+                mfhi $a0               # 7
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+            ",
+        );
+        assert_eq!(m.output(), "247");
+    }
+
+    #[test]
+    fn floating_point_basics() {
+        let (m, _) = run_src(
+            "
+            .data
+            two:  .word 0            # placeholder
+            .text
+            main:
+                li   $t0, 3
+                mtc1 $t0, $f0
+                cvt.d.w $f2, $f0      # 3.0
+                li   $t0, 4
+                mtc1 $t0, $f0
+                cvt.d.w $f4, $f0      # 4.0
+                mul.d $f6, $f2, $f4   # 12.0
+                add.d $f6, $f6, $f2   # 15.0
+                cvt.w.d $f8, $f6
+                mfc1 $a0, $f8
+                li   $v0, 1
+                syscall
+                c.lt.d $f2, $f4
+                bc1t yes
+                li   $a0, 0
+                b    print
+            yes:
+                li   $a0, 1
+            print:
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+            ",
+        );
+        assert_eq!(m.output(), "151");
+    }
+
+    #[test]
+    fn unaligned_word_with_lwl_lwr() {
+        let (m, _) = run_src(
+            "
+            .data
+            buf: .byte 0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77
+            .text
+            main:
+                la   $t0, buf
+                .set noreorder
+                lwr  $t1, 1($t0)
+                lwl  $t1, 4($t0)     # word at buf+1 = 0x44332211
+                .set reorder
+                srl  $a0, $t1, 24    # 0x44 = 68
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+            ",
+        );
+        assert_eq!(m.output(), "68");
+    }
+
+    #[test]
+    fn jump_table_dispatch() {
+        let (m, _) = run_src(
+            "
+            main:
+                li   $t0, 2
+                sll  $t0, $t0, 2
+                la   $t1, table
+                addu $t1, $t1, $t0
+                lw   $t2, 0($t1)
+                jr   $t2
+            case0: li $a0, 10
+                   b  print
+            case1: li $a0, 20
+                   b  print
+            case2: li $a0, 30
+                   b  print
+            print:
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+            table: .word case0, case1, case2
+            ",
+        );
+        assert_eq!(m.output(), "30");
+    }
+
+    #[test]
+    fn traps_are_reported() {
+        let image = assemble("main: li $t0, 1\n li $t1, 0\n div $t0, $t1").unwrap();
+        let err = Machine::new(&image).run(&mut NullSink).unwrap_err();
+        assert!(matches!(err, EmuError::DivideByZero { .. }));
+
+        let image =
+            assemble("main: lui $t0, 0x7FFF\n ori $t0, $t0, 0xFFFF\n add $t0, $t0, $t0").unwrap();
+        let err = Machine::new(&image).run(&mut NullSink).unwrap_err();
+        assert!(matches!(err, EmuError::ArithmeticOverflow { .. }));
+
+        let image = assemble("main: li $t0, 2\n lw $t1, 1($t0)").unwrap();
+        let err = Machine::new(&image).run(&mut NullSink).unwrap_err();
+        assert!(matches!(err, EmuError::UnalignedAccess { align: 4, .. }));
+
+        let image = assemble("main: li $t0, 0x00E00000\n lw $t1, 0($t0)").unwrap();
+        let err = Machine::new(&image).run(&mut NullSink).unwrap_err();
+        assert!(matches!(err, EmuError::UnmappedRead { .. }));
+
+        let image = assemble("main: break 3").unwrap();
+        let err = Machine::new(&image).run(&mut NullSink).unwrap_err();
+        assert!(matches!(err, EmuError::BreakTrap { code: 3, .. }));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let image = assemble("main: b main").unwrap();
+        let mut m = Machine::with_config(
+            &image,
+            MachineConfig {
+                max_steps: 100,
+                ..MachineConfig::default()
+            },
+        );
+        let err = m.run(&mut NullSink).unwrap_err();
+        assert!(matches!(err, EmuError::StepLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let (m, _) = run_src(
+            "
+            main:
+                li   $t0, 9
+                addu $zero, $t0, $t0
+                move $a0, $zero
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+            ",
+        );
+        assert_eq!(m.output(), "0");
+    }
+
+    #[test]
+    fn trace_capture_matches_counts() {
+        let image = assemble(
+            "
+            main:
+                li   $t0, 4
+                sw   $t0, -4($sp)
+                lw   $t1, -4($sp)
+                li   $v0, 10
+                syscall
+            ",
+        )
+        .unwrap();
+        let mut trace = ProgramTrace::new();
+        let mut m = Machine::new(&image);
+        let summary = m.run(&mut trace).unwrap();
+        assert_eq!(trace.len() as u64, summary.instructions);
+        assert_eq!(trace.data_accesses(), 2);
+        // all fetches inside text
+        for (pc, _) in trace.iter() {
+            assert!(pc < image.text_size());
+        }
+    }
+
+    #[test]
+    fn read_int_input_queue() {
+        let image = assemble(
+            "
+            main:
+                li  $v0, 5
+                syscall
+                move $a0, $v0
+                li  $v0, 1
+                syscall
+                li  $v0, 10
+                syscall
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new(&image);
+        m.push_input([42]);
+        m.run(&mut NullSink).unwrap();
+        assert_eq!(m.output(), "42");
+    }
+
+    #[test]
+    fn exit2_code_propagates() {
+        let (_, summary) = run_src("main: li $a0, 3\n li $v0, 17\n syscall");
+        assert_eq!(summary.exit_code, 3);
+    }
+
+    #[test]
+    fn sbrk_allocates_readable_memory() {
+        let (m, _) = run_src(
+            "
+            main:
+                li  $a0, 4096
+                li  $v0, 9
+                syscall
+                lw  $t0, 0($v0)     # freshly sbrk'd memory reads as 0
+                move $a0, $t0
+                li  $v0, 1
+                syscall
+                li  $v0, 10
+                syscall
+            ",
+        );
+        assert_eq!(m.output(), "0");
+    }
+
+    #[test]
+    fn swl_swr_store_unaligned() {
+        let (m, _) = run_src(
+            "
+            .data
+            buf: .space 8
+            .text
+            main:
+                la   $t0, buf
+                li   $t1, 0x44332211
+                .set noreorder
+                swr  $t1, 1($t0)
+                swl  $t1, 4($t0)
+                lwr  $t2, 1($t0)
+                lwl  $t2, 4($t0)
+                .set reorder
+                bne  $t1, $t2, bad
+                li   $a0, 1
+                b    print
+            bad:
+                li   $a0, 0
+            print:
+                li   $v0, 1
+                syscall
+                li   $v0, 10
+                syscall
+            ",
+        );
+        assert_eq!(m.output(), "1");
+    }
+}

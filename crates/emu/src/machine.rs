@@ -1,0 +1,720 @@
+use std::collections::VecDeque;
+
+use ccrp_asm::ProgramImage;
+use ccrp_isa::{
+    decode, AluOp, BranchOp, BranchZOp, Cp1MoveOp, FpCond, FpFmt, FpOp, FpReg, FpUnaryOp, HiLoOp,
+    IAluOp, Instruction, MemOp, MultDivOp, Reg, ShiftOp,
+};
+
+use crate::error::EmuError;
+use crate::memory::Memory;
+use crate::trace::TraceSink;
+
+/// Configuration for a [`Machine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Initial stack pointer. Defaults to near the top of the paper's
+    /// 24-bit physical address space, growing down.
+    pub initial_sp: u32,
+    /// Instruction budget; exceeding it is an error so runaway workloads
+    /// fail loudly.
+    pub max_steps: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            initial_sp: 0x00F0_0000,
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+/// Result of running a program to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Dynamic instructions executed (including delay slots).
+    pub instructions: u64,
+    /// The code passed to the exit syscall (0 for plain exit).
+    pub exit_code: i32,
+}
+
+/// A functional MIPS R2000 + R2010 (FPA) emulator.
+///
+/// Faithful in the ways that matter to the CCRP experiments: branch delay
+/// slots, little-endian memory (the DECstation configuration), the
+/// overflow-trapping arithmetic ops, and SPIM-style syscalls for I/O. It
+/// is *not* cycle accurate — timing is the job of `ccrp-sim`, which replays
+/// the traces this emulator captures.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_asm::assemble;
+/// use ccrp_emu::{Machine, NullSink};
+///
+/// let image = assemble("
+///     main:
+///         li  $a0, 6
+///         li  $t0, 7
+///         mul $a0, $a0, $t0
+///         li  $v0, 1      # print_int
+///         syscall
+///         li  $v0, 10     # exit
+///         syscall
+/// ")?;
+/// let mut machine = Machine::new(&image);
+/// let summary = machine.run(&mut NullSink)?;
+/// assert_eq!(machine.output(), "42");
+/// assert_eq!(summary.exit_code, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [u32; 32],
+    hi: u32,
+    lo: u32,
+    fpr: [u32; 32],
+    fp_cond: bool,
+    pc: u32,
+    next_pc: u32,
+    text_base: u32,
+    /// Pre-decoded text segment; `None` entries are data words (jump
+    /// tables) or invalid encodings and fault if fetched.
+    decoded: Vec<Option<Instruction>>,
+    mem: Memory,
+    output: String,
+    input: VecDeque<i32>,
+    brk: u32,
+    exit: Option<i32>,
+    steps: u64,
+    config: MachineConfig,
+}
+
+impl Machine {
+    /// Builds a machine loaded with `image`, default configuration.
+    pub fn new(image: &ProgramImage) -> Self {
+        Self::with_config(image, MachineConfig::default())
+    }
+
+    /// Builds a machine loaded with `image`.
+    pub fn with_config(image: &ProgramImage, config: MachineConfig) -> Self {
+        let mut mem = Memory::new();
+        mem.load(image.text_base(), image.text_bytes());
+        if !image.data_bytes().is_empty() {
+            mem.load(image.data_base(), image.data_bytes());
+        }
+        // Map the top stack page so leaf functions can spill immediately.
+        mem.write_u32(config.initial_sp, 0);
+        let decoded = image.text_words().map(|w| decode(w).ok()).collect();
+        let mut regs = [0u32; 32];
+        regs[Reg::SP.number() as usize] = config.initial_sp;
+        regs[Reg::GP.number() as usize] = image.data_base();
+        // Returning from `main` jumps to an address outside text, which
+        // reports BadFetch; workloads exit via syscall instead.
+        regs[Reg::RA.number() as usize] = 0x00FF_FFF0;
+        let brk = image.data_base() + image.data_bytes().len() as u32;
+        Self {
+            regs,
+            hi: 0,
+            lo: 0,
+            fpr: [0; 32],
+            fp_cond: false,
+            pc: image.entry(),
+            next_pc: image.entry().wrapping_add(4),
+            text_base: image.text_base(),
+            decoded,
+            mem,
+            output: String::new(),
+            input: VecDeque::new(),
+            brk: (brk + 7) & !7,
+            exit: None,
+            steps: 0,
+            config,
+        }
+    }
+
+    /// Queues integers for the `read_int` syscall to return in order.
+    pub fn push_input(&mut self, values: impl IntoIterator<Item = i32>) {
+        self.input.extend(values);
+    }
+
+    /// Everything the program printed so far.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Current value of a general-purpose register.
+    pub fn reg(&self, reg: Reg) -> u32 {
+        self.regs[reg.number() as usize]
+    }
+
+    /// Sets a general-purpose register (writes to `$zero` are ignored).
+    pub fn set_reg(&mut self, reg: Reg, value: u32) {
+        if reg != Reg::ZERO {
+            self.regs[reg.number() as usize] = value;
+        }
+    }
+
+    /// Raw bits of an FP register.
+    pub fn fp_bits(&self, reg: FpReg) -> u32 {
+        self.fpr[reg.number() as usize]
+    }
+
+    /// The single-precision value in `reg`.
+    pub fn fp_single(&self, reg: FpReg) -> f32 {
+        f32::from_bits(self.fp_bits(reg))
+    }
+
+    /// The double-precision value in the even/odd pair starting at `reg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is odd (doubles live in even pairs on the R2010).
+    pub fn fp_double(&self, reg: FpReg) -> f64 {
+        let n = reg.number() as usize;
+        assert!(n.is_multiple_of(2), "double access to odd FP register ${n}");
+        let lo = self.fpr[n] as u64;
+        let hi = self.fpr[n + 1] as u64;
+        f64::from_bits((hi << 32) | lo)
+    }
+
+    fn set_fp_double(&mut self, reg: FpReg, value: f64) {
+        let n = reg.number() as usize;
+        assert!(n.is_multiple_of(2), "double write to odd FP register ${n}");
+        let bits = value.to_bits();
+        self.fpr[n] = bits as u32;
+        self.fpr[n + 1] = (bits >> 32) as u32;
+    }
+
+    /// Whether the program has exited, and with what code.
+    pub fn exit_code(&self) -> Option<i32> {
+        self.exit
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Direct read access to memory, for assertions in tests.
+    pub fn read_word(&self, addr: u32) -> Option<u32> {
+        self.mem.read_u32(addr)
+    }
+
+    /// Runs until the program exits via syscall.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EmuError`] fault, including exceeding the configured step
+    /// budget.
+    pub fn run(&mut self, sink: &mut impl TraceSink) -> Result<RunSummary, EmuError> {
+        while self.exit.is_none() {
+            if self.steps >= self.config.max_steps {
+                return Err(EmuError::StepLimitExceeded {
+                    limit: self.config.max_steps,
+                });
+            }
+            self.step(sink)?;
+        }
+        Ok(RunSummary {
+            instructions: self.steps,
+            exit_code: self.exit.expect("loop exits only when set"),
+        })
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EmuError`] fault raised by the instruction.
+    pub fn step(&mut self, sink: &mut impl TraceSink) -> Result<(), EmuError> {
+        let pc = self.pc;
+        let inst = self.fetch(pc)?;
+        sink.instruction(pc);
+        self.steps += 1;
+        self.pc = self.next_pc;
+        self.next_pc = self.next_pc.wrapping_add(4);
+        self.execute(inst, pc, sink)
+    }
+
+    fn fetch(&self, pc: u32) -> Result<Instruction, EmuError> {
+        if !pc.is_multiple_of(4) || pc < self.text_base {
+            return Err(EmuError::BadFetch { pc });
+        }
+        let index = ((pc - self.text_base) / 4) as usize;
+        match self.decoded.get(index) {
+            Some(Some(inst)) => Ok(*inst),
+            Some(None) => {
+                let word = self.mem.read_u32(pc).unwrap_or(0);
+                Err(EmuError::IllegalInstruction { pc, word })
+            }
+            None => Err(EmuError::BadFetch { pc }),
+        }
+    }
+
+    fn load_addr(
+        &mut self,
+        base: Reg,
+        offset: i16,
+        align: u32,
+        pc: u32,
+        sink: &mut impl TraceSink,
+        store: bool,
+    ) -> Result<u32, EmuError> {
+        let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+        if align > 1 && !addr.is_multiple_of(align) {
+            return Err(EmuError::UnalignedAccess { addr, align, pc });
+        }
+        sink.data_access(addr, store);
+        Ok(addr)
+    }
+
+    fn read_u32(&self, addr: u32, pc: u32) -> Result<u32, EmuError> {
+        self.mem
+            .read_u32(addr)
+            .ok_or(EmuError::UnmappedRead { addr, pc })
+    }
+
+    fn branch(&mut self, taken: bool, offset: i16) {
+        if taken {
+            // `next_pc` currently points one past the delay slot; the
+            // target is relative to the delay-slot address.
+            self.next_pc = self.pc.wrapping_add((i32::from(offset) << 2) as u32);
+        }
+    }
+
+    fn execute(
+        &mut self,
+        inst: Instruction,
+        pc: u32,
+        sink: &mut impl TraceSink,
+    ) -> Result<(), EmuError> {
+        match inst {
+            Instruction::RAlu { op, rd, rs, rt } => {
+                let a = self.reg(rs);
+                let b = self.reg(rt);
+                let value = match op {
+                    AluOp::Add => match (a as i32).checked_add(b as i32) {
+                        Some(v) => v as u32,
+                        None => return Err(EmuError::ArithmeticOverflow { pc }),
+                    },
+                    AluOp::Addu => a.wrapping_add(b),
+                    AluOp::Sub => match (a as i32).checked_sub(b as i32) {
+                        Some(v) => v as u32,
+                        None => return Err(EmuError::ArithmeticOverflow { pc }),
+                    },
+                    AluOp::Subu => a.wrapping_sub(b),
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Nor => !(a | b),
+                    AluOp::Slt => u32::from((a as i32) < (b as i32)),
+                    AluOp::Sltu => u32::from(a < b),
+                };
+                self.set_reg(rd, value);
+            }
+            Instruction::Shift { op, rd, rt, shamt } => {
+                let v = self.reg(rt);
+                let s = u32::from(shamt);
+                let value = match op {
+                    ShiftOp::Sll => v << s,
+                    ShiftOp::Srl => v >> s,
+                    ShiftOp::Sra => ((v as i32) >> s) as u32,
+                };
+                self.set_reg(rd, value);
+            }
+            Instruction::ShiftV { op, rd, rt, rs } => {
+                let v = self.reg(rt);
+                let s = self.reg(rs) & 0x1F;
+                let value = match op {
+                    ShiftOp::Sll => v << s,
+                    ShiftOp::Srl => v >> s,
+                    ShiftOp::Sra => ((v as i32) >> s) as u32,
+                };
+                self.set_reg(rd, value);
+            }
+            Instruction::MultDiv { op, rs, rt } => {
+                let a = self.reg(rs);
+                let b = self.reg(rt);
+                match op {
+                    MultDivOp::Mult => {
+                        let p = i64::from(a as i32) * i64::from(b as i32);
+                        self.lo = p as u32;
+                        self.hi = (p >> 32) as u32;
+                    }
+                    MultDivOp::Multu => {
+                        let p = u64::from(a) * u64::from(b);
+                        self.lo = p as u32;
+                        self.hi = (p >> 32) as u32;
+                    }
+                    MultDivOp::Div => {
+                        if b == 0 {
+                            return Err(EmuError::DivideByZero { pc });
+                        }
+                        let (a, b) = (a as i32, b as i32);
+                        self.lo = a.wrapping_div(b) as u32;
+                        self.hi = a.wrapping_rem(b) as u32;
+                    }
+                    MultDivOp::Divu => {
+                        if b == 0 {
+                            return Err(EmuError::DivideByZero { pc });
+                        }
+                        self.lo = a / b;
+                        self.hi = a % b;
+                    }
+                }
+            }
+            Instruction::HiLo { op, reg } => match op {
+                HiLoOp::Mfhi => self.set_reg(reg, self.hi),
+                HiLoOp::Mflo => self.set_reg(reg, self.lo),
+                HiLoOp::Mthi => self.hi = self.reg(reg),
+                HiLoOp::Mtlo => self.lo = self.reg(reg),
+            },
+            Instruction::Jr { rs } => self.next_pc = self.reg(rs),
+            Instruction::Jalr { rd, rs } => {
+                let target = self.reg(rs);
+                self.set_reg(rd, self.next_pc);
+                self.next_pc = target;
+            }
+            Instruction::Syscall { .. } => self.syscall(pc, sink)?,
+            Instruction::Break { code } => return Err(EmuError::BreakTrap { pc, code }),
+            Instruction::IAlu { op, rt, rs, imm } => {
+                let a = self.reg(rs);
+                let se = imm as i16 as i32 as u32;
+                let ze = u32::from(imm);
+                let value = match op {
+                    IAluOp::Addi => match (a as i32).checked_add(se as i32) {
+                        Some(v) => v as u32,
+                        None => return Err(EmuError::ArithmeticOverflow { pc }),
+                    },
+                    IAluOp::Addiu => a.wrapping_add(se),
+                    IAluOp::Slti => u32::from((a as i32) < (se as i32)),
+                    IAluOp::Sltiu => u32::from(a < se),
+                    IAluOp::Andi => a & ze,
+                    IAluOp::Ori => a | ze,
+                    IAluOp::Xori => a ^ ze,
+                };
+                self.set_reg(rt, value);
+            }
+            Instruction::Lui { rt, imm } => self.set_reg(rt, u32::from(imm) << 16),
+            Instruction::Branch { op, rs, rt, offset } => {
+                let taken = match op {
+                    BranchOp::Beq => self.reg(rs) == self.reg(rt),
+                    BranchOp::Bne => self.reg(rs) != self.reg(rt),
+                };
+                self.branch(taken, offset);
+            }
+            Instruction::BranchZ { op, rs, offset } => {
+                let v = self.reg(rs) as i32;
+                let taken = match op {
+                    BranchZOp::Blez => v <= 0,
+                    BranchZOp::Bgtz => v > 0,
+                    BranchZOp::Bltz | BranchZOp::Bltzal => v < 0,
+                    BranchZOp::Bgez | BranchZOp::Bgezal => v >= 0,
+                };
+                if op.links() {
+                    self.set_reg(Reg::RA, self.next_pc);
+                }
+                self.branch(taken, offset);
+            }
+            Instruction::Jump { link, target } => {
+                if link {
+                    self.set_reg(Reg::RA, self.next_pc);
+                }
+                self.next_pc = (self.next_pc & 0xF000_0000) | (target << 2);
+            }
+            Instruction::Mem {
+                op,
+                rt,
+                base,
+                offset,
+            } => {
+                self.data_op(op, rt, base, offset, pc, sink)?;
+            }
+            Instruction::FpMem {
+                store,
+                ft,
+                base,
+                offset,
+            } => {
+                let addr = self.load_addr(base, offset, 4, pc, sink, store)?;
+                if store {
+                    self.mem.write_u32(addr, self.fp_bits(ft));
+                } else {
+                    let v = self.read_u32(addr, pc)?;
+                    self.fpr[ft.number() as usize] = v;
+                }
+            }
+            Instruction::Cp1Move { op, rt, fs } => match op {
+                Cp1MoveOp::Mfc1 => self.set_reg(rt, self.fp_bits(fs)),
+                Cp1MoveOp::Mtc1 => self.fpr[fs.number() as usize] = self.reg(rt),
+                // Control register moves: only the condition bit of FCR31
+                // is modeled.
+                Cp1MoveOp::Cfc1 => self.set_reg(rt, u32::from(self.fp_cond) << 23),
+                Cp1MoveOp::Ctc1 => self.fp_cond = self.reg(rt) & (1 << 23) != 0,
+            },
+            Instruction::FpArith {
+                op,
+                fmt,
+                fd,
+                fs,
+                ft,
+            } => match fmt {
+                FpFmt::Single => {
+                    let a = self.fp_single(fs);
+                    let b = self.fp_single(ft);
+                    let v = match op {
+                        FpOp::Add => a + b,
+                        FpOp::Sub => a - b,
+                        FpOp::Mul => a * b,
+                        FpOp::Div => a / b,
+                    };
+                    self.fpr[fd.number() as usize] = v.to_bits();
+                }
+                FpFmt::Double => {
+                    let a = self.fp_double(fs);
+                    let b = self.fp_double(ft);
+                    let v = match op {
+                        FpOp::Add => a + b,
+                        FpOp::Sub => a - b,
+                        FpOp::Mul => a * b,
+                        FpOp::Div => a / b,
+                    };
+                    self.set_fp_double(fd, v);
+                }
+                FpFmt::Word => unreachable!("decoder rejects word-format arithmetic"),
+            },
+            Instruction::FpUnary { op, fmt, fd, fs } => match fmt {
+                FpFmt::Single => {
+                    let a = self.fp_single(fs);
+                    let v = match op {
+                        FpUnaryOp::Abs => a.abs(),
+                        FpUnaryOp::Neg => -a,
+                        FpUnaryOp::Mov => a,
+                    };
+                    self.fpr[fd.number() as usize] = v.to_bits();
+                }
+                FpFmt::Double => {
+                    let a = self.fp_double(fs);
+                    let v = match op {
+                        FpUnaryOp::Abs => a.abs(),
+                        FpUnaryOp::Neg => -a,
+                        FpUnaryOp::Mov => a,
+                    };
+                    self.set_fp_double(fd, v);
+                }
+                FpFmt::Word => unreachable!("decoder rejects word-format unary ops"),
+            },
+            Instruction::FpCvt { to, from, fd, fs } => {
+                // cvt.w truncates toward zero, matching C casts (compilers
+                // programmed the FCSR rounding mode accordingly).
+                match (to, from) {
+                    (FpFmt::Single, FpFmt::Double) => {
+                        let v = self.fp_double(fs) as f32;
+                        self.fpr[fd.number() as usize] = v.to_bits();
+                    }
+                    (FpFmt::Single, FpFmt::Word) => {
+                        let v = self.fp_bits(fs) as i32 as f32;
+                        self.fpr[fd.number() as usize] = v.to_bits();
+                    }
+                    (FpFmt::Double, FpFmt::Single) => {
+                        let v = f64::from(self.fp_single(fs));
+                        self.set_fp_double(fd, v);
+                    }
+                    (FpFmt::Double, FpFmt::Word) => {
+                        let v = f64::from(self.fp_bits(fs) as i32);
+                        self.set_fp_double(fd, v);
+                    }
+                    (FpFmt::Word, FpFmt::Single) => {
+                        let v = self.fp_single(fs).trunc() as i32;
+                        self.fpr[fd.number() as usize] = v as u32;
+                    }
+                    (FpFmt::Word, FpFmt::Double) => {
+                        let v = self.fp_double(fs).trunc() as i32;
+                        self.fpr[fd.number() as usize] = v as u32;
+                    }
+                    _ => unreachable!("decoder rejects same-format conversions"),
+                }
+            }
+            Instruction::FpCmp { cond, fmt, fs, ft } => {
+                let result = match fmt {
+                    FpFmt::Single => {
+                        let (a, b) = (self.fp_single(fs), self.fp_single(ft));
+                        match cond {
+                            FpCond::Eq => a == b,
+                            FpCond::Lt => a < b,
+                            FpCond::Le => a <= b,
+                        }
+                    }
+                    FpFmt::Double => {
+                        let (a, b) = (self.fp_double(fs), self.fp_double(ft));
+                        match cond {
+                            FpCond::Eq => a == b,
+                            FpCond::Lt => a < b,
+                            FpCond::Le => a <= b,
+                        }
+                    }
+                    FpFmt::Word => unreachable!("decoder rejects word-format compares"),
+                };
+                self.fp_cond = result;
+            }
+            Instruction::Bc1 { on_true, offset } => {
+                self.branch(self.fp_cond == on_true, offset);
+            }
+        }
+        Ok(())
+    }
+
+    fn data_op(
+        &mut self,
+        op: MemOp,
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+        pc: u32,
+        sink: &mut impl TraceSink,
+    ) -> Result<(), EmuError> {
+        let align = match op {
+            MemOp::Lw | MemOp::Sw => 4,
+            MemOp::Lh | MemOp::Lhu | MemOp::Sh => 2,
+            _ => 1,
+        };
+        let store = op.is_store();
+        let addr = self.load_addr(base, offset, align, pc, sink, store)?;
+        match op {
+            MemOp::Lb => {
+                let v = self
+                    .mem
+                    .read_u8(addr)
+                    .ok_or(EmuError::UnmappedRead { addr, pc })?;
+                self.set_reg(rt, v as i8 as i32 as u32);
+            }
+            MemOp::Lbu => {
+                let v = self
+                    .mem
+                    .read_u8(addr)
+                    .ok_or(EmuError::UnmappedRead { addr, pc })?;
+                self.set_reg(rt, u32::from(v));
+            }
+            MemOp::Lh => {
+                let v = self
+                    .mem
+                    .read_u16(addr)
+                    .ok_or(EmuError::UnmappedRead { addr, pc })?;
+                self.set_reg(rt, v as i16 as i32 as u32);
+            }
+            MemOp::Lhu => {
+                let v = self
+                    .mem
+                    .read_u16(addr)
+                    .ok_or(EmuError::UnmappedRead { addr, pc })?;
+                self.set_reg(rt, u32::from(v));
+            }
+            MemOp::Lw => {
+                let v = self.read_u32(addr, pc)?;
+                self.set_reg(rt, v);
+            }
+            MemOp::Sb => self.mem.write_u8(addr, self.reg(rt) as u8),
+            MemOp::Sh => self.mem.write_u16(addr, self.reg(rt) as u16),
+            MemOp::Sw => self.mem.write_u32(addr, self.reg(rt)),
+            // Little-endian LWL/LWR/SWL/SWR (unaligned access pairs).
+            MemOp::Lwl => {
+                let m = (addr & 3) + 1; // bytes loaded into the TOP of rt
+                let mut v = self.reg(rt);
+                for i in 0..m {
+                    let b = self
+                        .mem
+                        .read_u8(addr - m + 1 + i)
+                        .ok_or(EmuError::UnmappedRead { addr, pc })?;
+                    let byte_pos = 4 - m + i;
+                    v = (v & !(0xFF << (8 * byte_pos))) | (u32::from(b) << (8 * byte_pos));
+                }
+                self.set_reg(rt, v);
+            }
+            MemOp::Lwr => {
+                let k = 4 - (addr & 3); // bytes loaded into the BOTTOM of rt
+                let mut v = self.reg(rt);
+                for i in 0..k {
+                    let b = self
+                        .mem
+                        .read_u8(addr + i)
+                        .ok_or(EmuError::UnmappedRead { addr, pc })?;
+                    v = (v & !(0xFF << (8 * i))) | (u32::from(b) << (8 * i));
+                }
+                self.set_reg(rt, v);
+            }
+            MemOp::Swl => {
+                let m = (addr & 3) + 1;
+                let v = self.reg(rt);
+                for i in 0..m {
+                    let byte = (v >> (8 * (4 - m + i))) as u8;
+                    self.mem.write_u8(addr - m + 1 + i, byte);
+                }
+            }
+            MemOp::Swr => {
+                let k = 4 - (addr & 3);
+                let v = self.reg(rt);
+                for i in 0..k {
+                    self.mem.write_u8(addr + i, (v >> (8 * i)) as u8);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// SPIM-compatible system services.
+    fn syscall(&mut self, pc: u32, sink: &mut impl TraceSink) -> Result<(), EmuError> {
+        use std::fmt::Write as _;
+        let number = self.reg(Reg::V0);
+        let a0 = self.reg(Reg::A0);
+        match number {
+            1 => {
+                write!(self.output, "{}", a0 as i32).expect("write to String cannot fail");
+            }
+            2 => {
+                let v = self.fp_single(FpReg::new(12).expect("f12 in range"));
+                write!(self.output, "{v}").expect("write to String cannot fail");
+            }
+            3 => {
+                let v = self.fp_double(FpReg::new(12).expect("f12 in range"));
+                write!(self.output, "{v}").expect("write to String cannot fail");
+            }
+            4 => {
+                let mut addr = a0;
+                loop {
+                    let b = self
+                        .mem
+                        .read_u8(addr)
+                        .ok_or(EmuError::UnmappedRead { addr, pc })?;
+                    sink.data_access(addr, false);
+                    if b == 0 {
+                        break;
+                    }
+                    self.output.push(b as char);
+                    addr += 1;
+                }
+            }
+            5 => {
+                let v = self.input.pop_front().unwrap_or(0);
+                self.set_reg(Reg::V0, v as u32);
+            }
+            9 => {
+                let old = self.brk;
+                self.brk = self.brk.wrapping_add(a0);
+                // Touch the region so subsequent reads are mapped.
+                let mut a = old & !0xFFF;
+                while a < self.brk {
+                    self.mem.write_u8(a, 0);
+                    a = a.saturating_add(0x1000);
+                }
+                self.set_reg(Reg::V0, old);
+            }
+            10 => self.exit = Some(0),
+            11 => self.output.push((a0 & 0xFF) as u8 as char),
+            17 => self.exit = Some(a0 as i32),
+            other => return Err(EmuError::UnknownSyscall { pc, number: other }),
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,127 @@
+use std::collections::BTreeMap;
+
+/// Byte-addressed little-endian memory, paged so sparse address spaces
+/// (text at 0, data at 4 MB, stack near the top) stay cheap.
+///
+/// Reads from pages that were never written return `None`, which the
+/// emulator turns into an [`UnmappedRead`](crate::EmuError::UnmappedRead)
+/// fault — catching workload bugs instead of silently reading zeros.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: BTreeMap<u32, Box<Page>>,
+}
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+type Page = [u8; PAGE_SIZE];
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies `bytes` into memory starting at `base`, mapping pages as
+    /// needed.
+    pub fn load(&mut self, base: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(base + i as u32, b);
+        }
+    }
+
+    fn page(&self, addr: u32) -> Option<&Page> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut Page {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte; `None` if the page was never mapped.
+    pub fn read_u8(&self, addr: u32) -> Option<u8> {
+        self.page(addr)
+            .map(|p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes one byte, mapping the page on demand.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian halfword. The caller checks alignment.
+    pub fn read_u16(&self, addr: u32) -> Option<u16> {
+        Some(u16::from_le_bytes([
+            self.read_u8(addr)?,
+            self.read_u8(addr + 1)?,
+        ]))
+    }
+
+    /// Writes a little-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let [a, b] = value.to_le_bytes();
+        self.write_u8(addr, a);
+        self.write_u8(addr + 1, b);
+    }
+
+    /// Reads a little-endian word. The caller checks alignment.
+    pub fn read_u32(&self, addr: u32) -> Option<u32> {
+        Some(u32::from_le_bytes([
+            self.read_u8(addr)?,
+            self.read_u8(addr + 1)?,
+            self.read_u8(addr + 2)?,
+            self.read_u8(addr + 3)?,
+        ]))
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr + i as u32, b);
+        }
+    }
+
+    /// Number of mapped pages (for resource accounting in tests).
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_are_none() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0), None);
+        assert_eq!(m.read_u32(0x123456), None);
+    }
+
+    #[test]
+    fn roundtrip_across_page_boundary() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_BITS) - 2;
+        m.write_u32(addr, 0xAABB_CCDD);
+        assert_eq!(m.read_u32(addr), Some(0xAABB_CCDD));
+        assert_eq!(m.read_u8(addr), Some(0xDD)); // little-endian
+        assert_eq!(m.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn load_places_bytes() {
+        let mut m = Memory::new();
+        m.load(0x100, &[1, 2, 3, 4]);
+        assert_eq!(m.read_u32(0x100), Some(0x0403_0201));
+    }
+
+    #[test]
+    fn sparse_mapping_is_cheap() {
+        let mut m = Memory::new();
+        m.write_u8(0, 1);
+        m.write_u8(0x00FF_FFF0, 2);
+        assert_eq!(m.mapped_pages(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+/// Receives the dynamic events the CCRP system simulator replays:
+/// instruction-fetch addresses and data accesses.
+///
+/// This plays the role of the `pixie` profiling tool in the paper's
+/// methodology — it observes a run and records the address stream the
+/// cache simulator consumes.
+pub trait TraceSink {
+    /// An instruction was fetched (and executed) at `pc`.
+    fn instruction(&mut self, pc: u32);
+    /// The instruction at the most recent `pc` performed a data access.
+    fn data_access(&mut self, addr: u32, store: bool);
+}
+
+/// Discards all events; used when only architectural results matter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn instruction(&mut self, _pc: u32) {}
+    fn data_access(&mut self, _addr: u32, _store: bool) {}
+}
+
+/// Counts events without storing them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Dynamic load count.
+    pub loads: u64,
+    /// Dynamic store count.
+    pub stores: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn instruction(&mut self, _pc: u32) {
+        self.instructions += 1;
+    }
+    fn data_access(&mut self, _addr: u32, store: bool) {
+        if store {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+        }
+    }
+}
+
+/// A captured execution trace: the instruction-address stream plus, per
+/// instruction, how many data accesses it made.
+///
+/// Capturing once and replaying lets one emulator run feed the dozens of
+/// (cache size × memory model × processor) simulations each paper table
+/// sweeps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramTrace {
+    pcs: Vec<u32>,
+    data_counts: Vec<u8>,
+}
+
+impl ProgramTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// True when no instructions were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Total number of data accesses across the run.
+    pub fn data_accesses(&self) -> u64 {
+        self.data_counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Iterates `(pc, data_access_count)` pairs in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u8)> + Clone + '_ {
+        self.pcs
+            .iter()
+            .copied()
+            .zip(self.data_counts.iter().copied())
+    }
+
+    /// The instruction-address stream alone.
+    pub fn pcs(&self) -> &[u32] {
+        &self.pcs
+    }
+}
+
+impl TraceSink for ProgramTrace {
+    fn instruction(&mut self, pc: u32) {
+        self.pcs.push(pc);
+        self.data_counts.push(0);
+    }
+    fn data_access(&mut self, _addr: u32, _store: bool) {
+        if let Some(last) = self.data_counts.last_mut() {
+            *last = last.saturating_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::default();
+        s.instruction(0);
+        s.instruction(4);
+        s.data_access(100, false);
+        s.data_access(104, true);
+        assert_eq!(s.instructions, 2);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+    }
+
+    #[test]
+    fn program_trace_attributes_data_to_instruction() {
+        let mut t = ProgramTrace::new();
+        t.instruction(0x10);
+        t.data_access(0x200, false);
+        t.data_access(0x204, false);
+        t.instruction(0x14);
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, vec![(0x10, 2), (0x14, 0)]);
+        assert_eq!(t.data_accesses(), 2);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,410 @@
+use crate::error::IsaError;
+use crate::instr::*;
+use crate::reg::{FpReg, Reg};
+
+/// Raw bit-field view of a 32-bit instruction word.
+///
+/// Useful when only field extraction is needed (e.g. histogramming opcode
+/// bytes) without full decoding.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_isa::RawWord;
+///
+/// let raw = RawWord(0x27BD_FFE0); // addiu $sp, $sp, -32
+/// assert_eq!(raw.opcode(), 0x09);
+/// assert_eq!(raw.rs(), 29);
+/// assert_eq!(raw.simm() , -32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RawWord(pub u32);
+
+impl RawWord {
+    /// Major opcode, bits 31..26.
+    pub fn opcode(self) -> u32 {
+        self.0 >> 26
+    }
+    /// `rs` field, bits 25..21.
+    pub fn rs(self) -> u32 {
+        (self.0 >> 21) & 0x1F
+    }
+    /// `rt` field, bits 20..16.
+    pub fn rt(self) -> u32 {
+        (self.0 >> 16) & 0x1F
+    }
+    /// `rd` field, bits 15..11.
+    pub fn rd(self) -> u32 {
+        (self.0 >> 11) & 0x1F
+    }
+    /// `shamt` field, bits 10..6.
+    pub fn shamt(self) -> u32 {
+        (self.0 >> 6) & 0x1F
+    }
+    /// `funct` field, bits 5..0.
+    pub fn funct(self) -> u32 {
+        self.0 & 0x3F
+    }
+    /// Unsigned 16-bit immediate.
+    pub fn imm(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+    /// Sign-extended 16-bit immediate.
+    pub fn simm(self) -> i16 {
+        self.imm() as i16
+    }
+    /// 26-bit jump target field.
+    pub fn target(self) -> u32 {
+        self.0 & 0x03FF_FFFF
+    }
+}
+
+fn decode_special(raw: RawWord) -> Result<Instruction, IsaError> {
+    let rs = Reg::from_field(raw.rs());
+    let rt = Reg::from_field(raw.rt());
+    let rd = Reg::from_field(raw.rd());
+    let inst = match raw.funct() {
+        0x00 => Instruction::Shift {
+            op: ShiftOp::Sll,
+            rd,
+            rt,
+            shamt: raw.shamt() as u8,
+        },
+        0x02 => Instruction::Shift {
+            op: ShiftOp::Srl,
+            rd,
+            rt,
+            shamt: raw.shamt() as u8,
+        },
+        0x03 => Instruction::Shift {
+            op: ShiftOp::Sra,
+            rd,
+            rt,
+            shamt: raw.shamt() as u8,
+        },
+        0x04 => Instruction::ShiftV {
+            op: ShiftOp::Sll,
+            rd,
+            rt,
+            rs,
+        },
+        0x06 => Instruction::ShiftV {
+            op: ShiftOp::Srl,
+            rd,
+            rt,
+            rs,
+        },
+        0x07 => Instruction::ShiftV {
+            op: ShiftOp::Sra,
+            rd,
+            rt,
+            rs,
+        },
+        0x08 => Instruction::Jr { rs },
+        0x09 => Instruction::Jalr { rd, rs },
+        0x0C => Instruction::Syscall {
+            code: (raw.0 >> 6) & 0xF_FFFF,
+        },
+        0x0D => Instruction::Break {
+            code: (raw.0 >> 6) & 0xF_FFFF,
+        },
+        0x10 => Instruction::HiLo {
+            op: HiLoOp::Mfhi,
+            reg: rd,
+        },
+        0x11 => Instruction::HiLo {
+            op: HiLoOp::Mthi,
+            reg: rs,
+        },
+        0x12 => Instruction::HiLo {
+            op: HiLoOp::Mflo,
+            reg: rd,
+        },
+        0x13 => Instruction::HiLo {
+            op: HiLoOp::Mtlo,
+            reg: rs,
+        },
+        0x18 => Instruction::MultDiv {
+            op: MultDivOp::Mult,
+            rs,
+            rt,
+        },
+        0x19 => Instruction::MultDiv {
+            op: MultDivOp::Multu,
+            rs,
+            rt,
+        },
+        0x1A => Instruction::MultDiv {
+            op: MultDivOp::Div,
+            rs,
+            rt,
+        },
+        0x1B => Instruction::MultDiv {
+            op: MultDivOp::Divu,
+            rs,
+            rt,
+        },
+        f => {
+            if let Some(op) = AluOp::ALL.iter().copied().find(|op| op.funct() == f) {
+                Instruction::RAlu { op, rd, rs, rt }
+            } else {
+                return Err(IsaError::InvalidEncoding { word: raw.0 });
+            }
+        }
+    };
+    Ok(inst)
+}
+
+fn decode_regimm(raw: RawWord) -> Result<Instruction, IsaError> {
+    let rs = Reg::from_field(raw.rs());
+    let op = match raw.rt() {
+        0x00 => BranchZOp::Bltz,
+        0x01 => BranchZOp::Bgez,
+        0x10 => BranchZOp::Bltzal,
+        0x11 => BranchZOp::Bgezal,
+        _ => return Err(IsaError::InvalidEncoding { word: raw.0 }),
+    };
+    Ok(Instruction::BranchZ {
+        op,
+        rs,
+        offset: raw.simm(),
+    })
+}
+
+fn decode_cop1(raw: RawWord) -> Result<Instruction, IsaError> {
+    let rs_field = raw.rs();
+    // GPR <-> CP1 moves and condition branches are selected by the rs slot.
+    if let Some(op) = Cp1MoveOp::ALL
+        .iter()
+        .copied()
+        .find(|op| op.rs_field() == rs_field)
+    {
+        if raw.shamt() != 0 || raw.funct() != 0 {
+            return Err(IsaError::InvalidEncoding { word: raw.0 });
+        }
+        return Ok(Instruction::Cp1Move {
+            op,
+            rt: Reg::from_field(raw.rt()),
+            fs: FpReg::from_field(raw.rd()),
+        });
+    }
+    if rs_field == 0x08 {
+        let on_true = match raw.rt() {
+            0 => false,
+            1 => true,
+            _ => return Err(IsaError::InvalidEncoding { word: raw.0 }),
+        };
+        return Ok(Instruction::Bc1 {
+            on_true,
+            offset: raw.simm(),
+        });
+    }
+    let fmt = match rs_field {
+        16 => FpFmt::Single,
+        17 => FpFmt::Double,
+        20 => FpFmt::Word,
+        _ => return Err(IsaError::InvalidEncoding { word: raw.0 }),
+    };
+    let fd = FpReg::from_field(raw.shamt());
+    let fs = FpReg::from_field(raw.rd());
+    let ft = FpReg::from_field(raw.rt());
+    let funct = raw.funct();
+    if let Some(op) = FpOp::ALL.iter().copied().find(|op| op.funct() == funct) {
+        if fmt == FpFmt::Word {
+            return Err(IsaError::InvalidEncoding { word: raw.0 });
+        }
+        return Ok(Instruction::FpArith {
+            op,
+            fmt,
+            fd,
+            fs,
+            ft,
+        });
+    }
+    if let Some(op) = FpUnaryOp::ALL
+        .iter()
+        .copied()
+        .find(|op| op.funct() == funct)
+    {
+        if fmt == FpFmt::Word || raw.rt() != 0 {
+            return Err(IsaError::InvalidEncoding { word: raw.0 });
+        }
+        return Ok(Instruction::FpUnary { op, fmt, fd, fs });
+    }
+    if let Some(to) = match funct {
+        0x20 => Some(FpFmt::Single),
+        0x21 => Some(FpFmt::Double),
+        0x24 => Some(FpFmt::Word),
+        _ => None,
+    } {
+        if to == fmt || raw.rt() != 0 {
+            return Err(IsaError::InvalidEncoding { word: raw.0 });
+        }
+        return Ok(Instruction::FpCvt {
+            to,
+            from: fmt,
+            fd,
+            fs,
+        });
+    }
+    if let Some(cond) = FpCond::ALL.iter().copied().find(|c| c.funct() == funct) {
+        if fmt == FpFmt::Word || raw.shamt() != 0 {
+            return Err(IsaError::InvalidEncoding { word: raw.0 });
+        }
+        return Ok(Instruction::FpCmp { cond, fmt, fs, ft });
+    }
+    Err(IsaError::InvalidEncoding { word: raw.0 })
+}
+
+/// Decodes a 32-bit machine word into an [`Instruction`].
+///
+/// The inverse of [`Instruction::encode`]: for every supported word `w`,
+/// `decode(w)?.encode() == w`.
+///
+/// # Errors
+///
+/// Returns [`IsaError::InvalidEncoding`] if the word does not encode a
+/// supported user-mode R2000/R2010 instruction.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_isa::{decode, Instruction, Reg};
+///
+/// assert_eq!(decode(0x03E0_0008)?, Instruction::Jr { rs: Reg::RA });
+/// assert!(decode(0xFFFF_FFFF).is_err());
+/// # Ok::<(), ccrp_isa::IsaError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instruction, IsaError> {
+    let raw = RawWord(word);
+    let rs = Reg::from_field(raw.rs());
+    let rt = Reg::from_field(raw.rt());
+    match raw.opcode() {
+        0x00 => decode_special(raw),
+        0x01 => decode_regimm(raw),
+        0x02 => Ok(Instruction::Jump {
+            link: false,
+            target: raw.target(),
+        }),
+        0x03 => Ok(Instruction::Jump {
+            link: true,
+            target: raw.target(),
+        }),
+        0x04 => Ok(Instruction::Branch {
+            op: BranchOp::Beq,
+            rs,
+            rt,
+            offset: raw.simm(),
+        }),
+        0x05 => Ok(Instruction::Branch {
+            op: BranchOp::Bne,
+            rs,
+            rt,
+            offset: raw.simm(),
+        }),
+        0x06 if raw.rt() == 0 => Ok(Instruction::BranchZ {
+            op: BranchZOp::Blez,
+            rs,
+            offset: raw.simm(),
+        }),
+        0x07 if raw.rt() == 0 => Ok(Instruction::BranchZ {
+            op: BranchZOp::Bgtz,
+            rs,
+            offset: raw.simm(),
+        }),
+        0x0F if raw.rs() == 0 => Ok(Instruction::Lui { rt, imm: raw.imm() }),
+        0x11 => decode_cop1(raw),
+        0x31 => Ok(Instruction::FpMem {
+            store: false,
+            ft: FpReg::from_field(raw.rt()),
+            base: rs,
+            offset: raw.simm(),
+        }),
+        0x39 => Ok(Instruction::FpMem {
+            store: true,
+            ft: FpReg::from_field(raw.rt()),
+            base: rs,
+            offset: raw.simm(),
+        }),
+        op => {
+            if let Some(mem) = MemOp::ALL.iter().copied().find(|m| m.opcode() == op) {
+                Ok(Instruction::Mem {
+                    op: mem,
+                    rt,
+                    base: rs,
+                    offset: raw.simm(),
+                })
+            } else if let Some(ialu) = IAluOp::ALL.iter().copied().find(|i| i.opcode() == op) {
+                Ok(Instruction::IAlu {
+                    op: ialu,
+                    rt,
+                    rs,
+                    imm: raw.imm(),
+                })
+            } else {
+                Err(IsaError::InvalidEncoding { word })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_nop() {
+        assert_eq!(decode(0).unwrap(), Instruction::NOP);
+    }
+
+    #[test]
+    fn rejects_reserved_opcodes() {
+        // opcode 0x3F is unused on the R2000
+        assert!(decode(0xFC00_0000).is_err());
+        // SPECIAL funct 0x3F is unused
+        assert!(decode(0x0000_003F).is_err());
+        // REGIMM rt=0x1F is unused
+        assert!(decode(0x041F_0000).is_err());
+    }
+
+    #[test]
+    fn decodes_fp_compare() {
+        // c.lt.d $f2, $f4
+        let word = 0x4624_103C;
+        match decode(word).unwrap() {
+            Instruction::FpCmp {
+                cond: FpCond::Lt,
+                fmt: FpFmt::Double,
+                fs,
+                ft,
+            } => {
+                assert_eq!(fs.number(), 2);
+                assert_eq!(ft.number(), 4);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_cvt_same_format() {
+        // cvt.s.s would be funct 0x20 with fmt=16
+        let word = (0x11 << 26) | (16 << 21) | 0x20;
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn rejects_word_format_arith() {
+        // add.w is not a valid instruction
+        let word = (0x11 << 26) | (20 << 21);
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    fn raw_field_extraction() {
+        let raw = RawWord(0x8FBF_001C); // lw $ra, 28($sp)
+        assert_eq!(raw.opcode(), 0x23);
+        assert_eq!(raw.rs(), 29);
+        assert_eq!(raw.rt(), 31);
+        assert_eq!(raw.simm(), 28);
+    }
+}

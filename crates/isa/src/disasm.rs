@@ -1,0 +1,152 @@
+use std::fmt;
+
+use crate::instr::*;
+
+impl fmt::Display for Instruction {
+    /// Formats the instruction in conventional MIPS assembler syntax.
+    ///
+    /// The output parses back through the `ccrp-asm` assembler, which the
+    /// round-trip integration tests rely on. `nop` is rendered canonically
+    /// rather than as `sll $zero, $zero, 0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Instruction::NOP {
+            return write!(f, "nop");
+        }
+        match *self {
+            Instruction::RAlu { op, rd, rs, rt } => {
+                write!(f, "{} {rd}, {rs}, {rt}", op.mnemonic())
+            }
+            Instruction::Shift { op, rd, rt, shamt } => {
+                write!(f, "{} {rd}, {rt}, {shamt}", op.mnemonic_imm())
+            }
+            Instruction::ShiftV { op, rd, rt, rs } => {
+                write!(f, "{} {rd}, {rt}, {rs}", op.mnemonic_var())
+            }
+            Instruction::MultDiv { op, rs, rt } => write!(f, "{} {rs}, {rt}", op.mnemonic()),
+            Instruction::HiLo { op, reg } => write!(f, "{} {reg}", op.mnemonic()),
+            Instruction::Jr { rs } => write!(f, "jr {rs}"),
+            Instruction::Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Instruction::Syscall { code: 0 } => write!(f, "syscall"),
+            Instruction::Syscall { code } => write!(f, "syscall {code}"),
+            Instruction::Break { code: 0 } => write!(f, "break"),
+            Instruction::Break { code } => write!(f, "break {code}"),
+            Instruction::IAlu { op, rt, rs, imm } => {
+                if op.sign_extends() {
+                    write!(f, "{} {rt}, {rs}, {}", op.mnemonic(), imm as i16)
+                } else {
+                    write!(f, "{} {rt}, {rs}, {:#x}", op.mnemonic(), imm)
+                }
+            }
+            Instruction::Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            Instruction::Branch { op, rs, rt, offset } => {
+                write!(f, "{} {rs}, {rt}, {offset}", op.mnemonic())
+            }
+            Instruction::BranchZ { op, rs, offset } => {
+                write!(f, "{} {rs}, {offset}", op.mnemonic())
+            }
+            Instruction::Jump { link, target } => {
+                let mn = if link { "jal" } else { "j" };
+                write!(f, "{mn} {:#x}", target << 2)
+            }
+            Instruction::Mem {
+                op,
+                rt,
+                base,
+                offset,
+            } => {
+                write!(f, "{} {rt}, {offset}({base})", op.mnemonic())
+            }
+            Instruction::FpMem {
+                store,
+                ft,
+                base,
+                offset,
+            } => {
+                let mn = if store { "swc1" } else { "lwc1" };
+                write!(f, "{mn} {ft}, {offset}({base})")
+            }
+            Instruction::Cp1Move { op, rt, fs } => write!(f, "{} {rt}, {fs}", op.mnemonic()),
+            Instruction::FpArith {
+                op,
+                fmt,
+                fd,
+                fs,
+                ft,
+            } => {
+                write!(f, "{}.{} {fd}, {fs}, {ft}", op.mnemonic(), fmt.suffix())
+            }
+            Instruction::FpUnary { op, fmt, fd, fs } => {
+                write!(f, "{}.{} {fd}, {fs}", op.mnemonic(), fmt.suffix())
+            }
+            Instruction::FpCvt { to, from, fd, fs } => {
+                write!(f, "cvt.{}.{} {fd}, {fs}", to.suffix(), from.suffix())
+            }
+            Instruction::FpCmp { cond, fmt, fs, ft } => {
+                write!(f, "c.{}.{} {fs}, {ft}", cond.mnemonic(), fmt.suffix())
+            }
+            Instruction::Bc1 { on_true, offset } => {
+                let mn = if on_true { "bc1t" } else { "bc1f" };
+                write!(f, "{mn} {offset}")
+            }
+        }
+    }
+}
+
+/// Disassembles a word, falling back to a `.word` directive for
+/// unrecognized encodings.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_isa::disassemble_word;
+///
+/// assert_eq!(disassemble_word(0x03E0_0008), "jr $ra");
+/// assert_eq!(disassemble_word(0xFFFF_FFFF), ".word 0xffffffff");
+/// ```
+pub fn disassemble_word(word: u32) -> String {
+    match crate::decode(word) {
+        Ok(inst) => inst.to_string(),
+        Err(_) => format!(".word {word:#010x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+    use crate::reg::Reg;
+
+    #[test]
+    fn formats_common_instructions() {
+        let cases: Vec<(u32, &str)> = vec![
+            (0x0000_0000, "nop"),
+            (0x0085_1021, "addu $v0, $a0, $a1"),
+            (0x27BD_FFE0, "addiu $sp, $sp, -32"),
+            (0x8FBF_001C, "lw $ra, 28($sp)"),
+            (0x03E0_0008, "jr $ra"),
+            (0x3C1C_1000, "lui $gp, 0x1000"),
+            (0x0000_000C, "syscall"),
+        ];
+        for (word, text) in cases {
+            assert_eq!(decode(word).unwrap().to_string(), text);
+        }
+    }
+
+    #[test]
+    fn nop_not_rendered_as_sll() {
+        assert_eq!(Instruction::NOP.to_string(), "nop");
+        // but a real sll still shows
+        let sll = Instruction::Shift {
+            op: ShiftOp::Sll,
+            rd: Reg::T0,
+            rt: Reg::T1,
+            shamt: 2,
+        };
+        assert_eq!(sll.to_string(), "sll $t0, $t1, 2");
+    }
+
+    #[test]
+    fn fallback_for_invalid() {
+        assert!(disassemble_word(0xFC00_0000).starts_with(".word"));
+    }
+}

@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, decoding, or encoding R2000
+/// instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A register number outside 0..=31 was supplied.
+    RegisterOutOfRange {
+        /// The offending register number.
+        number: u8,
+    },
+    /// A register name that is neither numeric nor a known ABI name.
+    UnknownRegister {
+        /// The offending name, as written.
+        name: String,
+    },
+    /// A 32-bit word that does not encode a supported R2000 instruction.
+    InvalidEncoding {
+        /// The undecodable instruction word.
+        word: u32,
+    },
+    /// A field value too large for its encoding slot (e.g. a shift amount
+    /// over 31 or a jump target outside the 26-bit region).
+    FieldOutOfRange {
+        /// Name of the instruction field.
+        field: &'static str,
+        /// The value that did not fit.
+        value: i64,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::RegisterOutOfRange { number } => {
+                write!(f, "register number {number} out of range 0..=31")
+            }
+            IsaError::UnknownRegister { name } => write!(f, "unknown register name `{name}`"),
+            IsaError::InvalidEncoding { word } => {
+                write!(f, "word {word:#010x} is not a supported R2000 instruction")
+            }
+            IsaError::FieldOutOfRange { field, value } => {
+                write!(
+                    f,
+                    "value {value} does not fit in instruction field `{field}`"
+                )
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            IsaError::RegisterOutOfRange { number: 40 }.to_string(),
+            IsaError::UnknownRegister { name: "$xx".into() }.to_string(),
+            IsaError::InvalidEncoding { word: 0xFFFF_FFFF }.to_string(),
+            IsaError::FieldOutOfRange {
+                field: "shamt",
+                value: 99,
+            }
+            .to_string(),
+        ];
+        assert!(msgs[0].contains("40"));
+        assert!(msgs[1].contains("$xx"));
+        assert!(msgs[2].contains("0xffffffff"));
+        assert!(msgs[3].contains("shamt"));
+    }
+}

@@ -1,0 +1,267 @@
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::IsaError;
+
+/// A general-purpose register of the MIPS R2000 (`$0`–`$31`).
+///
+/// Register 0 is hardwired to zero. Values are validated at construction:
+/// a `Reg` always names a real register.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_isa::Reg;
+///
+/// let sp = Reg::SP;
+/// assert_eq!(sp.number(), 29);
+/// assert_eq!(sp.to_string(), "$sp");
+/// assert_eq!("$t0".parse::<Reg>().unwrap(), Reg::T0);
+/// assert_eq!("$8".parse::<Reg>().unwrap(), Reg::T0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// Conventional ABI names for the 32 GPRs, indexed by register number.
+pub const ABI_NAMES: [&str; 32] = [
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+    "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1", "gp", "sp", "fp",
+    "ra",
+];
+
+impl Reg {
+    /// `$zero`, hardwired to 0.
+    pub const ZERO: Reg = Reg(0);
+    /// `$at`, assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// `$v0`, result register 0 / syscall number.
+    pub const V0: Reg = Reg(2);
+    /// `$v1`, result register 1.
+    pub const V1: Reg = Reg(3);
+    /// `$a0`, argument register 0.
+    pub const A0: Reg = Reg(4);
+    /// `$a1`, argument register 1.
+    pub const A1: Reg = Reg(5);
+    /// `$a2`, argument register 2.
+    pub const A2: Reg = Reg(6);
+    /// `$a3`, argument register 3.
+    pub const A3: Reg = Reg(7);
+    /// `$t0`, caller-saved temporary.
+    pub const T0: Reg = Reg(8);
+    /// `$t1`, caller-saved temporary.
+    pub const T1: Reg = Reg(9);
+    /// `$t2`, caller-saved temporary.
+    pub const T2: Reg = Reg(10);
+    /// `$t3`, caller-saved temporary.
+    pub const T3: Reg = Reg(11);
+    /// `$t4`, caller-saved temporary.
+    pub const T4: Reg = Reg(12);
+    /// `$t5`, caller-saved temporary.
+    pub const T5: Reg = Reg(13);
+    /// `$t6`, caller-saved temporary.
+    pub const T6: Reg = Reg(14);
+    /// `$t7`, caller-saved temporary.
+    pub const T7: Reg = Reg(15);
+    /// `$s0`, callee-saved register.
+    pub const S0: Reg = Reg(16);
+    /// `$s1`, callee-saved register.
+    pub const S1: Reg = Reg(17);
+    /// `$s2`, callee-saved register.
+    pub const S2: Reg = Reg(18);
+    /// `$s3`, callee-saved register.
+    pub const S3: Reg = Reg(19);
+    /// `$s4`, callee-saved register.
+    pub const S4: Reg = Reg(20);
+    /// `$s5`, callee-saved register.
+    pub const S5: Reg = Reg(21);
+    /// `$s6`, callee-saved register.
+    pub const S6: Reg = Reg(22);
+    /// `$s7`, callee-saved register.
+    pub const S7: Reg = Reg(23);
+    /// `$t8`, caller-saved temporary.
+    pub const T8: Reg = Reg(24);
+    /// `$t9`, caller-saved temporary.
+    pub const T9: Reg = Reg(25);
+    /// `$k0`, reserved for the kernel.
+    pub const K0: Reg = Reg(26);
+    /// `$k1`, reserved for the kernel.
+    pub const K1: Reg = Reg(27);
+    /// `$gp`, global pointer.
+    pub const GP: Reg = Reg(28);
+    /// `$sp`, stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// `$fp`, frame pointer (also `$s8`).
+    pub const FP: Reg = Reg(30);
+    /// `$ra`, return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Builds a register from its number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterOutOfRange`] if `number > 31`.
+    pub fn new(number: u8) -> Result<Reg, IsaError> {
+        if number < 32 {
+            Ok(Reg(number))
+        } else {
+            Err(IsaError::RegisterOutOfRange { number })
+        }
+    }
+
+    /// Builds a register from the low 5 bits of an instruction field.
+    pub fn from_field(field: u32) -> Reg {
+        Reg((field & 0x1F) as u8)
+    }
+
+    /// The register number, 0..=31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The conventional ABI name, without the `$` sigil.
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Iterates over all 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0u8..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.abi_name())
+    }
+}
+
+impl FromStr for Reg {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s.strip_prefix('$').unwrap_or(s);
+        if let Ok(n) = body.parse::<u8>() {
+            return Reg::new(n);
+        }
+        // `$s8` is an alias for `$fp` on MIPS.
+        if body == "s8" {
+            return Ok(Reg::FP);
+        }
+        ABI_NAMES
+            .iter()
+            .position(|&name| name == body)
+            .map(|n| Reg(n as u8))
+            .ok_or_else(|| IsaError::UnknownRegister {
+                name: s.to_string(),
+            })
+    }
+}
+
+/// A floating-point register of coprocessor 1 (`$f0`–`$f31`).
+///
+/// Double-precision values occupy an even/odd register pair, addressed by
+/// the even register, exactly as on the R2000's R2010 FPA.
+///
+/// # Examples
+///
+/// ```
+/// use ccrp_isa::FpReg;
+///
+/// let f12 = FpReg::new(12).unwrap();
+/// assert_eq!(f12.to_string(), "$f12");
+/// assert_eq!("$f12".parse::<FpReg>().unwrap(), f12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl FpReg {
+    /// Builds an FP register from its number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::RegisterOutOfRange`] if `number > 31`.
+    pub fn new(number: u8) -> Result<FpReg, IsaError> {
+        if number < 32 {
+            Ok(FpReg(number))
+        } else {
+            Err(IsaError::RegisterOutOfRange { number })
+        }
+    }
+
+    /// Builds an FP register from the low 5 bits of an instruction field.
+    pub fn from_field(field: u32) -> FpReg {
+        FpReg((field & 0x1F) as u8)
+    }
+
+    /// The register number, 0..=31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over all 32 FP registers in numeric order.
+    pub fn all() -> impl Iterator<Item = FpReg> {
+        (0u8..32).map(FpReg)
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+impl FromStr for FpReg {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s.strip_prefix('$').unwrap_or(s);
+        body.strip_prefix('f')
+            .and_then(|n| n.parse::<u8>().ok())
+            .ok_or_else(|| IsaError::UnknownRegister {
+                name: s.to_string(),
+            })
+            .and_then(FpReg::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_and_abi_names_agree() {
+        for reg in Reg::all() {
+            let by_num: Reg = format!("${}", reg.number()).parse().unwrap();
+            let by_name: Reg = reg.to_string().parse().unwrap();
+            assert_eq!(by_num, reg);
+            assert_eq!(by_name, reg);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Reg::new(32).is_err());
+        assert!(FpReg::new(32).is_err());
+        assert!("$32".parse::<Reg>().is_err());
+        assert!("$f32".parse::<FpReg>().is_err());
+        assert!("$bogus".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn s8_alias() {
+        assert_eq!("$s8".parse::<Reg>().unwrap(), Reg::FP);
+    }
+
+    #[test]
+    fn from_field_masks() {
+        assert_eq!(Reg::from_field(0x3F).number(), 31);
+        assert_eq!(FpReg::from_field(0x20).number(), 0);
+    }
+
+    #[test]
+    fn fp_roundtrip() {
+        for reg in FpReg::all() {
+            assert_eq!(reg.to_string().parse::<FpReg>().unwrap(), reg);
+        }
+    }
+}

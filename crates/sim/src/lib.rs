@@ -1,0 +1,53 @@
+//! Trace-driven system simulation for the CCRP experiments (§4 of
+//! Wolfe & Chanin, MICRO-25 1992).
+//!
+//! This crate supplies everything around the [`ccrp`] core needed to
+//! regenerate the paper's evaluation:
+//!
+//! * [`ICache`] — the direct-mapped, 32-byte-line on-chip instruction
+//!   cache (256 B–4 KB);
+//! * [`MemoryModel`] — the EPROM / Burst EPROM / static-column DRAM
+//!   timings of §4.2.1, implementing [`ccrp::MemoryTiming`];
+//! * [`DataCacheModel`] — the analytical data-side cost of §4.2.4;
+//! * [`simulate_standard`] / [`simulate_ccrp`] / [`compare`] — replay an
+//!   instruction trace through both processors and report the paper's
+//!   three metrics: relative execution time ("Relative Performance"),
+//!   instruction-cache miss rate, and relative memory traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccrp::CompressedImage;
+//! use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+//! use ccrp_sim::{compare, MemoryModel, SystemConfig};
+//!
+//! let text = vec![0u8; 2048];
+//! let code = ByteCode::preselected(&ByteHistogram::of(&text))?;
+//! let image = CompressedImage::build(0, &text, code, BlockAlignment::Word)?;
+//! // A trace looping over the program twice, no data accesses.
+//! let trace: Vec<(u32, u8)> =
+//!     (0..2).flat_map(|_| (0..2048u32).step_by(4)).map(|pc| (pc, 0)).collect();
+//! let config = SystemConfig {
+//!     cache_bytes: 256,
+//!     memory: MemoryModel::Eprom,
+//!     ..SystemConfig::default()
+//! };
+//! let result = compare(&image, trace, &config)?;
+//! assert!(result.memory_traffic_ratio() < 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dcache;
+mod icache;
+mod memory;
+mod system;
+
+pub use dcache::DataCacheModel;
+pub use icache::{BadCacheSize, CacheStats, ICache, LINE_BYTES};
+pub use memory::{standard_refill_cycles, MemoryModel, MemorySim};
+pub use system::{
+    compare, simulate_ccrp, simulate_standard, Comparison, RunStats, SimError, SystemConfig,
+};

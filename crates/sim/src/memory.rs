@@ -1,0 +1,155 @@
+//! The three instruction-memory models of §4.2.1, timed in 40 ns
+//! processor cycles.
+//!
+//! * **EPROM** — standard ~100 ns EPROMs: every word read costs 3 cycles,
+//!   with no burst advantage.
+//! * **Burst EPROM** — 3 cycles for the first word of a burst, then 1
+//!   cycle per subsequent sequential word.
+//! * **Static-column DRAM** — 4 cycles for the first word (70 ns 4 Mb
+//!   parts), 1 cycle per subsequent word, and a 2-cycle precharge after
+//!   each burst during which the device cannot start a new access.
+
+use ccrp::MemoryTiming;
+
+/// Which §4.2.1 memory model to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryModel {
+    /// Standard EPROM: 3 cycles per word, no bursts.
+    Eprom,
+    /// Burst-mode EPROM: 3 cycles first word, 1 per subsequent word.
+    BurstEprom,
+    /// Static-column DRAM: 4 + 1/word, 2-cycle precharge between bursts.
+    ScDram,
+}
+
+impl MemoryModel {
+    /// All three models, in the paper's presentation order.
+    pub const ALL: [MemoryModel; 3] = [
+        MemoryModel::Eprom,
+        MemoryModel::BurstEprom,
+        MemoryModel::ScDram,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoryModel::Eprom => "EPROM",
+            MemoryModel::BurstEprom => "Burst EPROM",
+            MemoryModel::ScDram => "DRAM",
+        }
+    }
+
+    /// Builds a fresh timing instance (DRAM models carry precharge
+    /// state; a new instance starts idle).
+    pub fn timing(self) -> MemorySim {
+        MemorySim {
+            model: self,
+            ready_at: 0,
+        }
+    }
+}
+
+/// A stateful timing instance of one [`MemoryModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemorySim {
+    model: MemoryModel,
+    /// Earliest cycle the next access may start (DRAM precharge).
+    ready_at: u64,
+}
+
+impl MemorySim {
+    /// The model this instance simulates.
+    pub fn model(&self) -> MemoryModel {
+        self.model
+    }
+}
+
+impl MemoryTiming for MemorySim {
+    fn read_burst(&mut self, words: u32, now: u64, arrivals: &mut Vec<u64>) {
+        arrivals.clear();
+        debug_assert!(words > 0, "zero-word burst");
+        match self.model {
+            MemoryModel::Eprom => {
+                // Every word is an independent 3-cycle access.
+                arrivals.extend((0..u64::from(words)).map(|i| now + 3 * (i + 1)));
+            }
+            MemoryModel::BurstEprom => {
+                arrivals.extend((0..u64::from(words)).map(|i| now + 3 + i));
+            }
+            MemoryModel::ScDram => {
+                let start = now.max(self.ready_at);
+                arrivals.extend((0..u64::from(words)).map(|i| start + 4 + i));
+                self.ready_at = *arrivals.last().expect("words > 0") + 2;
+            }
+        }
+    }
+}
+
+/// Cycles for a standard processor's 8-word (32-byte) line refill,
+/// starting from an idle memory. Useful as a reference constant in tests
+/// and reports: EPROM 24, Burst EPROM 10, DRAM 11.
+pub fn standard_refill_cycles(model: MemoryModel) -> u64 {
+    let mut timing = model.timing();
+    let mut arrivals = Vec::new();
+    timing.read_burst(8, 0, &mut arrivals);
+    *arrivals.last().expect("8 words requested")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_refill_constants() {
+        assert_eq!(standard_refill_cycles(MemoryModel::Eprom), 24);
+        assert_eq!(standard_refill_cycles(MemoryModel::BurstEprom), 10);
+        assert_eq!(standard_refill_cycles(MemoryModel::ScDram), 11);
+    }
+
+    #[test]
+    fn eprom_has_no_burst_advantage() {
+        let mut t = MemoryModel::Eprom.timing();
+        let mut a = Vec::new();
+        t.read_burst(4, 100, &mut a);
+        assert_eq!(a, vec![103, 106, 109, 112]);
+    }
+
+    #[test]
+    fn burst_eprom_streams() {
+        let mut t = MemoryModel::BurstEprom.timing();
+        let mut a = Vec::new();
+        t.read_burst(4, 100, &mut a);
+        assert_eq!(a, vec![103, 104, 105, 106]);
+    }
+
+    #[test]
+    fn dram_precharge_delays_back_to_back_bursts() {
+        let mut t = MemoryModel::ScDram.timing();
+        let mut a = Vec::new();
+        t.read_burst(2, 0, &mut a);
+        assert_eq!(a, vec![4, 5]);
+        // Immediately following access must wait for precharge (ready 7).
+        t.read_burst(1, 5, &mut a);
+        assert_eq!(a, vec![11]);
+        // A distant access is unaffected.
+        t.read_burst(1, 1000, &mut a);
+        assert_eq!(a, vec![1004]);
+    }
+
+    #[test]
+    fn arrivals_are_monotone() {
+        for model in MemoryModel::ALL {
+            let mut t = model.timing();
+            let mut a = Vec::new();
+            t.read_burst(8, 17, &mut a);
+            assert!(a.windows(2).all(|w| w[0] < w[1]), "{model:?}");
+            assert!(a[0] > 17);
+        }
+    }
+
+    #[test]
+    fn names_match_tables() {
+        assert_eq!(MemoryModel::Eprom.name(), "EPROM");
+        assert_eq!(MemoryModel::BurstEprom.name(), "Burst EPROM");
+    }
+}

@@ -1,0 +1,433 @@
+//! The trace-driven system simulator (§4.1): replays an instruction
+//! trace through the cache/memory hierarchy twice — once as a standard
+//! R2000-style processor, once as a CCRP — and reports the paper's
+//! metrics: relative execution time, instruction-cache miss rate, and
+//! relative memory traffic.
+//!
+//! As in the paper, the pipeline freezes during refills ("We also do not
+//! permit the processor pipeline to continue when instruction fetches are
+//! delayed") and compulsory misses are included.
+
+use std::error::Error;
+use std::fmt;
+
+use ccrp::{CcrpError, ClbStats, CompressedImage, MemoryTiming, RefillConfig, RefillEngine};
+
+use crate::dcache::DataCacheModel;
+use crate::icache::{BadCacheSize, CacheStats, ICache};
+use crate::memory::MemoryModel;
+
+/// Configuration of one simulated system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Instruction-cache capacity in bytes (256..=4096 in the paper).
+    pub cache_bytes: u32,
+    /// Instruction-memory model.
+    pub memory: MemoryModel,
+    /// CLB capacity in LAT entries (CCRP only).
+    pub clb_entries: usize,
+    /// Decoder throughput in bytes per cycle (CCRP only).
+    pub decode_bytes_per_cycle: u32,
+    /// Data-side cost model (applies to both processors).
+    pub dcache: DataCacheModel,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            cache_bytes: 1024,
+            memory: MemoryModel::BurstEprom,
+            clb_entries: 16,
+            decode_bytes_per_cycle: 2,
+            dcache: DataCacheModel::NONE,
+        }
+    }
+}
+
+/// Errors from a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Invalid cache geometry.
+    Cache(BadCacheSize),
+    /// A trace address the compressed image cannot serve, or another
+    /// CCRP-level failure.
+    Ccrp(CcrpError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Cache(e) => write!(f, "{e}"),
+            SimError::Ccrp(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Cache(e) => Some(e),
+            SimError::Ccrp(e) => Some(e),
+        }
+    }
+}
+
+impl From<BadCacheSize> for SimError {
+    fn from(e: BadCacheSize) -> Self {
+        SimError::Cache(e)
+    }
+}
+
+impl From<CcrpError> for SimError {
+    fn from(e: CcrpError) -> Self {
+        SimError::Ccrp(e)
+    }
+}
+
+/// Metrics from one processor's run over a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Dynamic data-access count.
+    pub data_accesses: u64,
+    /// Instruction-cache counters.
+    pub cache: CacheStats,
+    /// Total cycles spent waiting on line refills.
+    pub refill_cycles: u64,
+    /// Bytes read from instruction memory (lines, plus LAT entries on
+    /// the CCRP).
+    pub bytes_from_memory: u64,
+    /// Analytical data-side stall cycles.
+    pub data_stall_cycles: f64,
+    /// CLB counters (CCRP runs only).
+    pub clb: Option<ClbStats>,
+}
+
+impl RunStats {
+    /// Total execution cycles: one per instruction (single-issue,
+    /// single-cycle hits) plus refill stalls plus data stalls.
+    pub fn total_cycles(&self) -> f64 {
+        self.instructions as f64 + self.refill_cycles as f64 + self.data_stall_cycles
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.total_cycles() / self.instructions as f64
+        }
+    }
+}
+
+/// Simulates the standard (uncompressed) processor over `trace`:
+/// `(pc, data_access_count)` pairs as captured by `ccrp-emu`.
+///
+/// # Errors
+///
+/// [`SimError::Cache`] for invalid cache geometry.
+pub fn simulate_standard(
+    trace: impl IntoIterator<Item = (u32, u8)>,
+    config: &SystemConfig,
+) -> Result<RunStats, SimError> {
+    let mut cache = ICache::new(config.cache_bytes)?;
+    let mut memory = config.memory.timing();
+    let mut arrivals = Vec::with_capacity(8);
+    let mut cycle: u64 = 0;
+    let mut refill_cycles: u64 = 0;
+    let mut bytes: u64 = 0;
+    let mut instructions: u64 = 0;
+    let mut data_accesses: u64 = 0;
+
+    for (pc, data) in trace {
+        instructions += 1;
+        data_accesses += u64::from(data);
+        cycle += 1;
+        if !cache.access(pc) {
+            memory.read_burst(8, cycle, &mut arrivals);
+            let done = *arrivals.last().expect("8-word burst");
+            refill_cycles += done - cycle;
+            bytes += 32;
+            cycle = done;
+        }
+    }
+
+    Ok(RunStats {
+        instructions,
+        data_accesses,
+        cache: cache.stats(),
+        refill_cycles,
+        bytes_from_memory: bytes,
+        data_stall_cycles: config.dcache.stall_cycles(data_accesses),
+        clb: None,
+    })
+}
+
+/// Simulates the CCRP over `trace`, refilling through `image`'s
+/// LAT/CLB/decoder path.
+///
+/// # Errors
+///
+/// [`SimError::Cache`] for invalid geometry, [`SimError::Ccrp`] when the
+/// trace fetches outside the compressed image.
+pub fn simulate_ccrp(
+    image: &CompressedImage,
+    trace: impl IntoIterator<Item = (u32, u8)>,
+    config: &SystemConfig,
+) -> Result<RunStats, SimError> {
+    let mut cache = ICache::new(config.cache_bytes)?;
+    let mut memory = config.memory.timing();
+    let mut engine = RefillEngine::new(RefillConfig {
+        clb_entries: config.clb_entries,
+        decode_bytes_per_cycle: config.decode_bytes_per_cycle,
+    })?;
+    let mut cycle: u64 = 0;
+    let mut refill_cycles: u64 = 0;
+    let mut bytes: u64 = 0;
+    let mut instructions: u64 = 0;
+    let mut data_accesses: u64 = 0;
+
+    for (pc, data) in trace {
+        instructions += 1;
+        data_accesses += u64::from(data);
+        cycle += 1;
+        if !cache.access(pc) {
+            let outcome = engine.refill(image, pc, cycle, &mut memory)?;
+            refill_cycles += outcome.ready_at - cycle;
+            bytes += u64::from(outcome.bytes_fetched);
+            cycle = outcome.ready_at;
+        }
+    }
+
+    Ok(RunStats {
+        instructions,
+        data_accesses,
+        cache: cache.stats(),
+        refill_cycles,
+        bytes_from_memory: bytes,
+        data_stall_cycles: config.dcache.stall_cycles(data_accesses),
+        clb: Some(engine.clb_stats()),
+    })
+}
+
+/// Both processors' results over the same trace and configuration — one
+/// cell of the paper's Tables 1–13.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// The standard processor's run.
+    pub standard: RunStats,
+    /// The CCRP's run.
+    pub ccrp: RunStats,
+}
+
+impl Comparison {
+    /// The tables' "Relative Performance" column: CCRP execution time
+    /// over standard execution time. Below 1.0 the CCRP is *faster*
+    /// (matching the prose: EPROM entries below 1.0 are wins).
+    pub fn relative_execution_time(&self) -> f64 {
+        self.ccrp.total_cycles() / self.standard.total_cycles()
+    }
+
+    /// The instruction-cache miss rate (identical for both processors —
+    /// the CCRP's cache sees the same addresses).
+    pub fn miss_rate(&self) -> f64 {
+        self.standard.cache.miss_rate()
+    }
+
+    /// The tables' "Memory Traffic" column: CCRP instruction-memory bytes
+    /// over standard bytes.
+    pub fn memory_traffic_ratio(&self) -> f64 {
+        if self.standard.bytes_from_memory == 0 {
+            1.0
+        } else {
+            self.ccrp.bytes_from_memory as f64 / self.standard.bytes_from_memory as f64
+        }
+    }
+}
+
+/// Runs both processors over the same trace.
+///
+/// # Errors
+///
+/// As for [`simulate_standard`] and [`simulate_ccrp`].
+pub fn compare<I>(
+    image: &CompressedImage,
+    trace: I,
+    config: &SystemConfig,
+) -> Result<Comparison, SimError>
+where
+    I: IntoIterator<Item = (u32, u8)>,
+    I::IntoIter: Clone,
+{
+    let iter = trace.into_iter();
+    let standard = simulate_standard(iter.clone(), config)?;
+    let ccrp = simulate_ccrp(image, iter, config)?;
+    debug_assert_eq!(
+        standard.cache.misses, ccrp.cache.misses,
+        "caches see identical streams"
+    );
+    Ok(Comparison { standard, ccrp })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+
+    /// A compressible synthetic program plus a looping trace over it.
+    fn fixture(code_bytes: usize) -> (CompressedImage, Vec<(u32, u8)>) {
+        let mut text = Vec::with_capacity(code_bytes);
+        let mut x = 5u32;
+        for i in 0..code_bytes {
+            x = x.wrapping_mul(48271);
+            text.push(match i % 4 {
+                0 => (x >> 28) as u8,
+                1 => 0,
+                2 => 0x42,
+                _ => 0x24,
+            });
+        }
+        let code = ByteCode::preselected(&ByteHistogram::of(&text)).unwrap();
+        let image = CompressedImage::build(0, &text, code, BlockAlignment::Word).unwrap();
+        // Trace: 16 passes over all of the text, 1 data access per 4th pc.
+        let mut trace = Vec::new();
+        for _ in 0..16 {
+            for pc in (0..code_bytes as u32).step_by(4) {
+                trace.push((pc, u8::from(pc % 16 == 0)));
+            }
+        }
+        (image, trace)
+    }
+
+    #[test]
+    fn eprom_favors_compressed_code() {
+        let (image, trace) = fixture(8192);
+        let config = SystemConfig {
+            cache_bytes: 256,
+            memory: MemoryModel::Eprom,
+            ..SystemConfig::default()
+        };
+        let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
+        assert!(
+            cmp.relative_execution_time() < 1.0,
+            "EPROM should favor CCRP, got {}",
+            cmp.relative_execution_time()
+        );
+        assert!(cmp.memory_traffic_ratio() < 1.0);
+    }
+
+    #[test]
+    fn burst_eprom_penalizes_compressed_code() {
+        let (image, trace) = fixture(8192);
+        let config = SystemConfig {
+            cache_bytes: 256,
+            memory: MemoryModel::BurstEprom,
+            ..SystemConfig::default()
+        };
+        let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
+        assert!(
+            cmp.relative_execution_time() > 1.0,
+            "fast memory should favor the standard core, got {}",
+            cmp.relative_execution_time()
+        );
+        // Traffic still shrinks even when time grows.
+        assert!(cmp.memory_traffic_ratio() < 1.0);
+    }
+
+    #[test]
+    fn bigger_cache_lowers_miss_rate_and_converges_to_parity() {
+        let (image, trace) = fixture(4096);
+        let mut last_rate = f64::INFINITY;
+        let mut last_rel_gap = f64::INFINITY;
+        for cache_bytes in [256u32, 1024, 4096] {
+            let config = SystemConfig {
+                cache_bytes,
+                memory: MemoryModel::Eprom,
+                ..SystemConfig::default()
+            };
+            let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
+            assert!(cmp.miss_rate() <= last_rate);
+            last_rate = cmp.miss_rate();
+            let gap = (cmp.relative_execution_time() - 1.0).abs();
+            assert!(
+                gap <= last_rel_gap + 1e-12,
+                "larger caches mute the difference"
+            );
+            last_rel_gap = gap;
+        }
+    }
+
+    #[test]
+    fn perfect_cache_means_parity() {
+        // With every fetch hitting after warmup and a huge cache, both
+        // processors differ only in compulsory misses.
+        let (image, trace) = fixture(1024);
+        let config = SystemConfig {
+            cache_bytes: 4096,
+            memory: MemoryModel::BurstEprom,
+            ..SystemConfig::default()
+        };
+        let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
+        assert!((cmp.relative_execution_time() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn data_cache_dilutes_the_difference() {
+        // Table 11's premise: more data-stall cycles shrink the relative
+        // gap between the processors.
+        let (image, trace) = fixture(8192);
+        let base = SystemConfig {
+            cache_bytes: 256,
+            memory: MemoryModel::Eprom,
+            ..SystemConfig::default()
+        };
+        let no_data = SystemConfig {
+            dcache: DataCacheModel::with_miss_rate(0.0),
+            ..base
+        };
+        let full_data = SystemConfig {
+            dcache: DataCacheModel::NONE,
+            ..base
+        };
+        let tight = compare(&image, trace.iter().copied(), &no_data).unwrap();
+        let diluted = compare(&image, trace.iter().copied(), &full_data).unwrap();
+        let tight_gap = (tight.relative_execution_time() - 1.0).abs();
+        let diluted_gap = (diluted.relative_execution_time() - 1.0).abs();
+        assert!(diluted_gap < tight_gap);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (image, trace) = fixture(2048);
+        let config = SystemConfig::default();
+        let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
+        assert_eq!(cmp.standard.instructions, trace.len() as u64);
+        assert_eq!(cmp.ccrp.instructions, trace.len() as u64);
+        assert_eq!(cmp.standard.cache.fetches, trace.len() as u64);
+        let clb = cmp.ccrp.clb.expect("ccrp run has CLB stats");
+        assert_eq!(clb.hits + clb.misses, cmp.ccrp.cache.misses);
+        assert_eq!(
+            cmp.standard.bytes_from_memory,
+            cmp.standard.cache.misses * 32
+        );
+        assert!(cmp.ccrp.bytes_from_memory < cmp.standard.bytes_from_memory);
+    }
+
+    #[test]
+    fn out_of_image_trace_errors() {
+        let (image, _) = fixture(256);
+        let config = SystemConfig::default();
+        let err = simulate_ccrp(&image, [(0x0010_0000u32, 0u8)], &config).unwrap_err();
+        assert!(matches!(err, SimError::Ccrp(_)));
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let (image, _) = fixture(256);
+        let cmp = compare(&image, std::iter::empty(), &SystemConfig::default()).unwrap();
+        assert_eq!(cmp.standard.instructions, 0);
+        assert!(cmp.relative_execution_time().is_nan());
+    }
+}

@@ -1,0 +1,150 @@
+//! System-level properties of the simulator, checked over randomized
+//! programs and traces: the invariants the paper's conclusions rest on.
+
+use ccrp::CompressedImage;
+use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+use ccrp_sim::{
+    compare, simulate_ccrp, simulate_standard, standard_refill_cycles, DataCacheModel, MemoryModel,
+    SystemConfig,
+};
+use proptest::prelude::*;
+
+/// A deterministic pseudo-program plus a looping trace over it.
+fn fixture(seed: u64, kib: usize) -> (CompressedImage, Vec<(u32, u8)>) {
+    let mut x = seed | 1;
+    let len = kib * 1024;
+    let text: Vec<u8> = (0..len)
+        .map(|i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match i % 4 {
+                0 => (x >> 60) as u8,
+                1 => 0,
+                2 => 0x24,
+                _ => (x >> 58) as u8 & 0x1F,
+            }
+        })
+        .collect();
+    let code = ByteCode::preselected(&ByteHistogram::of(&text)).expect("code builds");
+    let image = CompressedImage::build(0, &text, code, BlockAlignment::Word).expect("builds");
+    // Trace: several passes, with jumps back to a hot region.
+    let mut trace = Vec::new();
+    for pass in 0u32..6 {
+        let stride = if pass % 2 == 0 { 4 } else { 8 };
+        for pc in (0..len as u32).step_by(stride) {
+            trace.push((pc, u8::from(pc % 64 == 0)));
+        }
+    }
+    (image, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Total cycles decompose exactly: instructions + refills + data.
+    #[test]
+    fn cycle_accounting_is_exact(seed: u64) {
+        let (image, trace) = fixture(seed, 2);
+        for memory in MemoryModel::ALL {
+            let config = SystemConfig { cache_bytes: 512, memory, ..SystemConfig::default() };
+            let std_run = simulate_standard(trace.iter().copied(), &config).unwrap();
+            prop_assert_eq!(
+                std_run.total_cycles(),
+                std_run.instructions as f64
+                    + std_run.refill_cycles as f64
+                    + std_run.data_stall_cycles
+            );
+            let ccrp_run = simulate_ccrp(&image, trace.iter().copied(), &config).unwrap();
+            prop_assert_eq!(ccrp_run.cache.misses, std_run.cache.misses);
+            prop_assert_eq!(ccrp_run.instructions, std_run.instructions);
+        }
+    }
+
+    /// Standard refill cost per miss is exactly the memory model's
+    /// constant (no hidden cycles).
+    #[test]
+    fn standard_refills_cost_the_model_constant(seed: u64) {
+        let (_, trace) = fixture(seed, 1);
+        for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
+            let config = SystemConfig { cache_bytes: 256, memory, ..SystemConfig::default() };
+            let run = simulate_standard(trace.iter().copied(), &config).unwrap();
+            prop_assert_eq!(
+                run.refill_cycles,
+                run.cache.misses * standard_refill_cycles(memory)
+            );
+        }
+    }
+
+    /// The CCRP can never fetch *more* instruction bytes than the
+    /// standard core (compression + bypass guarantee ≤ 32 bytes per line,
+    /// and the LAT adds at most 8 bytes per CLB miss, bounded by misses).
+    #[test]
+    fn traffic_bound(seed: u64) {
+        let (image, trace) = fixture(seed, 2);
+        let config = SystemConfig { cache_bytes: 256, ..SystemConfig::default() };
+        let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
+        let upper = cmp.standard.cache.misses * (32 + 8);
+        prop_assert!(cmp.ccrp.bytes_from_memory <= upper);
+    }
+
+    /// Shrinking the cache never reduces misses (direct-mapped caches of
+    /// nested power-of-two sizes have the inclusion property on the same
+    /// trace).
+    #[test]
+    fn miss_monotonicity(seed: u64) {
+        let (_, trace) = fixture(seed, 2);
+        let mut last = 0u64;
+        for cache_bytes in [4096u32, 2048, 1024, 512, 256] {
+            let config = SystemConfig { cache_bytes, ..SystemConfig::default() };
+            let run = simulate_standard(trace.iter().copied(), &config).unwrap();
+            prop_assert!(run.cache.misses >= last, "{cache_bytes}B went below smaller cache");
+            last = run.cache.misses;
+        }
+    }
+
+    /// EPROM vs Burst EPROM ordering: burst memory never makes the CCRP
+    /// look *better* than EPROM does (the decode pipe only hurts when
+    /// memory gets faster).
+    #[test]
+    fn relative_time_ordering_across_memories(seed: u64) {
+        let (image, trace) = fixture(seed, 2);
+        let base = SystemConfig { cache_bytes: 256, ..SystemConfig::default() };
+        let eprom = compare(
+            &image,
+            trace.iter().copied(),
+            &SystemConfig { memory: MemoryModel::Eprom, ..base },
+        )
+        .unwrap()
+        .relative_execution_time();
+        let burst = compare(
+            &image,
+            trace.iter().copied(),
+            &SystemConfig { memory: MemoryModel::BurstEprom, ..base },
+        )
+        .unwrap()
+        .relative_execution_time();
+        prop_assert!(eprom <= burst + 1e-9, "eprom {eprom} vs burst {burst}");
+    }
+
+    /// A perfect data cache and a 100% miss rate bracket every
+    /// intermediate rate.
+    #[test]
+    fn dcache_rates_are_bracketed(seed: u64, rate in 0.0f64..1.0) {
+        let (image, trace) = fixture(seed, 1);
+        let run = |miss_rate: f64| {
+            let config = SystemConfig {
+                cache_bytes: 256,
+                memory: MemoryModel::BurstEprom,
+                dcache: DataCacheModel::with_miss_rate(miss_rate),
+                ..SystemConfig::default()
+            };
+            compare(&image, trace.iter().copied(), &config)
+                .unwrap()
+                .relative_execution_time()
+        };
+        let lo = run(0.0);
+        let hi = run(1.0);
+        let mid = run(rate);
+        let (min, max) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        prop_assert!(mid >= min - 1e-9 && mid <= max + 1e-9);
+    }
+}

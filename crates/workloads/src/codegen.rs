@@ -1,0 +1,649 @@
+//! Deterministic synthesis of realistic MIPS R2000 object code.
+//!
+//! The paper compresses DECstation 3100 binaries; we do not have those
+//! binaries, so static program bodies are synthesized with the
+//! instruction and operand mix of 1992 MIPS compiler output: function
+//! prologues/epilogues, stack-relative loads and stores, small
+//! register pools, word/double-aligned offsets, `lui`/`addiu` address
+//! pairs, delay-slot `nop`s after branches, and literal pools. What
+//! matters for the compression experiments is the resulting *byte
+//! distribution* — heavily skewed toward 0x00 and a few opcode and
+//! register-field bytes — which is also the dialect of the hand-written
+//! kernels this crate traces, so one preselected code serves both.
+//!
+//! Everything is seeded: a given profile + size always produces the same
+//! bytes.
+
+use ccrp_isa::{
+    AluOp, BranchOp, BranchZOp, FpFmt, FpOp, FpReg, HiLoOp, IAluOp, Instruction, MemOp, MultDivOp,
+    Reg, ShiftOp,
+};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable character of the synthesized code.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeProfile {
+    /// Fraction of body instructions that are floating point.
+    pub fp_fraction: f64,
+    /// Fraction of emitted words that are literal-pool data (addresses,
+    /// FP constants, jump tables) rather than instructions.
+    pub constant_pool: f64,
+    /// Probability that an immediate field is high entropy rather than a
+    /// small aligned offset.
+    pub wide_immediates: f64,
+}
+
+impl CodeProfile {
+    /// Typical integer C code (lex, yacc, who, espresso, ...).
+    pub fn integer() -> Self {
+        Self {
+            fp_fraction: 0.0,
+            constant_pool: 0.01,
+            wide_immediates: 0.05,
+        }
+    }
+
+    /// FORTRAN-style floating-point code (matrix kernels, tomcatv, ...).
+    pub fn floating() -> Self {
+        Self {
+            fp_fraction: 0.16,
+            constant_pool: 0.02,
+            wide_immediates: 0.07,
+        }
+    }
+
+    /// Code with "a huge number of addressing constants" — the paper
+    /// singles out `fpppp` as compressing poorly under the preselected
+    /// code for exactly this reason.
+    pub fn constant_heavy() -> Self {
+        Self {
+            fp_fraction: 0.30,
+            constant_pool: 0.15,
+            wide_immediates: 0.55,
+        }
+    }
+}
+
+/// Registers the way compiler output skews: a small pool of temporaries
+/// and arguments does nearly all the work.
+fn reg(rng: &mut StdRng) -> Reg {
+    const POOL: [Reg; 12] = [
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::S0,
+        Reg::S1,
+        Reg::V0,
+        Reg::A0,
+        Reg::A1,
+        Reg::T6,
+    ];
+    if rng.gen_bool(0.9) {
+        POOL[rng.gen_range(0..POOL.len())]
+    } else {
+        Reg::new(rng.gen_range(1..26)).expect("in range")
+    }
+}
+
+/// Small word-aligned offset, the dominant immediate in compiled code.
+fn small_offset(rng: &mut StdRng) -> i16 {
+    if rng.gen_bool(0.7) {
+        4 * rng.gen_range(0..12)
+    } else {
+        8 * rng.gen_range(0..12)
+    }
+}
+
+fn immediate(rng: &mut StdRng, profile: &CodeProfile) -> u16 {
+    if rng.gen_bool(profile.wide_immediates) {
+        rng.gen()
+    } else if rng.gen_bool(0.5) {
+        // Tiny counters and strides: 1, 2, 4, 8, ...
+        [1u16, 2, 4, 8, 1, 2, 16, 24][rng.gen_range(0..8)]
+    } else {
+        4 * rng.gen_range(0u16..32)
+    }
+}
+
+/// Emits one function: prologue, body, epilogue. Returns encoded words.
+fn function(rng: &mut StdRng, profile: &CodeProfile, body_len: usize) -> Vec<u32> {
+    let mut words = Vec::with_capacity(body_len + 10);
+    let frame = 8 * rng.gen_range(2i16..6);
+
+    // Prologue.
+    words.push(
+        Instruction::IAlu {
+            op: IAluOp::Addiu,
+            rt: Reg::SP,
+            rs: Reg::SP,
+            imm: (-frame) as u16,
+        }
+        .encode(),
+    );
+    words.push(
+        Instruction::Mem {
+            op: MemOp::Sw,
+            rt: Reg::RA,
+            base: Reg::SP,
+            offset: frame - 4,
+        }
+        .encode(),
+    );
+    if rng.gen_bool(0.5) {
+        words.push(
+            Instruction::Mem {
+                op: MemOp::Sw,
+                rt: Reg::S0,
+                base: Reg::SP,
+                offset: frame - 8,
+            }
+            .encode(),
+        );
+    }
+
+    while words.len() < body_len {
+        if rng.gen_bool(profile.constant_pool) {
+            // Literal pool word: an aligned address constant or FP bits.
+            let word = if rng.gen_bool(0.6) {
+                0x0040_0000u32 | (rng.gen::<u32>() & 0x000F_FFF8)
+            } else {
+                f32::to_bits(rng.gen_range(-100.0f32..100.0))
+            };
+            words.push(word);
+            continue;
+        }
+        if rng.gen_bool(profile.fp_fraction) {
+            emit_fp(rng, &mut words);
+            continue;
+        }
+        emit_integer(rng, profile, &mut words);
+    }
+
+    // Epilogue.
+    words.push(
+        Instruction::Mem {
+            op: MemOp::Lw,
+            rt: Reg::RA,
+            base: Reg::SP,
+            offset: frame - 4,
+        }
+        .encode(),
+    );
+    words.push(
+        Instruction::IAlu {
+            op: IAluOp::Addiu,
+            rt: Reg::SP,
+            rs: Reg::SP,
+            imm: frame as u16,
+        }
+        .encode(),
+    );
+    words.push(Instruction::Jr { rs: Reg::RA }.encode());
+    words.push(Instruction::NOP.encode());
+    words
+}
+
+/// Emits one integer idiom (possibly several words, e.g. branch + its
+/// delay-slot `nop`, or a `lui`/`addiu` address pair).
+fn emit_integer(rng: &mut StdRng, profile: &CodeProfile, words: &mut Vec<u32>) {
+    // Support-library register soup (register-allocated scratch chains on
+    // $t8/$t9), the same dialect `programs::library` emits — real
+    // binaries carry kilobytes of such helper code, and the preselected
+    // code must know its byte signature.
+    if rng.gen_bool(0.08) {
+        for _ in 0..rng.gen_range(2..6) {
+            words.push(library_style_word(rng));
+        }
+        return;
+    }
+    match rng.gen_range(0..100) {
+        // Loads dominate MIPS compiler output.
+        0..=21 => {
+            let op = match rng.gen_range(0..10) {
+                0..=6 => MemOp::Lw,
+                7 => MemOp::Lbu,
+                8 => MemOp::Lb,
+                _ => MemOp::Lhu,
+            };
+            let base = if rng.gen_bool(0.5) { Reg::SP } else { reg(rng) };
+            words.push(
+                Instruction::Mem {
+                    op,
+                    rt: reg(rng),
+                    base,
+                    offset: small_offset(rng),
+                }
+                .encode(),
+            );
+        }
+        22..=31 => {
+            let op = if rng.gen_bool(0.85) {
+                MemOp::Sw
+            } else {
+                MemOp::Sb
+            };
+            let base = if rng.gen_bool(0.5) { Reg::SP } else { reg(rng) };
+            words.push(
+                Instruction::Mem {
+                    op,
+                    rt: reg(rng),
+                    base,
+                    offset: small_offset(rng),
+                }
+                .encode(),
+            );
+        }
+        32..=53 => {
+            // addiu pointer/counter updates dwarf the other I-ALU ops.
+            let op = match rng.gen_range(0..10) {
+                0..=6 => IAluOp::Addiu,
+                7 => IAluOp::Andi,
+                8 => IAluOp::Ori,
+                _ => IAluOp::Slti,
+            };
+            let rt = reg(rng);
+            // Counters usually update in place.
+            let rs = if rng.gen_bool(0.6) { rt } else { reg(rng) };
+            words.push(
+                Instruction::IAlu {
+                    op,
+                    rt,
+                    rs,
+                    imm: immediate(rng, profile),
+                }
+                .encode(),
+            );
+        }
+        54..=67 => {
+            let op = match rng.gen_range(0..10) {
+                0..=4 => AluOp::Addu,
+                5 => AluOp::Subu,
+                6 => AluOp::And,
+                7 => AluOp::Or,
+                8 => AluOp::Slt,
+                _ => AluOp::Sltu,
+            };
+            words.push(
+                Instruction::RAlu {
+                    op,
+                    rd: reg(rng),
+                    rs: reg(rng),
+                    rt: reg(rng),
+                }
+                .encode(),
+            );
+        }
+        68..=71 => {
+            let op = if rng.gen_bool(0.7) {
+                ShiftOp::Sll
+            } else {
+                ShiftOp::Srl
+            };
+            words.push(
+                Instruction::Shift {
+                    op,
+                    rd: reg(rng),
+                    rt: reg(rng),
+                    shamt: [2u8, 3, 1, 2][rng.gen_range(0..4)],
+                }
+                .encode(),
+            );
+        }
+        72..=77 => {
+            // `li` / `la` idioms.
+            if rng.gen_bool(0.6) {
+                words.push(
+                    Instruction::IAlu {
+                        op: IAluOp::Ori,
+                        rt: reg(rng),
+                        rs: Reg::ZERO,
+                        imm: immediate(rng, profile),
+                    }
+                    .encode(),
+                );
+            } else {
+                let rt = reg(rng);
+                words.push(Instruction::Lui { rt, imm: 0x0040 }.encode());
+                words.push(
+                    Instruction::IAlu {
+                        op: IAluOp::Addiu,
+                        rt,
+                        rs: rt,
+                        imm: immediate(rng, profile),
+                    }
+                    .encode(),
+                );
+            }
+        }
+        78..=89 => {
+            // Short local branches, mostly backward (loops), each with
+            // its reorder-mode delay-slot nop.
+            let offset = if rng.gen_bool(0.65) {
+                -(rng.gen_range(2i16..20))
+            } else {
+                rng.gen_range(2i16..10)
+            };
+            let inst = if rng.gen_bool(0.6) {
+                let op = if rng.gen_bool(0.5) {
+                    BranchOp::Beq
+                } else {
+                    BranchOp::Bne
+                };
+                let rs = reg(rng);
+                let rt = if rng.gen_bool(0.5) {
+                    Reg::ZERO
+                } else {
+                    reg(rng)
+                };
+                Instruction::Branch { op, rs, rt, offset }
+            } else {
+                let op = [
+                    BranchZOp::Blez,
+                    BranchZOp::Bgtz,
+                    BranchZOp::Bltz,
+                    BranchZOp::Bgez,
+                ][rng.gen_range(0..4)];
+                Instruction::BranchZ {
+                    op,
+                    rs: reg(rng),
+                    offset,
+                }
+            };
+            words.push(inst.encode());
+            words.push(Instruction::NOP.encode());
+        }
+        90..=93 => {
+            words.push(
+                Instruction::Jump {
+                    link: true,
+                    target: (rng.gen_range(0..0x1000u32)) * 8,
+                }
+                .encode(),
+            );
+            words.push(Instruction::NOP.encode());
+        }
+        94..=96 => {
+            words.push(
+                Instruction::MultDiv {
+                    op: if rng.gen_bool(0.8) {
+                        MultDivOp::Mult
+                    } else {
+                        MultDivOp::Divu
+                    },
+                    rs: reg(rng),
+                    rt: reg(rng),
+                }
+                .encode(),
+            );
+            words.push(
+                Instruction::HiLo {
+                    op: HiLoOp::Mflo,
+                    reg: reg(rng),
+                }
+                .encode(),
+            );
+        }
+        _ => words.push(Instruction::NOP.encode()),
+    }
+}
+
+/// One instruction of `$t8`/`$t9` scratch-chain code, byte-compatible
+/// with the `programs::library` routine ring.
+fn library_style_word(rng: &mut StdRng) -> u32 {
+    let t8 = Reg::T8;
+    let t9 = Reg::T9;
+    match rng.gen_range(0..8) {
+        0 => Instruction::RAlu {
+            op: AluOp::Addu,
+            rd: t8,
+            rs: t8,
+            rt: t9,
+        },
+        1 => Instruction::RAlu {
+            op: AluOp::Xor,
+            rd: t9,
+            rs: t9,
+            rt: t8,
+        },
+        2 => Instruction::Shift {
+            op: ShiftOp::Sll,
+            rd: t8,
+            rt: t8,
+            shamt: rng.gen_range(1..8),
+        },
+        3 => Instruction::Shift {
+            op: ShiftOp::Srl,
+            rd: t9,
+            rt: t9,
+            shamt: rng.gen_range(1..8),
+        },
+        4 => Instruction::RAlu {
+            op: AluOp::Or,
+            rd: t8,
+            rs: t8,
+            rt: t9,
+        },
+        5 => Instruction::RAlu {
+            op: AluOp::Nor,
+            rd: t9,
+            rs: t8,
+            rt: t9,
+        },
+        6 => Instruction::IAlu {
+            op: IAluOp::Addiu,
+            rt: t8,
+            rs: t8,
+            imm: rng.gen_range(-1024i32..1024) as i16 as u16,
+        },
+        _ => Instruction::RAlu {
+            op: AluOp::Sltu,
+            rd: t9,
+            rs: t8,
+            rt: t9,
+        },
+    }
+    .encode()
+}
+
+/// Emits a whole FP idiom the way compiled (and our hand-written) loop
+/// bodies look: `l.d`/`l.d`/`op.d`/`op.d`/`s.d` groups over a small
+/// register pool, plus the occasional `mtc1`/`cvt.d.w` int-to-double
+/// conversion.
+fn emit_fp(rng: &mut StdRng, words: &mut Vec<u32>) {
+    let load_pair = |rng: &mut StdRng, ft: u8, words: &mut Vec<u32>, store: bool| {
+        let base = [Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5, Reg::A0][rng.gen_range(0..6)];
+        let offset = 8 * rng.gen_range(0i16..40);
+        let ft_lo = FpReg::new(ft).expect("even reg");
+        let ft_hi = FpReg::new(ft + 1).expect("odd pair");
+        words.push(
+            Instruction::FpMem {
+                store,
+                ft: ft_lo,
+                base,
+                offset,
+            }
+            .encode(),
+        );
+        words.push(
+            Instruction::FpMem {
+                store,
+                ft: ft_hi,
+                base,
+                offset: offset + 4,
+            }
+            .encode(),
+        );
+    };
+    match rng.gen_range(0..10) {
+        0..=6 => {
+            // The dominant group: load two doubles, combine (often
+            // against a constant register), store one.
+            load_pair(rng, 2, words, false);
+            load_pair(rng, 4, words, false);
+            let op = [FpOp::Mul, FpOp::Add, FpOp::Mul, FpOp::Sub][rng.gen_range(0..4)];
+            let f2 = FpReg::new(2).expect("f2");
+            let f4 = FpReg::new(4).expect("f4");
+            words.push(
+                Instruction::FpArith {
+                    op,
+                    fmt: FpFmt::Double,
+                    fd: f2,
+                    fs: f2,
+                    ft: f4,
+                }
+                .encode(),
+            );
+            if rng.gen_bool(0.5) {
+                let konst = FpReg::new([20u8, 22, 0][rng.gen_range(0..3)]).expect("const reg");
+                words.push(
+                    Instruction::FpArith {
+                        op: if rng.gen_bool(0.6) {
+                            FpOp::Mul
+                        } else {
+                            FpOp::Add
+                        },
+                        fmt: FpFmt::Double,
+                        fd: if rng.gen_bool(0.5) {
+                            FpReg::new(0).expect("f0")
+                        } else {
+                            f2
+                        },
+                        fs: konst,
+                        ft: f2,
+                    }
+                    .encode(),
+                );
+            }
+            load_pair(rng, 2, words, true);
+        }
+        7..=8 => {
+            // Int-to-double conversion, as in every kernel init loop.
+            let f0 = FpReg::new(0).expect("f0");
+            let f2 = FpReg::new(2).expect("f2");
+            words.push(
+                Instruction::Cp1Move {
+                    op: ccrp_isa::Cp1MoveOp::Mtc1,
+                    rt: reg(rng),
+                    fs: f0,
+                }
+                .encode(),
+            );
+            words.push(
+                Instruction::FpCvt {
+                    to: FpFmt::Double,
+                    from: FpFmt::Word,
+                    fd: f2,
+                    fs: f0,
+                }
+                .encode(),
+            );
+        }
+        _ => {
+            // Reduction tail: cvt.w.d + mfc1.
+            let f0 = FpReg::new(0).expect("f0");
+            let f4 = FpReg::new(4).expect("f4");
+            words.push(
+                Instruction::FpCvt {
+                    to: FpFmt::Word,
+                    from: FpFmt::Double,
+                    fd: f4,
+                    fs: f0,
+                }
+                .encode(),
+            );
+            words.push(
+                Instruction::Cp1Move {
+                    op: ccrp_isa::Cp1MoveOp::Mfc1,
+                    rt: reg(rng),
+                    fs: f4,
+                }
+                .encode(),
+            );
+        }
+    }
+}
+
+/// Synthesizes exactly `target_bytes` of little-endian text with the
+/// given profile. Deterministic in `(profile, target_bytes, seed)`.
+///
+/// # Panics
+///
+/// Panics if `target_bytes` is not a multiple of 4.
+pub fn generate_text(profile: &CodeProfile, target_bytes: usize, seed: u64) -> Vec<u8> {
+    assert_eq!(target_bytes % 4, 0, "text is made of 4-byte words");
+    let target_words = target_bytes / 4;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut words: Vec<u32> = Vec::with_capacity(target_words);
+    while words.len() < target_words {
+        let body = rng.gen_range(12..120);
+        words.extend(function(&mut rng, profile, body));
+    }
+    words.truncate(target_words);
+    let mut bytes = Vec::with_capacity(target_bytes);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccrp_compress::ByteHistogram;
+
+    #[test]
+    fn exact_size_and_deterministic() {
+        let p = CodeProfile::integer();
+        let a = generate_text(&p, 4096, 7);
+        let b = generate_text(&p, 4096, 7);
+        assert_eq!(a.len(), 4096);
+        assert_eq!(a, b);
+        let c = generate_text(&p, 4096, 8);
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn byte_distribution_is_code_like() {
+        let text = generate_text(&CodeProfile::integer(), 65536, 42);
+        let h = ByteHistogram::of(&text);
+        // Real R2000 code is strongly skewed: zero is by far the most
+        // common byte and entropy is well under 8 bits/byte.
+        let zero_fraction = h.count(0) as f64 / h.total() as f64;
+        assert!(zero_fraction > 0.15, "zero fraction {zero_fraction}");
+        let entropy = h.entropy_bits();
+        assert!(entropy < 5.8, "entropy {entropy} too high for code");
+        assert!(entropy > 3.0, "entropy {entropy} suspiciously low");
+    }
+
+    #[test]
+    fn most_words_decode_as_instructions() {
+        let text = generate_text(&CodeProfile::floating(), 32768, 3);
+        let decodable = text
+            .chunks_exact(4)
+            .filter(|c| ccrp_isa::decode(u32::from_le_bytes([c[0], c[1], c[2], c[3]])).is_ok())
+            .count();
+        let total = text.len() / 4;
+        assert!(
+            decodable as f64 / total as f64 > 0.9,
+            "{decodable}/{total} decodable"
+        );
+    }
+
+    #[test]
+    fn constant_heavy_profile_has_higher_entropy() {
+        let plain = ByteHistogram::of(&generate_text(&CodeProfile::integer(), 65536, 1));
+        let heavy = ByteHistogram::of(&generate_text(&CodeProfile::constant_heavy(), 65536, 1));
+        assert!(heavy.entropy_bits() > plain.entropy_bits() + 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "4-byte words")]
+    fn odd_size_panics() {
+        generate_text(&CodeProfile::integer(), 10, 0);
+    }
+}

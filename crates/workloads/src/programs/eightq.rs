@@ -1,0 +1,121 @@
+//! The `eightq` benchmark: counts the 92 solutions of the eight-queens
+//! problem with the classic recursive backtracking solver — one of the
+//! small C programs in the paper's test set (4020 bytes of DECstation
+//! object code).
+//!
+//! The column loop is unrolled by two, giving the solver the ~450-byte
+//! hot footprint that produces the paper's signature eightq behaviour:
+//! double-digit miss rates in a 256-byte cache that all but vanish at
+//! 512 bytes.
+
+use std::fmt::Write as _;
+
+/// The expected program output (solution count).
+pub const EXPECTED_OUTPUT: &str = "92";
+
+/// MIPS source of the kernel.
+pub fn source() -> String {
+    // Two unrolled copies of the "try column c" body. Copy `u` probes
+    // column $s1 + u using constant displacements, so the recursion can
+    // recompute every address after the call clobbers the temporaries.
+    let mut body = String::new();
+    for u in 0..2 {
+        writeln!(
+            body,
+            r"
+# ---- column $s1 + {u} ----
+        la    $t0, col
+        addu  $t1, $t0, $s1
+        lbu   $t2, {u}($t1)
+        bnez  $t2, next{u}
+        addu  $t3, $s0, $s1          # row + col - {u}
+        la    $t4, d1
+        addu  $t4, $t4, $t3
+        lbu   $t5, {u}($t4)
+        bnez  $t5, next{u}
+        subu  $t6, $s0, $s1          # row - col + 7 + {u}
+        addiu $t6, $t6, 7
+        la    $t7, d2
+        addu  $t7, $t7, $t6
+        lbu   $t8, -{u}($t7)
+        bnez  $t8, next{u}
+
+        li    $t9, 1                 # place the queen
+        sb    $t9, {u}($t1)
+        sb    $t9, {u}($t4)
+        sb    $t9, -{u}($t7)
+        addiu $a0, $s0, 1
+        jal   solve
+
+        la    $t0, col               # remove the queen
+        addu  $t1, $t0, $s1
+        sb    $zero, {u}($t1)
+        addu  $t3, $s0, $s1
+        la    $t4, d1
+        addu  $t4, $t4, $t3
+        sb    $zero, {u}($t4)
+        subu  $t6, $s0, $s1
+        addiu $t6, $t6, 7
+        la    $t7, d2
+        addu  $t7, $t7, $t6
+        sb    $zero, -{u}($t7)
+next{u}:"
+        )
+        .expect("write to String cannot fail");
+    }
+
+    format!(
+        r"
+        .data
+col:    .space 8
+d1:     .space 16
+d2:     .space 16
+        .align 2
+count:  .word 0
+
+        .text
+main:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        li    $a0, 0
+        jal   solve
+        la    $t0, count
+        lw    $a0, 0($t0)
+        li    $v0, 1
+        syscall
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        li    $v0, 10
+        syscall
+
+# solve(row in $a0): try every column in the current row, two at a time.
+solve:
+        addiu $sp, $sp, -16
+        sw    $ra, 12($sp)
+        sw    $s0, 8($sp)
+        sw    $s1, 4($sp)
+        move  $s0, $a0
+        li    $t0, 8
+        bne   $s0, $t0, search
+        la    $t1, count
+        lw    $t2, 0($t1)
+        addiu $t2, $t2, 1
+        sw    $t2, 0($t1)
+        b     done
+
+search:
+        li    $s1, 0
+colloop:
+{body}
+        addiu $s1, $s1, 2
+        li    $t0, 8
+        blt   $s1, $t0, colloop
+done:
+        lw    $ra, 12($sp)
+        lw    $s0, 8($sp)
+        lw    $s1, 4($sp)
+        addiu $sp, $sp, 16
+        jr    $ra
+"
+    )
+}

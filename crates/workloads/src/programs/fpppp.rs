@@ -1,0 +1,180 @@
+//! The `fpppp` benchmark: one enormous straight-line basic block of
+//! double-precision arithmetic executed repeatedly — the signature of
+//! SPEC's `fpppp` (two-electron integral derivatives), whose huge basic
+//! blocks and addressing constants the paper calls out.
+//!
+//! The block is ~1.7 KB of contiguous code, so it streams through caches
+//! of 1 KB and below (high, size-insensitive miss rate) but locks into a
+//! 2 KB cache — the knee the paper's fpppp tables show between 1024 and
+//! 2048 bytes.
+//!
+//! Generated from a group spec shared by the assembly emitter and the
+//! Rust replica that computes the expected output.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Doubles in the work array.
+pub const SLOTS: usize = 64;
+/// Straight-line groups per pass (8 machine words each, so the block is
+/// ~1.4 KB — between the paper's 1 KB and 2 KB cache sizes).
+pub const GROUPS: usize = 42;
+/// Number of passes over the block.
+pub const PASSES: usize = 1500;
+
+const SEED: u64 = 0x0F99_9900_B10C_4A11;
+
+/// One straight-line group; all keep magnitudes bounded (convex
+/// combinations, or a product scaled by 1/64 that contracts while values
+/// stay below 64).
+#[derive(Debug, Clone, Copy)]
+enum Group {
+    /// `arr[c] = 0.5 * (arr[a] + arr[b])`.
+    AvgAdd(u8, u8, u8),
+    /// `arr[c] = 0.5 * (arr[a] - arr[b])`.
+    AvgSub(u8, u8, u8),
+    /// `arr[c] = (arr[a] * arr[b]) / 64`.
+    MulScale(u8, u8, u8),
+}
+
+fn groups() -> Vec<Group> {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    (0..GROUPS)
+        .map(|_| {
+            let a = rng.gen_range(0..SLOTS) as u8;
+            let b = rng.gen_range(0..SLOTS) as u8;
+            let c = rng.gen_range(0..SLOTS) as u8;
+            match rng.gen_range(0..3) {
+                0 => Group::AvgAdd(a, b, c),
+                1 => Group::AvgSub(a, b, c),
+                _ => Group::MulScale(a, b, c),
+            }
+        })
+        .collect()
+}
+
+/// Rust replica with identical IEEE operation order.
+pub fn expected_output() -> String {
+    let plan = groups();
+    // The work array is initialized once; every group is a contraction
+    // (averages, or a product scaled by 1/64), so values stay bounded
+    // across all passes without re-initialization.
+    let mut arr: Vec<f64> = (0..SLOTS).map(|i| ((i % 10) + 1) as f64).collect();
+    let mut acc = 0.0f64;
+    for _ in 0..PASSES {
+        for g in &plan {
+            match *g {
+                Group::AvgAdd(a, b, c) => {
+                    arr[c as usize] = 0.5 * (arr[a as usize] + arr[b as usize]);
+                }
+                Group::AvgSub(a, b, c) => {
+                    arr[c as usize] = 0.5 * (arr[a as usize] - arr[b as usize]);
+                }
+                Group::MulScale(a, b, c) => {
+                    arr[c as usize] = (arr[a as usize] * arr[b as usize]) * 0.015625;
+                }
+            }
+        }
+        acc += arr[17] + arr[42];
+    }
+    format!("{}", (acc * 1024.0).trunc() as i32)
+}
+
+/// MIPS source: init loop + the generated straight-line block.
+pub fn source() -> String {
+    use std::fmt::Write as _;
+    let plan = groups();
+    let mut src = String::with_capacity(64 * 1024);
+    write!(
+        src,
+        r"
+        .equ SLOTS, {SLOTS}
+        .equ PASSES, {PASSES}
+
+        .data
+        .align 3
+farr:   .space SLOTS*8
+        .align 3
+khalf:  .double 0.5
+kscale: .double 0.015625
+kprint: .double 1024.0
+
+        .text
+main:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        la    $t0, khalf
+        l.d   $f20, 0($t0)
+        la    $t0, kscale
+        l.d   $f22, 0($t0)
+        mtc1  $zero, $f28            # running checksum = 0.0
+        mtc1  $zero, $f29
+
+        # one-time init: farr[i] = i%10 + 1 (every block group is a
+        # contraction, so values stay bounded across all passes)
+        la    $t1, farr
+        li    $t0, 0
+finit:
+        li    $t2, 10
+        rem   $t3, $t0, $t2
+        addiu $t3, $t3, 1
+        mtc1  $t3, $f0
+        cvt.d.w $f2, $f0
+        s.d   $f2, 0($t1)
+        addiu $t1, $t1, 8
+        addiu $t0, $t0, 1
+        li    $t2, SLOTS
+        blt   $t0, $t2, finit
+
+        li    $s0, 0                 # pass counter
+pass:
+        la    $a0, farr
+"
+    )
+    .expect("write to String cannot fail");
+
+    for g in &plan {
+        let (a, b, c, op, scale_reg) = match *g {
+            Group::AvgAdd(a, b, c) => (a, b, c, "add.d", "$f20"),
+            Group::AvgSub(a, b, c) => (a, b, c, "sub.d", "$f20"),
+            Group::MulScale(a, b, c) => (a, b, c, "mul.d", "$f22"),
+        };
+        writeln!(
+            src,
+            "        l.d   $f2, {}($a0)\n        l.d   $f4, {}($a0)\n        {op} $f2, $f2, $f4\n        mul.d $f2, $f2, {scale_reg}\n        s.d   $f2, {}($a0)",
+            u32::from(a) * 8,
+            u32::from(b) * 8,
+            u32::from(c) * 8,
+        )
+        .expect("write to String cannot fail");
+    }
+
+    write!(
+        src,
+        r"
+        # acc += farr[17] + farr[42]
+        l.d   $f2, 136($a0)
+        l.d   $f4, 336($a0)
+        add.d $f2, $f2, $f4
+        add.d $f28, $f28, $f2
+
+        addiu $s0, $s0, 1
+        li    $t2, PASSES
+        blt   $s0, $t2, pass
+
+        la    $t0, kprint
+        l.d   $f2, 0($t0)
+        mul.d $f2, $f28, $f2
+        cvt.w.d $f4, $f2
+        mfc1  $a0, $f4
+        li    $v0, 1
+        syscall
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        li    $v0, 10
+        syscall
+"
+    )
+    .expect("write to String cannot fail");
+    src
+}

@@ -1,0 +1,132 @@
+//! The `lloopO1` benchmark: Livermore loop 1 (the hydro fragment)
+//! `x[k] = q + y[k]·(r·z[k+10] + t·z[k+11])`, repeated over many passes
+//! — a small tight-loop program like the paper's 4020-byte `lloopO1`.
+
+/// Loop trip count per pass.
+pub const N: usize = 100;
+/// Number of passes over the arrays.
+pub const PASSES: usize = 150;
+
+use super::library;
+
+/// The expected output: the integer sum of `x` after the final pass.
+/// All operands are small integers, so the doubles are exact.
+pub fn expected_output() -> String {
+    let q = 1.0f64;
+    let r = 2.0f64;
+    let t = 3.0f64;
+    let z: Vec<f64> = (0..N + 11).map(|k| (k % 9) as f64).collect();
+    let y: Vec<f64> = (0..N).map(|k| (k % 7) as f64).collect();
+    let sum: f64 = (0..N)
+        .map(|k| q + y[k] * (r * z[k + 10] + t * z[k + 11]))
+        .sum();
+    format!("{}", sum as i64)
+}
+
+/// MIPS source of the kernel.
+pub fn source() -> String {
+    format!(
+        r"
+        .equ N, {N}
+        .equ PASSES, {PASSES}
+
+        .data
+        .align 3
+x:      .space N*8
+y:      .space N*8
+z:      .space (N+11)*8
+        .align 3
+consts: .double 1.0, 2.0, 3.0       # q, r, t
+
+        .text
+main:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+
+        # init z[k] = k % 9, y[k] = k % 7
+        li    $t0, 0
+zi:     li    $t1, 9
+        rem   $t2, $t0, $t1
+        mtc1  $t2, $f0
+        cvt.d.w $f2, $f0
+        sll   $t3, $t0, 3
+        la    $t4, z
+        addu  $t4, $t4, $t3
+        s.d   $f2, 0($t4)
+        addiu $t0, $t0, 1
+        li    $t1, N+11
+        blt   $t0, $t1, zi
+
+        li    $t0, 0
+yi:     li    $t1, 7
+        rem   $t2, $t0, $t1
+        mtc1  $t2, $f0
+        cvt.d.w $f2, $f0
+        sll   $t3, $t0, 3
+        la    $t4, y
+        addu  $t4, $t4, $t3
+        s.d   $f2, 0($t4)
+        addiu $t0, $t0, 1
+        li    $t1, N
+        blt   $t0, $t1, yi
+
+        # q, r, t stay resident in $f20, $f22, $f24
+        la    $t0, consts
+        l.d   $f20, 0($t0)
+        l.d   $f22, 8($t0)
+        l.d   $f24, 16($t0)
+
+        li    $s0, 0                 # pass counter
+pass:
+        jal   lib_tick
+        la    $t1, x
+        la    $t2, y
+        la    $t3, z
+        addiu $t4, $t3, 80           # &z[10]
+        li    $t0, 0
+kern:
+        l.d   $f2, 0($t4)            # z[k+10]
+        l.d   $f4, 8($t4)            # z[k+11]
+        mul.d $f2, $f22, $f2         # r * z[k+10]
+        mul.d $f4, $f24, $f4         # t * z[k+11]
+        add.d $f2, $f2, $f4
+        l.d   $f6, 0($t2)            # y[k]
+        mul.d $f2, $f6, $f2
+        add.d $f2, $f20, $f2         # q + ...
+        s.d   $f2, 0($t1)
+        addiu $t1, $t1, 8
+        addiu $t2, $t2, 8
+        addiu $t4, $t4, 8
+        addiu $t0, $t0, 1
+        li    $t5, N
+        blt   $t0, $t5, kern
+        addiu $s0, $s0, 1
+        li    $t5, PASSES
+        blt   $s0, $t5, pass
+
+        # checksum: integer sum of x
+        mtc1  $zero, $f0
+        mtc1  $zero, $f1
+        la    $t1, x
+        li    $t0, 0
+ck:     l.d   $f2, 0($t1)
+        add.d $f0, $f0, $f2
+        addiu $t1, $t1, 8
+        addiu $t0, $t0, 1
+        li    $t5, N
+        blt   $t0, $t5, ck
+        cvt.w.d $f4, $f0
+        mfc1  $a0, $f4
+        li    $v0, 1
+        syscall
+
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        li    $v0, 10
+        syscall
+
+{library}
+",
+        library = library::library_source_sized(0x1313, 8, 44)
+    )
+}

@@ -1,0 +1,166 @@
+//! The `matrix25A` benchmark: a 25×25 double-precision matrix multiply
+//! with deterministic operands and a diagonal checksum, standing in for
+//! the paper's matrix program (36766 bytes of object code).
+//!
+//! `A[i][j] = i + j`, `B[i][j] = i − j + 1`; the trace of `C = A·B` is
+//! `Σᵢ Σₖ (i+k)(k−i+1) = 15000`, which the program prints.
+//!
+//! The inner product is unrolled by 5, as 1992 FORTRAN compilers did,
+//! which puts the hot loop's footprint just above a 256-byte cache —
+//! reproducing the paper's small-but-nonzero matrix25A miss rates — and
+//! the outer loop calls into the synthetic library ring for the
+//! large-cache miss floor.
+
+use super::library;
+
+/// The expected program output (the diagonal checksum).
+pub const EXPECTED_OUTPUT: &str = "15000";
+
+/// Unroll factor of the inner product (divides N).
+const UNROLL: usize = 5;
+
+/// MIPS source of the kernel.
+pub fn source() -> String {
+    use std::fmt::Write as _;
+    let mut unrolled = String::new();
+    for u in 0..UNROLL {
+        writeln!(
+            unrolled,
+            "        l.d   $f2, {}($t2)\n        l.d   $f4, {}($t3)\n        mul.d $f6, $f2, $f4\n        add.d $f0, $f0, $f6",
+            u * 8,
+            u * 25 * 8,
+        )
+        .expect("write to String cannot fail");
+    }
+    format!(
+        r"
+        .equ N, 25
+        .equ UNROLL, {UNROLL}
+
+        .data
+        .align 3
+A:      .space 5000                  # 25*25 doubles
+B:      .space 5000
+C:      .space 5000
+
+        .text
+main:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        jal   init
+        jal   matmul
+        jal   checksum
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        li    $v0, 10
+        syscall
+
+# A[i][j] = i+j ; B[i][j] = i-j+1 (exact small integers in doubles)
+init:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        li    $s0, 0                 # i
+init_i:
+        jal   lib_tick
+        li    $t1, 0                 # j
+init_j:
+        addu  $t2, $s0, $t1
+        mtc1  $t2, $f0
+        cvt.d.w $f2, $f0
+        li    $t3, N
+        mult  $s0, $t3
+        mflo  $t4
+        addu  $t4, $t4, $t1
+        sll   $t4, $t4, 3
+        la    $t5, A
+        addu  $t5, $t5, $t4
+        s.d   $f2, 0($t5)
+        subu  $t6, $s0, $t1
+        addiu $t6, $t6, 1
+        mtc1  $t6, $f4
+        cvt.d.w $f6, $f4
+        la    $t7, B
+        addu  $t7, $t7, $t4
+        s.d   $f6, 0($t7)
+        addiu $t1, $t1, 1
+        li    $t3, N
+        blt   $t1, $t3, init_j
+        addiu $s0, $s0, 1
+        li    $t3, N
+        blt   $s0, $t3, init_i
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        jr    $ra
+
+# C = A * B with the k loop unrolled by UNROLL.
+matmul:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        li    $s0, 0                 # i
+mm_i:
+        jal   lib_tick
+        li    $s1, 0                 # j
+mm_j:
+        mtc1  $zero, $f0             # acc = 0.0
+        mtc1  $zero, $f1
+        li    $s2, 0                 # k
+        li    $t0, N*8
+        mult  $s0, $t0
+        mflo  $t1
+        la    $t2, A
+        addu  $t2, $t2, $t1          # &A[i][0]
+        la    $t3, B
+        sll   $t4, $s1, 3
+        addu  $t3, $t3, $t4          # &B[0][j]
+mm_k:
+{unrolled}        addiu $t2, $t2, UNROLL*8
+        addiu $t3, $t3, UNROLL*N*8
+        addiu $s2, $s2, UNROLL
+        li    $t5, N
+        blt   $s2, $t5, mm_k
+        li    $t0, N*8
+        mult  $s0, $t0
+        mflo  $t1
+        sll   $t4, $s1, 3
+        addu  $t1, $t1, $t4
+        la    $t6, C
+        addu  $t6, $t6, $t1
+        s.d   $f0, 0($t6)
+        addiu $s1, $s1, 1
+        li    $t5, N
+        blt   $s1, $t5, mm_j
+        addiu $s0, $s0, 1
+        li    $t5, N
+        blt   $s0, $t5, mm_i
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        jr    $ra
+
+# Print the integer sum of the diagonal of C.
+checksum:
+        mtc1  $zero, $f0
+        mtc1  $zero, $f1
+        li    $t0, 0
+ck_loop:
+        li    $t1, N+1
+        mult  $t0, $t1
+        mflo  $t2
+        sll   $t2, $t2, 3
+        la    $t3, C
+        addu  $t3, $t3, $t2
+        l.d   $f2, 0($t3)
+        add.d $f0, $f0, $f2
+        addiu $t0, $t0, 1
+        li    $t1, N
+        blt   $t0, $t1, ck_loop
+        cvt.w.d $f4, $f0
+        mfc1  $a0, $f4
+        li    $v0, 1
+        syscall
+        jr    $ra
+
+{library}
+",
+        library = library::library_source(0xA2A2)
+    )
+}

@@ -1,0 +1,11 @@
+//! The traced benchmark kernels, one module per program.
+
+pub mod eightq;
+pub mod espresso;
+pub mod fpppp;
+pub mod library;
+pub mod lloop;
+pub mod matrix;
+pub mod nasa1;
+pub mod nasa7;
+pub mod tomcatv;

@@ -1,0 +1,180 @@
+//! The `NASA1` benchmark: a small FORTRAN-kernel-style program — a DAXPY
+//! pass, a dot product, and a scale pass over 200-element double
+//! vectors, driven for many iterations. Stands in for the paper's NASA1
+//! trace (moderate code working set, low miss rates).
+//!
+//! All three vector loops are unrolled by four (the compiler idiom of
+//! the era), putting the combined hot footprint between the paper's
+//! 256-byte and 1024-byte cache sizes; the driver ticks the synthetic
+//! library ring for the large-cache floor.
+
+use std::fmt::Write as _;
+
+use super::library;
+
+/// Vector length (divisible by the unroll factor).
+pub const N: usize = 200;
+/// Driver iterations.
+pub const ITERS: usize = 60;
+
+const UNROLL: usize = 4;
+
+/// Replicates the kernel in Rust (identical IEEE operation order) for
+/// the expected printed checksum: the per-iteration integer accumulation
+/// of `trunc(dot / 1024)`.
+pub fn expected_output() -> String {
+    let mut a: Vec<f64> = (0..N).map(|k| ((k % 11) + 1) as f64).collect();
+    let b: Vec<f64> = (0..N).map(|k| ((k % 7) + 1) as f64).collect();
+    let mut total: i64 = 0;
+    #[allow(clippy::needless_range_loop)] // mirrors the assembly's indexing
+    for _ in 0..ITERS {
+        for k in 0..N {
+            a[k] += 2.0 * b[k];
+        }
+        let mut dot = 0.0f64;
+        for k in 0..N {
+            dot += a[k] * b[k];
+        }
+        for k in 0..N {
+            a[k] *= 0.5;
+        }
+        total += (dot * (1.0 / 1024.0)).trunc() as i32 as i64;
+    }
+    format!("{total}")
+}
+
+/// MIPS source of the kernel.
+pub fn source() -> String {
+    let mut daxpy = String::new();
+    let mut dot = String::new();
+    let mut scale = String::new();
+    for u in 0..UNROLL {
+        let off = u * 8;
+        writeln!(
+            daxpy,
+            "        l.d   $f2, {off}($t2)\n        mul.d $f2, $f20, $f2\n        l.d   $f4, {off}($t1)\n        add.d $f4, $f4, $f2\n        s.d   $f4, {off}($t1)"
+        )
+        .expect("write to String cannot fail");
+        writeln!(
+            dot,
+            "        l.d   $f2, {off}($t1)\n        l.d   $f4, {off}($t2)\n        mul.d $f2, $f2, $f4\n        add.d $f0, $f0, $f2"
+        )
+        .expect("write to String cannot fail");
+        writeln!(
+            scale,
+            "        l.d   $f2, {off}($t1)\n        mul.d $f2, $f22, $f2\n        s.d   $f2, {off}($t1)"
+        )
+        .expect("write to String cannot fail");
+    }
+    format!(
+        r"
+        .equ N, {N}
+        .equ ITERS, {ITERS}
+        .equ UNROLL, {UNROLL}
+
+        .data
+        .align 3
+va:     .space N*8
+vb:     .space N*8
+        .align 3
+ktwo:   .double 2.0
+khalf:  .double 0.5
+kinv:   .double 0.0009765625        # 1/1024
+
+        .text
+main:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+
+        # init a[k] = k%11 + 1, b[k] = k%7 + 1
+        li    $t0, 0
+vinit:
+        li    $t1, 11
+        rem   $t2, $t0, $t1
+        addiu $t2, $t2, 1
+        mtc1  $t2, $f0
+        cvt.d.w $f2, $f0
+        sll   $t3, $t0, 3
+        la    $t4, va
+        addu  $t4, $t4, $t3
+        s.d   $f2, 0($t4)
+        li    $t1, 7
+        rem   $t2, $t0, $t1
+        addiu $t2, $t2, 1
+        mtc1  $t2, $f0
+        cvt.d.w $f2, $f0
+        la    $t4, vb
+        addu  $t4, $t4, $t3
+        s.d   $f2, 0($t4)
+        addiu $t0, $t0, 1
+        li    $t1, N
+        blt   $t0, $t1, vinit
+
+        la    $t0, ktwo
+        l.d   $f20, 0($t0)
+        la    $t0, khalf
+        l.d   $f22, 0($t0)
+        la    $t0, kinv
+        l.d   $f24, 0($t0)
+
+        li    $s4, 0                 # integer checksum accumulator
+        li    $s3, 0                 # iteration
+iter:
+        jal   lib_tick
+
+        # daxpy: a += 2*b, unrolled by UNROLL
+        la    $t1, va
+        la    $t2, vb
+        li    $t0, 0
+daxpy:
+{daxpy}        addiu $t1, $t1, UNROLL*8
+        addiu $t2, $t2, UNROLL*8
+        addiu $t0, $t0, UNROLL
+        li    $t3, N
+        blt   $t0, $t3, daxpy
+
+        # dot = sum a[k]*b[k], unrolled
+        mtc1  $zero, $f0
+        mtc1  $zero, $f1
+        la    $t1, va
+        la    $t2, vb
+        li    $t0, 0
+dot:
+{dot}        addiu $t1, $t1, UNROLL*8
+        addiu $t2, $t2, UNROLL*8
+        addiu $t0, $t0, UNROLL
+        li    $t3, N
+        blt   $t0, $t3, dot
+
+        # scale: a *= 0.5, unrolled
+        la    $t1, va
+        li    $t0, 0
+scale:
+{scale}        addiu $t1, $t1, UNROLL*8
+        addiu $t0, $t0, UNROLL
+        li    $t3, N
+        blt   $t0, $t3, scale
+
+        # checksum += trunc(dot / 1024)
+        mul.d $f0, $f0, $f24
+        cvt.w.d $f2, $f0
+        mfc1  $t0, $f2
+        addu  $s4, $s4, $t0
+
+        addiu $s3, $s3, 1
+        li    $t3, ITERS
+        blt   $s3, $t3, iter
+
+        move  $a0, $s4
+        li    $v0, 1
+        syscall
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        li    $v0, 10
+        syscall
+
+{library}
+",
+        library = library::library_source(0x7171)
+    )
+}

@@ -1,0 +1,495 @@
+//! The `NASA7` benchmark: seven small FORTRAN-style kernels run in
+//! sequence each iteration, mirroring the NAS kernel suite the paper
+//! traces (matrix multiply, FFT-like butterflies, Cholesky-like
+//! triangular update, block-tridiagonal-like recurrence, geometry dot
+//! products, an emission copy, and a pentadiagonal-like stencil).
+//!
+//! The kernels are unrolled to different depths — fully unrolled inner
+//! products, per-stride butterfly loops — the way 1992 FORTRAN compilers
+//! flattened them, so their hot footprints ladder from ~300 B to ~1.5 KB.
+//! That ladder is what produces NASA7's gradually declining miss-rate
+//! curve in the paper's tables; the library ring adds the large-cache
+//! floor.
+
+use std::fmt::Write as _;
+
+use super::library;
+
+/// Matrix dimension for the `mxm` kernel.
+pub const M: usize = 12;
+/// Vector length for the 1-D kernels.
+pub const V: usize = 64;
+/// Driver iterations.
+pub const ITERS: usize = 8;
+
+/// Rust replication of the kernels, in identical IEEE operation order,
+/// for the expected printed checksum.
+pub fn expected_output() -> String {
+    let idx = |i: usize, j: usize| i * M + j;
+    let mut wa: Vec<f64> = (0..M * M).map(|k| ((k % 9) + 1) as f64).collect();
+    let wb: Vec<f64> = (0..M * M).map(|k| ((k % 5) + 1) as f64).collect();
+    let mut wc = vec![0.0f64; M * M];
+    let mut v1: Vec<f64> = (0..V).map(|k| ((k % 13) + 1) as f64).collect();
+    let mut v2: Vec<f64> = (0..V).map(|k| ((k % 3) + 1) as f64).collect();
+    let mut v3 = vec![0.0f64; V];
+
+    for _ in 0..ITERS {
+        // K1 mxm: wc = wa * wb
+        for i in 0..M {
+            for j in 0..M {
+                let mut acc = 0.0;
+                for k in 0..M {
+                    acc += wa[idx(i, k)] * wb[idx(k, j)];
+                }
+                wc[idx(i, j)] = acc;
+            }
+        }
+        // K2 fft-like butterflies with damping
+        let mut s = 1;
+        while s < V {
+            for i in 0..V - s {
+                v1[i] += v1[i + s];
+            }
+            s *= 2;
+        }
+        for value in v1.iter_mut() {
+            *value *= 0.0625;
+        }
+        // K3 cholesky-like triangular update
+        for i in 1..M {
+            for j in 0..i {
+                wa[idx(i, j)] += 0.5 * wa[idx(i - 1, j)];
+            }
+        }
+        // K4 btrix-like first-order recurrence
+        for i in 1..V {
+            v2[i] -= 0.25 * v2[i - 1];
+        }
+        // K5 gmtry-like row/column dot products
+        for i in 0..M {
+            let mut acc = 0.0;
+            for j in 0..M {
+                acc += wa[idx(i, j)] * wb[idx(j, i)];
+            }
+            v3[i] = acc * 0.001953125; // 1/512 keeps magnitudes tame
+        }
+        // K6 emit-like blend
+        for i in 0..32 {
+            v3[16 + i] = 0.5 * (v1[i] + v2[i]);
+        }
+        // K7 vpenta-like stencil
+        for i in 2..V - 2 {
+            v1[i] += 0.25 * (v2[i - 2] + v3[i]);
+        }
+    }
+    let mut sum = 0.0f64;
+    for i in 0..M {
+        sum += wc[idx(i, i)];
+    }
+    sum += v1[7] + v2[13] + v3[21];
+    format!("{}", sum.trunc() as i32)
+}
+
+/// Fully unrolled inner product: `$f0 += wa_row[u] * wb_col[u·stride]`.
+fn unrolled_dot(row_reg: &str, col_reg: &str) -> String {
+    let mut s = String::new();
+    for u in 0..M {
+        writeln!(
+            s,
+            "        l.d   $f2, {}({row_reg})\n        l.d   $f4, {}({col_reg})\n        mul.d $f6, $f2, $f4\n        add.d $f0, $f0, $f6",
+            u * 8,
+            u * M * 8,
+        )
+        .expect("write to String cannot fail");
+    }
+    s
+}
+
+/// The per-stride, 8-way-unrolled butterfly loops of K2.
+fn unrolled_fft() -> String {
+    let mut s = String::new();
+    let mut stride = 1usize;
+    let mut section = 0usize;
+    while stride < V {
+        let limit = V - stride;
+        let main = limit - limit % 8;
+        writeln!(
+            s,
+            "# stride {stride}\n        la    $t1, v1\n        li    $t0, 0"
+        )
+        .expect("write to String cannot fail");
+        if main > 0 {
+            writeln!(s, "ff_i{section}:").expect("write to String cannot fail");
+            for u in 0..8 {
+                writeln!(
+                    s,
+                    "        l.d   $f2, {}($t1)\n        l.d   $f4, {}($t1)\n        add.d $f2, $f2, $f4\n        s.d   $f2, {}($t1)",
+                    u * 8,
+                    (u + stride) * 8,
+                    u * 8,
+                )
+                .expect("write to String cannot fail");
+            }
+            writeln!(
+                s,
+                "        addiu $t1, $t1, 64\n        addiu $t0, $t0, 8\n        li    $t4, {main}\n        blt   $t0, $t4, ff_i{section}"
+            )
+            .expect("write to String cannot fail");
+        }
+        for u in 0..limit % 8 {
+            writeln!(
+                s,
+                "        l.d   $f2, {}($t1)\n        l.d   $f4, {}($t1)\n        add.d $f2, $f2, $f4\n        s.d   $f2, {}($t1)",
+                u * 8,
+                (u + stride) * 8,
+                u * 8,
+            )
+            .expect("write to String cannot fail");
+        }
+        stride *= 2;
+        section += 1;
+    }
+    s
+}
+
+/// MIPS source of the kernel suite.
+pub fn source() -> String {
+    let mxm_dot = unrolled_dot("$t2", "$t3");
+    let gmtry_dot = unrolled_dot("$t2", "$t3");
+    let fft = unrolled_fft();
+
+    // K2 damp loop unrolled by 8.
+    let mut damp = String::new();
+    for u in 0..8 {
+        writeln!(
+            damp,
+            "        l.d   $f2, {0}($t1)\n        mul.d $f2, $f2, $f20\n        s.d   $f2, {0}($t1)",
+            u * 8
+        )
+        .expect("write to String cannot fail");
+    }
+
+    // K4 recurrence unrolled by 3 (63 = 21 × 3); order-preserving.
+    let mut btrix = String::new();
+    for u in 0..3 {
+        writeln!(
+            btrix,
+            "        l.d   $f2, {}($t1)\n        mul.d $f2, $f2, $f20\n        l.d   $f4, {next}($t1)\n        sub.d $f4, $f4, $f2\n        s.d   $f4, {next}($t1)",
+            u * 8,
+            next = (u + 1) * 8,
+        )
+        .expect("write to String cannot fail");
+    }
+
+    // K6 blend unrolled by 8.
+    let mut emit = String::new();
+    for u in 0..8 {
+        writeln!(
+            emit,
+            "        l.d   $f2, {0}($t1)\n        l.d   $f4, {0}($t2)\n        add.d $f2, $f2, $f4\n        mul.d $f2, $f2, $f20\n        s.d   $f2, {0}($t3)",
+            u * 8
+        )
+        .expect("write to String cannot fail");
+    }
+
+    // K7 stencil unrolled by 6 (60 = 10 × 6).
+    let mut vpenta = String::new();
+    for u in 0..6 {
+        writeln!(
+            vpenta,
+            "        l.d   $f2, {0}($t2)\n        l.d   $f4, {0}($t3)\n        add.d $f2, $f2, $f4\n        mul.d $f2, $f2, $f20\n        l.d   $f6, {0}($t1)\n        add.d $f6, $f6, $f2\n        s.d   $f6, {0}($t1)",
+            u * 8
+        )
+        .expect("write to String cannot fail");
+    }
+
+    format!(
+        r"
+        .equ M, {M}
+        .equ V, {V}
+        .equ ITERS, {ITERS}
+
+        .data
+        .align 3
+wa:     .space M*M*8
+wb:     .space M*M*8
+wc:     .space M*M*8
+v1:     .space V*8
+v2:     .space V*8
+v3:     .space V*8
+        .align 3
+khalf:  .double 0.5
+kq:     .double 0.25
+ksix:   .double 0.0625
+kinv:   .double 0.001953125
+
+        .text
+main:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        jal   setup
+        li    $s7, 0
+drive:
+        jal   mxm
+        jal   fftish
+        jal   cholish
+        jal   btrix
+        jal   gmtry
+        jal   emit
+        jal   vpenta
+        addiu $s7, $s7, 1
+        li    $t0, ITERS
+        blt   $s7, $t0, drive
+        jal   report
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        li    $v0, 10
+        syscall
+
+# ---- initialization -------------------------------------------------
+setup:
+        li    $t0, 0
+su_mat:
+        li    $t1, 9
+        rem   $t2, $t0, $t1
+        addiu $t2, $t2, 1
+        mtc1  $t2, $f0
+        cvt.d.w $f2, $f0
+        sll   $t3, $t0, 3
+        la    $t4, wa
+        addu  $t4, $t4, $t3
+        s.d   $f2, 0($t4)
+        li    $t1, 5
+        rem   $t2, $t0, $t1
+        addiu $t2, $t2, 1
+        mtc1  $t2, $f0
+        cvt.d.w $f2, $f0
+        la    $t4, wb
+        addu  $t4, $t4, $t3
+        s.d   $f2, 0($t4)
+        addiu $t0, $t0, 1
+        li    $t1, M*M
+        blt   $t0, $t1, su_mat
+        li    $t0, 0
+su_vec:
+        li    $t1, 13
+        rem   $t2, $t0, $t1
+        addiu $t2, $t2, 1
+        mtc1  $t2, $f0
+        cvt.d.w $f2, $f0
+        sll   $t3, $t0, 3
+        la    $t4, v1
+        addu  $t4, $t4, $t3
+        s.d   $f2, 0($t4)
+        li    $t1, 3
+        rem   $t2, $t0, $t1
+        addiu $t2, $t2, 1
+        mtc1  $t2, $f0
+        cvt.d.w $f2, $f0
+        la    $t4, v2
+        addu  $t4, $t4, $t3
+        s.d   $f2, 0($t4)
+        la    $t4, v3
+        addu  $t4, $t4, $t3
+        s.d   $f30, 0($t4)           # $f30/$f31 hold 0.0 at reset
+        addiu $t0, $t0, 1
+        li    $t1, V
+        blt   $t0, $t1, su_vec
+        jr    $ra
+
+# ---- K1: wc = wa * wb, inner product fully unrolled -------------------
+mxm:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        li    $s0, 0
+mx_i:
+        jal   lib_tick
+        li    $s1, 0
+mx_j:   mtc1  $zero, $f0
+        mtc1  $zero, $f1
+        li    $t0, M*8
+        mult  $s0, $t0
+        mflo  $t1
+        la    $t2, wa
+        addu  $t2, $t2, $t1
+        la    $t3, wb
+        sll   $t4, $s1, 3
+        addu  $t3, $t3, $t4
+{mxm_dot}        li    $t0, M*8
+        mult  $s0, $t0
+        mflo  $t1
+        sll   $t4, $s1, 3
+        addu  $t1, $t1, $t4
+        la    $t6, wc
+        addu  $t6, $t6, $t1
+        s.d   $f0, 0($t6)
+        addiu $s1, $s1, 1
+        li    $t5, M
+        blt   $s1, $t5, mx_j
+        addiu $s0, $s0, 1
+        li    $t5, M
+        blt   $s0, $t5, mx_i
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        jr    $ra
+
+# ---- K2: butterfly passes (per-stride unrolled) then damp -------------
+fftish:
+        la    $t0, ksix
+        l.d   $f20, 0($t0)
+{fft}
+        la    $t1, v1
+        li    $t0, 0
+ff_d:
+{damp}        addiu $t1, $t1, 64
+        addiu $t0, $t0, 8
+        li    $t4, V
+        blt   $t0, $t4, ff_d
+        jr    $ra
+
+# ---- K3: triangular update ------------------------------------------
+cholish:
+        la    $t0, khalf
+        l.d   $f20, 0($t0)
+        li    $s0, 1
+ch_i:
+        li    $s1, 0
+        li    $t0, M*8
+        mult  $s0, $t0
+        mflo  $t1
+        la    $t2, wa
+        addu  $t3, $t2, $t1          # &wa[i][0]
+        subu  $t4, $t3, $t0          # &wa[i-1][0]
+ch_j:
+        l.d   $f2, 0($t4)
+        mul.d $f2, $f2, $f20
+        l.d   $f4, 0($t3)
+        add.d $f4, $f4, $f2
+        s.d   $f4, 0($t3)
+        addiu $t3, $t3, 8
+        addiu $t4, $t4, 8
+        addiu $s1, $s1, 1
+        blt   $s1, $s0, ch_j
+        addiu $s0, $s0, 1
+        li    $t5, M
+        blt   $s0, $t5, ch_i
+        jr    $ra
+
+# ---- K4: first-order recurrence (unrolled by 3) -----------------------
+btrix:
+        la    $t0, kq
+        l.d   $f20, 0($t0)
+        la    $t1, v2
+        li    $t0, 0
+bt_i:
+{btrix}        addiu $t1, $t1, 24
+        addiu $t0, $t0, 3
+        li    $t4, 63
+        blt   $t0, $t4, bt_i
+        jr    $ra
+
+# ---- K5: row-by-column dot products (fully unrolled) ------------------
+gmtry:
+        addiu $sp, $sp, -8
+        sw    $ra, 4($sp)
+        la    $t0, kinv
+        l.d   $f22, 0($t0)
+        li    $s0, 0
+gm_i:
+        jal   lib_tick
+        mtc1  $zero, $f0
+        mtc1  $zero, $f1
+        li    $t0, M*8
+        mult  $s0, $t0
+        mflo  $t1
+        la    $t2, wa
+        addu  $t2, $t2, $t1          # &wa[i][0]
+        la    $t3, wb
+        sll   $t4, $s0, 3
+        addu  $t3, $t3, $t4          # &wb[0][i]
+{gmtry_dot}        mul.d $f0, $f0, $f22
+        la    $t6, v3
+        sll   $t4, $s0, 3
+        addu  $t6, $t6, $t4
+        s.d   $f0, 0($t6)
+        addiu $s0, $s0, 1
+        li    $t5, M
+        blt   $s0, $t5, gm_i
+        lw    $ra, 4($sp)
+        addiu $sp, $sp, 8
+        jr    $ra
+
+# ---- K6: blend into v3[16..48] (unrolled by 8) -------------------------
+emit:
+        la    $t0, khalf
+        l.d   $f20, 0($t0)
+        la    $t1, v1
+        la    $t2, v2
+        la    $t3, v3
+        addiu $t3, $t3, 128          # &v3[16]
+        li    $t0, 0
+em_i:
+{emit}        addiu $t1, $t1, 64
+        addiu $t2, $t2, 64
+        addiu $t3, $t3, 64
+        addiu $t0, $t0, 8
+        li    $t4, 32
+        blt   $t0, $t4, em_i
+        jr    $ra
+
+# ---- K7: pentadiagonal-like stencil (unrolled by 6) ---------------------
+vpenta:
+        la    $t0, kq
+        l.d   $f20, 0($t0)
+        la    $t1, v1
+        addiu $t1, $t1, 16           # &v1[2]
+        la    $t2, v2                # &v2[0] = v2[i-2]
+        la    $t3, v3
+        addiu $t3, $t3, 16           # &v3[2] = v3[i]
+        li    $t0, 2
+vp_i:
+{vpenta}        addiu $t1, $t1, 48
+        addiu $t2, $t2, 48
+        addiu $t3, $t3, 48
+        addiu $t0, $t0, 6
+        li    $t4, V-2
+        blt   $t0, $t4, vp_i
+        jr    $ra
+
+# ---- checksum ----------------------------------------------------------
+report:
+        mtc1  $zero, $f0
+        mtc1  $zero, $f1
+        li    $t0, 0
+rp_i:
+        li    $t1, M+1
+        mult  $t0, $t1
+        mflo  $t2
+        sll   $t2, $t2, 3
+        la    $t3, wc
+        addu  $t3, $t3, $t2
+        l.d   $f2, 0($t3)
+        add.d $f0, $f0, $f2
+        addiu $t0, $t0, 1
+        li    $t1, M
+        blt   $t0, $t1, rp_i
+        la    $t3, v1
+        l.d   $f2, 56($t3)           # v1[7]
+        add.d $f0, $f0, $f2
+        la    $t3, v2
+        l.d   $f2, 104($t3)          # v2[13]
+        add.d $f0, $f0, $f2
+        la    $t3, v3
+        l.d   $f2, 168($t3)          # v3[21]
+        add.d $f0, $f0, $f2
+        cvt.w.d $f4, $f0
+        mfc1  $a0, $f4
+        li    $v0, 1
+        syscall
+        jr    $ra
+
+{library}
+",
+        library = library::library_source(0x7777)
+    )
+}

@@ -1,0 +1,55 @@
+//! Diagnostic sweep: miss rate and relative execution time for every
+//! traced workload across the paper's cache sizes and memory models.
+//! Used to calibrate the kernels against Tables 1–8.
+
+use ccrp::CompressedImage;
+use ccrp_compress::BlockAlignment;
+use ccrp_sim::{compare, MemoryModel, SystemConfig};
+use ccrp_workloads::{preselected_code, TracedWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let code = preselected_code().clone();
+    for wl in TracedWorkload::ALL {
+        let w = wl.build()?;
+        let image = CompressedImage::build(0, &w.text, code.clone(), BlockAlignment::Word)?;
+        println!(
+            "\n{} — {} dynamic instrs, {} data accesses, text {} B, compressed {:.1}%",
+            w.name,
+            w.trace.len(),
+            w.trace.data_accesses(),
+            w.text.len(),
+            image.compression_ratio() * 100.0
+        );
+        println!(
+            "{:>6} {:>8} {:>8} {:>8} {:>8}",
+            "cache", "miss%", "EPROM", "Burst", "traffic"
+        );
+        for cache_bytes in [256u32, 512, 1024, 2048, 4096] {
+            let mut row = format!("{cache_bytes:>6}");
+            #[allow(unused_assignments)]
+            let mut miss = 0.0;
+            let mut traffic = 0.0;
+            for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
+                let config = SystemConfig {
+                    cache_bytes,
+                    memory,
+                    ..SystemConfig::default()
+                };
+                let cmp = compare(&image, w.trace.iter(), &config)?;
+                miss = cmp.miss_rate();
+                traffic = cmp.memory_traffic_ratio();
+                if memory == MemoryModel::Eprom {
+                    row += &format!(
+                        " {:>8.2} {:>8.3}",
+                        miss * 100.0,
+                        cmp.relative_execution_time()
+                    );
+                } else {
+                    row += &format!(" {:>8.3}", cmp.relative_execution_time());
+                }
+            }
+            println!("{row} {:>7.1}%", traffic * 100.0);
+        }
+    }
+    Ok(())
+}

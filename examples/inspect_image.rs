@@ -1,0 +1,98 @@
+//! Inspector: how a compressed program is laid out — per-line stored
+//! sizes, bypasses, LAT entries, and a disassembly of the first lines,
+//! each expanded through the actual decoder path.
+//!
+//! Run with: `cargo run --release --example inspect_image [workload]`
+//! where `workload` is one of the paper's names (default `eightq`).
+
+use ccrp::CompressedImage;
+use ccrp_compress::BlockAlignment;
+use ccrp_isa::disassemble_word;
+use ccrp_workloads::{preselected_code, TracedWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "eightq".to_string());
+    let workload = TracedWorkload::ALL
+        .iter()
+        .copied()
+        .find(|w| w.name().eq_ignore_ascii_case(&wanted))
+        .ok_or_else(|| format!("unknown workload `{wanted}`"))?;
+
+    let built = workload.build()?;
+    let code = preselected_code().clone();
+    let image = CompressedImage::build(0, &built.text, code, BlockAlignment::Word)?;
+    image.verify()?;
+
+    println!(
+        "{}: {} bytes of text, {} cache lines",
+        built.name,
+        image.original_bytes(),
+        image.line_count()
+    );
+    println!(
+        "stored: {} bytes of blocks + {} bytes of LAT at {:#x} = {:.1}% of original",
+        image.compressed_code_bytes(),
+        image.lat().storage_bytes(),
+        image.lat_base(),
+        image.compression_ratio() * 100.0
+    );
+    println!(
+        "bypassed (incompressible) lines: {}/{}",
+        image.bypass_count(),
+        image.line_count()
+    );
+
+    println!("\nfirst LAT entries (base + eight 5-bit length records):");
+    for (i, entry) in image.lat().iter().take(4).enumerate() {
+        let lengths: Vec<String> = (0..8)
+            .map(|b| format!("{:>2}", entry.block_length(b)))
+            .collect();
+        println!(
+            "  entry {i}: base {:#08x}  lengths {}",
+            entry.base(),
+            lengths.join(" ")
+        );
+    }
+
+    println!("\nline map (stored bytes per 32-byte line, * = bypass):");
+    for (i, chunk_start) in (0..image.line_count().min(128)).step_by(16).enumerate() {
+        let mut row = format!("  {:#06x}: ", chunk_start * 32);
+        for line in chunk_start..(chunk_start + 16).min(image.line_count()) {
+            let loc = image.locate(line as u32 * 32)?;
+            row += &format!(
+                "{}{:>2} ",
+                if loc.bypass { '*' } else { ' ' },
+                loc.stored_len
+            );
+        }
+        println!("{row}");
+        let _ = i;
+    }
+
+    println!("\nfirst two cache lines, expanded through the decoder and disassembled:");
+    for line in 0..2 {
+        let addr = line * 32;
+        let expanded = image.expand_line(addr)?;
+        let loc = image.locate(addr)?;
+        println!(
+            "  line at {:#06x}: stored {} bytes at physical {:#06x}{}",
+            addr,
+            loc.stored_len,
+            loc.physical,
+            if loc.bypass { " (bypass)" } else { "" }
+        );
+        for (k, word_bytes) in expanded.chunks_exact(4).enumerate() {
+            let word =
+                u32::from_le_bytes([word_bytes[0], word_bytes[1], word_bytes[2], word_bytes[3]]);
+            println!(
+                "    {:#06x}: {:08x}  {}",
+                addr + k as u32 * 4,
+                word,
+                disassemble_word(word)
+            );
+        }
+    }
+    Ok(())
+}

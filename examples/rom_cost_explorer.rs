@@ -1,0 +1,67 @@
+//! The purchasing-department view: what the CCRP saves in EPROM chips.
+//!
+//! §1's economics — "the instruction memory can be a major component of
+//! total system cost" — made concrete: for every paper workload, the
+//! ROM bytes before/after compression and the number of 27C256 (32 KB)
+//! EPROM parts a production unit needs, with the standard vs compact
+//! LAT encodings side by side.
+//!
+//! Run with: `cargo run --release --example rom_cost_explorer`
+
+use ccrp::{CompactLatEntry, CompressedImage, COMPACT_ENTRY_BYTES};
+use ccrp_compress::BlockAlignment;
+use ccrp_workloads::{preselected_code, TracedWorkload};
+
+const EPROM_CHIP_BYTES: u32 = 32 * 1024; // a 27C256
+
+fn chips(bytes: u32) -> u32 {
+    bytes.div_ceil(EPROM_CHIP_BYTES)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let code = preselected_code().clone();
+    println!(
+        "{:>12} {:>9} {:>16} {:>14} {:>12}",
+        "workload", "original", "stored (std LAT)", "(compact LAT)", "27C256 parts"
+    );
+    let mut total_before = 0u32;
+    let mut total_after = 0u32;
+    for wl in TracedWorkload::ALL {
+        let w = wl.build()?;
+        let image = CompressedImage::build(0, &w.text, code.clone(), BlockAlignment::Word)?;
+        let compact_lat: u32 = image
+            .lat()
+            .iter()
+            .map(|e| {
+                CompactLatEntry::from_standard(e).expect("word-aligned image");
+                COMPACT_ENTRY_BYTES as u32
+            })
+            .sum();
+        let stored = image.total_stored_bytes(false);
+        let stored_compact = image.compressed_code_bytes() + compact_lat;
+        total_before += image.original_bytes();
+        total_after += stored;
+        println!(
+            "{:>12} {:>9} {:>9} ({:4.1}%) {:>8} ({:4.1}%) {:>5} -> {}",
+            w.name,
+            image.original_bytes(),
+            stored,
+            f64::from(stored) / f64::from(image.original_bytes()) * 100.0,
+            stored_compact,
+            f64::from(stored_compact) / f64::from(image.original_bytes()) * 100.0,
+            chips(image.original_bytes()),
+            chips(stored)
+        );
+    }
+    println!(
+        "\nsuite total: {total_before} -> {total_after} bytes; \
+         {} EPROM parts -> {} per unit",
+        chips(total_before),
+        chips(total_after)
+    );
+    println!(
+        "every part saved is saved on *each* production unit — the paper's\n\
+         cost argument for compressed code in embedded systems."
+    );
+    Ok(())
+}
