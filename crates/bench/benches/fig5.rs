@@ -1,35 +1,15 @@
 //! Regenerates Figure 5: "Four Compression Methods" — compressed size
 //! (percent of original) of the ten-program corpus.
 
-use ccrp_bench::experiments::fig5::{figure5, weighted_average};
-use ccrp_bench::Table;
+use ccrp_bench::{render, runner, Experiment, SweepOptions};
 
 fn main() {
-    let rows = figure5();
-    let avg = weighted_average(&rows);
-
-    println!("\nFigure 5 — Four Compression Methods (size, % of original)\n");
-    let mut table = Table::new(&[
-        "Program",
-        "Bytes",
-        "Unix compress",
-        "Traditional Huffman",
-        "Bounded Huffman",
-        "Preselected Bounded",
-    ]);
-    for row in rows.iter().chain(std::iter::once(&avg)) {
-        table.row(&[
-            row.name,
-            &row.original_bytes.to_string(),
-            &format!("{:.1}%", row.compress_pct),
-            &format!("{:.1}%", row.traditional_pct),
-            &format!("{:.1}%", row.bounded_pct),
-            &format!("{:.1}%", row.preselected_pct),
-        ]);
-    }
-    println!("{table}");
-    println!(
-        "Paper's qualitative result: compress < traditional <= bounded <= preselected,\n\
-         with every method leaving the program well under its original size."
+    let report = runner::run(Experiment::Fig5, &SweepOptions::default());
+    print!("{}", render::report(&report));
+    eprintln!(
+        "[{} cells on {} workers in {:.2?}]",
+        report.cells.len(),
+        report.jobs,
+        report.total_wall
     );
 }

@@ -1,69 +1,16 @@
 //! Regenerates Figure 9: relative performance vs instruction-cache miss
-//! rate, one point per (workload, cache size, memory model), plus the
-//! correlation the paper reads off the scatter.
+//! rate, one point per (workload, cache size, memory model), plus an
+//! ASCII rendering of the scatter the paper reads its correlation off.
 
-use ccrp_bench::experiments::perf::figure9;
-use ccrp_bench::{fmt_pct, fmt_rel, suite, Table};
-use ccrp_sim::MemoryModel;
+use ccrp_bench::{render, runner, Experiment, SweepOptions};
 
 fn main() {
-    let points = figure9(suite());
-
-    println!("\nFigure 9 — Performance vs Instruction Cache Miss Rate\n");
-    for memory in MemoryModel::ALL {
-        println!("{} model:", memory.name());
-        let mut table = Table::new(&["Workload", "Cache", "Miss Rate", "Relative Performance"]);
-        let mut sorted: Vec<_> = points.iter().filter(|(_, p)| p.memory == memory).collect();
-        sorted.sort_by(|a, b| a.1.miss_rate.total_cmp(&b.1.miss_rate));
-        for (name, p) in sorted {
-            table.row(&[
-                name,
-                &format!("{}B", p.cache_bytes),
-                &fmt_pct(p.miss_rate),
-                &fmt_rel(p.relative_performance),
-            ]);
-        }
-        println!("{table}");
-    }
-
-    // A text rendering of the scatter's trend per memory model.
-    println!("ASCII scatter (x = miss rate, y = relative performance):");
-    for memory in MemoryModel::ALL {
-        let marker = match memory {
-            MemoryModel::Eprom => 'x',
-            MemoryModel::BurstEprom => 'o',
-            MemoryModel::ScDram => '+',
-        };
-        println!("  {marker} = {}", memory.name());
-    }
-    let max_miss = points
-        .iter()
-        .map(|(_, p)| p.miss_rate)
-        .fold(0.0f64, f64::max);
-    let rows = 18;
-    let cols = 64;
-    let mut grid = vec![vec![' '; cols]; rows];
-    for (_, p) in &points {
-        let x = ((p.miss_rate / max_miss.max(1e-9)) * (cols - 1) as f64) as usize;
-        // y axis: 0.85 (bottom) .. 1.45 (top)
-        let y_norm = ((p.relative_performance - 0.85) / 0.60).clamp(0.0, 1.0);
-        let y = rows - 1 - (y_norm * (rows - 1) as f64) as usize;
-        let marker = match p.memory {
-            MemoryModel::Eprom => 'x',
-            MemoryModel::BurstEprom => 'o',
-            MemoryModel::ScDram => '+',
-        };
-        grid[y][x] = marker;
-    }
-    println!("1.45 +{}", "-".repeat(cols));
-    for row in &grid {
-        println!("     |{}", row.iter().collect::<String>());
-    }
-    println!("0.85 +{}", "-".repeat(cols));
-    println!("      0%{:>width$.2}%", max_miss * 100.0, width = cols - 2);
-    println!(
-        "\nPaper's reading (§4.2.3): for slow memories the compressed code model\n\
-         outperforms more at higher miss rates (x slopes down); the opposite\n\
-         holds for faster memory (o and + slope up)."
+    let report = runner::run(Experiment::Fig9, &SweepOptions::default());
+    print!("{}", render::report(&report));
+    eprintln!(
+        "[{} cells on {} workers in {:.2?}]",
+        report.cells.len(),
+        report.jobs,
+        report.total_wall
     );
 }

@@ -1,46 +1,85 @@
-//! Criterion micro-benchmarks: throughput of the building blocks
-//! (codecs, refill engine, cache model, emulator, assembler).
+//! Micro-benchmarks: throughput of the building blocks (codecs, refill
+//! engine, cache model, emulator, assembler).
+//!
+//! Uses a small std-only timing harness (median of timed batches after
+//! warmup) because this environment has no crates.io access for an
+//! external benchmark framework.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
 
 use ccrp::{CompressedImage, MemoryTiming, RefillConfig, RefillEngine};
 use ccrp_compress::{block, lzw, BlockAlignment, ByteCode, ByteHistogram};
 use ccrp_sim::{simulate_ccrp, simulate_standard, ICache, MemoryModel, SystemConfig};
 use ccrp_workloads::{generate_text, CodeProfile, TracedWorkload};
 
-fn codec_benches(c: &mut Criterion) {
+/// Times `f` over `batches` batches of `iters_per_batch` calls (after
+/// one warmup batch) and prints the median ns/call, plus MB/s when
+/// `bytes_per_iter` is known.
+fn bench<T>(name: &str, bytes_per_iter: Option<usize>, mut f: impl FnMut() -> T) {
+    const BATCHES: usize = 7;
+    let mut iters_per_batch = 1u32;
+    // Grow the batch until one takes >= 2ms, so the clock resolution
+    // stays well below the measurement.
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters_per_batch {
+            std::hint::black_box(f());
+        }
+        if start.elapsed().as_micros() >= 2_000 || iters_per_batch >= 1 << 20 {
+            break;
+        }
+        iters_per_batch *= 2;
+    }
+    let mut per_call: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                std::hint::black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / f64::from(iters_per_batch)
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.total_cmp(b));
+    let median = per_call[BATCHES / 2];
+    match bytes_per_iter {
+        Some(bytes) => {
+            let mbps = bytes as f64 / median * 1_000.0;
+            println!("{name:<28} {median:>12.1} ns/call {mbps:>10.1} MB/s");
+        }
+        None => println!("{name:<28} {median:>12.1} ns/call"),
+    }
+}
+
+fn codec_benches() {
     let text = generate_text(&CodeProfile::integer(), 64 * 1024, 11);
     let hist = ByteHistogram::of(&text);
     let code = ByteCode::bounded(&hist).expect("code builds");
+    let n = text.len();
 
-    let mut group = c.benchmark_group("codec");
-    group.throughput(Throughput::Bytes(text.len() as u64));
-    group.bench_function("histogram", |b| {
-        b.iter(|| ByteHistogram::of(std::hint::black_box(&text)))
+    println!("-- codec ({} KiB input) --", n / 1024);
+    bench("histogram", Some(n), || {
+        ByteHistogram::of(std::hint::black_box(&text))
     });
-    group.bench_function("bounded_code_build", |b| {
-        b.iter(|| ByteCode::bounded(std::hint::black_box(&hist)).expect("code builds"))
+    bench("bounded_code_build", None, || {
+        ByteCode::bounded(std::hint::black_box(&hist)).expect("code builds")
     });
-    group.bench_function("huffman_encode", |b| {
-        b.iter(|| code.encode(std::hint::black_box(&text)))
+    bench("huffman_encode", Some(n), || {
+        code.encode(std::hint::black_box(&text))
     });
     let encoded = code.encode(&text);
-    group.bench_function("huffman_decode", |b| {
-        b.iter(|| {
-            code.decode(std::hint::black_box(&encoded), text.len())
-                .expect("decodes")
-        })
+    bench("huffman_decode", Some(n), || {
+        code.decode(std::hint::black_box(&encoded), text.len())
+            .expect("decodes")
     });
-    group.bench_function("lzw_compress", |b| {
-        b.iter(|| lzw::compress(std::hint::black_box(&text)))
+    bench("lzw_compress", Some(n), || {
+        lzw::compress(std::hint::black_box(&text))
     });
-    group.bench_function("block_compress_image", |b| {
-        b.iter(|| block::compress_image(&code, std::hint::black_box(&text), BlockAlignment::Word))
+    bench("block_compress_image", Some(n), || {
+        block::compress_image(&code, std::hint::black_box(&text), BlockAlignment::Word)
     });
-    group.finish();
 }
 
-fn refill_benches(c: &mut Criterion) {
+fn refill_benches() {
     let text = generate_text(&CodeProfile::integer(), 16 * 1024, 12);
     let code = ByteCode::preselected(&ByteHistogram::of(&text)).expect("code builds");
     let image = CompressedImage::build(0, &text, code, BlockAlignment::Word).expect("builds");
@@ -53,30 +92,27 @@ fn refill_benches(c: &mut Criterion) {
         }
     }
 
-    c.bench_function("refill_engine_miss", |b| {
-        let mut engine = RefillEngine::new(RefillConfig::default()).expect("valid config");
-        let mut memory = Burst;
-        let mut addr = 0u32;
-        b.iter(|| {
-            let outcome = engine
-                .refill(&image, addr, 0, &mut memory)
-                .expect("in range");
-            addr = (addr + 32) % (16 * 1024);
-            std::hint::black_box(outcome)
-        })
+    println!("-- refill / cache --");
+    let mut engine = RefillEngine::new(RefillConfig::default()).expect("valid config");
+    let mut memory = Burst;
+    let mut addr = 0u32;
+    bench("refill_engine_miss", None, || {
+        let outcome = engine
+            .refill(&image, addr, 0, &mut memory)
+            .expect("in range");
+        addr = (addr + 32) % (16 * 1024);
+        outcome
     });
 
-    c.bench_function("icache_access", |b| {
-        let mut cache = ICache::new(1024).expect("valid size");
-        let mut addr = 0u32;
-        b.iter(|| {
-            addr = addr.wrapping_add(68) & 0xFFFF;
-            std::hint::black_box(cache.access(addr))
-        })
+    let mut cache = ICache::new(1024).expect("valid size");
+    let mut addr = 0u32;
+    bench("icache_access", None, || {
+        addr = addr.wrapping_add(68) & 0xFFFF;
+        cache.access(addr)
     });
 }
 
-fn system_benches(c: &mut Criterion) {
+fn system_benches() {
     let workload = TracedWorkload::Eightq.build().expect("eightq builds");
     let code = ccrp_workloads::preselected_code().clone();
     let image =
@@ -86,34 +122,31 @@ fn system_benches(c: &mut Criterion) {
         ..SystemConfig::default()
     };
 
-    let mut group = c.benchmark_group("simulator");
-    group.throughput(Throughput::Elements(workload.trace.len() as u64));
-    group.bench_function(BenchmarkId::new("standard", workload.trace.len()), |b| {
-        b.iter(|| simulate_standard(workload.trace.iter(), &config).expect("simulates"))
+    println!("-- simulator ({} trace entries) --", workload.trace.len());
+    bench("simulate_standard", None, || {
+        simulate_standard(workload.trace.iter(), &config).expect("simulates")
     });
-    group.bench_function(BenchmarkId::new("ccrp", workload.trace.len()), |b| {
-        b.iter(|| simulate_ccrp(&image, workload.trace.iter(), &config).expect("simulates"))
+    bench("simulate_ccrp", None, || {
+        simulate_ccrp(&image, workload.trace.iter(), &config).expect("simulates")
     });
-    group.finish();
 }
 
-fn frontend_benches(c: &mut Criterion) {
+fn frontend_benches() {
     let source = TracedWorkload::Eightq.source();
-    c.bench_function("assemble_eightq", |b| {
-        b.iter(|| ccrp_asm::assemble(std::hint::black_box(&source)).expect("assembles"))
+    println!("-- frontend --");
+    bench("assemble_eightq", None, || {
+        ccrp_asm::assemble(std::hint::black_box(&source)).expect("assembles")
     });
     let image = ccrp_asm::assemble(&source).expect("assembles");
-    c.bench_function("emulate_eightq", |b| {
-        b.iter(|| {
-            let mut machine = ccrp_emu::Machine::new(&image);
-            machine.run(&mut ccrp_emu::NullSink).expect("runs")
-        })
+    bench("emulate_eightq", None, || {
+        let mut machine = ccrp_emu::Machine::new(&image);
+        machine.run(&mut ccrp_emu::NullSink).expect("runs")
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = codec_benches, refill_benches, system_benches, frontend_benches
+fn main() {
+    codec_benches();
+    refill_benches();
+    system_benches();
+    frontend_benches();
 }
-criterion_main!(benches);

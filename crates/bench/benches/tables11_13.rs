@@ -1,25 +1,15 @@
 //! Regenerates Tables 11–13: the effect of data-cache miss rate on
 //! relative performance (1 KB instruction cache, 16-entry CLB).
 
-use ccrp_bench::experiments::dcache::tables_11_13;
-use ccrp_bench::{fmt_rel, suite, Table};
+use ccrp_bench::{render, runner, Experiment, SweepOptions};
 
 fn main() {
-    println!("\nTables 11-13 — Effect of Data Cache Miss Rate, 16-entry CLB\n");
-    for (index, (name, rows)) in tables_11_13(suite()).into_iter().enumerate() {
-        println!("Table {}: {name} (1024-byte instruction cache)", index + 11);
-        let mut table = Table::new(&["Memory", "Dcache Miss Rate", "Relative Performance"]);
-        for row in &rows {
-            table.row(&[
-                row.memory.name(),
-                &format!("{}%", row.dcache_miss_pct),
-                &fmt_rel(row.relative),
-            ]);
-        }
-        println!("{table}");
-    }
-    println!(
-        "Paper's observation (§4.2.4): as the data cache miss rate increases,\n\
-         the effect of the CCRP on performance is reduced."
+    let report = runner::run(Experiment::Tables11To13, &SweepOptions::default());
+    print!("{}", render::report(&report));
+    eprintln!(
+        "[{} cells on {} workers in {:.2?}]",
+        report.cells.len(),
+        report.jobs,
+        report.total_wall
     );
 }

@@ -3,29 +3,15 @@
 //! the EPROM and Burst EPROM models (plus DRAM for matrix25A), with a
 //! 16-entry CLB and a 100% data-cache miss rate.
 
-use ccrp_bench::experiments::perf::tables_1_to_8;
-use ccrp_bench::{fmt_pct, fmt_rel, suite, Table};
+use ccrp_bench::{render, runner, Experiment, SweepOptions};
 
 fn main() {
-    println!("\nTables 1-8 — 16-entry CLB, 100% data-cache miss rate\n");
-    for (index, (name, points)) in tables_1_to_8(suite()).into_iter().enumerate() {
-        println!("Table {}: {name}", index + 1);
-        let mut table = Table::new(&[
-            "Memory",
-            "Cache Size",
-            "Relative Performance",
-            "Cache Miss Rate",
-            "Memory Traffic",
-        ]);
-        for p in &points {
-            table.row(&[
-                p.memory.name(),
-                &format!("{} byte", p.cache_bytes),
-                &fmt_rel(p.relative_performance),
-                &fmt_pct(p.miss_rate),
-                &format!("{:.1}%", p.memory_traffic * 100.0),
-            ]);
-        }
-        println!("{table}");
-    }
+    let report = runner::run(Experiment::Tables1To8, &SweepOptions::default());
+    print!("{}", render::report(&report));
+    eprintln!(
+        "[{} cells on {} workers in {:.2?}]",
+        report.cells.len(),
+        report.jobs,
+        report.total_wall
+    );
 }

@@ -1,33 +1,15 @@
 //! Regenerates Tables 9–10: CLB size effects (16/8/4 entries) on the
 //! relative performance of NASA7 and espresso.
 
-use ccrp_bench::experiments::clb::{tables_9_10, CLB_SIZES};
-use ccrp_bench::{fmt_rel, suite, Table};
+use ccrp_bench::{render, runner, Experiment, SweepOptions};
 
 fn main() {
-    println!("\nTables 9-10 — CLB size effects, 100% data-cache miss rate\n");
-    for (index, (name, rows)) in tables_9_10(suite()).into_iter().enumerate() {
-        println!("Table {}: {name}", index + 9);
-        let mut table = Table::new(&[
-            "Memory",
-            "Cache Size",
-            &format!("Rel. Perf {} CLB", CLB_SIZES[0]),
-            &format!("Rel. Perf {} CLB", CLB_SIZES[1]),
-            &format!("Rel. Perf {} CLB", CLB_SIZES[2]),
-        ]);
-        for row in &rows {
-            table.row(&[
-                row.memory.name(),
-                &format!("{} byte", row.cache_bytes),
-                &fmt_rel(row.relative[0]),
-                &fmt_rel(row.relative[1]),
-                &fmt_rel(row.relative[2]),
-            ]);
-        }
-        println!("{table}");
-    }
-    println!(
-        "Paper's observation (§4.2.2): only minor variations with respect to CLB\n\
-         size over this range."
+    let report = runner::run(Experiment::Tables9To10, &SweepOptions::default());
+    print!("{}", render::report(&report));
+    eprintln!(
+        "[{} cells on {} workers in {:.2?}]",
+        report.cells.len(),
+        report.jobs,
+        report.total_wall
     );
 }

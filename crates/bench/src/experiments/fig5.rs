@@ -8,7 +8,7 @@
 //! hardwired and costs nothing.
 
 use ccrp_compress::{block, lzw, BlockAlignment, ByteCode, ByteHistogram};
-use ccrp_workloads::{figure5_corpus, preselected_code};
+use ccrp_workloads::{figure5_corpus, preselected_code, CorpusProgram};
 
 /// One bar group of Figure 5.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +33,31 @@ fn block_pct(code: &ByteCode, text: &[u8], table_bytes: u32) -> f64 {
     total as f64 / text.len() as f64 * 100.0
 }
 
+/// Computes one program's Figure 5 bar group — the unit of work the
+/// parallel sweep runner distributes.
+///
+/// # Panics
+///
+/// Panics if a per-program code cannot be built (impossible for
+/// non-empty programs).
+pub fn figure5_row(program: &CorpusProgram) -> Fig5Row {
+    let hist = ByteHistogram::of(&program.text);
+    let traditional = ByteCode::traditional(&hist).expect("non-empty program");
+    let bounded = ByteCode::bounded(&hist).expect("non-empty program");
+    Fig5Row {
+        name: program.name,
+        original_bytes: program.text.len(),
+        compress_pct: lzw::compress(&program.text).len() as f64 / program.text.len() as f64 * 100.0,
+        traditional_pct: block_pct(
+            &traditional,
+            &program.text,
+            traditional.table_storage_bytes(),
+        ),
+        bounded_pct: block_pct(&bounded, &program.text, bounded.table_storage_bytes()),
+        preselected_pct: block_pct(preselected_code(), &program.text, 0),
+    }
+}
+
 /// Computes every per-program row of Figure 5.
 ///
 /// # Panics
@@ -40,28 +65,7 @@ fn block_pct(code: &ByteCode, text: &[u8], table_bytes: u32) -> f64 {
 /// Panics if a per-program code cannot be built (impossible for
 /// non-empty programs).
 pub fn figure5() -> Vec<Fig5Row> {
-    let preselected = preselected_code();
-    figure5_corpus()
-        .into_iter()
-        .map(|program| {
-            let hist = ByteHistogram::of(&program.text);
-            let traditional = ByteCode::traditional(&hist).expect("non-empty program");
-            let bounded = ByteCode::bounded(&hist).expect("non-empty program");
-            Fig5Row {
-                name: program.name,
-                original_bytes: program.text.len(),
-                compress_pct: lzw::compress(&program.text).len() as f64 / program.text.len() as f64
-                    * 100.0,
-                traditional_pct: block_pct(
-                    &traditional,
-                    &program.text,
-                    traditional.table_storage_bytes(),
-                ),
-                bounded_pct: block_pct(&bounded, &program.text, bounded.table_storage_bytes()),
-                preselected_pct: block_pct(preselected, &program.text, 0),
-            }
-        })
-        .collect()
+    figure5_corpus().iter().map(figure5_row).collect()
 }
 
 /// The "Weighted Averages" bar group: sizes weighted by original bytes.

@@ -1,0 +1,182 @@
+//! A minimal hand-rolled JSON value and writer for the sweep runner's
+//! `BENCH_*.json` results files.
+//!
+//! The build environment has no crates.io access, so no serde; the
+//! runner's output is small and flat enough that a tiny value tree plus
+//! a deterministic writer covers it. Object keys are emitted in sorted
+//! order so two reports with the same content serialize byte-identically
+//! regardless of construction order — the property the determinism tests
+//! rely on.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (counters, byte counts, cycle counts).
+    U64(u64),
+    /// A float; non-finite values serialize as `null` (JSON has no NaN).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys are sorted at write time.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
+        Json::Obj(pairs.map(|(k, v)| (k.to_string(), v)).into())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// Serializes compactly (no whitespace), keys sorted.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes with two-space indentation, keys sorted.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) if !x.is_finite() => out.push_str("null"),
+            Json::F64(x) => {
+                // Rust's Display prints the shortest string that parses
+                // back to the same f64, so this round-trips bit-exactly.
+                let _ = write!(out, "{x}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1);
+            }),
+            Json::Obj(pairs) => {
+                let mut order: Vec<usize> = (0..pairs.len()).collect();
+                order.sort_by(|&a, &b| pairs[a].0.cmp(&pairs[b].0));
+                write_seq(out, indent, depth, '{', '}', order.len(), |out, i| {
+                    let (key, value) = &pairs[order[i]];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_sort_regardless_of_insertion() {
+        let a = Json::obj([("zeta", Json::U64(1)), ("alpha", Json::U64(2))]);
+        let b = Json::obj([("alpha", Json::U64(2)), ("zeta", Json::U64(1))]);
+        assert_eq!(a.to_compact(), b.to_compact());
+        assert_eq!(a.to_compact(), r#"{"alpha":2,"zeta":1}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_nan_is_null() {
+        let v = Json::Arr(vec![
+            Json::F64(0.1 + 0.2),
+            Json::F64(1.0),
+            Json::F64(f64::NAN),
+        ]);
+        let text = v.to_compact();
+        assert!(text.starts_with("[0.30000000000000004,1,"));
+        assert!(text.ends_with("null]"));
+        let back: f64 = "0.30000000000000004".parse().unwrap();
+        assert_eq!(back, 0.1 + 0.2);
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        let v = Json::str("a\"b\\c\nd\u{1}");
+        assert_eq!(v.to_compact(), r#""a\"b\\c\nd\u0001""#);
+    }
+
+    #[test]
+    fn pretty_nests_with_two_spaces() {
+        let v = Json::obj([("a", Json::Arr(vec![Json::U64(1), Json::U64(2)]))]);
+        assert_eq!(v.to_pretty(), "{\n  \"a\": [\n    1,\n    2\n  ]\n}\n");
+    }
+
+    #[test]
+    fn empty_containers_stay_flat() {
+        assert_eq!(Json::Arr(vec![]).to_pretty(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).to_compact(), "{}");
+    }
+}

@@ -16,15 +16,25 @@
 //!
 //! The expensive part — assembling, executing, and compressing the eight
 //! workloads — happens once per process through [`suite::suite`].
+//!
+//! The [`runner`] module decomposes each experiment into independent
+//! (workload, configuration) cells and sweeps them across a worker
+//! pool; [`render`] turns the resulting rows into the paper-style text
+//! tables, and [`json::Json`] serializes them into the machine-readable
+//! `BENCH_<experiment>.json` results files `ccrp-tools sweep` writes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod render;
+pub mod runner;
 mod suite;
 mod table;
 
-pub use suite::{suite, Prepared, Suite};
+pub use runner::{available_jobs, Experiment, SweepOptions, SweepReport};
+pub use suite::{suite, suite_with_jobs, Prepared, Suite};
 pub use table::Table;
 
 /// Formats a ratio the way the paper's tables print "Relative

@@ -1,0 +1,732 @@
+//! The parallel sweep runner: decomposes every paper experiment into
+//! independent (workload, configuration) cells, executes them across a
+//! worker pool fed by a shared index queue, and records the outcome —
+//! wall time per cell, cycle counts, and the simulator's
+//! [`RunStats`](ccrp_sim::RunStats)/[`ClbStats`](ccrp_sim::ClbStats)
+//! counters — into a structured [`SweepReport`] that serializes to
+//! `BENCH_<experiment>.json`.
+//!
+//! Determinism: cells are generated in the exact nesting order of the
+//! serial experiment functions, each cell's simulation is itself
+//! deterministic, and results are merged back by cell index — so the
+//! folded rows (and their JSON) are bit-identical for any worker count.
+//! Only the `timing` section of the JSON varies between runs; the
+//! `results`/`cells` sections compare byte-for-byte.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ccrp_sim::{compare, Comparison, DataCacheModel, MemoryModel, RunStats, SystemConfig};
+use ccrp_workloads::figure5_corpus;
+
+use crate::experiments::clb::{ClbRow, CLB_SIZES};
+use crate::experiments::dcache::{DcacheRow, DCACHE_MISS_PCTS};
+use crate::experiments::fig5::{figure5_row, weighted_average, Fig5Row};
+use crate::experiments::perf::{PerfPoint, CACHE_SIZES};
+use crate::json::Json;
+use crate::suite::{suite_with_jobs, Suite};
+
+/// The worker count used when the caller does not choose one: the
+/// machine's available parallelism.
+pub fn available_jobs() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` on `jobs` scoped worker threads sharing an
+/// atomic index queue, returning each result with its wall time, in
+/// item order regardless of which worker ran what.
+///
+/// With `jobs <= 1` (or a single item) this degrades to a plain serial
+/// map — no threads, identical results.
+///
+/// # Panics
+///
+/// Re-raises the first worker panic on the calling thread.
+pub fn parallel_map<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<(T, Duration)>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let timed = |item: &I| {
+        let start = Instant::now();
+        let value = f(item);
+        (value, start.elapsed())
+    };
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(timed).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let worker = || {
+        let mut local = Vec::new();
+        loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            let Some(item) = items.get(index) else {
+                return local;
+            };
+            local.push((index, timed(item)));
+        }
+    };
+    let mut merged: Vec<(usize, (T, Duration))> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs).map(|_| scope.spawn(worker)).collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| match handle.join() {
+                Ok(local) => local,
+                Err(payload) => panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    merged.sort_by_key(|&(index, _)| index);
+    merged.into_iter().map(|(_, result)| result).collect()
+}
+
+/// The sweepable experiments (one per paper artifact the runner covers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Figure 5: static compression of the ten-program corpus.
+    Fig5,
+    /// Tables 1–8: relative performance vs cache size, per workload.
+    Tables1To8,
+    /// Tables 9–10: CLB size effects on NASA7 and espresso.
+    Tables9To10,
+    /// Figure 9: relative performance vs miss rate, all models.
+    Fig9,
+    /// Tables 11–13: data-cache miss-rate effects.
+    Tables11To13,
+}
+
+impl Experiment {
+    /// Every experiment, in paper order.
+    pub const ALL: [Experiment; 5] = [
+        Experiment::Fig5,
+        Experiment::Tables1To8,
+        Experiment::Tables9To10,
+        Experiment::Fig9,
+        Experiment::Tables11To13,
+    ];
+
+    /// The experiment's CLI/file name (`BENCH_<name>.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Experiment::Fig5 => "fig5",
+            Experiment::Tables1To8 => "tables1_8",
+            Experiment::Tables9To10 => "tables9_10",
+            Experiment::Fig9 => "fig9",
+            Experiment::Tables11To13 => "tables11_13",
+        }
+    }
+
+    /// Parses a CLI/file name back to the experiment.
+    pub fn from_name(name: &str) -> Option<Experiment> {
+        Experiment::ALL.into_iter().find(|e| e.name() == name)
+    }
+}
+
+/// Runner knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Worker threads (1 = serial).
+    pub jobs: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            jobs: available_jobs(),
+        }
+    }
+}
+
+/// One executed cell: its human-readable label, the simulator counters
+/// it produced (absent for the static Figure 5 cells), and how long it
+/// took on its worker.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// `workload/memory/config` label, unique within the experiment.
+    pub label: String,
+    /// Standard-vs-CCRP counters for simulation cells.
+    pub comparison: Option<Comparison>,
+    /// Wall time the cell spent on its worker thread.
+    pub wall: Duration,
+}
+
+/// An experiment's folded rows — the same types the serial functions in
+/// [`crate::experiments`] return, so the two paths compare directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentResults {
+    /// Figure 5 rows plus the weighted-average bar group.
+    Fig5 {
+        /// One row per corpus program.
+        rows: Vec<Fig5Row>,
+        /// The "Weighted Averages" group.
+        weighted: Fig5Row,
+    },
+    /// Tables 1–8, one entry per workload.
+    Tables1To8(Vec<(&'static str, Vec<PerfPoint>)>),
+    /// Tables 9–10, one entry per workload.
+    Tables9To10(Vec<(&'static str, Vec<ClbRow>)>),
+    /// Figure 9 scatter points.
+    Fig9(Vec<(&'static str, PerfPoint)>),
+    /// Tables 11–13, one entry per workload.
+    Tables11To13(Vec<(&'static str, Vec<DcacheRow>)>),
+}
+
+/// A completed sweep: results, per-cell records, and timing.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Which experiment ran.
+    pub experiment: Experiment,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Time spent building (or waiting on) the workload suite; zero when
+    /// the suite was already cached or the experiment does not need it.
+    pub suite_build: Duration,
+    /// End-to-end wall time, including suite build.
+    pub total_wall: Duration,
+    /// Every executed cell, in generation order.
+    pub cells: Vec<CellRecord>,
+    /// The folded experiment rows.
+    pub results: ExperimentResults,
+}
+
+impl SweepReport {
+    /// The deterministic half of the report: schema tag, experiment
+    /// name, folded rows, and per-cell counters. Two sweeps of the same
+    /// experiment serialize this identically whatever `jobs` was.
+    pub fn results_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("ccrp-bench-sweep/1")),
+            ("experiment", Json::str(self.experiment.name())),
+            ("results", results_json(&self.results)),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(cell_json).collect()),
+            ),
+        ])
+    }
+
+    /// The full report: [`results_json`](Self::results_json) plus the
+    /// run-specific `jobs` count and wall-clock timing section.
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(mut pairs) = self.results_json() else {
+            unreachable!("results_json returns an object");
+        };
+        pairs.push(("jobs".into(), Json::U64(self.jobs as u64)));
+        pairs.push((
+            "timing".into(),
+            Json::obj([
+                ("suite_build_us", duration_json(self.suite_build)),
+                ("total_wall_us", duration_json(self.total_wall)),
+                (
+                    "cells",
+                    Json::Arr(
+                        self.cells
+                            .iter()
+                            .map(|cell| {
+                                Json::obj([
+                                    ("label", Json::str(&cell.label)),
+                                    ("wall_us", duration_json(cell.wall)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+fn duration_json(d: Duration) -> Json {
+    Json::U64(d.as_micros() as u64)
+}
+
+fn run_stats_json(stats: &RunStats) -> Json {
+    Json::obj([
+        ("instructions", Json::U64(stats.instructions)),
+        ("data_accesses", Json::U64(stats.data_accesses)),
+        ("fetches", Json::U64(stats.cache.fetches)),
+        ("misses", Json::U64(stats.cache.misses)),
+        ("refill_cycles", Json::U64(stats.refill_cycles)),
+        ("bytes_from_memory", Json::U64(stats.bytes_from_memory)),
+        ("data_stall_cycles", Json::F64(stats.data_stall_cycles)),
+        ("total_cycles", Json::F64(stats.total_cycles())),
+        (
+            "clb",
+            stats.clb.map_or(Json::Null, |clb| {
+                Json::obj([
+                    ("hits", Json::U64(clb.hits)),
+                    ("misses", Json::U64(clb.misses)),
+                ])
+            }),
+        ),
+    ])
+}
+
+fn cell_json(cell: &CellRecord) -> Json {
+    match &cell.comparison {
+        Some(cmp) => Json::obj([
+            ("label", Json::str(&cell.label)),
+            ("standard", run_stats_json(&cmp.standard)),
+            ("ccrp", run_stats_json(&cmp.ccrp)),
+        ]),
+        None => Json::obj([("label", Json::str(&cell.label))]),
+    }
+}
+
+fn perf_point_json(p: &PerfPoint) -> Json {
+    Json::obj([
+        ("cache_bytes", Json::U64(u64::from(p.cache_bytes))),
+        ("memory", Json::str(p.memory.name())),
+        ("relative_performance", Json::F64(p.relative_performance)),
+        ("miss_rate", Json::F64(p.miss_rate)),
+        ("memory_traffic", Json::F64(p.memory_traffic)),
+    ])
+}
+
+fn fig5_row_json(row: &Fig5Row) -> Json {
+    Json::obj([
+        ("name", Json::str(row.name)),
+        ("original_bytes", Json::U64(row.original_bytes as u64)),
+        ("compress_pct", Json::F64(row.compress_pct)),
+        ("traditional_pct", Json::F64(row.traditional_pct)),
+        ("bounded_pct", Json::F64(row.bounded_pct)),
+        ("preselected_pct", Json::F64(row.preselected_pct)),
+    ])
+}
+
+fn results_json(results: &ExperimentResults) -> Json {
+    let per_workload =
+        |name: &str, rows: Json| Json::obj([("workload", Json::str(name)), ("rows", rows)]);
+    match results {
+        ExperimentResults::Fig5 { rows, weighted } => Json::obj([
+            ("rows", Json::Arr(rows.iter().map(fig5_row_json).collect())),
+            ("weighted_average", fig5_row_json(weighted)),
+        ]),
+        ExperimentResults::Tables1To8(tables) => Json::Arr(
+            tables
+                .iter()
+                .map(|(name, points)| {
+                    per_workload(
+                        name,
+                        Json::Arr(points.iter().map(perf_point_json).collect()),
+                    )
+                })
+                .collect(),
+        ),
+        ExperimentResults::Tables9To10(tables) => Json::Arr(
+            tables
+                .iter()
+                .map(|(name, rows)| {
+                    per_workload(
+                        name,
+                        Json::Arr(
+                            rows.iter()
+                                .map(|row| {
+                                    Json::obj([
+                                        ("memory", Json::str(row.memory.name())),
+                                        ("cache_bytes", Json::U64(u64::from(row.cache_bytes))),
+                                        (
+                                            "relative",
+                                            Json::Arr(
+                                                row.relative
+                                                    .iter()
+                                                    .map(|&x| Json::F64(x))
+                                                    .collect(),
+                                            ),
+                                        ),
+                                        (
+                                            "clb_miss_rate",
+                                            Json::Arr(
+                                                row.clb_miss_rate
+                                                    .iter()
+                                                    .map(|&x| Json::F64(x))
+                                                    .collect(),
+                                            ),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        ),
+        ExperimentResults::Fig9(points) => Json::Arr(
+            points
+                .iter()
+                .map(|(name, point)| {
+                    Json::obj([
+                        ("workload", Json::str(name)),
+                        ("point", perf_point_json(point)),
+                    ])
+                })
+                .collect(),
+        ),
+        ExperimentResults::Tables11To13(tables) => Json::Arr(
+            tables
+                .iter()
+                .map(|(name, rows)| {
+                    per_workload(
+                        name,
+                        Json::Arr(
+                            rows.iter()
+                                .map(|row| {
+                                    Json::obj([
+                                        ("memory", Json::str(row.memory.name())),
+                                        (
+                                            "dcache_miss_pct",
+                                            Json::U64(u64::from(row.dcache_miss_pct)),
+                                        ),
+                                        ("relative", Json::F64(row.relative)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// One independent simulation cell: a (workload, memory, cache, CLB,
+/// data-cache) configuration, generated in the serial nesting order of
+/// the experiment it belongs to.
+#[derive(Debug, Clone, Copy)]
+struct SimCell {
+    workload: &'static str,
+    memory: MemoryModel,
+    cache_bytes: u32,
+    clb_entries: usize,
+    /// `None` models no data cache ([`DataCacheModel::NONE`]).
+    dcache_miss_pct: Option<u32>,
+}
+
+impl SimCell {
+    fn label(&self) -> String {
+        let mut label = format!(
+            "{}/{}/{}B/clb{}",
+            self.workload,
+            self.memory.name(),
+            self.cache_bytes,
+            self.clb_entries
+        );
+        if let Some(pct) = self.dcache_miss_pct {
+            label.push_str(&format!("/dcache{pct}%"));
+        }
+        label
+    }
+
+    fn config(&self) -> SystemConfig {
+        SystemConfig {
+            cache_bytes: self.cache_bytes,
+            memory: self.memory,
+            clb_entries: self.clb_entries,
+            decode_bytes_per_cycle: 2,
+            dcache: self.dcache_miss_pct.map_or(DataCacheModel::NONE, |pct| {
+                DataCacheModel::with_miss_rate(f64::from(pct) / 100.0)
+            }),
+        }
+    }
+
+    fn simulate(&self, suite: &Suite) -> Comparison {
+        let prepared = suite.get(self.workload);
+        compare(
+            &prepared.image,
+            prepared.workload.trace.iter(),
+            &self.config(),
+        )
+        .expect("paper configurations are valid")
+    }
+}
+
+/// The memory models Tables 1–8 print for `workload` (§4.2.1 adds DRAM
+/// for matrix25A only).
+fn tables_1_8_memories(workload: &str) -> &'static [MemoryModel] {
+    if workload == "matrix25A" {
+        &[
+            MemoryModel::Eprom,
+            MemoryModel::BurstEprom,
+            MemoryModel::ScDram,
+        ]
+    } else {
+        &[MemoryModel::Eprom, MemoryModel::BurstEprom]
+    }
+}
+
+fn sim_cells(experiment: Experiment, suite: &Suite) -> Vec<SimCell> {
+    let mut cells = Vec::new();
+    let mut push = |workload, memory, cache_bytes, clb_entries, dcache_miss_pct| {
+        cells.push(SimCell {
+            workload,
+            memory,
+            cache_bytes,
+            clb_entries,
+            dcache_miss_pct,
+        });
+    };
+    match experiment {
+        Experiment::Fig5 => unreachable!("fig5 has no simulation cells"),
+        Experiment::Tables1To8 => {
+            for prepared in suite.iter() {
+                let name = prepared.workload.name;
+                for &memory in tables_1_8_memories(name) {
+                    for &cache in &CACHE_SIZES {
+                        push(name, memory, cache, 16, None);
+                    }
+                }
+            }
+        }
+        Experiment::Tables9To10 => {
+            for name in ["NASA7", "espresso"] {
+                let name = suite.get(name).workload.name;
+                for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
+                    for &cache in &CACHE_SIZES {
+                        for &clb in &CLB_SIZES {
+                            push(name, memory, cache, clb, None);
+                        }
+                    }
+                }
+            }
+        }
+        Experiment::Fig9 => {
+            for prepared in suite.iter() {
+                for &memory in &MemoryModel::ALL {
+                    for &cache in &CACHE_SIZES {
+                        push(prepared.workload.name, memory, cache, 16, None);
+                    }
+                }
+            }
+        }
+        Experiment::Tables11To13 => {
+            for name in ["NASA7", "espresso", "fpppp"] {
+                let name = suite.get(name).workload.name;
+                for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
+                    for &pct in &DCACHE_MISS_PCTS {
+                        push(name, memory, 1024, 16, Some(pct));
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn perf_point(cell: &SimCell, cmp: &Comparison) -> PerfPoint {
+    PerfPoint {
+        cache_bytes: cell.cache_bytes,
+        memory: cell.memory,
+        relative_performance: cmp.relative_execution_time(),
+        miss_rate: cmp.miss_rate(),
+        memory_traffic: cmp.memory_traffic_ratio(),
+    }
+}
+
+/// Folds the flat, index-ordered cell results back into the serial
+/// experiment row types. Cells were generated in the serial nesting
+/// order, so grouping is purely sequential.
+fn fold(experiment: Experiment, cells: &[SimCell], outcomes: &[Comparison]) -> ExperimentResults {
+    let mut iter = cells.iter().zip(outcomes);
+    match experiment {
+        Experiment::Fig5 => unreachable!("fig5 has no simulation cells"),
+        Experiment::Tables1To8 => {
+            let mut tables: Vec<(&'static str, Vec<PerfPoint>)> = Vec::new();
+            for (cell, cmp) in iter {
+                if tables.last().is_none_or(|(name, _)| *name != cell.workload) {
+                    tables.push((cell.workload, Vec::new()));
+                }
+                tables
+                    .last_mut()
+                    .expect("pushed above")
+                    .1
+                    .push(perf_point(cell, cmp));
+            }
+            ExperimentResults::Tables1To8(tables)
+        }
+        Experiment::Tables9To10 => {
+            let mut tables: Vec<(&'static str, Vec<ClbRow>)> = Vec::new();
+            while let Some((first, first_cmp)) = iter.next() {
+                let mut relative = [0.0; 3];
+                let mut clb_miss = [0.0; 3];
+                let mut record = |slot: usize, cmp: &Comparison| {
+                    relative[slot] = cmp.relative_execution_time();
+                    clb_miss[slot] = cmp.ccrp.clb.expect("CCRP runs track the CLB").miss_rate();
+                };
+                record(0, first_cmp);
+                for slot in 1..CLB_SIZES.len() {
+                    let (_, cmp) = iter.next().expect("cells come in CLB_SIZES groups");
+                    record(slot, cmp);
+                }
+                if tables
+                    .last()
+                    .is_none_or(|(name, _)| *name != first.workload)
+                {
+                    tables.push((first.workload, Vec::new()));
+                }
+                tables.last_mut().expect("pushed above").1.push(ClbRow {
+                    memory: first.memory,
+                    cache_bytes: first.cache_bytes,
+                    relative,
+                    clb_miss_rate: clb_miss,
+                });
+            }
+            ExperimentResults::Tables9To10(tables)
+        }
+        Experiment::Fig9 => ExperimentResults::Fig9(
+            iter.map(|(cell, cmp)| (cell.workload, perf_point(cell, cmp)))
+                .collect(),
+        ),
+        Experiment::Tables11To13 => {
+            let mut tables: Vec<(&'static str, Vec<DcacheRow>)> = Vec::new();
+            for (cell, cmp) in iter {
+                if tables.last().is_none_or(|(name, _)| *name != cell.workload) {
+                    tables.push((cell.workload, Vec::new()));
+                }
+                tables.last_mut().expect("pushed above").1.push(DcacheRow {
+                    memory: cell.memory,
+                    dcache_miss_pct: cell.dcache_miss_pct.expect("dcache sweep cell"),
+                    relative: cmp.relative_execution_time(),
+                });
+            }
+            ExperimentResults::Tables11To13(tables)
+        }
+    }
+}
+
+/// Runs one experiment across `options.jobs` workers.
+pub fn run(experiment: Experiment, options: &SweepOptions) -> SweepReport {
+    let jobs = options.jobs.max(1);
+    let total_start = Instant::now();
+
+    if experiment == Experiment::Fig5 {
+        let programs = figure5_corpus();
+        let outcomes = parallel_map(jobs, &programs, figure5_row);
+        let cells = programs
+            .iter()
+            .zip(&outcomes)
+            .map(|(program, (_, wall))| CellRecord {
+                label: program.name.to_string(),
+                comparison: None,
+                wall: *wall,
+            })
+            .collect();
+        let rows: Vec<Fig5Row> = outcomes.into_iter().map(|(row, _)| row).collect();
+        let weighted = weighted_average(&rows);
+        return SweepReport {
+            experiment,
+            jobs,
+            suite_build: Duration::ZERO,
+            total_wall: total_start.elapsed(),
+            cells,
+            results: ExperimentResults::Fig5 { rows, weighted },
+        };
+    }
+
+    let build_start = Instant::now();
+    let suite = suite_with_jobs(jobs);
+    let suite_build = build_start.elapsed();
+
+    let sim_cells = sim_cells(experiment, suite);
+    let outcomes = parallel_map(jobs, &sim_cells, |cell| cell.simulate(suite));
+    let cells = sim_cells
+        .iter()
+        .zip(&outcomes)
+        .map(|(cell, (cmp, wall))| CellRecord {
+            label: cell.label(),
+            comparison: Some(*cmp),
+            wall: *wall,
+        })
+        .collect();
+    let comparisons: Vec<Comparison> = outcomes.into_iter().map(|(cmp, _)| cmp).collect();
+    let results = fold(experiment, &sim_cells, &comparisons);
+
+    SweepReport {
+        experiment,
+        jobs,
+        suite_build,
+        total_wall: total_start.elapsed(),
+        cells,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{clb, dcache, fig5, perf};
+    use crate::suite::suite;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let doubled = parallel_map(8, &items, |&x| x * 2);
+        let values: Vec<u32> = doubled.into_iter().map(|(v, _)| v).collect();
+        assert_eq!(values, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        // Serial path produces the same mapping.
+        let serial = parallel_map(1, &items, |&x| x * 2);
+        assert_eq!(serial.len(), 100);
+        assert_eq!(serial[7].0, 14);
+    }
+
+    #[test]
+    fn experiment_names_round_trip() {
+        for experiment in Experiment::ALL {
+            assert_eq!(Experiment::from_name(experiment.name()), Some(experiment));
+        }
+        assert_eq!(Experiment::from_name("tables_1_8"), None);
+    }
+
+    #[test]
+    fn runner_matches_serial_experiments() {
+        // The tentpole invariant: the parallel decomposition folds back
+        // to exactly what the serial experiment functions compute.
+        let s = suite();
+        let options = SweepOptions { jobs: 4 };
+
+        let report = run(Experiment::Tables1To8, &options);
+        assert_eq!(
+            report.results,
+            ExperimentResults::Tables1To8(perf::tables_1_to_8(s))
+        );
+        assert_eq!(report.cells.len(), 85);
+
+        let report = run(Experiment::Tables9To10, &options);
+        assert_eq!(
+            report.results,
+            ExperimentResults::Tables9To10(clb::tables_9_10(s))
+        );
+        assert_eq!(report.cells.len(), 2 * 2 * 5 * 3);
+
+        let report = run(Experiment::Fig9, &options);
+        assert_eq!(report.results, ExperimentResults::Fig9(perf::figure9(s)));
+
+        let report = run(Experiment::Tables11To13, &options);
+        assert_eq!(
+            report.results,
+            ExperimentResults::Tables11To13(dcache::tables_11_13(s))
+        );
+
+        let report = run(Experiment::Fig5, &options);
+        let rows = fig5::figure5();
+        let weighted = fig5::weighted_average(&rows);
+        assert_eq!(report.results, ExperimentResults::Fig5 { rows, weighted });
+    }
+
+    #[test]
+    fn report_json_sections() {
+        let report = run(Experiment::Tables11To13, &SweepOptions { jobs: 2 });
+        let full = report.to_json().to_pretty();
+        assert!(full.contains("\"schema\": \"ccrp-bench-sweep/1\""));
+        assert!(full.contains("\"timing\""));
+        assert!(full.contains("\"refill_cycles\""));
+        let deterministic = report.results_json().to_compact();
+        assert!(!deterministic.contains("timing"));
+        assert!(!deterministic.contains("wall_us"));
+    }
+}

@@ -24,26 +24,38 @@ pub struct Suite {
 }
 
 impl Suite {
-    /// Builds all eight workloads and their compressed images.
+    /// Builds all eight workloads and their compressed images, using the
+    /// machine's available parallelism.
     ///
     /// # Panics
     ///
     /// Panics if a workload kernel fails its self-check — a bug in the
     /// workload crate, not a runtime condition.
     pub fn build() -> Suite {
+        Suite::build_with_jobs(crate::runner::available_jobs())
+    }
+
+    /// Builds the suite across `jobs` worker threads (1 = serial). Each
+    /// workload's assembly, tracing, and compression is an independent
+    /// job; the result order is always [`TracedWorkload::ALL`]'s.
+    ///
+    /// # Panics
+    ///
+    /// As [`build`](Self::build).
+    pub fn build_with_jobs(jobs: usize) -> Suite {
         let code = preselected_code();
-        let prepared = TracedWorkload::ALL
-            .iter()
-            .map(|&wl| {
-                let workload = wl
-                    .build()
-                    .unwrap_or_else(|e| panic!("{} must build: {e}", wl.name()));
-                let image =
-                    CompressedImage::build(0, &workload.text, code.clone(), BlockAlignment::Word)
-                        .unwrap_or_else(|e| panic!("{} must compress: {e}", wl.name()));
-                Prepared { workload, image }
-            })
-            .collect();
+        let prepared = crate::runner::parallel_map(jobs, &TracedWorkload::ALL, |&wl| {
+            let workload = wl
+                .build()
+                .unwrap_or_else(|e| panic!("{} must build: {e}", wl.name()));
+            let image =
+                CompressedImage::build(0, &workload.text, code.clone(), BlockAlignment::Word)
+                    .unwrap_or_else(|e| panic!("{} must compress: {e}", wl.name()));
+            Prepared { workload, image }
+        })
+        .into_iter()
+        .map(|(prepared, _)| prepared)
+        .collect();
         Suite { prepared }
     }
 
@@ -65,9 +77,17 @@ impl Suite {
     }
 }
 
+static SUITE: OnceLock<Suite> = OnceLock::new();
+
 /// The process-wide suite, built on first use (workload construction
 /// costs a few seconds; every experiment shares it).
 pub fn suite() -> &'static Suite {
-    static SUITE: OnceLock<Suite> = OnceLock::new();
     SUITE.get_or_init(Suite::build)
+}
+
+/// As [`suite`], but a cold build uses `jobs` worker threads. A suite
+/// already cached by an earlier call is returned as-is — the prepared
+/// workloads are identical whatever the worker count.
+pub fn suite_with_jobs(jobs: usize) -> &'static Suite {
+    SUITE.get_or_init(|| Suite::build_with_jobs(jobs))
 }

@@ -8,4 +8,5 @@ pub mod inspect;
 pub mod profile;
 pub mod run;
 pub mod simulate;
+pub mod sweep;
 pub mod workloads;

@@ -1,0 +1,121 @@
+//! `ccrp-tools sweep [--experiment NAME|all] [--jobs N] [--out DIR]`
+//!
+//! Drives the parallel experiment runner: every paper experiment is
+//! decomposed into independent (workload, configuration) cells, swept
+//! across `--jobs` worker threads, and written as a machine-readable
+//! `BENCH_<experiment>.json` results file under `--out`. Results are
+//! bit-identical for any worker count; only the `timing` section of the
+//! JSON varies.
+
+use std::io::Write;
+use std::path::Path;
+
+use ccrp_bench::{render, runner, Experiment, SweepOptions};
+
+use crate::args::Args;
+use crate::error::{write_file, CliError};
+
+/// Option names consuming a value.
+pub const VALUE_OPTIONS: &[&str] = &["experiment", "jobs", "out"];
+/// Switch names.
+pub const SWITCHES: &[&str] = &["tables"];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown experiment name or a bad `--jobs`
+/// value; [`CliError::Io`] when a results file cannot be written.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let experiments: Vec<Experiment> = match args.option("experiment") {
+        None | Some("all") => Experiment::ALL.to_vec(),
+        Some(name) => vec![Experiment::from_name(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown experiment `{name}`; expected one of {}, or all",
+                Experiment::ALL.map(Experiment::name).join(", ")
+            ))
+        })?],
+    };
+    let jobs = args.option_u32("jobs", runner::available_jobs() as u32)? as usize;
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".into()));
+    }
+    let out_dir = args.option("out").unwrap_or(".");
+
+    for experiment in experiments {
+        let report = runner::run(experiment, &SweepOptions { jobs });
+        let path = Path::new(out_dir).join(format!("BENCH_{}.json", experiment.name()));
+        let path = path.to_string_lossy().into_owned();
+        write_file(&path, report.to_json().to_pretty().as_bytes())?;
+        writeln!(
+            out,
+            "{:<12} {:>3} cells {:>2} jobs {:>9.2?}  -> {path}",
+            experiment.name(),
+            report.cells.len(),
+            report.jobs,
+            report.total_wall,
+        )
+        .ok();
+        if args.switch("tables") {
+            write!(out, "{}", render::report(&report)).ok();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::temp_path;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rejects_unknown_experiment_and_zero_jobs() {
+        let args = Args::parse(
+            &strings(&["--experiment", "tables_1_8"]),
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("tables_1_8"));
+        assert!(err.to_string().contains("tables1_8"));
+
+        let args = Args::parse(&strings(&["--jobs", "0"]), VALUE_OPTIONS, SWITCHES).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn fig5_sweep_writes_results_file() {
+        // fig5 is the one experiment cheap enough for a CLI unit test;
+        // the full matrix runs in the integration suite.
+        let dir = temp_path("sweep_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = Args::parse(
+            &strings(&[
+                "--experiment",
+                "fig5",
+                "--jobs",
+                "2",
+                "--out",
+                &dir,
+                "--tables",
+            ]),
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("fig5"));
+        assert!(text.contains("Figure 5"));
+        let json = std::fs::read_to_string(Path::new(&dir).join("BENCH_fig5.json")).unwrap();
+        assert!(json.contains("\"schema\": \"ccrp-bench-sweep/1\""));
+        assert!(json.contains("\"weighted_average\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -13,6 +13,7 @@
 //! ccrp-tools profile   prog.s --top 10             # hottest cache lines
 //! ccrp-tools simulate  prog.s --sweep              # standard vs CCRP tables
 //! ccrp-tools workloads --verify                    # the paper's benchmark suite
+//! ccrp-tools sweep     --jobs 8 --out results/     # parallel experiment sweep
 //! ```
 //!
 //! Library form exists so the subcommands are unit-testable; the binary
@@ -69,6 +70,10 @@ COMMANDS:
       compare the standard processor against the CCRP
   workloads [--verify]
       list (and self-check) the paper's benchmark programs
+  sweep [--experiment fig5|tables1_8|tables9_10|fig9|tables11_13|all] [--jobs N]
+        [--out DIR] [--tables]
+      run the paper experiments across a worker pool and write
+      machine-readable BENCH_<experiment>.json results files
   help
       print this text
 ";
@@ -139,6 +144,14 @@ pub fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 rest,
                 commands::workloads::VALUE_OPTIONS,
                 commands::workloads::SWITCHES,
+            )?,
+            out,
+        ),
+        "sweep" => commands::sweep::run(
+            &Args::parse(
+                rest,
+                commands::sweep::VALUE_OPTIONS,
+                commands::sweep::SWITCHES,
             )?,
             out,
         ),

@@ -342,6 +342,44 @@ impl CompressedImage {
         }
         Ok(())
     }
+
+    /// Fault injection: overwrites the LAT length record for
+    /// `global_line` with `stored_len` (1..=32 bytes), leaving the
+    /// packed blocks untouched — the corruption a flipped ROM bit in
+    /// the table region would cause. [`verify`](Self::verify) detects
+    /// the resulting layout mismatch; tests and robustness checks use
+    /// this to exercise that path, since the normal constructors only
+    /// ever produce self-consistent images.
+    ///
+    /// # Errors
+    ///
+    /// [`CcrpError::AddressOutOfRange`] for a line outside the program,
+    /// or [`CcrpError::BadBlockLength`] for a length outside 1..=32.
+    pub fn corrupt_lat_length(
+        &mut self,
+        global_line: usize,
+        stored_len: u32,
+    ) -> Result<(), CcrpError> {
+        if global_line >= self.lines.len() {
+            return Err(CcrpError::AddressOutOfRange {
+                address: self.text_base + global_line as u32 * LINE_SIZE,
+            });
+        }
+        let lat_index = global_line / RECORDS_PER_ENTRY;
+        let slot = global_line % RECORDS_PER_ENTRY;
+        let entry = self
+            .lat
+            .entry(lat_index as u32)
+            .expect("line index bounds the LAT");
+        let mut lengths = [0u32; RECORDS_PER_ENTRY];
+        for (record, length) in lengths.iter_mut().enumerate() {
+            *length = entry.block_length(record);
+        }
+        lengths[slot] = stored_len;
+        let corrupted = LatEntry::new(entry.base(), lengths)?;
+        self.lat.set_entry(lat_index, corrupted);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -147,6 +147,12 @@ impl LineAddressTable {
         self.entries.get(lat_index as usize)
     }
 
+    /// Overwrites the entry at `index` (fault injection for
+    /// [`CompressedImage::corrupt_lat_length`][crate::CompressedImage::corrupt_lat_length]).
+    pub(crate) fn set_entry(&mut self, index: usize, entry: LatEntry) {
+        self.entries[index] = entry;
+    }
+
     /// Number of entries (one per 256 original program bytes).
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -1,0 +1,147 @@
+//! Edge-path regression tests: degenerate CLB capacity, the bypass
+//! refill's timing contract, and fault-injected LAT corruption.
+
+use ccrp::{CcrpError, Clb, CompressedImage, LatEntry, RefillConfig, RefillEngine};
+use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+use ccrp_sim::{standard_refill_cycles, MemoryModel};
+
+fn entry(n: u32) -> LatEntry {
+    LatEntry::new(n * 64, [4; 8]).expect("valid entry")
+}
+
+#[test]
+fn capacity_one_clb_evicts_on_every_new_tag() {
+    // The degenerate LRU: with one slot, the resident entry is always
+    // the most recently inserted tag and any new tag evicts it at once.
+    let mut clb = Clb::new(1).expect("capacity 1 is legal");
+    assert_eq!(clb.capacity(), 1);
+    clb.insert(1, entry(1));
+    assert_eq!(clb.resident().collect::<Vec<_>>(), [1]);
+    clb.insert(2, entry(2));
+    assert_eq!(clb.resident().collect::<Vec<_>>(), [2]);
+    assert!(clb.probe(1).is_none(), "1 was evicted by 2");
+    assert!(clb.probe(2).is_some(), "a failed probe must not evict");
+    // Re-inserting the resident tag refreshes in place.
+    clb.insert(2, entry(2));
+    assert_eq!(clb.resident().collect::<Vec<_>>(), [2]);
+    clb.insert(3, entry(3));
+    assert_eq!(clb.resident().collect::<Vec<_>>(), [3]);
+    assert_eq!(clb.stats().hits, 1);
+    assert_eq!(clb.stats().misses, 1);
+}
+
+#[test]
+fn capacity_one_clb_thrashes_on_alternating_tags() {
+    let mut clb = Clb::new(1).expect("capacity 1 is legal");
+    for round in 0..10u32 {
+        let tag = round % 2;
+        assert!(clb.probe(tag).is_none(), "two tags cannot share one slot");
+        clb.insert(tag, entry(tag));
+    }
+    assert_eq!(clb.stats().miss_rate(), 1.0);
+}
+
+/// Uniform-random text against a code trained on zeros: nothing
+/// compresses, so every line is stored through the bypass record.
+fn bypass_image() -> CompressedImage {
+    let mut text = vec![0u8; 256];
+    let mut x = 123u32;
+    for b in &mut text {
+        x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+        *b = (x >> 17) as u8;
+    }
+    let code = ByteCode::preselected(&ByteHistogram::of(&vec![0u8; 4096])).expect("code builds");
+    CompressedImage::build(0, &text, code, BlockAlignment::Word).expect("builds")
+}
+
+#[test]
+fn bypass_refill_costs_exactly_a_standard_refill() {
+    // §3.4: bypassed (uncompressed) blocks refill exactly like a
+    // standard processor's 8-word line fill — same cycles, same bytes —
+    // under every memory model.
+    let image = bypass_image();
+    let address = (0..256u32)
+        .step_by(32)
+        .find(|&a| image.locate(a).expect("in range").bypass)
+        .expect("hostile code leaves bypassed lines");
+    for &model in &MemoryModel::ALL {
+        let mut engine = RefillEngine::new(RefillConfig::default()).expect("valid config");
+        // Warm the CLB so the measured refill reads only the block.
+        engine
+            .refill(&image, address, 0, &mut model.timing())
+            .expect("in range");
+        let outcome = engine
+            .refill(&image, address, 0, &mut model.timing())
+            .expect("in range");
+        assert!(outcome.bypass && outcome.clb_hit);
+        assert_eq!(
+            outcome.ready_at,
+            standard_refill_cycles(model),
+            "{} bypass refill must match the standard line fill",
+            model.name()
+        );
+        assert_eq!(outcome.bytes_fetched, 32);
+    }
+}
+
+/// Compressible text (skewed bytes), so stored lengths are short.
+fn compressible_image() -> CompressedImage {
+    let mut text = vec![0u8; 512];
+    for (i, b) in text.iter_mut().enumerate() {
+        *b = match i % 4 {
+            0 => (i / 7) as u8,
+            1 => 0,
+            2 => 0x3C,
+            _ => 0x24,
+        };
+    }
+    let code = ByteCode::preselected(&ByteHistogram::of(&text)).expect("code builds");
+    CompressedImage::build(0, &text, code, BlockAlignment::Word).expect("builds")
+}
+
+#[test]
+fn verify_catches_a_corrupted_lat_length_record() {
+    let mut image = compressible_image();
+    image.verify().expect("freshly built images are consistent");
+    let honest = image.locate(0).expect("line 0 exists").stored_len;
+    let lie = if honest == 32 { 31 } else { honest + 1 };
+    image
+        .corrupt_lat_length(0, lie)
+        .expect("a 1..=32 length encodes");
+    assert!(
+        matches!(image.verify(), Err(CcrpError::AddressOutOfRange { .. })),
+        "verify must flag the layout mismatch"
+    );
+}
+
+#[test]
+fn corrupting_a_later_record_shifts_following_addresses() {
+    // A wrong length record desynchronizes the prefix-sum addresses of
+    // every following block in the group, not just its own.
+    let mut image = compressible_image();
+    let honest = image.locate(2 * 32).expect("line 2 exists").stored_len;
+    let lie = if honest == 32 { 31 } else { 32 };
+    image
+        .corrupt_lat_length(2, lie)
+        .expect("a 1..=32 length encodes");
+    assert!(image.verify().is_err());
+}
+
+#[test]
+fn fault_injection_rejects_bad_inputs() {
+    let mut image = compressible_image();
+    assert!(matches!(
+        image.corrupt_lat_length(10_000, 4),
+        Err(CcrpError::AddressOutOfRange { .. })
+    ));
+    assert!(matches!(
+        image.corrupt_lat_length(0, 0),
+        Err(CcrpError::BadBlockLength { .. })
+    ));
+    assert!(matches!(
+        image.corrupt_lat_length(0, 33),
+        Err(CcrpError::BadBlockLength { .. })
+    ));
+    // The failed injections left the image untouched.
+    image.verify().expect("still consistent");
+}

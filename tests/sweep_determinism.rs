@@ -1,0 +1,46 @@
+//! The parallel sweep runner must be scheduling-independent: for every
+//! experiment, `--jobs 8` produces bit-identical rows and byte-identical
+//! key-sorted results JSON to `--jobs 1`. Rows carry raw `f64`s compared
+//! with `PartialEq`, so "equal" here means bit-identical floating-point
+//! results, not approximately close.
+
+use ccrp_bench::{runner, Experiment, SweepOptions};
+
+#[test]
+fn eight_jobs_match_one_job_bit_for_bit() {
+    for experiment in Experiment::ALL {
+        let serial = runner::run(experiment, &SweepOptions { jobs: 1 });
+        let parallel = runner::run(experiment, &SweepOptions { jobs: 8 });
+        assert_eq!(
+            serial.results,
+            parallel.results,
+            "{}: rows diverged between 1 and 8 workers",
+            experiment.name()
+        );
+        assert_eq!(
+            serial.results_json().to_compact(),
+            parallel.results_json().to_compact(),
+            "{}: results JSON diverged between 1 and 8 workers",
+            experiment.name()
+        );
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.label, b.label, "{}: cell order", experiment.name());
+        }
+    }
+}
+
+#[test]
+fn full_json_differs_from_results_json_only_by_run_metadata() {
+    let report = runner::run(Experiment::Fig5, &SweepOptions { jobs: 2 });
+    let results = report.results_json().to_compact();
+    let full = report.to_json().to_compact();
+    assert!(!results.contains("\"timing\""));
+    assert!(full.contains("\"timing\""));
+    assert!(full.contains("\"jobs\":2"));
+    // The deterministic rows are embedded verbatim in the full report:
+    // with sorted keys, `"results":...,"schema":...` is contiguous in
+    // both serializations.
+    let tail = &results[results.find("\"results\"").expect("results key")..results.len() - 1];
+    assert!(full.contains(tail));
+}
