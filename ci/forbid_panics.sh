@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Forbid panicking constructs in the decode-path library code.
+#
+# The fault-injection campaign proves the loader and decoder never panic
+# on corrupt input; this guard keeps new `.unwrap()` / `.expect(` /
+# `panic!(` / `unreachable!(` calls from creeping back into the crates
+# that sit on that path (ccrp-core and ccrp-compress).
+#
+# Scope and escape hatches:
+#   * only library source under crates/{core,compress}/src is scanned;
+#   * everything from the first `#[cfg(test)]` line to end-of-file is
+#     ignored (test modules may panic freely);
+#   * `//` comment and doc-comment lines are ignored;
+#   * a line carrying a `panic-ok:` marker comment is exempt — the
+#     marker documents why the panic is part of a stated contract.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+hits=$(find crates/core/src crates/compress/src -name '*.rs' | sort | while IFS= read -r file; do
+    awk '
+        /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        /panic-ok:/ { next }
+        /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
+            printf "%s:%d: %s\n", FILENAME, FNR, $0
+        }
+    ' "$file"
+done)
+
+if [ -n "$hits" ]; then
+    echo "$hits" >&2
+    echo >&2
+    echo "error: panicking constructs found in decode-path library code." >&2
+    echo "       Return a structured CcrpError/CompressError instead, or" >&2
+    echo "       mark a documented contract with a 'panic-ok:' comment." >&2
+    exit 1
+fi
+echo "forbid_panics: crates/core and crates/compress library code is panic-free."

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod faultsim;
 pub mod json;
 pub mod render;
 pub mod runner;

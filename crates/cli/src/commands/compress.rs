@@ -1,8 +1,11 @@
 //! `ccrp-tools compress <input.s> [--out image.ccrp] [--alignment
-//! byte|word] [--code preselected|self]`
+//! byte|word] [--code preselected|self] [--crc]`
 //!
 //! Compresses a program into a CCRP image (and optionally writes the
-//! container an embedded build would burn to ROM).
+//! container an embedded build would burn to ROM). `--crc` writes a
+//! version-2 container carrying a header CRC-32 and one CRC-32 record
+//! per cache line, so corruption is detected instead of silently
+//! decoding to wrong instructions.
 
 use std::io::Write;
 
@@ -17,7 +20,7 @@ use crate::load_text_bytes;
 /// Option names consuming a value.
 pub const VALUE_OPTIONS: &[&str] = &["out", "alignment", "code", "text-base"];
 /// Switch names.
-pub const SWITCHES: &[&str] = &[];
+pub const SWITCHES: &[&str] = &["crc"];
 
 pub(crate) fn parse_alignment(args: &Args) -> Result<BlockAlignment, CliError> {
     match args.option("alignment").unwrap_or("word") {
@@ -63,9 +66,18 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )
     .ok();
     if let Some(path) = args.option("out") {
-        let container = image.to_bytes();
+        let (container, kind) = if args.switch("crc") {
+            (image.to_bytes_v2(), "v2 (CRC)")
+        } else {
+            (image.to_bytes(), "v1")
+        };
         write_file(path, &container)?;
-        writeln!(out, "wrote {} container bytes to {path}", container.len()).ok();
+        writeln!(
+            out,
+            "wrote {} {kind} container bytes to {path}",
+            container.len()
+        )
+        .ok();
     }
     Ok(())
 }
@@ -102,6 +114,34 @@ mod tests {
         let bytes = std::fs::read(&out_path).unwrap();
         let image = CompressedImage::from_bytes(&bytes).unwrap();
         image.verify().unwrap();
+        std::fs::remove_file(src).ok();
+        std::fs::remove_file(out_path).ok();
+    }
+
+    #[test]
+    fn crc_switch_writes_a_v2_container() {
+        let src = write_temp("cmp_crc.s", "main: li $t0, 7\n jr $ra\n");
+        let out_path = temp_path("cmp_crc.ccrp");
+        let args = Args::parse(
+            &[
+                src.clone(),
+                "--out".into(),
+                out_path.clone(),
+                "--code".into(),
+                "self".into(),
+                "--crc".into(),
+            ],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        assert!(String::from_utf8(buffer).unwrap().contains("v2 (CRC)"));
+        let bytes = std::fs::read(&out_path).unwrap();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        let image = CompressedImage::from_bytes(&bytes).unwrap();
+        assert!(image.block_crcs().is_some());
         std::fs::remove_file(src).ok();
         std::fs::remove_file(out_path).ok();
     }

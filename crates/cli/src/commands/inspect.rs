@@ -26,9 +26,15 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let bytes = read_file(input)?;
     let image = CompressedImage::from_bytes(&bytes)?;
     image.verify()?;
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
     writeln!(
         out,
-        "{input}: {} original bytes at {:#x}, stored {} ({:.1}%), {} lines, {} bypassed",
+        "{input}: container v{version} ({}), {} original bytes at {:#x}, stored {} ({:.1}%), {} lines, {} bypassed",
+        if image.block_crcs().is_some() {
+            "per-line CRC-32"
+        } else {
+            "no integrity records"
+        },
         image.original_bytes(),
         image.text_base(),
         image.total_stored_bytes(false),
@@ -109,6 +115,7 @@ mod tests {
         let mut buffer = Vec::new();
         run(&args, &mut buffer).unwrap();
         let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("container v1 (no integrity records)"));
         assert!(text.contains("LAT:"));
         assert!(text.contains("jr $ra"));
         std::fs::remove_file(path).ok();

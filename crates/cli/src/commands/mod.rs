@@ -4,6 +4,7 @@
 pub mod asm;
 pub mod compress;
 pub mod disasm;
+pub mod faultsim;
 pub mod inspect;
 pub mod profile;
 pub mod run;

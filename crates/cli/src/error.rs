@@ -22,6 +22,9 @@ pub enum CliError {
     Ccrp(ccrp::CcrpError),
     /// Simulation failure.
     Sim(ccrp_sim::SimError),
+    /// A fault-injection campaign violated the hardening contract
+    /// (panics, hangs, or silent miscompares on CRC-carrying images).
+    Campaign(String),
 }
 
 impl fmt::Display for CliError {
@@ -33,6 +36,7 @@ impl fmt::Display for CliError {
             CliError::Emu(e) => write!(f, "execution failed: {e}"),
             CliError::Ccrp(e) => write!(f, "compression failed: {e}"),
             CliError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CliError::Campaign(msg) => write!(f, "fault campaign failed: {msg}"),
         }
     }
 }
@@ -40,7 +44,7 @@ impl fmt::Display for CliError {
 impl Error for CliError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Campaign(_) => None,
             CliError::Io { source, .. } => Some(source),
             CliError::Asm(e) => Some(e),
             CliError::Emu(e) => Some(e),

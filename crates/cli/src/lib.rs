@@ -59,8 +59,9 @@ COMMANDS:
       disassemble a .s file or raw text binary
   run <in.s> [--input 1,2,3] [--max-steps N] [--stats]
       execute on the functional R2000 emulator
-  compress <in> [--out f.ccrp] [--alignment byte|word] [--code preselected|self] [--text-base N]
-      compress into a CCRP ROM container
+  compress <in> [--out f.ccrp] [--alignment byte|word] [--code preselected|self] [--text-base N] [--crc]
+      compress into a CCRP ROM container (--crc: v2 container with
+      header and per-line CRC-32 integrity records)
   inspect <in.ccrp> [--lines N] [--disasm]
       report a container's layout and LAT
   profile <in.s> [--top N]
@@ -74,6 +75,10 @@ COMMANDS:
         [--out DIR] [--tables]
       run the paper experiments across a worker pool and write
       machine-readable BENCH_<experiment>.json results files
+  faultsim [--trials N] [--seed N] [--jobs N] [--out FILE]
+      run a seeded fault-injection campaign over the container format,
+      write BENCH_faultsim.json, and fail on panics, hangs, or silent
+      miscompares in CRC-carrying (v2) containers
   help
       print this text
 ";
@@ -144,6 +149,14 @@ pub fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 rest,
                 commands::workloads::VALUE_OPTIONS,
                 commands::workloads::SWITCHES,
+            )?,
+            out,
+        ),
+        "faultsim" => commands::faultsim::run(
+            &Args::parse(
+                rest,
+                commands::faultsim::VALUE_OPTIONS,
+                commands::faultsim::SWITCHES,
             )?,
             out,
         ),

@@ -50,18 +50,37 @@ impl CompressedLine {
     /// # Panics
     ///
     /// Panics on stored sizes the LAT cannot represent: a bypassed line
-    /// must be exactly [`LINE_SIZE`] bytes, a compressed one 1..32.
+    /// must be exactly [`LINE_SIZE`] bytes, a compressed one 1..32. Use
+    /// [`from_stored_checked`](Self::from_stored_checked) when the sizes
+    /// come from untrusted (possibly corrupt) container bytes.
     pub fn from_stored(data: Vec<u8>, bypass: bool) -> Self {
-        if bypass {
-            assert_eq!(data.len(), LINE_SIZE, "bypassed lines are stored raw");
-        } else {
-            assert!(
-                (1..LINE_SIZE).contains(&data.len()),
-                "compressed line of {} bytes",
-                data.len()
-            );
+        match Self::from_stored_checked(data, bypass) {
+            Ok(line) => line,
+            Err(e) => panic!("{e}"), // panic-ok: documented constructor contract
         }
-        Self { data, bypass }
+    }
+
+    /// Non-panicking [`from_stored`](Self::from_stored): the loader's
+    /// entry point for sizes read from untrusted container bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::BadStoredLength`] when the stored size is not
+    /// representable (bypassed lines must be exactly [`LINE_SIZE`]
+    /// bytes, compressed ones 1..32).
+    pub fn from_stored_checked(data: Vec<u8>, bypass: bool) -> Result<Self, CompressError> {
+        let valid = if bypass {
+            data.len() == LINE_SIZE
+        } else {
+            (1..LINE_SIZE).contains(&data.len())
+        };
+        if !valid {
+            return Err(CompressError::BadStoredLength {
+                length: data.len(),
+                bypass,
+            });
+        }
+        Ok(Self { data, bypass })
     }
 
     /// The stored bytes (compressed stream, or the raw line when

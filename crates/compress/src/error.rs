@@ -35,6 +35,14 @@ pub enum CompressError {
         /// The offending code.
         code: u32,
     },
+    /// A stored block size the LAT cannot represent: bypassed lines must
+    /// be exactly 32 bytes, compressed ones 1..32.
+    BadStoredLength {
+        /// The offending stored size in bytes.
+        length: usize,
+        /// Whether the block claimed to be bypassed (uncompressed).
+        bypass: bool,
+    },
 }
 
 impl fmt::Display for CompressError {
@@ -55,6 +63,11 @@ impl fmt::Display for CompressError {
             }
             CompressError::Truncated(e) => write!(f, "compressed stream truncated: {e}"),
             CompressError::BadLzwCode { code } => write!(f, "LZW code {code} not in dictionary"),
+            CompressError::BadStoredLength { length, bypass } => write!(
+                f,
+                "stored {} block of {length} bytes is unrepresentable",
+                if *bypass { "bypassed" } else { "compressed" }
+            ),
         }
     }
 }

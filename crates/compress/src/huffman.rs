@@ -59,17 +59,22 @@ pub fn traditional_lengths(histogram: &ByteHistogram) -> Result<[u8; 256], Compr
         heap.push(Reverse((count, i as u32, i)));
     }
     let mut tie = symbols.len() as u32;
-    while heap.len() > 1 {
-        let Reverse((w1, _, n1)) = heap.pop().expect("len > 1");
-        let Reverse((w2, _, n2)) = heap.pop().expect("len > 1");
+    let root = loop {
+        let Some(Reverse((w1, _, n1))) = heap.pop() else {
+            // Unreachable (the heap starts with >= 2 nodes and the loop
+            // leaves one), but a structured error beats a panic.
+            return Err(CompressError::EmptyHistogram);
+        };
+        let Some(Reverse((w2, _, n2))) = heap.pop() else {
+            break n1;
+        };
         // Steal the two nodes out of the arena by swapping placeholders in.
         let a = std::mem::replace(&mut arena[n1], Node::Leaf(0));
         let b = std::mem::replace(&mut arena[n2], Node::Leaf(0));
         arena.push(Node::Internal(Box::new(a), Box::new(b)));
         heap.push(Reverse((w1 + w2, tie, arena.len() - 1)));
         tie += 1;
-    }
-    let Reverse((_, _, root)) = heap.pop().expect("one node remains");
+    };
 
     fn walk(node: &Node, depth: u8, lengths: &mut [u8; 256]) {
         match node {

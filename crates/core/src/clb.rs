@@ -105,6 +105,19 @@ impl Clb {
         self.slots.clear();
     }
 
+    /// Invalidates one entry, returning whether it was resident. The
+    /// degradation machinery uses this to force a fresh LAT read on
+    /// retry: a corrupt entry cached in the CLB would otherwise make
+    /// every re-read fail identically.
+    pub fn invalidate(&mut self, lat_index: u32) -> bool {
+        if let Some(pos) = self.slots.iter().position(|&(tag, _)| tag == lat_index) {
+            self.slots.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Hit/miss counters.
     pub fn stats(&self) -> ClbStats {
         self.stats
@@ -202,6 +215,17 @@ mod tests {
             }
             assert_eq!(all, expect_all_hits, "capacity {cap}");
         }
+    }
+
+    #[test]
+    fn invalidate_removes_one_entry() {
+        let mut clb = Clb::new(4).unwrap();
+        clb.insert(1, entry(1));
+        clb.insert(2, entry(2));
+        assert!(clb.invalidate(1));
+        assert!(!clb.invalidate(1), "already gone");
+        assert!(clb.probe(1).is_none());
+        assert!(clb.probe(2).is_some(), "other entries untouched");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic "CCRP"
-//! 4       2     format version (1)
+//! 4       2     format version (1 or 2)
 //! 6       1     alignment (0 = byte, 1 = word)
 //! 7       1     reserved (0)
 //! 8       4     text base (CPU address)
@@ -19,18 +19,80 @@
 //! …       —     encoded LAT (8 bytes per entry)
 //! ```
 //!
+//! Version 2 appends an integrity section after the LAT — a CRC-32 over
+//! the 280 header bytes, then one CRC-32 per stored block:
+//!
+//! ```text
+//! …       4     header CRC-32 (over bytes 0..280)
+//! …       4×N   per-block CRC-32, one per cache line
+//! ```
+//!
+//! Everything before the integrity section is laid out identically, so a
+//! v2 container is a v1 container plus trailing records and version-1
+//! readers of old images keep working. The per-block CRCs are what turn
+//! a flipped ROM bit that still decodes into *valid wrong bytes* — a
+//! silent miscompare — into a detected [`CcrpError::CrcMismatch`].
+//!
 //! Deserialization rebuilds the original text by running every block
 //! through the decoder, so a loaded image is verified by construction.
 
 use ccrp_compress::{BlockAlignment, ByteCode};
 
+use crate::crc::crc32;
 use crate::error::CcrpError;
+use crate::fault::ContainerLayout;
 use crate::image::CompressedImage;
 use crate::lat::ENTRY_BYTES;
 
 const MAGIC: &[u8; 4] = b"CCRP";
 const VERSION: u16 = 1;
+const VERSION_V2: u16 = 2;
 const HEADER_BYTES: usize = 280;
+
+/// Parses the section byte-ranges out of a serialized container without
+/// decoding any block (the basis for [`ContainerLayout::of`]).
+pub(crate) fn layout_of(bytes: &[u8]) -> Result<ContainerLayout, CcrpError> {
+    let bad = |what: &'static str| CcrpError::BadContainer { what };
+    if bytes.len() < HEADER_BYTES {
+        return Err(bad("shorter than the fixed header"));
+    }
+    if &bytes[0..4] != MAGIC {
+        return Err(bad("magic is not \"CCRP\""));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != VERSION && version != VERSION_V2 {
+        return Err(bad("unsupported format version"));
+    }
+    let word =
+        |at: usize| u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+    let original_bytes = word(12) as usize;
+    let block_bytes = word(16) as usize;
+    if !original_bytes.is_multiple_of(32) {
+        return Err(bad("original size is not a whole number of lines"));
+    }
+    let lines = original_bytes / 32;
+    let lat_entries = lines.div_ceil(crate::lat::RECORDS_PER_ENTRY);
+    let blocks = HEADER_BYTES..HEADER_BYTES + block_bytes;
+    let lat = blocks.end..blocks.end + lat_entries * ENTRY_BYTES;
+    let crc_bytes = if version == VERSION_V2 {
+        4 + 4 * lines
+    } else {
+        0
+    };
+    let crc = lat.end..lat.end + crc_bytes;
+    if bytes.len() != crc.end {
+        return Err(bad("container length disagrees with header"));
+    }
+    Ok(ContainerLayout {
+        total: crc.end,
+        header: 0..24,
+        code_table: 24..HEADER_BYTES,
+        blocks,
+        lat,
+        crc,
+        version,
+    })
+}
 
 impl CompressedImage {
     /// Serializes the image to the container format.
@@ -55,27 +117,35 @@ impl CompressedImage {
         out
     }
 
-    /// Parses a container produced by [`to_bytes`](Self::to_bytes),
-    /// decompressing every block to rebuild (and thereby verify) the
-    /// original program text.
+    /// Serializes the image to the version-2 container format: identical
+    /// to [`to_bytes`](Self::to_bytes) up through the LAT, with the
+    /// header CRC-32 and per-block CRC-32 records appended.
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        let mut out = self.to_bytes();
+        out[4..6].copy_from_slice(&VERSION_V2.to_le_bytes());
+        out.extend_from_slice(&crc32(&out[..HEADER_BYTES]).to_le_bytes());
+        for record in self.block_crc_records() {
+            out.extend_from_slice(&record.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a container produced by [`to_bytes`](Self::to_bytes) or
+    /// [`to_bytes_v2`](Self::to_bytes_v2), decompressing every block to
+    /// rebuild (and thereby verify) the original program text. Version-2
+    /// containers additionally have the header and every stored block
+    /// checked against their CRC-32 records, and the loaded image keeps
+    /// those records for runtime integrity checks.
     ///
     /// # Errors
     ///
     /// [`CcrpError::BadContainer`] on malformed input (wrong magic,
-    /// truncated sections, inconsistent sizes) and decode errors on
-    /// corrupt block data.
+    /// truncated sections, inconsistent sizes, header CRC mismatch),
+    /// [`CcrpError::CrcMismatch`] when a stored block fails its CRC
+    /// record, and decode errors on corrupt block data.
     pub fn from_bytes(bytes: &[u8]) -> Result<CompressedImage, CcrpError> {
         let bad = |what: &'static str| CcrpError::BadContainer { what };
-        if bytes.len() < HEADER_BYTES {
-            return Err(bad("shorter than the fixed header"));
-        }
-        if &bytes[0..4] != MAGIC {
-            return Err(bad("magic is not \"CCRP\""));
-        }
-        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != VERSION {
-            return Err(bad("unsupported format version"));
-        }
+        let layout = layout_of(bytes)?;
         let alignment = match bytes[6] {
             0 => BlockAlignment::Byte,
             1 => BlockAlignment::Word,
@@ -86,26 +156,40 @@ impl CompressedImage {
         };
         let text_base = word(8);
         let original_bytes = word(12) as usize;
-        let block_bytes = word(16) as usize;
         let lat_base = word(20);
-        if !original_bytes.is_multiple_of(32) {
-            return Err(bad("original size is not a whole number of lines"));
+        if !text_base.is_multiple_of(crate::addr::BYTES_PER_ENTRY) {
+            return Err(bad("text base not aligned to a 256-byte LAT group"));
         }
+        let lines = original_bytes / 32;
+
+        let block_crcs = if layout.version == VERSION_V2 {
+            let crc_section = &bytes[layout.crc.clone()];
+            if crc32(&bytes[..HEADER_BYTES]) != word(layout.crc.start) {
+                return Err(bad("header CRC mismatch"));
+            }
+            Some(
+                crc_section[4..]
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect::<Vec<u32>>(),
+            )
+        } else {
+            None
+        };
+
         let mut lengths = [0u8; 256];
-        lengths.copy_from_slice(&bytes[24..280]);
+        lengths.copy_from_slice(&bytes[24..HEADER_BYTES]);
         let code = ByteCode::from_lengths(lengths)?;
 
-        let lines = original_bytes / 32;
-        let lat_entries = lines.div_ceil(crate::lat::RECORDS_PER_ENTRY);
-        let expected = HEADER_BYTES + block_bytes + lat_entries * ENTRY_BYTES;
-        if bytes.len() != expected {
-            return Err(bad("container length disagrees with header"));
-        }
-        let blocks = &bytes[HEADER_BYTES..HEADER_BYTES + block_bytes];
-        let lat_bytes = &bytes[HEADER_BYTES + block_bytes..];
-
         CompressedImage::from_parts(
-            text_base, alignment, code, blocks, lat_bytes, lines, lat_base,
+            text_base,
+            alignment,
+            code,
+            &bytes[layout.blocks.clone()],
+            &bytes[layout.lat.clone()],
+            lines,
+            lat_base,
+            block_crcs,
         )
     }
 }
@@ -187,5 +271,65 @@ mod tests {
                 assert!(differs, "corruption must not load back identical");
             }
         }
+    }
+
+    #[test]
+    fn v2_roundtrip_carries_crcs() {
+        let image = sample_image(BlockAlignment::Word);
+        let v1 = image.to_bytes();
+        let v2 = image.to_bytes_v2();
+        // v2 is v1 (with a bumped version field) plus the CRC section.
+        assert_eq!(v2.len(), v1.len() + 4 + 4 * image.line_count());
+        assert_eq!(&v2[6..v1.len()], &v1[6..]);
+        let back = CompressedImage::from_bytes(&v2).expect("v2 parses");
+        back.verify().expect("loaded v2 image verifies");
+        assert!(back.block_crcs().is_some());
+        assert_eq!(back.to_bytes_v2(), v2);
+        // Old (v1) images still load, just without integrity records.
+        assert!(CompressedImage::from_bytes(&v1)
+            .expect("v1 parses")
+            .block_crcs()
+            .is_none());
+    }
+
+    #[test]
+    fn v2_detects_block_corruption_v1_may_not() {
+        let image = sample_image(BlockAlignment::Word);
+        let mut v2 = image.to_bytes_v2();
+        // Stomp the final byte of the packed section: trailing alignment
+        // padding, which the bit-serial decoder never reads — only the
+        // CRC record can see this one.
+        let offset = HEADER_BYTES + image.compressed_code_bytes() as usize - 1;
+        v2[offset] ^= 0xFF;
+        assert!(matches!(
+            CompressedImage::from_bytes(&v2),
+            Err(CcrpError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn v2_detects_header_corruption() {
+        let image = sample_image(BlockAlignment::Word);
+        let mut v2 = image.to_bytes_v2();
+        // Flip a high bit of the text base: the result is still
+        // 256-aligned, so only the header CRC can flag it.
+        v2[11] ^= 0x40;
+        assert!(matches!(
+            CompressedImage::from_bytes(&v2),
+            Err(CcrpError::BadContainer {
+                what: "header CRC mismatch"
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_misaligned_text_base() {
+        let image = sample_image(BlockAlignment::Word);
+        let mut bytes = image.to_bytes();
+        bytes[8] = 0x20; // text base 0x420: not 256-aligned
+        assert!(matches!(
+            CompressedImage::from_bytes(&bytes),
+            Err(CcrpError::BadContainer { .. })
+        ));
     }
 }

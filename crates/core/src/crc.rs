@@ -1,0 +1,74 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for the
+//! container format's per-block integrity records.
+//!
+//! A flipped ROM bit inside a compressed block can decode to a *valid*
+//! wrong byte sequence — bounded Huffman streams have no redundancy of
+//! their own — so version-2 containers store one CRC-32 per stored block
+//! (and one over the header) to turn those silent miscompares into
+//! detected errors. Table-driven, std-only, byte-at-a-time: integrity
+//! checking runs once per refill, not per bit, so this is plenty fast.
+
+/// The reflected CRC-32 lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE: init `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`).
+///
+/// # Examples
+///
+/// ```
+/// // The classic check value for "123456789".
+/// assert_eq!(ccrp::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_always_changes_crc() {
+        let data: Vec<u8> = (0u16..64).map(|i| (i * 7) as u8).collect();
+        let reference = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

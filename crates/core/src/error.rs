@@ -37,6 +37,28 @@ pub enum CcrpError {
     },
     /// An underlying compression failure.
     Compress(CompressError),
+    /// A runtime integrity cross-check failure: a LAT entry disagreeing
+    /// with the image layout, a burst that returned no data, or an image
+    /// invariant broken by corruption.
+    Integrity {
+        /// Which invariant failed.
+        what: &'static str,
+        /// The instruction address being refilled when it failed.
+        address: u32,
+    },
+    /// A stored block whose CRC-32 record (container format v2) does not
+    /// match its bytes.
+    CrcMismatch {
+        /// The global line index of the mismatching block.
+        line: u32,
+    },
+    /// Detected corruption escalated to a machine-check exception, either
+    /// immediately (`DegradePolicy::Trap`) or after the retry budget was
+    /// exhausted (`DegradePolicy::Retry`).
+    MachineCheck {
+        /// The instruction address whose refill failed.
+        address: u32,
+    },
 }
 
 impl fmt::Display for CcrpError {
@@ -63,6 +85,18 @@ impl fmt::Display for CcrpError {
             }
             CcrpError::BadContainer { what } => write!(f, "malformed CCRP container: {what}"),
             CcrpError::Compress(e) => write!(f, "{e}"),
+            CcrpError::Integrity { what, address } => {
+                write!(f, "integrity check failed at {address:#010x}: {what}")
+            }
+            CcrpError::CrcMismatch { line } => {
+                write!(f, "stored block for line {line} fails its CRC-32 record")
+            }
+            CcrpError::MachineCheck { address } => {
+                write!(
+                    f,
+                    "machine check: unrecoverable corrupt refill at {address:#010x}"
+                )
+            }
         }
     }
 }

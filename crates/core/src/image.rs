@@ -4,6 +4,7 @@
 use ccrp_compress::{block, BlockAlignment, ByteCode, CompressedLine};
 
 use crate::addr::{self, BYTES_PER_ENTRY, LINES_PER_ENTRY, LINE_SIZE};
+use crate::crc::crc32;
 use crate::error::CcrpError;
 use crate::lat::{LatEntry, LineAddressTable, RECORDS_PER_ENTRY};
 
@@ -52,6 +53,7 @@ pub struct CompressedImage {
     lat_base: u32,
     original_text: Vec<u8>,
     text_base: u32,
+    block_crcs: Option<Vec<u32>>,
 }
 
 impl CompressedImage {
@@ -118,7 +120,28 @@ impl CompressedImage {
             lat_base,
             original_text,
             text_base,
+            block_crcs: None,
         })
+    }
+
+    /// Computes and attaches per-block CRC-32 integrity records (what a
+    /// version-2 container stores). With records attached,
+    /// [`expand_line`](Self::expand_line) and [`verify`](Self::verify)
+    /// check every stored block against its CRC, turning silent
+    /// miscompares into [`CcrpError::CrcMismatch`].
+    pub fn attach_block_crcs(&mut self) {
+        self.block_crcs = Some(self.block_crc_records());
+    }
+
+    /// The attached per-block CRC records, if any (always present on
+    /// images loaded from version-2 containers).
+    pub fn block_crcs(&self) -> Option<&[u32]> {
+        self.block_crcs.as_deref()
+    }
+
+    /// CRC-32 of every stored block's current bytes, in line order.
+    pub fn block_crc_records(&self) -> Vec<u32> {
+        self.lines.iter().map(|l| crc32(l.data())).collect()
     }
 
     /// The code used for compression.
@@ -232,13 +255,29 @@ impl CompressedImage {
     }
 
     /// Runs the decompressor on the stored block covering `address`,
-    /// returning the expanded 32-byte cache line.
+    /// returning the expanded 32-byte cache line. When CRC records are
+    /// attached (version-2 containers), the stored bytes are checked
+    /// against their record first.
     ///
     /// # Errors
     ///
-    /// Address-range or (for corrupt images) decode failures.
+    /// Address-range, [`CcrpError::CrcMismatch`], or (for corrupt
+    /// images) decode failures.
     pub fn expand_line(&self, address: u32) -> Result<[u8; 32], CcrpError> {
-        let stored = self.stored_line(address)?;
+        let loc = self.locate(address)?;
+        let global = (loc.lat_index * LINES_PER_ENTRY + loc.line_in_entry) as usize;
+        let stored = &self.lines[global];
+        if let Some(crcs) = &self.block_crcs {
+            let record = crcs.get(global).copied().ok_or(CcrpError::Integrity {
+                what: "CRC record table shorter than line count",
+                address,
+            })?;
+            if crc32(stored.data()) != record {
+                return Err(CcrpError::CrcMismatch {
+                    line: global as u32,
+                });
+            }
+        }
         Ok(block::decompress_line(&self.code, stored)?)
     }
 
@@ -254,12 +293,16 @@ impl CompressedImage {
 
     /// Rebuilds an image from its serialized parts (the `container`
     /// module's loader). The original text is reconstructed by running
-    /// every block through the decoder.
+    /// every block through the decoder; when `block_crcs` is given
+    /// (version-2 containers), each stored block is checked against its
+    /// record before decoding.
     ///
     /// # Errors
     ///
-    /// [`CcrpError::BadContainer`] on structural inconsistencies and
+    /// [`CcrpError::BadContainer`] on structural inconsistencies,
+    /// [`CcrpError::CrcMismatch`] on integrity-record mismatches, and
     /// decode errors on corrupt block data.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         text_base: u32,
         alignment: BlockAlignment,
@@ -268,6 +311,7 @@ impl CompressedImage {
         lat_bytes: &[u8],
         line_count: usize,
         lat_base: u32,
+        block_crcs: Option<Vec<u32>>,
     ) -> Result<CompressedImage, CcrpError> {
         use crate::lat::RECORDS_PER_ENTRY;
         let lat = LineAddressTable::from_encoded(lat_bytes)?;
@@ -276,13 +320,22 @@ impl CompressedImage {
                 what: "LAT entry count mismatch",
             });
         }
+        if let Some(crcs) = &block_crcs {
+            if crcs.len() != line_count {
+                return Err(CcrpError::BadContainer {
+                    what: "CRC record count mismatch",
+                });
+            }
+        }
         let mut lines = Vec::with_capacity(line_count);
         let mut block_addresses = Vec::with_capacity(line_count);
         let mut original_text = Vec::with_capacity(line_count * LINE_SIZE as usize);
         for global in 0..line_count {
-            let entry = lat
-                .entry((global / RECORDS_PER_ENTRY) as u32)
-                .expect("count checked above");
+            let entry =
+                lat.entry((global / RECORDS_PER_ENTRY) as u32)
+                    .ok_or(CcrpError::BadContainer {
+                        what: "LAT entry count mismatch",
+                    })?;
             let slot = global % RECORDS_PER_ENTRY;
             let physical = entry.block_address(slot) as usize;
             let stored = entry.block_length(slot) as usize;
@@ -291,10 +344,17 @@ impl CompressedImage {
                 .ok_or(CcrpError::BadContainer {
                     what: "block outside the packed section",
                 })?;
-            let line = ccrp_compress::CompressedLine::from_stored(
+            if let Some(crcs) = &block_crcs {
+                if crc32(data) != crcs[global] {
+                    return Err(CcrpError::CrcMismatch {
+                        line: global as u32,
+                    });
+                }
+            }
+            let line = ccrp_compress::CompressedLine::from_stored_checked(
                 data.to_vec(),
                 entry.is_uncompressed(slot),
-            );
+            )?;
             let expanded = block::decompress_line(&code, &line)?;
             original_text.extend_from_slice(&expanded);
             block_addresses.push(physical as u32);
@@ -309,35 +369,74 @@ impl CompressedImage {
             lat_base,
             original_text,
             text_base,
+            block_crcs,
         };
         Ok(image)
     }
 
-    /// Consistency check: every LAT-computed block address must equal the
-    /// packed layout's, and every line must expand to the original bytes.
-    /// Used by tests and the image inspector example.
+    /// Consistency check: the container-header invariants must hold (LAT
+    /// entry count matches the line count, base pointers monotonically
+    /// non-decreasing and in-bounds of the packed section), every
+    /// LAT-computed block address must equal the packed layout's, every
+    /// line must expand to the original bytes, and — when CRC records
+    /// are attached — every stored block must match its record. Used by
+    /// tests, the image inspector, and fault campaigns.
     ///
     /// # Errors
     ///
-    /// The first inconsistency found, as an [`CcrpError::AddressOutOfRange`]
-    /// (layout mismatch) or decode error.
+    /// The first inconsistency found: [`CcrpError::Integrity`] for
+    /// structural/layout mismatches, [`CcrpError::CrcMismatch`] for
+    /// integrity-record failures, or a decode error.
     pub fn verify(&self) -> Result<(), CcrpError> {
+        if self.lat.len() != self.lines.len().div_ceil(RECORDS_PER_ENTRY) {
+            return Err(CcrpError::Integrity {
+                what: "LAT entry count disagrees with line count",
+                address: self.text_base,
+            });
+        }
+        let packed = self.compressed_code_bytes();
+        let mut prev_base = 0u32;
+        for index in 0..self.lat.len() {
+            let entry = self.lat.entry(index as u32).ok_or(CcrpError::Integrity {
+                what: "LAT entry missing",
+                address: self.text_base + index as u32 * BYTES_PER_ENTRY,
+            })?;
+            if entry.base() < prev_base || entry.base() > packed {
+                return Err(CcrpError::Integrity {
+                    what: "LAT base pointers not monotonically in-bounds",
+                    address: self.text_base + index as u32 * BYTES_PER_ENTRY,
+                });
+            }
+            prev_base = entry.base();
+        }
         for global in 0..self.lines.len() {
             let address = self.text_base + global as u32 * LINE_SIZE;
             let loc = self.locate(address)?;
-            let entry = self
-                .lat
-                .entry(loc.lat_index)
-                .ok_or(CcrpError::AddressOutOfRange { address })?;
+            let entry = self.lat.entry(loc.lat_index).ok_or(CcrpError::Integrity {
+                what: "LAT entry missing",
+                address,
+            })?;
             let computed = entry.block_address(loc.line_in_entry as usize);
             if computed != loc.physical
                 || entry.block_length(loc.line_in_entry as usize) != loc.stored_len
             {
-                return Err(CcrpError::AddressOutOfRange { address });
+                return Err(CcrpError::Integrity {
+                    what: "LAT entry disagrees with packed layout",
+                    address,
+                });
+            }
+            if computed + loc.stored_len > packed {
+                return Err(CcrpError::Integrity {
+                    what: "block extends past the packed section",
+                    address,
+                });
             }
             let expanded = self.expand_line(address)?;
             if expanded[..] != *self.original_line(address)? {
-                return Err(CcrpError::AddressOutOfRange { address });
+                return Err(CcrpError::Integrity {
+                    what: "expanded line differs from original text",
+                    address,
+                });
             }
         }
         Ok(())
@@ -370,7 +469,10 @@ impl CompressedImage {
         let entry = self
             .lat
             .entry(lat_index as u32)
-            .expect("line index bounds the LAT");
+            .ok_or(CcrpError::Integrity {
+                what: "LAT shorter than the line count",
+                address: self.text_base + global_line as u32 * LINE_SIZE,
+            })?;
         let mut lengths = [0u32; RECORDS_PER_ENTRY];
         for (record, length) in lengths.iter_mut().enumerate() {
             *length = entry.block_length(record);
@@ -378,6 +480,40 @@ impl CompressedImage {
         lengths[slot] = stored_len;
         let corrupted = LatEntry::new(entry.base(), lengths)?;
         self.lat.set_entry(lat_index, corrupted);
+        Ok(())
+    }
+
+    /// Fault injection: XORs `xor` into byte `byte_offset` of the stored
+    /// block for `global_line` — the corruption a flipped ROM bit in the
+    /// packed-blocks region would cause. Unlike
+    /// [`corrupt_lat_length`](Self::corrupt_lat_length) this is visible
+    /// to [`expand_line`](Self::expand_line) and thus to the emulator's
+    /// demand-expansion path; depending on where the bit lands it
+    /// surfaces as a decode error, a [`CcrpError::CrcMismatch`] (with
+    /// records attached), or — without CRCs — a silent miscompare.
+    ///
+    /// # Errors
+    ///
+    /// [`CcrpError::AddressOutOfRange`] for a line outside the program,
+    /// [`CcrpError::Integrity`] for an offset outside the stored block.
+    pub fn corrupt_block_byte(
+        &mut self,
+        global_line: usize,
+        byte_offset: usize,
+        xor: u8,
+    ) -> Result<(), CcrpError> {
+        let address = self.text_base + global_line as u32 * LINE_SIZE;
+        let line = self
+            .lines
+            .get(global_line)
+            .ok_or(CcrpError::AddressOutOfRange { address })?;
+        let mut data = line.data().to_vec();
+        let byte = data.get_mut(byte_offset).ok_or(CcrpError::Integrity {
+            what: "corruption offset outside the stored block",
+            address,
+        })?;
+        *byte ^= xor;
+        self.lines[global_line] = CompressedLine::from_stored_checked(data, line.is_bypass())?;
         Ok(())
     }
 }

@@ -60,17 +60,23 @@ pub mod addr;
 mod clb;
 mod compact_lat;
 mod container;
+mod crc;
 mod error;
+mod fault;
 mod image;
 mod lat;
 mod refill;
 
 pub use clb::{Clb, ClbStats};
 pub use compact_lat::{CompactLatEntry, COMPACT_ENTRY_BYTES};
+pub use crc::crc32;
 pub use error::CcrpError;
+pub use fault::{ContainerLayout, Fault, FaultInjector, FaultKind, FaultPlan, FaultRegion};
 pub use image::{CompressedImage, LineLocation};
 pub use lat::{LatEntry, LineAddressTable, ENTRY_BYTES, RECORDS_PER_ENTRY};
-pub use refill::{MemoryTiming, RefillConfig, RefillEngine, RefillOutcome};
+pub use refill::{
+    DegradePolicy, IntegrityCheck, MemoryTiming, RefillConfig, RefillEngine, RefillOutcome,
+};
 
 #[cfg(test)]
 mod proptests {

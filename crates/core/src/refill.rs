@@ -24,6 +24,43 @@ pub trait MemoryTiming {
     fn read_burst(&mut self, words: u32, now: u64, arrivals: &mut Vec<u64>);
 }
 
+/// What the refill engine does when it detects corruption (a LAT entry
+/// disagreeing with the layout, a CRC mismatch, a block that fails to
+/// decode). Modeled on how embedded memory controllers degrade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradePolicy {
+    /// Propagate the underlying error to the caller unchanged (the
+    /// strict default: fail fast, let software decide).
+    #[default]
+    Abort,
+    /// Invalidate the cached LAT entry and re-read everything from
+    /// instruction memory, up to `attempts` extra tries with exponential
+    /// backoff (`1 << try` cycles) charged to the timing model — the
+    /// right call when corruption may be a transient bus upset. Escalates
+    /// to [`CcrpError::MachineCheck`] when the budget is exhausted.
+    Retry {
+        /// Extra attempts after the first failed read.
+        attempts: u32,
+    },
+    /// Raise [`CcrpError::MachineCheck`] immediately, as hardware whose
+    /// only recourse is a machine-check exception would.
+    Trap,
+}
+
+/// How hard the refill engine looks for corruption on each refill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrityCheck {
+    /// Cross-check the (possibly CLB-cached) LAT entry against the
+    /// image layout. Free in hardware terms — the comparators already
+    /// exist — and catches table corruption before a bogus fetch.
+    #[default]
+    Fast,
+    /// [`Fast`](IntegrityCheck::Fast), plus actually decode the stored
+    /// block (surfacing decode errors and, when the image carries CRC
+    /// records, CRC mismatches) and expand from the decoded bytes.
+    Full,
+}
+
 /// Configuration of the refill engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefillConfig {
@@ -32,6 +69,10 @@ pub struct RefillConfig {
     /// Decoder throughput in original bytes per cycle (the paper's
     /// decoder retires 2 by decoding one byte on each clock edge).
     pub decode_bytes_per_cycle: u32,
+    /// What to do on detected corruption.
+    pub policy: DegradePolicy,
+    /// How much corruption detection to do per refill.
+    pub integrity: IntegrityCheck,
 }
 
 impl Default for RefillConfig {
@@ -39,6 +80,8 @@ impl Default for RefillConfig {
         Self {
             clb_entries: 16,
             decode_bytes_per_cycle: 2,
+            policy: DegradePolicy::default(),
+            integrity: IntegrityCheck::default(),
         }
     }
 }
@@ -49,12 +92,25 @@ pub struct RefillOutcome {
     /// Cycle at which the expanded line is fully in the cache.
     pub ready_at: u64,
     /// Bytes moved over the instruction-memory bus (block + any LAT
-    /// entry read), counting whole words.
+    /// entry read), counting whole words and every retry's traffic.
     pub bytes_fetched: u32,
-    /// Whether the LAT entry was already in the CLB.
+    /// Whether the LAT entry was already in the CLB (first attempt).
     pub clb_hit: bool,
     /// Whether the block was stored uncompressed.
     pub bypass: bool,
+    /// Re-reads a [`DegradePolicy::Retry`] engine needed (0 otherwise).
+    pub retries: u32,
+}
+
+/// Running totals of one refill attempt, kept outside the `Result` so a
+/// failed attempt still reports the cycles and bus traffic it burned —
+/// the retry path charges those to the next attempt's start time.
+#[derive(Debug, Clone, Copy)]
+struct AttemptProgress {
+    time: u64,
+    bytes: u32,
+    clb_hit: bool,
+    bypass: bool,
 }
 
 /// The code-expanding refill engine (cache side of Figure 4).
@@ -62,6 +118,8 @@ pub struct RefillOutcome {
 pub struct RefillEngine {
     clb: Clb,
     decode_rate: u32,
+    policy: DegradePolicy,
+    integrity: IntegrityCheck,
     scratch: Vec<u64>,
 }
 
@@ -79,6 +137,8 @@ impl RefillEngine {
         Ok(Self {
             clb: Clb::new(config.clb_entries)?,
             decode_rate: config.decode_bytes_per_cycle,
+            policy: config.policy,
+            integrity: config.integrity,
             scratch: Vec::with_capacity(8),
         })
     }
@@ -88,12 +148,29 @@ impl RefillEngine {
         self.clb.stats()
     }
 
+    /// Whether `error` is something the degradation policy covers:
+    /// detected corruption, as opposed to caller mistakes like an
+    /// out-of-range address.
+    fn is_corruption(error: &CcrpError) -> bool {
+        matches!(
+            error,
+            CcrpError::Integrity { .. } | CcrpError::CrcMismatch { .. } | CcrpError::Compress(_)
+        )
+    }
+
     /// Refills the cache line holding CPU address `address` from `image`,
-    /// starting at cycle `now`.
+    /// starting at cycle `now`, degrading per the configured
+    /// [`DegradePolicy`] when corruption is detected.
     ///
     /// # Errors
     ///
-    /// [`CcrpError::AddressOutOfRange`] for addresses outside the program.
+    /// [`CcrpError::AddressOutOfRange`] for addresses outside the
+    /// program (never degraded — it is a caller mistake, not
+    /// corruption); detected-corruption errors per the policy: the
+    /// underlying [`CcrpError::Integrity`] / [`CcrpError::CrcMismatch`] /
+    /// decode error under [`DegradePolicy::Abort`], or
+    /// [`CcrpError::MachineCheck`] under [`DegradePolicy::Trap`] and
+    /// under [`DegradePolicy::Retry`] once the budget is exhausted.
     pub fn refill(
         &mut self,
         image: &CompressedImage,
@@ -101,22 +178,107 @@ impl RefillEngine {
         now: u64,
         memory: &mut dyn MemoryTiming,
     ) -> Result<RefillOutcome, CcrpError> {
+        // Resolve the LAT index up front so the retry path can
+        // invalidate the right CLB entry.
+        let lat_index = image.locate(address)?.lat_index;
+        let max_retries = match self.policy {
+            DegradePolicy::Retry { attempts } => attempts,
+            _ => 0,
+        };
+        let mut retries = 0u32;
+        let mut carried_bytes = 0u32;
+        let mut start = now;
+        loop {
+            let mut progress = AttemptProgress {
+                time: start,
+                bytes: 0,
+                clb_hit: false,
+                bypass: false,
+            };
+            match self.refill_attempt(image, address, start, memory, &mut progress) {
+                Ok(ready_at) => {
+                    return Ok(RefillOutcome {
+                        ready_at,
+                        bytes_fetched: carried_bytes + progress.bytes,
+                        clb_hit: retries == 0 && progress.clb_hit,
+                        bypass: progress.bypass,
+                        retries,
+                    });
+                }
+                Err(e) if Self::is_corruption(&e) => match self.policy {
+                    DegradePolicy::Abort => return Err(e),
+                    DegradePolicy::Trap => return Err(CcrpError::MachineCheck { address }),
+                    DegradePolicy::Retry { .. } => {
+                        if retries >= max_retries {
+                            return Err(CcrpError::MachineCheck { address });
+                        }
+                        carried_bytes += progress.bytes;
+                        // A corrupt LAT entry cached in the CLB would make
+                        // every re-read fail identically; force a fresh
+                        // in-memory LAT read, then back off exponentially.
+                        self.clb.invalidate(lat_index);
+                        start = progress.time + (1u64 << retries.min(16));
+                        retries += 1;
+                    }
+                },
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One refill attempt: LAT lookup (CLB or memory), integrity
+    /// cross-check, block fetch, decode-timing model. Updates `progress`
+    /// as it goes so a failure mid-attempt still reports cost.
+    fn refill_attempt(
+        &mut self,
+        image: &CompressedImage,
+        address: u32,
+        now: u64,
+        memory: &mut dyn MemoryTiming,
+        progress: &mut AttemptProgress,
+    ) -> Result<u64, CcrpError> {
         let location = image.locate(address)?;
-        let mut bytes_fetched = 0u32;
+        progress.bypass = location.bypass;
         let mut start = now;
 
-        let clb_hit = self.clb.probe(location.lat_index).is_some();
-        if !clb_hit {
-            // Read the 8-byte LAT entry (2 words) before the block fetch
-            // can be addressed.
-            memory.read_burst(2, start, &mut self.scratch);
-            start = *self.scratch.last().expect("burst returns arrivals");
-            bytes_fetched += 8;
-            let entry = image
-                .lat()
-                .entry(location.lat_index)
-                .ok_or(CcrpError::AddressOutOfRange { address })?;
-            self.clb.insert(location.lat_index, *entry);
+        let entry = match self.clb.probe(location.lat_index) {
+            Some(entry) => {
+                progress.clb_hit = true;
+                entry
+            }
+            None => {
+                // Read the 8-byte LAT entry (2 words) before the block
+                // fetch can be addressed.
+                memory.read_burst(2, start, &mut self.scratch);
+                start = self.scratch.last().copied().ok_or(CcrpError::Integrity {
+                    what: "memory returned no arrivals for the LAT read",
+                    address,
+                })?;
+                progress.time = start;
+                progress.bytes += 8;
+                let entry = *image
+                    .lat()
+                    .entry(location.lat_index)
+                    .ok_or(CcrpError::Integrity {
+                        what: "LAT shorter than the program",
+                        address,
+                    })?;
+                self.clb.insert(location.lat_index, entry);
+                entry
+            }
+        };
+
+        // Cross-check the (possibly stale or corrupt) table entry against
+        // the image layout before trusting its pointer on the bus.
+        let slot = location.line_in_entry as usize;
+        if entry.block_address(slot) != location.physical
+            || entry.block_length(slot) != location.stored_len
+            || entry.is_uncompressed(slot) != location.bypass
+        {
+            return Err(CcrpError::Integrity {
+                what: "LAT entry disagrees with the image layout",
+                address,
+            });
         }
 
         // Whole-word bus: the block occupies the words its bytes span.
@@ -124,31 +286,50 @@ impl RefillEngine {
         let last_byte = location.physical + location.stored_len - 1;
         let words = (last_byte / 4) - (first_byte / 4) + 1;
         memory.read_burst(words, start, &mut self.scratch);
-        bytes_fetched += words * 4;
-        let last_arrival = *self.scratch.last().expect("burst returns arrivals");
+        progress.bytes += words * 4;
+        let last_arrival = self.scratch.last().copied().ok_or(CcrpError::Integrity {
+            what: "memory returned no arrivals for the block read",
+            address,
+        })?;
+        progress.time = progress.time.max(last_arrival);
 
         let ready_at = if location.bypass {
             // Raw line: bytes go straight to the cache as they arrive.
+            if matches!(self.integrity, IntegrityCheck::Full) {
+                // CRC the stored bytes when the image carries records.
+                image.expand_line(address)?;
+            }
             last_arrival
         } else {
-            let original = image.original_line(address)?;
             let byte_offset_in_burst = first_byte % 4;
-            decode_completion(
-                image.code(),
-                original,
-                byte_offset_in_burst,
-                &self.scratch,
-                self.decode_rate,
-                start,
-            )
+            match self.integrity {
+                // Timing oracle: the original bytes stand in for the
+                // decoder output (bit-exact for an uncorrupted image).
+                IntegrityCheck::Fast => decode_completion(
+                    image.code(),
+                    image.original_line(address)?,
+                    byte_offset_in_burst,
+                    &self.scratch,
+                    self.decode_rate,
+                    start,
+                ),
+                // Actually run the decoder (surfacing CRC and decode
+                // errors) and time the bytes it really produced.
+                IntegrityCheck::Full => {
+                    let decoded = image.expand_line(address)?;
+                    decode_completion(
+                        image.code(),
+                        &decoded,
+                        byte_offset_in_burst,
+                        &self.scratch,
+                        self.decode_rate,
+                        start,
+                    )
+                }
+            }
         };
-
-        Ok(RefillOutcome {
-            ready_at,
-            bytes_fetched,
-            clb_hit,
-            bypass: location.bypass,
-        })
+        progress.time = progress.time.max(ready_at);
+        Ok(ready_at)
     }
 }
 
@@ -350,9 +531,186 @@ mod tests {
     fn zero_decode_rate_rejected() {
         assert!(RefillEngine::new(RefillConfig {
             clb_entries: 4,
-            decode_bytes_per_cycle: 0
+            decode_bytes_per_cycle: 0,
+            ..RefillConfig::default()
         })
         .is_err());
+    }
+
+    /// A LAT length record that disagrees with line 0's real stored size.
+    fn lat_lie(image: &CompressedImage) -> u32 {
+        if image.locate(0).unwrap().stored_len == 32 {
+            31
+        } else {
+            32
+        }
+    }
+
+    #[test]
+    fn abort_surfaces_lat_corruption() {
+        let mut image = test_image(512);
+        image.corrupt_lat_length(0, lat_lie(&image)).unwrap();
+        let mut engine = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut mem = TestMemory::new(3);
+        assert!(matches!(
+            engine.refill(&image, 0, 0, &mut mem),
+            Err(CcrpError::Integrity { .. })
+        ));
+        // Lines in other LAT entries are unaffected.
+        assert!(engine.refill(&image, 0x100, 0, &mut mem).is_ok());
+    }
+
+    #[test]
+    fn trap_escalates_to_machine_check() {
+        let mut image = test_image(512);
+        image.corrupt_lat_length(0, lat_lie(&image)).unwrap();
+        let mut engine = RefillEngine::new(RefillConfig {
+            policy: DegradePolicy::Trap,
+            ..RefillConfig::default()
+        })
+        .unwrap();
+        let mut mem = TestMemory::new(3);
+        assert!(matches!(
+            engine.refill(&image, 0, 0, &mut mem),
+            Err(CcrpError::MachineCheck { address: 0 })
+        ));
+        // Out-of-range addresses are caller mistakes, never trapped.
+        assert!(matches!(
+            engine.refill(&image, 0x4000, 0, &mut mem),
+            Err(CcrpError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn retry_exhausts_with_backoff_charged_to_memory() {
+        let mut image = test_image(512);
+        image.corrupt_lat_length(0, lat_lie(&image)).unwrap();
+        let mut engine = RefillEngine::new(RefillConfig {
+            policy: DegradePolicy::Retry { attempts: 2 },
+            ..RefillConfig::default()
+        })
+        .unwrap();
+        let mut mem = TestMemory::new(3);
+        assert!(matches!(
+            engine.refill(&image, 0, 0, &mut mem),
+            Err(CcrpError::MachineCheck { address: 0 })
+        ));
+        // Three attempts, each a fresh 2-word LAT read (the CLB entry is
+        // invalidated between tries), at strictly increasing cycles.
+        assert_eq!(mem.calls.len(), 3);
+        for call in &mem.calls {
+            assert_eq!(call.0, 2);
+        }
+        assert!(mem.calls[0].1 < mem.calls[1].1);
+        assert!(mem.calls[1].1 < mem.calls[2].1);
+    }
+
+    #[test]
+    fn retry_recovers_from_stale_clb_entry() {
+        let mut image = test_image(512);
+        let truth = image.locate(0).unwrap().stored_len;
+        let lie = lat_lie(&image);
+        let mut engine = RefillEngine::new(RefillConfig {
+            policy: DegradePolicy::Retry { attempts: 1 },
+            ..RefillConfig::default()
+        })
+        .unwrap();
+        let mut mem = TestMemory::new(3);
+        // Corrupt refill fails and leaves the bad entry cached in the CLB.
+        image.corrupt_lat_length(0, lie).unwrap();
+        assert!(engine.refill(&image, 0, 0, &mut mem).is_err());
+        // Repair the table: the next refill hits the stale CLB entry,
+        // fails its cross-check, invalidates, re-reads the now-correct
+        // LAT, and succeeds — the transient-upset recovery story.
+        image.corrupt_lat_length(0, truth).unwrap();
+        let outcome = engine.refill(&image, 0, 100, &mut mem).unwrap();
+        assert_eq!(outcome.retries, 1);
+        assert!(!outcome.clb_hit);
+        assert!(outcome.ready_at > 100);
+    }
+
+    #[test]
+    fn corrupt_lat_entry_survives_clb_eviction() {
+        // 18 LAT entries: enough other entries to evict entry 0 from a
+        // 16-entry CLB through pure LRU pressure.
+        let mut image = test_image(18 * 256);
+        image.corrupt_lat_length(0, lat_lie(&image)).unwrap();
+        let mut engine = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut mem = TestMemory::new(3);
+
+        // Miss path: the LAT read caches the corrupt entry, then the
+        // cross-check rejects it.
+        let first = engine.refill(&image, 0, 0, &mut mem).unwrap_err();
+        assert!(matches!(first, CcrpError::Integrity { .. }));
+        assert_eq!(mem.calls.len(), 1, "one LAT read, no block fetch");
+
+        // Hit path: the cached corrupt entry fails identically, without
+        // touching memory at all.
+        mem.calls.clear();
+        let cached = engine.refill(&image, 0, 0, &mut mem).unwrap_err();
+        assert_eq!(cached, first);
+        assert!(mem.calls.is_empty(), "CLB hit needs no memory traffic");
+
+        // Evict entry 0 by refilling one line in each of 16 other
+        // entries, then re-fetch: the fresh LAT read surfaces the same
+        // error again — eviction neither masks nor mutates it.
+        for entry in 1..=16u32 {
+            engine.refill(&image, entry * 256, 0, &mut mem).unwrap();
+        }
+        mem.calls.clear();
+        let refetched = engine.refill(&image, 0, 0, &mut mem).unwrap_err();
+        assert_eq!(refetched, first);
+        assert_eq!(mem.calls.len(), 1, "evicted entry forces a LAT re-read");
+    }
+
+    #[test]
+    fn full_integrity_detects_block_corruption_fast_does_not() {
+        let pristine = test_image(512);
+        // Find a compressed (non-bypass) line and flip a bit mid-block.
+        let target = (0..pristine.line_count())
+            .find(|&l| !pristine.locate(l as u32 * 32).unwrap().bypass)
+            .expect("some line compresses");
+        let mut image = pristine.clone();
+        image.attach_block_crcs();
+        image.corrupt_block_byte(target, 0, 0x10).unwrap();
+        let address = target as u32 * 32;
+
+        let mut fast = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut mem = TestMemory::new(3);
+        // Fast never touches the stored bytes: the LAT still matches the
+        // layout, so the corruption sails through (the timing oracle uses
+        // the original bytes) — this is exactly the silent-miscompare
+        // window the Full check closes.
+        assert!(fast.refill(&image, address, 0, &mut mem).is_ok());
+
+        let mut full = RefillEngine::new(RefillConfig {
+            integrity: IntegrityCheck::Full,
+            ..RefillConfig::default()
+        })
+        .unwrap();
+        let err = full.refill(&image, address, 0, &mut mem).unwrap_err();
+        assert!(
+            matches!(err, CcrpError::CrcMismatch { .. } | CcrpError::Compress(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn full_integrity_timing_matches_fast_on_pristine_image() {
+        let image = test_image(512);
+        let mut fast = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut full = RefillEngine::new(RefillConfig {
+            integrity: IntegrityCheck::Full,
+            ..RefillConfig::default()
+        })
+        .unwrap();
+        for addr in (0..512).step_by(32) {
+            let mut m1 = TestMemory::new(3);
+            let mut m2 = TestMemory::new(3);
+            let a = fast.refill(&image, addr, 0, &mut m1).unwrap();
+            let b = full.refill(&image, addr, 0, &mut m2).unwrap();
+            assert_eq!(a, b, "addr {addr:#x}");
+        }
     }
 
     #[test]

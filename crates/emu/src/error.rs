@@ -66,6 +66,15 @@ pub enum EmuError {
         /// The configured limit.
         limit: u64,
     },
+    /// A compressed instruction ROM that does not cover the program: its
+    /// text base or size disagrees with the loaded image.
+    RomMismatch,
+    /// A cache-line refill from the compressed instruction ROM hit
+    /// corruption the degradation policy could not recover from.
+    MachineCheck {
+        /// First address of the corrupt line.
+        pc: u32,
+    },
 }
 
 impl fmt::Display for EmuError {
@@ -97,6 +106,12 @@ impl fmt::Display for EmuError {
             }
             EmuError::StepLimitExceeded { limit } => {
                 write!(f, "program did not exit within {limit} instructions")
+            }
+            EmuError::RomMismatch => {
+                write!(f, "compressed ROM does not cover the program text")
+            }
+            EmuError::MachineCheck { pc } => {
+                write!(f, "machine check: corrupt instruction line at {pc:#010x}")
             }
         }
     }

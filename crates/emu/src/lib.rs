@@ -43,6 +43,7 @@ mod machine;
 mod memory;
 mod trace;
 
+pub use ccrp::DegradePolicy;
 pub use error::EmuError;
 pub use machine::{Machine, MachineConfig, RunSummary};
 pub use memory::Memory;
@@ -473,5 +474,132 @@ mod tests {
             ",
         );
         assert_eq!(m.output(), "1");
+    }
+}
+
+#[cfg(test)]
+mod compressed_rom_tests {
+    use super::*;
+    use ccrp::{CompressedImage, DegradePolicy};
+    use ccrp_asm::{assemble, ProgramImage};
+    use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+
+    const SUM_SRC: &str = "
+        main:
+            li   $t0, 10
+            li   $t1, 0
+        loop:
+            addu $t1, $t1, $t0
+            addiu $t0, $t0, -1
+            bnez $t0, loop
+            li   $v0, 1
+            move $a0, $t1
+            syscall
+            li   $v0, 10
+            syscall
+        ";
+
+    fn rom_for(image: &ProgramImage) -> CompressedImage {
+        let code = ByteCode::preselected(&ByteHistogram::of(image.text_bytes())).unwrap();
+        CompressedImage::build(
+            image.text_base(),
+            image.text_bytes(),
+            code,
+            BlockAlignment::Word,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compressed_rom_matches_plain_execution() {
+        let image = assemble(SUM_SRC).unwrap();
+        let mut plain = Machine::new(&image);
+        let plain_summary = plain.run(&mut NullSink).unwrap();
+        let rom = rom_for(&image);
+        for policy in [
+            DegradePolicy::Abort,
+            DegradePolicy::Trap,
+            DegradePolicy::Retry { attempts: 2 },
+        ] {
+            let mut m =
+                Machine::with_compressed_text(&image, &rom, policy, MachineConfig::default())
+                    .unwrap();
+            let summary = m.run(&mut NullSink).unwrap();
+            assert_eq!(m.output(), plain.output(), "{policy:?}");
+            assert_eq!(summary, plain_summary, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn abort_policy_fails_at_construction() {
+        let image = assemble(SUM_SRC).unwrap();
+        let mut rom = rom_for(&image);
+        rom.attach_block_crcs();
+        rom.corrupt_block_byte(0, 0, 0x08).unwrap();
+        assert!(matches!(
+            Machine::with_compressed_text(
+                &image,
+                &rom,
+                DegradePolicy::Abort,
+                MachineConfig::default()
+            ),
+            Err(EmuError::MachineCheck { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn trap_policy_machine_checks_at_first_corrupt_fetch() {
+        let image = assemble(SUM_SRC).unwrap();
+        let mut rom = rom_for(&image);
+        rom.attach_block_crcs();
+        rom.corrupt_block_byte(0, 0, 0x08).unwrap();
+        // Construction succeeds; the fault surfaces at the fetch.
+        let mut m = Machine::with_compressed_text(
+            &image,
+            &rom,
+            DegradePolicy::Trap,
+            MachineConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            m.run(&mut NullSink),
+            Err(EmuError::MachineCheck { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn retry_policy_exhausts_on_persistent_corruption() {
+        let image = assemble(SUM_SRC).unwrap();
+        let mut rom = rom_for(&image);
+        rom.attach_block_crcs();
+        rom.corrupt_block_byte(0, 0, 0x08).unwrap();
+        let mut m = Machine::with_compressed_text(
+            &image,
+            &rom,
+            DegradePolicy::Retry { attempts: 3 },
+            MachineConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            m.run(&mut NullSink),
+            Err(EmuError::MachineCheck { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_rom_rejected() {
+        let image = assemble(SUM_SRC).unwrap();
+        let other = assemble("main: li $v0, 10\n syscall").unwrap();
+        let rom = rom_for(&other);
+        // Too small to cover the program's text.
+        assert!(matches!(
+            Machine::with_compressed_text(
+                &image,
+                &rom,
+                DegradePolicy::Abort,
+                MachineConfig::default()
+            ),
+            Err(EmuError::RomMismatch)
+        ));
     }
 }

@@ -1,5 +1,6 @@
 use std::collections::VecDeque;
 
+use ccrp::{CompressedImage, DegradePolicy};
 use ccrp_asm::ProgramImage;
 use ccrp_isa::{
     decode, AluOp, BranchOp, BranchZOp, Cp1MoveOp, FpCond, FpFmt, FpOp, FpReg, FpUnaryOp, HiLoOp,
@@ -37,6 +38,17 @@ pub struct RunSummary {
     pub instructions: u64,
     /// The code passed to the exit syscall (0 for plain exit).
     pub exit_code: i32,
+}
+
+/// Compressed-ROM state for demand line expansion: decoded instructions
+/// come from the ROM's expanded lines, so in-ROM corruption is visible to
+/// the fetch path and handled per the degradation policy.
+#[derive(Debug, Clone)]
+struct CompressedRom {
+    image: CompressedImage,
+    policy: DegradePolicy,
+    /// One flag per cache line: whether it has been expanded and decoded.
+    expanded: Vec<bool>,
 }
 
 /// A functional MIPS R2000 + R2010 (FPA) emulator.
@@ -82,6 +94,10 @@ pub struct Machine {
     /// Pre-decoded text segment; `None` entries are data words (jump
     /// tables) or invalid encodings and fault if fetched.
     decoded: Vec<Option<Instruction>>,
+    /// Compressed instruction ROM for demand line expansion, when the
+    /// machine was built with [`with_compressed_text`]
+    /// (Self::with_compressed_text) under a demand policy.
+    rom: Option<CompressedRom>,
     mem: Memory,
     output: String,
     input: VecDeque<i32>,
@@ -124,6 +140,7 @@ impl Machine {
             next_pc: image.entry().wrapping_add(4),
             text_base: image.text_base(),
             decoded,
+            rom: None,
             mem,
             output: String::new(),
             input: VecDeque::new(),
@@ -132,6 +149,66 @@ impl Machine {
             steps: 0,
             config,
         }
+    }
+
+    /// Builds a machine whose instruction stream comes from a compressed
+    /// instruction ROM instead of the pre-decoded program text — the
+    /// execution-side counterpart of the refill engine's degradation
+    /// policies. Data accesses still see the program image's memory; only
+    /// instruction fetch goes through the ROM.
+    ///
+    /// Under [`DegradePolicy::Abort`] every line is expanded (and
+    /// checked) eagerly at construction, so a corrupt ROM fails here.
+    /// Under [`DegradePolicy::Trap`] and [`DegradePolicy::Retry`] lines
+    /// are expanded on first fetch; a corrupt line raises
+    /// [`EmuError::MachineCheck`] at the offending fetch, after the
+    /// retry budget (if any) is spent re-reading the ROM.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::RomMismatch`] when `rom`'s text base or size does not
+    /// cover `image`'s text; [`EmuError::MachineCheck`] when eager
+    /// expansion hits corruption.
+    pub fn with_compressed_text(
+        image: &ProgramImage,
+        rom: &CompressedImage,
+        policy: DegradePolicy,
+        config: MachineConfig,
+    ) -> Result<Self, EmuError> {
+        if rom.text_base() != image.text_base()
+            || (rom.original_bytes() as usize) < image.text_bytes().len()
+        {
+            return Err(EmuError::RomMismatch);
+        }
+        let mut machine = Self::with_config(image, config);
+        let words = (rom.original_bytes() / 4) as usize;
+        match policy {
+            DegradePolicy::Abort => {
+                // Fail-fast: expand and decode the whole ROM up front.
+                let mut decoded = Vec::with_capacity(words);
+                for line in 0..rom.line_count() {
+                    let addr = rom.text_base() + line as u32 * 32;
+                    let bytes = rom
+                        .expand_line(addr)
+                        .map_err(|_| EmuError::MachineCheck { pc: addr })?;
+                    decoded.extend(
+                        bytes
+                            .chunks_exact(4)
+                            .map(|w| decode(u32::from_le_bytes([w[0], w[1], w[2], w[3]])).ok()),
+                    );
+                }
+                machine.decoded = decoded;
+            }
+            DegradePolicy::Trap | DegradePolicy::Retry { .. } => {
+                machine.decoded = vec![None; words];
+                machine.rom = Some(CompressedRom {
+                    image: rom.clone(),
+                    policy,
+                    expanded: vec![false; rom.line_count()],
+                });
+            }
+        }
+        Ok(machine)
     }
 
     /// Queues integers for the `read_int` syscall to return in order.
@@ -238,10 +315,11 @@ impl Machine {
         self.execute(inst, pc, sink)
     }
 
-    fn fetch(&self, pc: u32) -> Result<Instruction, EmuError> {
+    fn fetch(&mut self, pc: u32) -> Result<Instruction, EmuError> {
         if !pc.is_multiple_of(4) || pc < self.text_base {
             return Err(EmuError::BadFetch { pc });
         }
+        self.ensure_line_expanded(pc)?;
         let index = ((pc - self.text_base) / 4) as usize;
         match self.decoded.get(index) {
             Some(Some(inst)) => Ok(*inst),
@@ -251,6 +329,43 @@ impl Machine {
             }
             None => Err(EmuError::BadFetch { pc }),
         }
+    }
+
+    /// Demand expansion of the compressed cache line holding `pc`, per
+    /// the ROM's degradation policy. No-op without a ROM, for already
+    /// expanded lines, and for addresses past the ROM (the subsequent
+    /// decoded-table lookup reports those as [`EmuError::BadFetch`]).
+    fn ensure_line_expanded(&mut self, pc: u32) -> Result<(), EmuError> {
+        let Some(rom) = &mut self.rom else {
+            return Ok(());
+        };
+        let line = ((pc - self.text_base) / 32) as usize;
+        if rom.expanded.get(line).copied() != Some(false) {
+            return Ok(());
+        }
+        let line_addr = self.text_base + line as u32 * 32;
+        let budget = match rom.policy {
+            DegradePolicy::Retry { attempts } => attempts,
+            _ => 0,
+        };
+        let mut result = rom.image.expand_line(line_addr);
+        let mut tries = 0;
+        while result.is_err() && tries < budget {
+            // Model a re-read of the stored block: recoverable only for
+            // transient upsets, which an in-memory image cannot exhibit —
+            // but the escalation path is exercised either way.
+            result = rom.image.expand_line(line_addr);
+            tries += 1;
+        }
+        let bytes = result.map_err(|_| EmuError::MachineCheck { pc: line_addr })?;
+        rom.expanded[line] = true;
+        for (w, chunk) in bytes.chunks_exact(4).enumerate() {
+            let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            if let Some(slot) = self.decoded.get_mut(line * 8 + w) {
+                *slot = decode(word).ok();
+            }
+        }
+        Ok(())
     }
 
     fn load_addr(

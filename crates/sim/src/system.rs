@@ -182,6 +182,7 @@ pub fn simulate_ccrp(
     let mut engine = RefillEngine::new(RefillConfig {
         clb_entries: config.clb_entries,
         decode_bytes_per_cycle: config.decode_bytes_per_cycle,
+        ..RefillConfig::default()
     })?;
     let mut cycle: u64 = 0;
     let mut refill_cycles: u64 = 0;

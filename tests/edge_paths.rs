@@ -109,7 +109,7 @@ fn verify_catches_a_corrupted_lat_length_record() {
         .corrupt_lat_length(0, lie)
         .expect("a 1..=32 length encodes");
     assert!(
-        matches!(image.verify(), Err(CcrpError::AddressOutOfRange { .. })),
+        matches!(image.verify(), Err(CcrpError::Integrity { .. })),
         "verify must flag the layout mismatch"
     );
 }

@@ -1,0 +1,42 @@
+//! The fault-injection campaign's acceptance properties, end to end:
+//! scheduling-independent outcomes, zero panics and hangs under every
+//! fault region, and zero silent miscompares once the v2 container's
+//! CRC records are in play.
+
+use ccrp_bench::faultsim::{self, FaultsimOptions, Mode, Outcome};
+
+#[test]
+fn eight_jobs_match_one_job_bit_for_bit() {
+    let options = |jobs| FaultsimOptions {
+        trials: 240,
+        seed: 42,
+        jobs,
+    };
+    let serial = faultsim::run(options(1));
+    let parallel = faultsim::run(options(8));
+    assert_eq!(serial.outcomes, parallel.outcomes);
+    assert_eq!(
+        serial.results_json().to_compact(),
+        parallel.results_json().to_compact(),
+        "campaign results JSON diverged between 1 and 8 workers"
+    );
+}
+
+#[test]
+fn campaign_meets_the_hardening_contract() {
+    let report = faultsim::run(FaultsimOptions {
+        trials: 240,
+        seed: 42,
+        jobs: 8,
+    });
+    assert_eq!(report.count(Outcome::Panic, None), 0, "no-panic contract");
+    assert_eq!(report.count(Outcome::Hang, None), 0, "termination contract");
+    assert_eq!(
+        report.count(Outcome::SilentMiscompare, Some(Mode::V2)),
+        0,
+        "v2 CRC records must catch every miscompare"
+    );
+    assert!(report.acceptable());
+    // Sanity: the campaign actually exercises detection.
+    assert!(report.count(Outcome::Detected, None) > 0);
+}
