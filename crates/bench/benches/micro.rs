@@ -117,10 +117,7 @@ fn system_benches() {
     let code = ccrp_workloads::preselected_code().clone();
     let image =
         CompressedImage::build(0, &workload.text, code, BlockAlignment::Word).expect("builds");
-    let config = SystemConfig {
-        memory: MemoryModel::Eprom,
-        ..SystemConfig::default()
-    };
+    let config = SystemConfig::new().with_memory(MemoryModel::Eprom);
 
     println!("-- simulator ({} trace entries) --", workload.trace.len());
     bench("simulate_standard", None, || {

@@ -4,9 +4,7 @@
 
 use ccrp::{CompactLatEntry, CompressedImage, COMPACT_ENTRY_BYTES, RECORDS_PER_ENTRY};
 use ccrp_compress::{BlockAlignment, PositionalCode, PositionalHistogram};
-use ccrp_sim::{
-    compare, simulate_ccrp, simulate_standard, DataCacheModel, MemoryModel, SystemConfig,
-};
+use ccrp_sim::{compare, simulate_ccrp, simulate_standard, MemoryModel, SystemConfig};
 use ccrp_workloads::other_isa::{self, IsaDialect};
 use ccrp_workloads::{figure5_corpus, preselected_code};
 
@@ -104,13 +102,10 @@ pub fn decoder_ablation(prepared: &Prepared) -> Vec<DecoderRow> {
     let mut rows = Vec::new();
     for memory in MemoryModel::ALL {
         for &rate in &DECODE_RATES {
-            let config = SystemConfig {
-                cache_bytes: 256,
-                memory,
-                clb_entries: 16,
-                decode_bytes_per_cycle: rate,
-                dcache: DataCacheModel::NONE,
-            };
+            let config = SystemConfig::new()
+                .with_cache_bytes(256)
+                .with_memory(memory)
+                .with_decode_bytes_per_cycle(rate);
             let cmp = compare(&prepared.image, prepared.workload.trace.iter(), &config)
                 .expect("paper configurations are valid");
             rows.push(DecoderRow {
@@ -244,11 +239,9 @@ pub struct BusRow {
 /// Panics on simulator configuration errors.
 pub fn bus_bandwidth_study(suite: &Suite) -> Vec<BusRow> {
     const BUS_BYTES_PER_CYCLE: f64 = 4.0;
-    let config = SystemConfig {
-        cache_bytes: 256,
-        memory: MemoryModel::BurstEprom,
-        ..SystemConfig::default()
-    };
+    let config = SystemConfig::new()
+        .with_cache_bytes(256)
+        .with_memory(MemoryModel::BurstEprom);
     suite
         .iter()
         .map(|p| {

@@ -1,7 +1,7 @@
 //! Tables 9–10: the effect of CLB size (4, 8, 16 entries) on relative
 //! performance for NASA7 and espresso.
 
-use ccrp_sim::{compare, DataCacheModel, MemoryModel, SystemConfig};
+use ccrp_sim::{compare, MemoryModel, SystemConfig};
 
 use crate::experiments::perf::CACHE_SIZES;
 use crate::suite::{Prepared, Suite};
@@ -36,13 +36,10 @@ pub fn clb_sweep(prepared: &Prepared) -> Vec<ClbRow> {
             let mut relative = [0.0; 3];
             let mut clb_miss = [0.0; 3];
             for (slot, &clb_entries) in CLB_SIZES.iter().enumerate() {
-                let config = SystemConfig {
-                    cache_bytes,
-                    memory,
-                    clb_entries,
-                    decode_bytes_per_cycle: 2,
-                    dcache: DataCacheModel::NONE,
-                };
+                let config = SystemConfig::new()
+                    .with_cache_bytes(cache_bytes)
+                    .with_memory(memory)
+                    .with_clb_entries(clb_entries);
                 let cmp = compare(&prepared.image, prepared.workload.trace.iter(), &config)
                     .expect("paper configurations are valid");
                 relative[slot] = cmp.relative_execution_time();

@@ -30,13 +30,10 @@ pub fn dcache_sweep(prepared: &Prepared) -> Vec<DcacheRow> {
     let mut rows = Vec::new();
     for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
         for &pct in &DCACHE_MISS_PCTS {
-            let config = SystemConfig {
-                cache_bytes: 1024,
-                memory,
-                clb_entries: 16,
-                decode_bytes_per_cycle: 2,
-                dcache: DataCacheModel::with_miss_rate(f64::from(pct) / 100.0),
-            };
+            let config = SystemConfig::new()
+                .with_cache_bytes(1024)
+                .with_memory(memory)
+                .with_dcache(DataCacheModel::with_miss_rate(f64::from(pct) / 100.0));
             let cmp = compare(&prepared.image, prepared.workload.trace.iter(), &config)
                 .expect("paper configurations are valid");
             rows.push(DcacheRow {

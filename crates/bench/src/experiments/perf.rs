@@ -39,13 +39,11 @@ pub fn performance_sweep(
     let mut points = Vec::with_capacity(memories.len() * CACHE_SIZES.len());
     for &memory in memories {
         for &cache_bytes in &CACHE_SIZES {
-            let config = SystemConfig {
-                cache_bytes,
-                memory,
-                clb_entries,
-                decode_bytes_per_cycle: 2,
-                dcache,
-            };
+            let config = SystemConfig::new()
+                .with_cache_bytes(cache_bytes)
+                .with_memory(memory)
+                .with_clb_entries(clb_entries)
+                .with_dcache(dcache);
             let cmp = compare(&prepared.image, prepared.workload.trace.iter(), &config)
                 .expect("paper configurations are valid");
             points.push(PerfPoint {

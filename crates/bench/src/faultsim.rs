@@ -29,6 +29,7 @@ use ccrp::{CompressedImage, ContainerLayout, FaultPlan, FaultRegion};
 use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
 
 use crate::json::Json;
+use crate::report::ToJson;
 use crate::runner::parallel_map;
 
 /// How one fault-injection trial ended.
@@ -355,10 +356,12 @@ impl FaultsimReport {
             ("acceptable", Json::Bool(self.acceptable())),
         ])
     }
+}
 
-    /// [`results_json`](Self::results_json) plus the run-specific job
-    /// count and wall-clock timing.
-    pub fn to_json(&self) -> Json {
+impl ToJson for FaultsimReport {
+    /// [`results_json`](FaultsimReport::results_json) plus the
+    /// run-specific job count and wall-clock timing.
+    fn to_json(&self) -> Json {
         let Json::Obj(mut pairs) = self.results_json() else {
             unreachable!("results_json returns an object");
         };

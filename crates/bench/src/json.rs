@@ -8,7 +8,8 @@
 //! regardless of construction order — the property the determinism tests
 //! rely on.
 
-use std::fmt::Write as _;
+use std::error::Error;
+use std::fmt::{self, Write as _};
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +39,51 @@ impl Json {
     /// Builds a string value.
     pub fn str(s: &str) -> Json {
         Json::Str(s.to_string())
+    }
+
+    /// Parses JSON text (the inverse of [`to_compact`](Self::to_compact) /
+    /// [`to_pretty`](Self::to_pretty)). Non-negative integers without a
+    /// fraction or exponent parse as [`Json::U64`], every other number as
+    /// [`Json::F64`] — matching what the writers emit, so
+    /// `parse(x.to_compact())` reproduces `x` for any tree the suite
+    /// writes. Used by the smoke and determinism tests to validate and
+    /// compare committed reports.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonParseError`] with a byte offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut parser = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after value"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up `key` in an object (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Removes `key` from an object, returning its value. `None` when
+    /// absent or for non-objects.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        match self {
+            Json::Obj(pairs) => {
+                let pos = pairs.iter().position(|(k, _)| k == key)?;
+                Some(pairs.remove(pos).1)
+            }
+            _ => None,
+        }
     }
 
     /// Serializes compactly (no whitespace), keys sorted.
@@ -84,6 +130,239 @@ impl Json {
                     }
                     value.write(out, indent, depth + 1);
                 });
+            }
+        }
+    }
+}
+
+/// A [`Json::parse`] failure: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct JsonParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.reason
+        )
+    }
+}
+
+impl Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, reason: &'static str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            reason,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8, reason: &'static str) -> Result<(), JsonParseError> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(reason))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.eat(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.eat(b'{', "expected '{'")?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.eat(b'"', "expected '\"'")?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs in one shot (input is valid UTF-8).
+            while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                s.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?,
+                );
+            }
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a \uXXXX low half must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((first - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                            } else {
+                                first
+                            };
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid code point"))?,
+                            );
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                None => return Err(self.error("unterminated string")),
+                Some(_) => unreachable!("copy loop stops only at quote or backslash"),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let text = std::str::from_utf8(digits).map_err(|_| self.error("invalid \\u escape"))?;
+        let value = u32::from_str_radix(text, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if integral && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Json::F64(x)),
+            Err(_) => {
+                self.pos = start;
+                Err(self.error("invalid number"))
             }
         }
     }
@@ -178,5 +457,69 @@ mod tests {
     fn empty_containers_stay_flat() {
         assert_eq!(Json::Arr(vec![]).to_pretty(), "[]\n");
         assert_eq!(Json::Obj(vec![]).to_compact(), "{}");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::obj([
+            ("counts", Json::Arr(vec![Json::U64(3), Json::U64(0)])),
+            ("rate", Json::F64(0.30000000000000004)),
+            ("name", Json::str("NASA7 \"x\"\n")),
+            ("none", Json::Null),
+            ("flag", Json::Bool(true)),
+            ("neg", Json::F64(-1.5e-3)),
+        ]);
+        for text in [v.to_compact(), v.to_pretty()] {
+            let parsed = Json::parse(&text).unwrap();
+            assert_eq!(parsed.to_compact(), v.to_compact());
+        }
+    }
+
+    #[test]
+    fn parse_classifies_numbers_like_the_writer() {
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::F64(-42.0));
+        assert_eq!(Json::parse("4.5").unwrap(), Json::F64(4.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::F64(1000.0));
+        // Too big for u64 still parses, as a float.
+        assert_eq!(
+            Json::parse("99999999999999999999999").unwrap(),
+            Json::F64(1e23)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"\\q\"",
+            "1 2",
+            "{\"a\" 1}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_handles_unicode_escapes() {
+        assert_eq!(
+            Json::parse(r#""\u0041\u00e9\ud83d\ude00""#).unwrap(),
+            Json::str("Aé😀")
+        );
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn get_and_remove_access_objects() {
+        let mut v = Json::obj([("jobs", Json::U64(8)), ("cells", Json::U64(90))]);
+        assert_eq!(v.get("jobs"), Some(&Json::U64(8)));
+        assert_eq!(v.remove("jobs"), Some(Json::U64(8)));
+        assert_eq!(v.get("jobs"), None);
+        assert_eq!(v.remove("missing"), None);
+        assert_eq!(Json::U64(1).get("jobs"), None);
     }
 }

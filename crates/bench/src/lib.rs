@@ -22,6 +22,10 @@
 //! pool; [`render`] turns the resulting rows into the paper-style text
 //! tables, and [`json::Json`] serializes them into the machine-readable
 //! `BENCH_<experiment>.json` results files `ccrp-tools sweep` writes.
+//! The [`report`] module is the serialization face of the
+//! observability layer: the [`ToJson`] trait covers every stats and
+//! metric type, and [`chrome_trace`] exports probe event logs as
+//! Chrome trace-event JSON for Perfetto.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +34,12 @@ pub mod experiments;
 pub mod faultsim;
 pub mod json;
 pub mod render;
+pub mod report;
 pub mod runner;
 mod suite;
 mod table;
 
+pub use report::{chrome_trace, ToJson};
 pub use runner::{available_jobs, Experiment, SweepOptions, SweepReport};
 pub use suite::{suite, suite_with_jobs, Prepared, Suite};
 pub use table::Table;

@@ -18,7 +18,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ccrp_sim::{compare, Comparison, DataCacheModel, MemoryModel, RunStats, SystemConfig};
+use ccrp_probe::{MetricSet, MetricsCollector, NullProbe};
+use ccrp_sim::{compare, compare_probed, Comparison, DataCacheModel, MemoryModel, SystemConfig};
 use ccrp_workloads::figure5_corpus;
 
 use crate::experiments::clb::{ClbRow, CLB_SIZES};
@@ -26,6 +27,7 @@ use crate::experiments::dcache::{DcacheRow, DCACHE_MISS_PCTS};
 use crate::experiments::fig5::{figure5_row, weighted_average, Fig5Row};
 use crate::experiments::perf::{PerfPoint, CACHE_SIZES};
 use crate::json::Json;
+use crate::report::ToJson;
 use crate::suite::{suite_with_jobs, Suite};
 
 /// The worker count used when the caller does not choose one: the
@@ -132,12 +134,20 @@ impl Experiment {
 pub struct SweepOptions {
     /// Worker threads (1 = serial).
     pub jobs: usize,
+    /// Collect probe-derived metrics (refill-latency and bytes-per-refill
+    /// histograms, CLB residency, event counts) alongside the sweep.
+    /// Metrics ride in the full report only, never in
+    /// [`SweepReport::results_json`], so the committed results files are
+    /// unaffected. Off by default: the metrics run exercises the probed
+    /// simulation path, the plain run the probe-free one.
+    pub metrics: bool,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
         Self {
             jobs: available_jobs(),
+            metrics: false,
         }
     }
 }
@@ -192,6 +202,9 @@ pub struct SweepReport {
     pub cells: Vec<CellRecord>,
     /// The folded experiment rows.
     pub results: ExperimentResults,
+    /// Probe-derived metrics, folded over all cells in generation order
+    /// (present only when [`SweepOptions::metrics`] was set).
+    pub metrics: Option<MetricSet>,
 }
 
 impl SweepReport {
@@ -209,10 +222,13 @@ impl SweepReport {
             ),
         ])
     }
+}
 
-    /// The full report: [`results_json`](Self::results_json) plus the
-    /// run-specific `jobs` count and wall-clock timing section.
-    pub fn to_json(&self) -> Json {
+impl ToJson for SweepReport {
+    /// The full report: [`results_json`](SweepReport::results_json) plus
+    /// the run-specific `jobs` count, the wall-clock timing section, and
+    /// (when collected) the folded probe metrics.
+    fn to_json(&self) -> Json {
         let Json::Obj(mut pairs) = self.results_json() else {
             unreachable!("results_json returns an object");
         };
@@ -238,6 +254,9 @@ impl SweepReport {
                 ),
             ]),
         ));
+        if let Some(metrics) = &self.metrics {
+            pairs.push(("metrics".into(), metrics.to_json()));
+        }
         Json::Obj(pairs)
     }
 }
@@ -246,34 +265,12 @@ fn duration_json(d: Duration) -> Json {
     Json::U64(d.as_micros() as u64)
 }
 
-fn run_stats_json(stats: &RunStats) -> Json {
-    Json::obj([
-        ("instructions", Json::U64(stats.instructions)),
-        ("data_accesses", Json::U64(stats.data_accesses)),
-        ("fetches", Json::U64(stats.cache.fetches)),
-        ("misses", Json::U64(stats.cache.misses)),
-        ("refill_cycles", Json::U64(stats.refill_cycles)),
-        ("bytes_from_memory", Json::U64(stats.bytes_from_memory)),
-        ("data_stall_cycles", Json::F64(stats.data_stall_cycles)),
-        ("total_cycles", Json::F64(stats.total_cycles())),
-        (
-            "clb",
-            stats.clb.map_or(Json::Null, |clb| {
-                Json::obj([
-                    ("hits", Json::U64(clb.hits)),
-                    ("misses", Json::U64(clb.misses)),
-                ])
-            }),
-        ),
-    ])
-}
-
 fn cell_json(cell: &CellRecord) -> Json {
     match &cell.comparison {
         Some(cmp) => Json::obj([
             ("label", Json::str(&cell.label)),
-            ("standard", run_stats_json(&cmp.standard)),
-            ("ccrp", run_stats_json(&cmp.ccrp)),
+            ("standard", cmp.standard.to_json()),
+            ("ccrp", cmp.ccrp.to_json()),
         ]),
         None => Json::obj([("label", Json::str(&cell.label))]),
     }
@@ -424,15 +421,13 @@ impl SimCell {
     }
 
     fn config(&self) -> SystemConfig {
-        SystemConfig {
-            cache_bytes: self.cache_bytes,
-            memory: self.memory,
-            clb_entries: self.clb_entries,
-            decode_bytes_per_cycle: 2,
-            dcache: self.dcache_miss_pct.map_or(DataCacheModel::NONE, |pct| {
+        SystemConfig::new()
+            .with_cache_bytes(self.cache_bytes)
+            .with_memory(self.memory)
+            .with_clb_entries(self.clb_entries)
+            .with_dcache(self.dcache_miss_pct.map_or(DataCacheModel::NONE, |pct| {
                 DataCacheModel::with_miss_rate(f64::from(pct) / 100.0)
-            }),
-        }
+            }))
     }
 
     fn simulate(&self, suite: &Suite) -> Comparison {
@@ -443,6 +438,23 @@ impl SimCell {
             &self.config(),
         )
         .expect("paper configurations are valid")
+    }
+
+    /// Like [`simulate`](Self::simulate), but with a metrics collector
+    /// attached to the CCRP side (the standard side has no refill path
+    /// worth histogramming, so it runs probe-free).
+    fn simulate_with_metrics(&self, suite: &Suite) -> (Comparison, MetricSet) {
+        let prepared = suite.get(self.workload);
+        let mut collector = MetricsCollector::new();
+        let comparison = compare_probed(
+            &prepared.image,
+            prepared.workload.trace.iter(),
+            &self.config(),
+            &mut NullProbe,
+            &mut collector,
+        )
+        .expect("paper configurations are valid");
+        (comparison, collector.into_metrics())
     }
 }
 
@@ -625,6 +637,9 @@ pub fn run(experiment: Experiment, options: &SweepOptions) -> SweepReport {
             total_wall: total_start.elapsed(),
             cells,
             results: ExperimentResults::Fig5 { rows, weighted },
+            // Figure 5 is a static-compression experiment: nothing
+            // refills, so a metrics run yields an empty registry.
+            metrics: options.metrics.then(MetricSet::new),
         };
     }
 
@@ -633,17 +648,35 @@ pub fn run(experiment: Experiment, options: &SweepOptions) -> SweepReport {
     let suite_build = build_start.elapsed();
 
     let sim_cells = sim_cells(experiment, suite);
-    let outcomes = parallel_map(jobs, &sim_cells, |cell| cell.simulate(suite));
+    let outcomes = if options.metrics {
+        parallel_map(jobs, &sim_cells, |cell| {
+            let (cmp, metrics) = cell.simulate_with_metrics(suite);
+            (cmp, Some(metrics))
+        })
+    } else {
+        parallel_map(jobs, &sim_cells, |cell| (cell.simulate(suite), None))
+    };
     let cells = sim_cells
         .iter()
         .zip(&outcomes)
-        .map(|(cell, (cmp, wall))| CellRecord {
+        .map(|(cell, ((cmp, _), wall))| CellRecord {
             label: cell.label(),
             comparison: Some(*cmp),
             wall: *wall,
         })
         .collect();
-    let comparisons: Vec<Comparison> = outcomes.into_iter().map(|(cmp, _)| cmp).collect();
+    // Fold per-cell metrics in generation order, so the aggregate (like
+    // everything else in results_json) is independent of `jobs`.
+    let metrics = options.metrics.then(|| {
+        let mut folded = MetricSet::new();
+        for ((_, cell_metrics), _) in &outcomes {
+            if let Some(cell_metrics) = cell_metrics {
+                folded.merge(cell_metrics);
+            }
+        }
+        folded
+    });
+    let comparisons: Vec<Comparison> = outcomes.into_iter().map(|((cmp, _), _)| cmp).collect();
     let results = fold(experiment, &sim_cells, &comparisons);
 
     SweepReport {
@@ -653,6 +686,7 @@ pub fn run(experiment: Experiment, options: &SweepOptions) -> SweepReport {
         total_wall: total_start.elapsed(),
         cells,
         results,
+        metrics,
     }
 }
 
@@ -687,7 +721,10 @@ mod tests {
         // The tentpole invariant: the parallel decomposition folds back
         // to exactly what the serial experiment functions compute.
         let s = suite();
-        let options = SweepOptions { jobs: 4 };
+        let options = SweepOptions {
+            jobs: 4,
+            ..Default::default()
+        };
 
         let report = run(Experiment::Tables1To8, &options);
         assert_eq!(
@@ -720,13 +757,61 @@ mod tests {
 
     #[test]
     fn report_json_sections() {
-        let report = run(Experiment::Tables11To13, &SweepOptions { jobs: 2 });
+        let options = SweepOptions {
+            jobs: 2,
+            ..Default::default()
+        };
+        let report = run(Experiment::Tables11To13, &options);
         let full = report.to_json().to_pretty();
         assert!(full.contains("\"schema\": \"ccrp-bench-sweep/1\""));
         assert!(full.contains("\"timing\""));
         assert!(full.contains("\"refill_cycles\""));
+        assert!(!full.contains("\"metrics\""));
         let deterministic = report.results_json().to_compact();
         assert!(!deterministic.contains("timing"));
         assert!(!deterministic.contains("wall_us"));
+    }
+
+    #[test]
+    fn metrics_ride_along_without_touching_results() {
+        let plain = run(
+            Experiment::Tables11To13,
+            &SweepOptions {
+                jobs: 2,
+                metrics: false,
+            },
+        );
+        let probed = run(
+            Experiment::Tables11To13,
+            &SweepOptions {
+                jobs: 3,
+                metrics: true,
+            },
+        );
+        // Probing never perturbs the simulation itself.
+        assert_eq!(
+            plain.results_json().to_compact(),
+            probed.results_json().to_compact()
+        );
+
+        let metrics = probed.metrics.as_ref().expect("metrics were requested");
+        // Every CCRP-side cache miss the simulator counted reached the
+        // probe (the standard side runs probe-free, so it contributes
+        // nothing to the registry).
+        let ccrp_misses: u64 = probed
+            .cells
+            .iter()
+            .map(|cell| cell.comparison.expect("sim cell").ccrp.cache.misses)
+            .sum();
+        assert_eq!(metrics.counter("events.cache_miss"), ccrp_misses);
+        assert_eq!(metrics.counter("events.refill"), ccrp_misses);
+        let latency = metrics
+            .histogram("refill_latency_cycles")
+            .expect("refills happened");
+        assert_eq!(latency.count(), ccrp_misses);
+        // The full JSON carries the registry; the deterministic half
+        // never does.
+        assert!(probed.to_json().to_compact().contains("\"metrics\""));
+        assert!(!probed.results_json().to_compact().contains("\"metrics\""));
     }
 }

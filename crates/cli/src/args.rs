@@ -1,9 +1,35 @@
 //! A small, dependency-free argument parser: positional operands plus
 //! `--flag value` / `--switch` options.
+//!
+//! Two options are shared by every subcommand and parsed here rather
+//! than declared per command: `--out FILE` (the command's artifact path,
+//! or a redirect of its report for commands that only print) and
+//! `--json` (switch the report to machine-readable JSON). Older
+//! spellings of shared options are accepted as deprecated aliases and
+//! rewritten to the canonical name at parse time, so `args.option("out")`
+//! sees them all.
 
 use std::collections::BTreeMap;
 
 use crate::error::CliError;
+
+/// Value options every subcommand accepts without declaring them.
+pub const SHARED_VALUE_OPTIONS: &[&str] = &["out"];
+
+/// Switches every subcommand accepts without declaring them.
+pub const SHARED_SWITCHES: &[&str] = &["json"];
+
+/// Deprecated option spellings, each rewritten to its canonical name.
+const DEPRECATED_ALIASES: &[(&str, &str)] =
+    &[("output", "out"), ("out-file", "out"), ("out-dir", "out")];
+
+/// The canonical name for `name`, resolving deprecated aliases.
+fn canonical(name: &str) -> &str {
+    DEPRECATED_ALIASES
+        .iter()
+        .find(|&&(alias, _)| alias == name)
+        .map_or(name, |&(_, canon)| canon)
+}
 
 /// Parsed arguments for one subcommand.
 #[derive(Debug, Clone, Default)]
@@ -15,7 +41,9 @@ pub struct Args {
 
 impl Args {
     /// Parses raw arguments. `value_options` lists the option names that
-    /// consume a following value; any other `--name` is a switch.
+    /// consume a following value; any other `--name` is a switch. The
+    /// shared options ([`SHARED_VALUE_OPTIONS`], [`SHARED_SWITCHES`])
+    /// and their deprecated aliases are accepted on top of both lists.
     ///
     /// # Errors
     ///
@@ -30,12 +58,13 @@ impl Args {
         let mut iter = raw.iter();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                if value_options.contains(&name) {
+                let name = canonical(name);
+                if value_options.contains(&name) || SHARED_VALUE_OPTIONS.contains(&name) {
                     let value = iter.next().ok_or_else(|| {
                         CliError::Usage(format!("option --{name} expects a value"))
                     })?;
                     args.options.insert(name.to_string(), value.clone());
-                } else if switch_options.contains(&name) {
+                } else if switch_options.contains(&name) || SHARED_SWITCHES.contains(&name) {
                     args.switches.push(name.to_string());
                 } else {
                     return Err(CliError::Usage(format!("unknown option --{name}")));
@@ -86,6 +115,16 @@ impl Args {
     pub fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
+
+    /// The shared `--out` path (canonical across deprecated aliases).
+    pub fn out(&self) -> Option<&str> {
+        self.option("out")
+    }
+
+    /// Whether the shared `--json` switch was given.
+    pub fn json(&self) -> bool {
+        self.switch("json")
+    }
 }
 
 /// Parses decimal or `0x` hexadecimal.
@@ -125,6 +164,22 @@ mod tests {
     fn rejects_unknown_and_missing() {
         assert!(Args::parse(&strings(&["--bogus"]), &[], &[]).is_err());
         assert!(Args::parse(&strings(&["--cache"]), &["cache"], &[]).is_err());
+    }
+
+    #[test]
+    fn shared_options_need_no_declaration() {
+        let args = Args::parse(&strings(&["--out", "x.json", "--json"]), &[], &[]).unwrap();
+        assert_eq!(args.out(), Some("x.json"));
+        assert!(args.json());
+        assert!(Args::parse(&strings(&["--out"]), &[], &[]).is_err());
+    }
+
+    #[test]
+    fn deprecated_aliases_resolve_to_canonical_names() {
+        for alias in ["--output", "--out-file", "--out-dir"] {
+            let args = Args::parse(&strings(&[alias, "f.bin"]), &[], &[]).unwrap();
+            assert_eq!(args.out(), Some("f.bin"), "{alias}");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::io::Write;
 
 use ccrp::FaultRegion;
 use ccrp_bench::faultsim::{self, FaultsimOptions, Mode, Outcome};
-use ccrp_bench::runner;
+use ccrp_bench::{runner, ToJson};
 
 use crate::args::Args;
 use crate::error::{write_file, CliError};
@@ -51,6 +51,13 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let report = faultsim::run(FaultsimOptions { trials, seed, jobs });
     write_file(path, report.to_json().to_pretty().as_bytes())?;
 
+    if args.json() {
+        // Same document as the results file, for pipelines that read
+        // stdout instead of the --out path.
+        write!(out, "{}", report.to_json().to_pretty()).ok();
+        return check(&report);
+    }
+
     writeln!(
         out,
         "faultsim: {trials} trials seed {seed} {jobs} jobs {:?}  -> {path}",
@@ -75,6 +82,11 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )
     .ok();
 
+    check(&report)
+}
+
+/// Maps the campaign's hardening contract onto the exit status.
+fn check(report: &faultsim::FaultsimReport) -> Result<(), CliError> {
     if !report.acceptable() {
         return Err(CliError::Campaign(format!(
             "{} panic(s), {} hang(s), {} v2 silent miscompare(s)",

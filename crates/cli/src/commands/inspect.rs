@@ -6,6 +6,7 @@
 use std::io::Write;
 
 use ccrp::CompressedImage;
+use ccrp_bench::json::Json;
 use ccrp_isa::disassemble_word;
 
 use crate::args::Args;
@@ -27,6 +28,50 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let image = CompressedImage::from_bytes(&bytes)?;
     image.verify()?;
     let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    let show = args.option_u32("lines", 8)? as usize;
+
+    if args.json() {
+        let mut lines = Vec::new();
+        for line in 0..image.line_count().min(show) {
+            let addr = image.text_base() + line as u32 * 32;
+            let loc = image.locate(addr)?;
+            lines.push(Json::obj([
+                ("address", Json::Str(format!("{addr:#x}"))),
+                ("stored_bytes", Json::U64(u64::from(loc.stored_len))),
+                ("physical", Json::Str(format!("{:#x}", loc.physical))),
+                ("bypass", Json::Bool(loc.bypass)),
+            ]));
+        }
+        let json = Json::obj([
+            ("schema", Json::str("ccrp-inspect/1")),
+            ("version", Json::U64(u64::from(version))),
+            ("integrity", Json::Bool(image.block_crcs().is_some())),
+            (
+                "original_bytes",
+                Json::U64(u64::from(image.original_bytes())),
+            ),
+            ("text_base", Json::Str(format!("{:#x}", image.text_base()))),
+            (
+                "stored_bytes",
+                Json::U64(u64::from(image.total_stored_bytes(false))),
+            ),
+            ("stored_pct", Json::F64(image.compression_ratio() * 100.0)),
+            ("line_count", Json::U64(image.line_count() as u64)),
+            ("bypass_count", Json::U64(image.bypass_count() as u64)),
+            (
+                "lat",
+                Json::obj([
+                    ("entries", Json::U64(image.lat().len() as u64)),
+                    ("bytes", Json::U64(u64::from(image.lat().storage_bytes()))),
+                    ("base", Json::Str(format!("{:#x}", image.lat_base()))),
+                ]),
+            ),
+            ("lines", Json::Arr(lines)),
+        ]);
+        write!(out, "{}", json.to_pretty()).ok();
+        return Ok(());
+    }
+
     writeln!(
         out,
         "{input}: container v{version} ({}), {} original bytes at {:#x}, stored {} ({:.1}%), {} lines, {} bypassed",
@@ -52,7 +97,6 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )
     .ok();
 
-    let show = args.option_u32("lines", 8)? as usize;
     for line in 0..image.line_count().min(show) {
         let addr = image.text_base() + line as u32 * 32;
         let loc = image.locate(addr)?;

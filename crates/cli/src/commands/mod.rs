@@ -10,4 +10,5 @@ pub mod profile;
 pub mod run;
 pub mod simulate;
 pub mod sweep;
+pub mod trace;
 pub mod workloads;

@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 
+use ccrp_bench::json::Json;
 use ccrp_emu::{Machine, ProgramTrace};
 
 use crate::args::Args;
@@ -56,6 +57,39 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
     };
 
+    let mut ranked: Vec<(u64, u32)> = per_line.iter().map(|(&line, &n)| (n, line)).collect();
+    ranked.sort_by(|a, b| b.cmp(a));
+    let top = args.option_u32("top", 10)? as usize;
+
+    if args.json() {
+        let json = Json::obj([
+            ("schema", Json::str("ccrp-profile/1")),
+            ("instructions", Json::U64(total)),
+            ("lines_touched", Json::U64(touched as u64)),
+            ("text_bytes", Json::U64(u64::from(image.text_size()))),
+            ("data_accesses", Json::U64(trace.data_accesses())),
+            (
+                "hot_lines",
+                Json::Arr(
+                    ranked
+                        .iter()
+                        .take(top)
+                        .map(|&(count, line)| {
+                            Json::obj([
+                                ("line", Json::Str(format!("{line:#x}"))),
+                                ("fetches", Json::U64(count)),
+                                ("share", Json::F64(count as f64 / total as f64)),
+                                ("symbol", Json::str(&symbol_for(line))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        write!(out, "{}", json.to_pretty()).ok();
+        return Ok(());
+    }
+
     writeln!(
         out,
         "{input}: {total} instructions over {touched} lines ({} bytes of text); {} data accesses",
@@ -64,9 +98,6 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )
     .ok();
     writeln!(out, "hot-line working set is what must fit in the I-cache:").ok();
-    let mut ranked: Vec<(u64, u32)> = per_line.iter().map(|(&line, &n)| (n, line)).collect();
-    ranked.sort_by(|a, b| b.cmp(a));
-    let top = args.option_u32("top", 10)? as usize;
     let mut cumulative = 0u64;
     writeln!(
         out,

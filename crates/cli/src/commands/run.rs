@@ -4,6 +4,7 @@
 
 use std::io::Write;
 
+use ccrp_bench::json::Json;
 use ccrp_emu::{Machine, MachineConfig, ProgramTrace};
 
 use crate::args::Args;
@@ -36,6 +37,17 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     }
     let mut trace = ProgramTrace::new();
     let summary = machine.run(&mut trace)?;
+    if args.json() {
+        let json = Json::obj([
+            ("schema", Json::str("ccrp-run/1")),
+            ("output", Json::str(machine.output())),
+            ("exit_code", Json::F64(f64::from(summary.exit_code))),
+            ("instructions", Json::U64(summary.instructions)),
+            ("data_accesses", Json::U64(trace.data_accesses())),
+        ]);
+        write!(out, "{}", json.to_pretty()).ok();
+        return Ok(());
+    }
     write!(out, "{}", machine.output()).ok();
     if !machine.output().ends_with('\n') {
         writeln!(out).ok();

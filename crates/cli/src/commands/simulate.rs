@@ -9,6 +9,8 @@
 use std::io::Write;
 
 use ccrp::CompressedImage;
+use ccrp_bench::json::Json;
+use ccrp_bench::ToJson;
 use ccrp_compress::{ByteCode, ByteHistogram};
 use ccrp_emu::{Machine, ProgramTrace};
 use ccrp_sim::{compare, DataCacheModel, MemoryModel, SystemConfig};
@@ -36,13 +38,13 @@ fn memories(args: &Args) -> Result<Vec<MemoryModel>, CliError> {
     })
 }
 
-/// Runs the subcommand.
-///
-/// # Errors
-///
-/// Usage, I/O, assembly, runtime, or simulation errors.
-pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
-    let input = args.positional(0, "input assembly file")?;
+/// Assembles `input`, executes it for a trace, and compresses its text
+/// per the shared `--code`/`--alignment` options. Used by `simulate`
+/// and `trace`.
+pub(crate) fn prepare(
+    args: &Args,
+    input: &str,
+) -> Result<(CompressedImage, ProgramTrace), CliError> {
     let source = read_text(input)?;
     let image = ccrp_asm::assemble(&source)?;
     let mut machine = Machine::new(&image);
@@ -61,17 +63,86 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         }
     };
     let compressed = CompressedImage::build(0, image.text_bytes(), code, alignment)?;
+    Ok((compressed, trace))
+}
 
+/// Builds the system configuration from the simulation options shared
+/// by `simulate` and `trace`.
+pub(crate) fn system_config(
+    args: &Args,
+    memory: MemoryModel,
+    cache_bytes: u32,
+) -> Result<SystemConfig, CliError> {
     let dcache_pct = args.option_u32("dcache-miss", 100)?;
     if dcache_pct > 100 {
         return Err(CliError::Usage("--dcache-miss: percent above 100".into()));
     }
-    let clb_entries = args.option_u32("clb", 16)? as usize;
+    Ok(SystemConfig::new()
+        .with_cache_bytes(cache_bytes)
+        .with_memory(memory)
+        .with_clb_entries(args.option_u32("clb", 16)? as usize)
+        .with_dcache(DataCacheModel::with_miss_rate(
+            f64::from(dcache_pct) / 100.0,
+        )))
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Usage, I/O, assembly, runtime, or simulation errors.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "input assembly file")?;
+    let (compressed, trace) = prepare(args, input)?;
+
     let caches: Vec<u32> = if args.switch("sweep") {
         vec![256, 512, 1024, 2048, 4096]
     } else {
         vec![args.option_u32("cache", 1024)?]
     };
+
+    let mut rows = Vec::new();
+    for memory in memories(args)? {
+        for &cache_bytes in &caches {
+            let config = system_config(args, memory, cache_bytes)?;
+            let result = compare(&compressed, trace.iter(), &config)?;
+            rows.push((memory, cache_bytes, result));
+        }
+    }
+
+    if args.json() {
+        let json = Json::obj([
+            ("schema", Json::str("ccrp-simulate/1")),
+            ("instructions", Json::U64(trace.len() as u64)),
+            (
+                "stored_pct",
+                Json::F64(compressed.compression_ratio() * 100.0),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(memory, cache_bytes, result)| {
+                            Json::obj([
+                                ("memory", Json::str(memory.name())),
+                                ("cache_bytes", Json::U64(u64::from(*cache_bytes))),
+                                (
+                                    "relative_performance",
+                                    Json::F64(result.relative_execution_time()),
+                                ),
+                                ("miss_rate", Json::F64(result.miss_rate())),
+                                ("memory_traffic", Json::F64(result.memory_traffic_ratio())),
+                                ("standard", result.standard.to_json()),
+                                ("ccrp", result.ccrp.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        write!(out, "{}", json.to_pretty()).ok();
+        return Ok(());
+    }
 
     writeln!(
         out,
@@ -86,27 +157,17 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         "memory", "cache", "rel. perf", "miss rate", "traffic"
     )
     .ok();
-    for memory in memories(args)? {
-        for &cache_bytes in &caches {
-            let config = SystemConfig {
-                cache_bytes,
-                memory,
-                clb_entries,
-                decode_bytes_per_cycle: 2,
-                dcache: DataCacheModel::with_miss_rate(f64::from(dcache_pct) / 100.0),
-            };
-            let result = compare(&compressed, trace.iter(), &config)?;
-            writeln!(
-                out,
-                "{:>12} {:>6}B {:>10.3} {:>9.2}% {:>8.1}%",
-                memory.name(),
-                cache_bytes,
-                result.relative_execution_time(),
-                result.miss_rate() * 100.0,
-                result.memory_traffic_ratio() * 100.0
-            )
-            .ok();
-        }
+    for (memory, cache_bytes, result) in &rows {
+        writeln!(
+            out,
+            "{:>12} {:>6}B {:>10.3} {:>9.2}% {:>8.1}%",
+            memory.name(),
+            cache_bytes,
+            result.relative_execution_time(),
+            result.miss_rate() * 100.0,
+            result.memory_traffic_ratio() * 100.0
+        )
+        .ok();
     }
     Ok(())
 }

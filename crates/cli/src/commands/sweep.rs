@@ -10,7 +10,8 @@
 use std::io::Write;
 use std::path::Path;
 
-use ccrp_bench::{render, runner, Experiment, SweepOptions};
+use ccrp_bench::json::Json;
+use ccrp_bench::{render, runner, Experiment, SweepOptions, ToJson};
 
 use crate::args::Args;
 use crate::error::{write_file, CliError};
@@ -18,7 +19,7 @@ use crate::error::{write_file, CliError};
 /// Option names consuming a value.
 pub const VALUE_OPTIONS: &[&str] = &["experiment", "jobs", "out"];
 /// Switch names.
-pub const SWITCHES: &[&str] = &["tables"];
+pub const SWITCHES: &[&str] = &["tables", "metrics"];
 
 /// Runs the subcommand.
 ///
@@ -41,12 +42,27 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::Usage("--jobs must be at least 1".into()));
     }
     let out_dir = args.option("out").unwrap_or(".");
+    let metrics = args.switch("metrics");
 
+    let mut summaries = Vec::new();
     for experiment in experiments {
-        let report = runner::run(experiment, &SweepOptions { jobs });
+        let report = runner::run(experiment, &SweepOptions { jobs, metrics });
         let path = Path::new(out_dir).join(format!("BENCH_{}.json", experiment.name()));
         let path = path.to_string_lossy().into_owned();
         write_file(&path, report.to_json().to_pretty().as_bytes())?;
+        if args.json() {
+            summaries.push(Json::obj([
+                ("experiment", Json::str(experiment.name())),
+                ("cells", Json::U64(report.cells.len() as u64)),
+                ("jobs", Json::U64(report.jobs as u64)),
+                (
+                    "wall_us",
+                    Json::U64(u64::try_from(report.total_wall.as_micros()).unwrap_or(u64::MAX)),
+                ),
+                ("results_file", Json::str(&path)),
+            ]));
+            continue;
+        }
         writeln!(
             out,
             "{:<12} {:>3} cells {:>2} jobs {:>9.2?}  -> {path}",
@@ -59,6 +75,13 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         if args.switch("tables") {
             write!(out, "{}", render::report(&report)).ok();
         }
+    }
+    if args.json() {
+        let json = Json::obj([
+            ("schema", Json::str("ccrp-sweep-summary/1")),
+            ("sweeps", Json::Arr(summaries)),
+        ]);
+        write!(out, "{}", json.to_pretty()).ok();
     }
     Ok(())
 }

@@ -5,6 +5,7 @@
 
 use std::io::Write;
 
+use ccrp_bench::json::Json;
 use ccrp_workloads::TracedWorkload;
 
 use crate::args::Args;
@@ -22,23 +23,54 @@ pub const SWITCHES: &[&str] = &["verify"];
 /// A workload failing its self-check under `--verify` (a build bug, not
 /// a user condition, but surfaced as an error to keep the tool honest).
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let description = |wl: &TracedWorkload| match wl {
+        TracedWorkload::Eightq => "eight-queens backtracking",
+        TracedWorkload::Matrix25A => "25x25 double matrix multiply",
+        TracedWorkload::Lloop01 => "Livermore loop 1",
+        TracedWorkload::Tomcatv => "mesh relaxation",
+        TracedWorkload::Nasa7 => "seven NAS kernels",
+        TracedWorkload::Nasa1 => "vector daxpy/dot/scale",
+        TracedWorkload::Espresso => "jump-table cube operations",
+        TracedWorkload::Fpppp => "huge straight-line FP block",
+    };
+
+    if args.json() {
+        let mut rows = Vec::new();
+        for wl in TracedWorkload::ALL {
+            let mut pairs = vec![
+                ("name".to_string(), Json::str(wl.name())),
+                (
+                    "paper_bytes".to_string(),
+                    Json::U64(u64::from(wl.paper_text_bytes())),
+                ),
+                ("description".to_string(), Json::str(description(&wl))),
+            ];
+            if args.switch("verify") {
+                let built = wl.build().map_err(|e| CliError::Usage(e.to_string()))?;
+                pairs.push((
+                    "dynamic_instructions".to_string(),
+                    Json::U64(built.dynamic_instructions() as u64),
+                ));
+                pairs.push(("text_bytes".to_string(), Json::U64(built.text.len() as u64)));
+            }
+            rows.push(Json::Obj(pairs));
+        }
+        let json = Json::obj([
+            ("schema", Json::str("ccrp-workloads/1")),
+            ("workloads", Json::Arr(rows)),
+        ]);
+        write!(out, "{}", json.to_pretty()).ok();
+        return Ok(());
+    }
+
     writeln!(out, "{:>12} {:>12} description", "workload", "paper bytes").ok();
     for wl in TracedWorkload::ALL {
-        let description = match wl {
-            TracedWorkload::Eightq => "eight-queens backtracking",
-            TracedWorkload::Matrix25A => "25x25 double matrix multiply",
-            TracedWorkload::Lloop01 => "Livermore loop 1",
-            TracedWorkload::Tomcatv => "mesh relaxation",
-            TracedWorkload::Nasa7 => "seven NAS kernels",
-            TracedWorkload::Nasa1 => "vector daxpy/dot/scale",
-            TracedWorkload::Espresso => "jump-table cube operations",
-            TracedWorkload::Fpppp => "huge straight-line FP block",
-        };
         writeln!(
             out,
-            "{:>12} {:>12} {description}",
+            "{:>12} {:>12} {}",
             wl.name(),
-            wl.paper_text_bytes()
+            wl.paper_text_bytes(),
+            description(&wl)
         )
         .ok();
         if args.switch("verify") {

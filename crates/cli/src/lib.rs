@@ -69,21 +69,130 @@ COMMANDS:
   simulate <in.s> [--cache N] [--memory eprom|burst|dram|all] [--clb N]
            [--dcache-miss PCT] [--code preselected|self] [--alignment byte|word] [--sweep]
       compare the standard processor against the CCRP
+  trace <in.s> [--cache N] [--memory eprom|burst|dram] [--clb N]
+        [--limit N] [--metrics] [--out trace.json]
+      export the probed CCRP-vs-standard run as Chrome trace-event JSON
+      (load in Perfetto or chrome://tracing; timestamps are simulated
+      cycles); --metrics adds the counter/histogram registry
   workloads [--verify]
       list (and self-check) the paper's benchmark programs
   sweep [--experiment fig5|tables1_8|tables9_10|fig9|tables11_13|all] [--jobs N]
-        [--out DIR] [--tables]
+        [--out DIR] [--tables] [--metrics]
       run the paper experiments across a worker pool and write
-      machine-readable BENCH_<experiment>.json results files
+      machine-readable BENCH_<experiment>.json results files;
+      --metrics folds probe-derived histograms into each report
   faultsim [--trials N] [--seed N] [--jobs N] [--out FILE]
       run a seeded fault-injection campaign over the container format,
       write BENCH_faultsim.json, and fail on panics, hangs, or silent
       miscompares in CRC-carrying (v2) containers
   help
       print this text
+
+SHARED OPTIONS (every command):
+  --out FILE   where the command writes its artifact or results; for
+               report-only commands, redirects the report to FILE
+               (deprecated aliases: --output, --out-file, --out-dir)
+  --json       emit the report as machine-readable JSON where the
+               command supports it
 ";
 
+/// One subcommand's dispatch entry.
+struct Command {
+    name: &'static str,
+    value_options: &'static [&'static str],
+    switches: &'static [&'static str],
+    run: fn(&Args, &mut dyn Write) -> Result<(), CliError>,
+    /// Whether the command interprets `--out` itself (an artifact or
+    /// results path). When false, `--out` redirects the command's
+    /// report to a file via the shared dispatch path.
+    owns_out: bool,
+}
+
+const COMMANDS: &[Command] = &[
+    Command {
+        name: "asm",
+        value_options: commands::asm::VALUE_OPTIONS,
+        switches: commands::asm::SWITCHES,
+        run: commands::asm::run,
+        owns_out: true,
+    },
+    Command {
+        name: "disasm",
+        value_options: commands::disasm::VALUE_OPTIONS,
+        switches: commands::disasm::SWITCHES,
+        run: commands::disasm::run,
+        owns_out: false,
+    },
+    Command {
+        name: "run",
+        value_options: commands::run::VALUE_OPTIONS,
+        switches: commands::run::SWITCHES,
+        run: commands::run::run,
+        owns_out: false,
+    },
+    Command {
+        name: "compress",
+        value_options: commands::compress::VALUE_OPTIONS,
+        switches: commands::compress::SWITCHES,
+        run: commands::compress::run,
+        owns_out: true,
+    },
+    Command {
+        name: "profile",
+        value_options: commands::profile::VALUE_OPTIONS,
+        switches: commands::profile::SWITCHES,
+        run: commands::profile::run,
+        owns_out: false,
+    },
+    Command {
+        name: "inspect",
+        value_options: commands::inspect::VALUE_OPTIONS,
+        switches: commands::inspect::SWITCHES,
+        run: commands::inspect::run,
+        owns_out: false,
+    },
+    Command {
+        name: "simulate",
+        value_options: commands::simulate::VALUE_OPTIONS,
+        switches: commands::simulate::SWITCHES,
+        run: commands::simulate::run,
+        owns_out: false,
+    },
+    Command {
+        name: "workloads",
+        value_options: commands::workloads::VALUE_OPTIONS,
+        switches: commands::workloads::SWITCHES,
+        run: commands::workloads::run,
+        owns_out: false,
+    },
+    Command {
+        name: "faultsim",
+        value_options: commands::faultsim::VALUE_OPTIONS,
+        switches: commands::faultsim::SWITCHES,
+        run: commands::faultsim::run,
+        owns_out: true,
+    },
+    Command {
+        name: "sweep",
+        value_options: commands::sweep::VALUE_OPTIONS,
+        switches: commands::sweep::SWITCHES,
+        run: commands::sweep::run,
+        owns_out: true,
+    },
+    Command {
+        name: "trace",
+        value_options: commands::trace::VALUE_OPTIONS,
+        switches: commands::trace::SWITCHES,
+        run: commands::trace::run,
+        owns_out: true,
+    },
+];
+
 /// Dispatches one invocation. `argv` excludes the program name.
+///
+/// Every subcommand accepts the shared `--out`/`--json` options: for
+/// commands that don't interpret `--out` themselves, the report is
+/// captured here and written to the file instead of `out`.
 ///
 /// # Errors
 ///
@@ -95,86 +204,25 @@ pub fn dispatch(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         ));
     };
     let rest = &argv[1..];
-    match command.as_str() {
-        "asm" => commands::asm::run(
-            &Args::parse(rest, commands::asm::VALUE_OPTIONS, commands::asm::SWITCHES)?,
-            out,
-        ),
-        "disasm" => commands::disasm::run(
-            &Args::parse(
-                rest,
-                commands::disasm::VALUE_OPTIONS,
-                commands::disasm::SWITCHES,
-            )?,
-            out,
-        ),
-        "run" => commands::run::run(
-            &Args::parse(rest, commands::run::VALUE_OPTIONS, commands::run::SWITCHES)?,
-            out,
-        ),
-        "compress" => commands::compress::run(
-            &Args::parse(
-                rest,
-                commands::compress::VALUE_OPTIONS,
-                commands::compress::SWITCHES,
-            )?,
-            out,
-        ),
-        "profile" => commands::profile::run(
-            &Args::parse(
-                rest,
-                commands::profile::VALUE_OPTIONS,
-                commands::profile::SWITCHES,
-            )?,
-            out,
-        ),
-        "inspect" => commands::inspect::run(
-            &Args::parse(
-                rest,
-                commands::inspect::VALUE_OPTIONS,
-                commands::inspect::SWITCHES,
-            )?,
-            out,
-        ),
-        "simulate" => commands::simulate::run(
-            &Args::parse(
-                rest,
-                commands::simulate::VALUE_OPTIONS,
-                commands::simulate::SWITCHES,
-            )?,
-            out,
-        ),
-        "workloads" => commands::workloads::run(
-            &Args::parse(
-                rest,
-                commands::workloads::VALUE_OPTIONS,
-                commands::workloads::SWITCHES,
-            )?,
-            out,
-        ),
-        "faultsim" => commands::faultsim::run(
-            &Args::parse(
-                rest,
-                commands::faultsim::VALUE_OPTIONS,
-                commands::faultsim::SWITCHES,
-            )?,
-            out,
-        ),
-        "sweep" => commands::sweep::run(
-            &Args::parse(
-                rest,
-                commands::sweep::VALUE_OPTIONS,
-                commands::sweep::SWITCHES,
-            )?,
-            out,
-        ),
-        "help" | "--help" | "-h" => {
-            write!(out, "{USAGE}").ok();
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        write!(out, "{USAGE}").ok();
+        return Ok(());
+    }
+    let Some(entry) = COMMANDS.iter().find(|c| c.name == command.as_str()) else {
+        return Err(CliError::Usage(format!(
+            "unknown command `{command}`; try `ccrp-tools help`"
+        )));
+    };
+    let args = Args::parse(rest, entry.value_options, entry.switches)?;
+    match args.out() {
+        Some(path) if !entry.owns_out => {
+            let mut captured = Vec::new();
+            (entry.run)(&args, &mut captured)?;
+            write_file(path, &captured)?;
+            writeln!(out, "wrote report to {path}").ok();
             Ok(())
         }
-        other => Err(CliError::Usage(format!(
-            "unknown command `{other}`; try `ccrp-tools help`"
-        ))),
+        _ => (entry.run)(&args, out),
     }
 }
 

@@ -90,14 +90,17 @@ impl Clb {
     }
 
     /// Installs an entry fetched from the in-memory LAT, evicting the
-    /// least recently used entry if full.
-    pub fn insert(&mut self, lat_index: u32, entry: LatEntry) {
+    /// least recently used entry if full. Returns the evicted entry's
+    /// LAT index, if the insert displaced one.
+    pub fn insert(&mut self, lat_index: u32, entry: LatEntry) -> Option<u32> {
+        let mut evicted = None;
         if let Some(pos) = self.slots.iter().position(|&(tag, _)| tag == lat_index) {
             self.slots.remove(pos);
         } else if self.slots.len() == self.capacity {
-            self.slots.remove(0);
+            evicted = Some(self.slots.remove(0).0);
         }
         self.slots.push((lat_index, entry));
+        evicted
     }
 
     /// Invalidates all entries (keeps statistics).
@@ -150,11 +153,11 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut clb = Clb::new(2).unwrap();
-        clb.insert(1, entry(1));
-        clb.insert(2, entry(2));
+        assert_eq!(clb.insert(1, entry(1)), None);
+        assert_eq!(clb.insert(2, entry(2)), None);
         // Touch 1, making 2 the LRU victim.
         assert!(clb.probe(1).is_some());
-        clb.insert(3, entry(3));
+        assert_eq!(clb.insert(3, entry(3)), Some(2));
         assert!(clb.probe(2).is_none(), "2 should be evicted");
         assert!(clb.probe(1).is_some());
         assert!(clb.probe(3).is_some());
@@ -164,7 +167,7 @@ mod tests {
     fn reinsert_does_not_duplicate() {
         let mut clb = Clb::new(2).unwrap();
         clb.insert(1, entry(1));
-        clb.insert(1, entry(1));
+        assert_eq!(clb.insert(1, entry(1)), None, "refresh is not an eviction");
         clb.insert(2, entry(2));
         assert_eq!(clb.resident().count(), 2);
         assert!(clb.probe(1).is_some());

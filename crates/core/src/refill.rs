@@ -9,6 +9,7 @@
 //! standard processor's.
 
 use ccrp_compress::ByteCode;
+use ccrp_probe::{Event, NullProbe, Probe};
 
 use crate::addr::LINE_SIZE;
 use crate::clb::{Clb, ClbStats};
@@ -178,9 +179,31 @@ impl RefillEngine {
         now: u64,
         memory: &mut dyn MemoryTiming,
     ) -> Result<RefillOutcome, CcrpError> {
+        self.refill_probed(image, address, now, memory, &mut NullProbe)
+    }
+
+    /// [`refill`](Self::refill), reporting every step to `probe`:
+    /// [`Event::RefillStart`]/[`Event::RefillDone`], the CLB probe
+    /// outcome and any eviction, each memory burst, and any
+    /// [`Event::IntegrityFailure`]/[`Event::RetryBackoff`] on the
+    /// degradation path. The computation is identical — `refill` is this
+    /// method with [`NullProbe`], which monomorphizes the emits away.
+    ///
+    /// # Errors
+    ///
+    /// As [`refill`](Self::refill).
+    pub fn refill_probed<P: Probe>(
+        &mut self,
+        image: &CompressedImage,
+        address: u32,
+        now: u64,
+        memory: &mut dyn MemoryTiming,
+        probe: &mut P,
+    ) -> Result<RefillOutcome, CcrpError> {
         // Resolve the LAT index up front so the retry path can
         // invalidate the right CLB entry.
         let lat_index = image.locate(address)?.lat_index;
+        probe.emit(now, Event::RefillStart { address });
         let max_retries = match self.policy {
             DegradePolicy::Retry { attempts } => attempts,
             _ => 0,
@@ -195,32 +218,56 @@ impl RefillEngine {
                 clb_hit: false,
                 bypass: false,
             };
-            match self.refill_attempt(image, address, start, memory, &mut progress) {
+            match self.refill_attempt(image, address, start, memory, &mut progress, probe) {
                 Ok(ready_at) => {
-                    return Ok(RefillOutcome {
+                    let outcome = RefillOutcome {
                         ready_at,
                         bytes_fetched: carried_bytes + progress.bytes,
                         clb_hit: retries == 0 && progress.clb_hit,
                         bypass: progress.bypass,
                         retries,
-                    });
+                    };
+                    probe.emit(
+                        ready_at,
+                        Event::RefillDone {
+                            address,
+                            cycles: ready_at.saturating_sub(now),
+                            bytes: outcome.bytes_fetched,
+                            clb_hit: outcome.clb_hit,
+                            bypass: outcome.bypass,
+                            retries,
+                        },
+                    );
+                    return Ok(outcome);
                 }
-                Err(e) if Self::is_corruption(&e) => match self.policy {
-                    DegradePolicy::Abort => return Err(e),
-                    DegradePolicy::Trap => return Err(CcrpError::MachineCheck { address }),
-                    DegradePolicy::Retry { .. } => {
-                        if retries >= max_retries {
-                            return Err(CcrpError::MachineCheck { address });
+                Err(e) if Self::is_corruption(&e) => {
+                    probe.emit(progress.time, Event::IntegrityFailure { address });
+                    match self.policy {
+                        DegradePolicy::Abort => return Err(e),
+                        DegradePolicy::Trap => return Err(CcrpError::MachineCheck { address }),
+                        DegradePolicy::Retry { .. } => {
+                            if retries >= max_retries {
+                                return Err(CcrpError::MachineCheck { address });
+                            }
+                            carried_bytes += progress.bytes;
+                            // A corrupt LAT entry cached in the CLB would make
+                            // every re-read fail identically; force a fresh
+                            // in-memory LAT read, then back off exponentially.
+                            self.clb.invalidate(lat_index);
+                            let backoff_cycles = 1u64 << retries.min(16);
+                            probe.emit(
+                                progress.time,
+                                Event::RetryBackoff {
+                                    address,
+                                    attempt: retries + 1,
+                                    backoff_cycles,
+                                },
+                            );
+                            start = progress.time + backoff_cycles;
+                            retries += 1;
                         }
-                        carried_bytes += progress.bytes;
-                        // A corrupt LAT entry cached in the CLB would make
-                        // every re-read fail identically; force a fresh
-                        // in-memory LAT read, then back off exponentially.
-                        self.clb.invalidate(lat_index);
-                        start = progress.time + (1u64 << retries.min(16));
-                        retries += 1;
                     }
-                },
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -229,13 +276,14 @@ impl RefillEngine {
     /// One refill attempt: LAT lookup (CLB or memory), integrity
     /// cross-check, block fetch, decode-timing model. Updates `progress`
     /// as it goes so a failure mid-attempt still reports cost.
-    fn refill_attempt(
+    fn refill_attempt<P: Probe>(
         &mut self,
         image: &CompressedImage,
         address: u32,
         now: u64,
         memory: &mut dyn MemoryTiming,
         progress: &mut AttemptProgress,
+        probe: &mut P,
     ) -> Result<u64, CcrpError> {
         let location = image.locate(address)?;
         progress.bypass = location.bypass;
@@ -244,9 +292,21 @@ impl RefillEngine {
         let entry = match self.clb.probe(location.lat_index) {
             Some(entry) => {
                 progress.clb_hit = true;
+                probe.emit(
+                    now,
+                    Event::ClbHit {
+                        lat_index: location.lat_index,
+                    },
+                );
                 entry
             }
             None => {
+                probe.emit(
+                    now,
+                    Event::ClbMiss {
+                        lat_index: location.lat_index,
+                    },
+                );
                 // Read the 8-byte LAT entry (2 words) before the block
                 // fetch can be addressed.
                 memory.read_burst(2, start, &mut self.scratch);
@@ -254,6 +314,13 @@ impl RefillEngine {
                     what: "memory returned no arrivals for the LAT read",
                     address,
                 })?;
+                probe.emit(
+                    now,
+                    Event::MemoryBurst {
+                        words: 2,
+                        done: start,
+                    },
+                );
                 progress.time = start;
                 progress.bytes += 8;
                 let entry = *image
@@ -263,7 +330,9 @@ impl RefillEngine {
                         what: "LAT shorter than the program",
                         address,
                     })?;
-                self.clb.insert(location.lat_index, entry);
+                if let Some(evicted) = self.clb.insert(location.lat_index, entry) {
+                    probe.emit(start, Event::ClbEvict { lat_index: evicted });
+                }
                 entry
             }
         };
@@ -291,6 +360,13 @@ impl RefillEngine {
             what: "memory returned no arrivals for the block read",
             address,
         })?;
+        probe.emit(
+            start,
+            Event::MemoryBurst {
+                words,
+                done: last_arrival,
+            },
+        );
         progress.time = progress.time.max(last_arrival);
 
         let ready_at = if location.bypass {
@@ -711,6 +787,96 @@ mod tests {
             let b = full.refill(&image, addr, 0, &mut m2).unwrap();
             assert_eq!(a, b, "addr {addr:#x}");
         }
+    }
+
+    #[test]
+    fn probed_refill_matches_plain_and_emits_events() {
+        use ccrp_probe::EventLog;
+
+        let image = test_image(512);
+        let mut plain = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut probed = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut log = EventLog::new();
+        for addr in (0..512).step_by(32) {
+            let mut m1 = TestMemory::new(3);
+            let mut m2 = TestMemory::new(3);
+            let a = plain.refill(&image, addr, 0, &mut m1).unwrap();
+            let b = probed
+                .refill_probed(&image, addr, 0, &mut m2, &mut log)
+                .unwrap();
+            assert_eq!(a, b, "addr {addr:#x}");
+            assert_eq!(m1.calls, m2.calls, "addr {addr:#x}");
+        }
+        // 16 refills: each has a start, a CLB probe outcome, at least one
+        // memory burst, and a completion.
+        let count = |kind: &str| {
+            log.events()
+                .iter()
+                .filter(|e| e.event.kind() == kind)
+                .count()
+        };
+        assert_eq!(count("refill_start"), 16);
+        assert_eq!(count("refill"), 16);
+        assert_eq!(count("clb_hit") + count("clb_miss"), 16);
+        assert!(count("memory_burst") >= 16);
+        // RefillDone stamps carry the outcome's latency.
+        for e in log.events() {
+            if let Event::RefillDone { cycles, .. } = e.event {
+                assert_eq!(e.cycle, cycles, "start was cycle 0");
+            }
+        }
+    }
+
+    #[test]
+    fn probed_refill_reports_eviction_and_retry_events() {
+        use ccrp_probe::EventLog;
+
+        // 18 LAT entries through a 16-entry CLB forces evictions.
+        let image = test_image(18 * 256);
+        let mut engine = RefillEngine::new(RefillConfig::default()).unwrap();
+        let mut mem = TestMemory::new(3);
+        let mut log = EventLog::new();
+        for entry in 0..18u32 {
+            engine
+                .refill_probed(&image, entry * 256, 0, &mut mem, &mut log)
+                .unwrap();
+        }
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::ClbEvict { .. })));
+
+        // A corrupt LAT entry under Retry emits failure + backoff pairs.
+        let mut image = test_image(512);
+        image.corrupt_lat_length(0, lat_lie(&image)).unwrap();
+        let mut engine = RefillEngine::new(RefillConfig {
+            policy: DegradePolicy::Retry { attempts: 2 },
+            ..RefillConfig::default()
+        })
+        .unwrap();
+        let mut log = EventLog::new();
+        assert!(engine
+            .refill_probed(&image, 0, 0, &mut mem, &mut log)
+            .is_err());
+        let failures = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, Event::IntegrityFailure { .. }))
+            .count();
+        let backoffs: Vec<_> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::RetryBackoff {
+                    attempt,
+                    backoff_cycles,
+                    ..
+                } => Some((attempt, backoff_cycles)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failures, 3, "initial try + 2 retries all fail");
+        assert_eq!(backoffs, vec![(1, 1), (2, 2)], "exponential backoff");
     }
 
     #[test]

@@ -587,6 +587,90 @@ mod compressed_rom_tests {
     }
 
     #[test]
+    fn probe_log_records_demand_expansions() {
+        use ccrp_probe::Event;
+
+        let image = assemble(SUM_SRC).unwrap();
+        let rom = rom_for(&image);
+        let mut m = Machine::with_compressed_text(
+            &image,
+            &rom,
+            DegradePolicy::Trap,
+            MachineConfig::default(),
+        )
+        .unwrap();
+        m.enable_probe();
+        let summary = m.run(&mut NullSink).unwrap();
+        let log = m.take_probe_log().expect("probe was enabled");
+        let refills: Vec<_> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::RefillDone { address, bytes, .. } => Some((e.cycle, address, bytes)),
+                _ => None,
+            })
+            .collect();
+        // One demand expansion per executed line, each with bus traffic,
+        // stamped within the run.
+        assert!(!refills.is_empty());
+        for &(cycle, address, bytes) in &refills {
+            assert!(cycle <= summary.instructions);
+            assert!(address.is_multiple_of(32));
+            assert!(bytes > 0 && bytes % 4 == 0);
+        }
+        // Each line is expanded at most once: addresses are unique.
+        let mut addrs: Vec<u32> = refills.iter().map(|r| r.1).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), refills.len());
+        // Probing must not change execution.
+        let mut plain = Machine::with_compressed_text(
+            &image,
+            &rom,
+            DegradePolicy::Trap,
+            MachineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plain.run(&mut NullSink).unwrap(), summary);
+    }
+
+    #[test]
+    fn probe_log_records_retry_failures() {
+        use ccrp_probe::Event;
+
+        let image = assemble(SUM_SRC).unwrap();
+        let mut rom = rom_for(&image);
+        rom.attach_block_crcs();
+        rom.corrupt_block_byte(0, 0, 0x08).unwrap();
+        let mut m = Machine::with_compressed_text(
+            &image,
+            &rom,
+            DegradePolicy::Retry { attempts: 2 },
+            MachineConfig::default(),
+        )
+        .unwrap();
+        m.enable_probe();
+        assert!(m.run(&mut NullSink).is_err());
+        let log = m.take_probe_log().unwrap();
+        let failures = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, Event::IntegrityFailure { .. }))
+            .count();
+        let backoffs = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, Event::RetryBackoff { .. }))
+            .count();
+        assert_eq!(failures, 3, "initial read + 2 retries");
+        assert_eq!(backoffs, 2);
+        assert!(!log
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::RefillDone { .. })));
+    }
+
+    #[test]
     fn mismatched_rom_rejected() {
         let image = assemble(SUM_SRC).unwrap();
         let other = assemble("main: li $v0, 10\n syscall").unwrap();

@@ -6,6 +6,7 @@ use ccrp_isa::{
     decode, AluOp, BranchOp, BranchZOp, Cp1MoveOp, FpCond, FpFmt, FpOp, FpReg, FpUnaryOp, HiLoOp,
     IAluOp, Instruction, MemOp, MultDivOp, Reg, ShiftOp,
 };
+use ccrp_probe::{Event, EventLog, Probe};
 
 use crate::error::EmuError;
 use crate::memory::Memory;
@@ -105,6 +106,10 @@ pub struct Machine {
     exit: Option<i32>,
     steps: u64,
     config: MachineConfig,
+    /// Recording sink for compressed-ROM refill events, when enabled via
+    /// [`enable_probe`](Self::enable_probe). Timestamps are dynamic
+    /// instruction counts (the emulator is not cycle accurate).
+    probe_log: Option<EventLog>,
 }
 
 impl Machine {
@@ -148,6 +153,7 @@ impl Machine {
             exit: None,
             steps: 0,
             config,
+            probe_log: None,
         }
     }
 
@@ -209,6 +215,29 @@ impl Machine {
             }
         }
         Ok(machine)
+    }
+
+    /// Starts recording compressed-ROM refill events ([`Event::CacheMiss`]
+    /// / [`Event::RefillStart`] / [`Event::RefillDone`] per first-touch
+    /// line expansion, plus [`Event::IntegrityFailure`] and
+    /// [`Event::RetryBackoff`] on the degradation path). Timestamps are
+    /// dynamic instruction counts, and `RefillDone` reports zero latency —
+    /// the emulator is functional, not cycle accurate; `ccrp-sim` owns
+    /// timing. Only meaningful for machines built with
+    /// [`with_compressed_text`](Self::with_compressed_text) under a demand
+    /// policy (eager Abort expansion happens before probes can observe it).
+    pub fn enable_probe(&mut self) {
+        self.probe_log = Some(EventLog::new());
+    }
+
+    /// The recorded refill events, if probing is enabled.
+    pub fn probe_log(&self) -> Option<&EventLog> {
+        self.probe_log.as_ref()
+    }
+
+    /// Detaches and returns the recorded refill events.
+    pub fn take_probe_log(&mut self) -> Option<EventLog> {
+        self.probe_log.take()
     }
 
     /// Queues integers for the `read_int` syscall to return in order.
@@ -344,6 +373,10 @@ impl Machine {
             return Ok(());
         }
         let line_addr = self.text_base + line as u32 * 32;
+        if let Some(log) = &mut self.probe_log {
+            log.emit(self.steps, Event::CacheMiss { address: line_addr });
+            log.emit(self.steps, Event::RefillStart { address: line_addr });
+        }
         let budget = match rom.policy {
             DegradePolicy::Retry { attempts } => attempts,
             _ => 0,
@@ -351,13 +384,53 @@ impl Machine {
         let mut result = rom.image.expand_line(line_addr);
         let mut tries = 0;
         while result.is_err() && tries < budget {
+            if let Some(log) = &mut self.probe_log {
+                log.emit(self.steps, Event::IntegrityFailure { address: line_addr });
+                log.emit(
+                    self.steps,
+                    Event::RetryBackoff {
+                        address: line_addr,
+                        attempt: tries + 1,
+                        backoff_cycles: 1 << tries.min(16),
+                    },
+                );
+            }
             // Model a re-read of the stored block: recoverable only for
             // transient upsets, which an in-memory image cannot exhibit —
             // but the escalation path is exercised either way.
             result = rom.image.expand_line(line_addr);
             tries += 1;
         }
+        if result.is_err() {
+            if let Some(log) = &mut self.probe_log {
+                log.emit(self.steps, Event::IntegrityFailure { address: line_addr });
+            }
+        }
         let bytes = result.map_err(|_| EmuError::MachineCheck { pc: line_addr })?;
+        if let Some(log) = &mut self.probe_log {
+            // Bus traffic as the refill engine would count it: the whole
+            // words the stored block spans.
+            let (fetched, bypass) = rom
+                .image
+                .locate(line_addr)
+                .map(|loc| {
+                    let first = loc.physical;
+                    let last = loc.physical + loc.stored_len - 1;
+                    (((last / 4) - (first / 4) + 1) * 4, loc.bypass)
+                })
+                .unwrap_or((0, false));
+            log.emit(
+                self.steps,
+                Event::RefillDone {
+                    address: line_addr,
+                    cycles: 0,
+                    bytes: fetched,
+                    clb_hit: false,
+                    bypass,
+                    retries: tries,
+                },
+            );
+        }
         rom.expanded[line] = true;
         for (w, chunk) in bytes.chunks_exact(4).enumerate() {
             let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);

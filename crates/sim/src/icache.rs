@@ -9,17 +9,28 @@ use std::fmt;
 pub const LINE_BYTES: u32 = 32;
 
 /// Error for invalid cache geometry.
+///
+/// Marked `#[non_exhaustive]` so later geometry constraints (e.g. an
+/// upper bound, or an associativity field) can be reported through the
+/// same type without breaking downstream matches or constructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct BadCacheSize {
     /// The rejected size in bytes.
     pub bytes: u32,
+}
+
+impl BadCacheSize {
+    pub(crate) fn new(bytes: u32) -> Self {
+        Self { bytes }
+    }
 }
 
 impl fmt::Display for BadCacheSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cache size {} must be a power of two of at least one {LINE_BYTES}-byte line",
+            "cache size {} bytes: must be a power of two of at least one {LINE_BYTES}-byte line",
             self.bytes
         )
     }
@@ -79,7 +90,7 @@ impl ICache {
     /// line.
     pub fn new(bytes: u32) -> Result<Self, BadCacheSize> {
         if !bytes.is_power_of_two() || bytes < LINE_BYTES {
-            return Err(BadCacheSize { bytes });
+            return Err(BadCacheSize::new(bytes));
         }
         let lines = bytes / LINE_BYTES;
         Ok(Self {

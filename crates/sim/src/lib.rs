@@ -27,11 +27,9 @@
 //! // A trace looping over the program twice, no data accesses.
 //! let trace: Vec<(u32, u8)> =
 //!     (0..2).flat_map(|_| (0..2048u32).step_by(4)).map(|pc| (pc, 0)).collect();
-//! let config = SystemConfig {
-//!     cache_bytes: 256,
-//!     memory: MemoryModel::Eprom,
-//!     ..SystemConfig::default()
-//! };
+//! let config = SystemConfig::new()
+//!     .with_cache_bytes(256)
+//!     .with_memory(MemoryModel::Eprom);
 //! let result = compare(&image, trace, &config)?;
 //! assert!(result.memory_traffic_ratio() < 1.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -49,5 +47,6 @@ pub use dcache::DataCacheModel;
 pub use icache::{BadCacheSize, CacheStats, ICache, LINE_BYTES};
 pub use memory::{standard_refill_cycles, MemoryModel, MemorySim};
 pub use system::{
-    compare, simulate_ccrp, simulate_standard, Comparison, RunStats, SimError, SystemConfig,
+    compare, compare_probed, simulate_ccrp, simulate_ccrp_probed, simulate_standard,
+    simulate_standard_probed, Comparison, RunStats, SimError, SystemConfig,
 };

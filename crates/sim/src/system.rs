@@ -12,22 +12,37 @@ use std::error::Error;
 use std::fmt;
 
 use ccrp::{CcrpError, ClbStats, CompressedImage, MemoryTiming, RefillConfig, RefillEngine};
+use ccrp_probe::{Event, NullProbe, Probe};
 
 use crate::dcache::DataCacheModel;
 use crate::icache::{BadCacheSize, CacheStats, ICache};
 use crate::memory::MemoryModel;
 
 /// Configuration of one simulated system.
+///
+/// `#[non_exhaustive]`: construct it with [`SystemConfig::new`] (or
+/// `default()`) and the `with_*` builders, so configs keep working as
+/// fields are added:
+///
+/// ```
+/// use ccrp_sim::{MemoryModel, SystemConfig};
+///
+/// let config = SystemConfig::new()
+///     .with_cache_bytes(256)
+///     .with_memory(MemoryModel::Eprom)
+///     .with_clb_entries(8);
+/// assert_eq!(config.refill.clb_entries, 8);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct SystemConfig {
     /// Instruction-cache capacity in bytes (256..=4096 in the paper).
     pub cache_bytes: u32,
     /// Instruction-memory model.
     pub memory: MemoryModel,
-    /// CLB capacity in LAT entries (CCRP only).
-    pub clb_entries: usize,
-    /// Decoder throughput in bytes per cycle (CCRP only).
-    pub decode_bytes_per_cycle: u32,
+    /// Refill-engine configuration: CLB capacity, decoder throughput,
+    /// degradation policy, integrity checking (CCRP only).
+    pub refill: RefillConfig,
     /// Data-side cost model (applies to both processors).
     pub dcache: DataCacheModel,
 }
@@ -37,10 +52,59 @@ impl Default for SystemConfig {
         Self {
             cache_bytes: 1024,
             memory: MemoryModel::BurstEprom,
-            clb_entries: 16,
-            decode_bytes_per_cycle: 2,
+            refill: RefillConfig::default(),
             dcache: DataCacheModel::NONE,
         }
+    }
+}
+
+impl SystemConfig {
+    /// The paper's baseline: 1 KB cache, burst EPROM, 16-entry CLB,
+    /// 2 B/cycle decoder, no data-side stalls.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the instruction-cache capacity in bytes.
+    #[must_use]
+    pub fn with_cache_bytes(mut self, cache_bytes: u32) -> Self {
+        self.cache_bytes = cache_bytes;
+        self
+    }
+
+    /// Sets the instruction-memory model.
+    #[must_use]
+    pub fn with_memory(mut self, memory: MemoryModel) -> Self {
+        self.memory = memory;
+        self
+    }
+
+    /// Replaces the whole refill-engine configuration.
+    #[must_use]
+    pub fn with_refill(mut self, refill: RefillConfig) -> Self {
+        self.refill = refill;
+        self
+    }
+
+    /// Sets the CLB capacity in LAT entries (CCRP only).
+    #[must_use]
+    pub fn with_clb_entries(mut self, clb_entries: usize) -> Self {
+        self.refill.clb_entries = clb_entries;
+        self
+    }
+
+    /// Sets the decoder throughput in bytes per cycle (CCRP only).
+    #[must_use]
+    pub fn with_decode_bytes_per_cycle(mut self, bytes: u32) -> Self {
+        self.refill.decode_bytes_per_cycle = bytes;
+        self
+    }
+
+    /// Sets the data-side cost model.
+    #[must_use]
+    pub fn with_dcache(mut self, dcache: DataCacheModel) -> Self {
+        self.dcache = dcache;
+        self
     }
 }
 
@@ -132,6 +196,22 @@ pub fn simulate_standard(
     trace: impl IntoIterator<Item = (u32, u8)>,
     config: &SystemConfig,
 ) -> Result<RunStats, SimError> {
+    simulate_standard_probed(trace, config, &mut NullProbe)
+}
+
+/// [`simulate_standard`], reporting [`Event::CacheMiss`] and
+/// [`Event::MemoryBurst`] to `probe` as the trace replays. The
+/// computation is identical — the plain function is this one with
+/// [`NullProbe`].
+///
+/// # Errors
+///
+/// As [`simulate_standard`].
+pub fn simulate_standard_probed<P: Probe>(
+    trace: impl IntoIterator<Item = (u32, u8)>,
+    config: &SystemConfig,
+    probe: &mut P,
+) -> Result<RunStats, SimError> {
     let mut cache = ICache::new(config.cache_bytes)?;
     let mut memory = config.memory.timing();
     let mut arrivals = Vec::with_capacity(8);
@@ -146,8 +226,10 @@ pub fn simulate_standard(
         data_accesses += u64::from(data);
         cycle += 1;
         if !cache.access(pc) {
+            probe.emit(cycle, Event::CacheMiss { address: pc });
             memory.read_burst(8, cycle, &mut arrivals);
             let done = *arrivals.last().expect("8-word burst");
+            probe.emit(cycle, Event::MemoryBurst { words: 8, done });
             refill_cycles += done - cycle;
             bytes += 32;
             cycle = done;
@@ -177,13 +259,27 @@ pub fn simulate_ccrp(
     trace: impl IntoIterator<Item = (u32, u8)>,
     config: &SystemConfig,
 ) -> Result<RunStats, SimError> {
+    simulate_ccrp_probed(image, trace, config, &mut NullProbe)
+}
+
+/// [`simulate_ccrp`], reporting the full event stream to `probe`:
+/// [`Event::CacheMiss`] per miss, plus everything
+/// [`RefillEngine::refill_probed`] emits (refill start/done, CLB
+/// hit/miss/evict, memory bursts). The computation is identical — the
+/// plain function is this one with [`NullProbe`].
+///
+/// # Errors
+///
+/// As [`simulate_ccrp`].
+pub fn simulate_ccrp_probed<P: Probe>(
+    image: &CompressedImage,
+    trace: impl IntoIterator<Item = (u32, u8)>,
+    config: &SystemConfig,
+    probe: &mut P,
+) -> Result<RunStats, SimError> {
     let mut cache = ICache::new(config.cache_bytes)?;
     let mut memory = config.memory.timing();
-    let mut engine = RefillEngine::new(RefillConfig {
-        clb_entries: config.clb_entries,
-        decode_bytes_per_cycle: config.decode_bytes_per_cycle,
-        ..RefillConfig::default()
-    })?;
+    let mut engine = RefillEngine::new(config.refill)?;
     let mut cycle: u64 = 0;
     let mut refill_cycles: u64 = 0;
     let mut bytes: u64 = 0;
@@ -195,7 +291,8 @@ pub fn simulate_ccrp(
         data_accesses += u64::from(data);
         cycle += 1;
         if !cache.access(pc) {
-            let outcome = engine.refill(image, pc, cycle, &mut memory)?;
+            probe.emit(cycle, Event::CacheMiss { address: pc });
+            let outcome = engine.refill_probed(image, pc, cycle, &mut memory, probe)?;
             refill_cycles += outcome.ready_at - cycle;
             bytes += u64::from(outcome.bytes_fetched);
             cycle = outcome.ready_at;
@@ -272,6 +369,35 @@ where
     Ok(Comparison { standard, ccrp })
 }
 
+/// [`compare`], with a separate probe observing each processor's run (so
+/// the two event streams stay distinguishable in a trace).
+///
+/// # Errors
+///
+/// As [`compare`].
+pub fn compare_probed<I, P, Q>(
+    image: &CompressedImage,
+    trace: I,
+    config: &SystemConfig,
+    standard_probe: &mut P,
+    ccrp_probe: &mut Q,
+) -> Result<Comparison, SimError>
+where
+    I: IntoIterator<Item = (u32, u8)>,
+    I::IntoIter: Clone,
+    P: Probe,
+    Q: Probe,
+{
+    let iter = trace.into_iter();
+    let standard = simulate_standard_probed(iter.clone(), config, standard_probe)?;
+    let ccrp = simulate_ccrp_probed(image, iter, config, ccrp_probe)?;
+    debug_assert_eq!(
+        standard.cache.misses, ccrp.cache.misses,
+        "caches see identical streams"
+    );
+    Ok(Comparison { standard, ccrp })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,11 +431,9 @@ mod tests {
     #[test]
     fn eprom_favors_compressed_code() {
         let (image, trace) = fixture(8192);
-        let config = SystemConfig {
-            cache_bytes: 256,
-            memory: MemoryModel::Eprom,
-            ..SystemConfig::default()
-        };
+        let config = SystemConfig::new()
+            .with_cache_bytes(256)
+            .with_memory(MemoryModel::Eprom);
         let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
         assert!(
             cmp.relative_execution_time() < 1.0,
@@ -322,11 +446,9 @@ mod tests {
     #[test]
     fn burst_eprom_penalizes_compressed_code() {
         let (image, trace) = fixture(8192);
-        let config = SystemConfig {
-            cache_bytes: 256,
-            memory: MemoryModel::BurstEprom,
-            ..SystemConfig::default()
-        };
+        let config = SystemConfig::new()
+            .with_cache_bytes(256)
+            .with_memory(MemoryModel::BurstEprom);
         let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
         assert!(
             cmp.relative_execution_time() > 1.0,
@@ -343,11 +465,9 @@ mod tests {
         let mut last_rate = f64::INFINITY;
         let mut last_rel_gap = f64::INFINITY;
         for cache_bytes in [256u32, 1024, 4096] {
-            let config = SystemConfig {
-                cache_bytes,
-                memory: MemoryModel::Eprom,
-                ..SystemConfig::default()
-            };
+            let config = SystemConfig::new()
+                .with_cache_bytes(cache_bytes)
+                .with_memory(MemoryModel::Eprom);
             let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
             assert!(cmp.miss_rate() <= last_rate);
             last_rate = cmp.miss_rate();
@@ -365,11 +485,9 @@ mod tests {
         // With every fetch hitting after warmup and a huge cache, both
         // processors differ only in compulsory misses.
         let (image, trace) = fixture(1024);
-        let config = SystemConfig {
-            cache_bytes: 4096,
-            memory: MemoryModel::BurstEprom,
-            ..SystemConfig::default()
-        };
+        let config = SystemConfig::new()
+            .with_cache_bytes(4096)
+            .with_memory(MemoryModel::BurstEprom);
         let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
         assert!((cmp.relative_execution_time() - 1.0).abs() < 0.05);
     }
@@ -379,19 +497,11 @@ mod tests {
         // Table 11's premise: more data-stall cycles shrink the relative
         // gap between the processors.
         let (image, trace) = fixture(8192);
-        let base = SystemConfig {
-            cache_bytes: 256,
-            memory: MemoryModel::Eprom,
-            ..SystemConfig::default()
-        };
-        let no_data = SystemConfig {
-            dcache: DataCacheModel::with_miss_rate(0.0),
-            ..base
-        };
-        let full_data = SystemConfig {
-            dcache: DataCacheModel::NONE,
-            ..base
-        };
+        let base = SystemConfig::new()
+            .with_cache_bytes(256)
+            .with_memory(MemoryModel::Eprom);
+        let no_data = base.with_dcache(DataCacheModel::with_miss_rate(0.0));
+        let full_data = base.with_dcache(DataCacheModel::NONE);
         let tight = compare(&image, trace.iter().copied(), &no_data).unwrap();
         let diluted = compare(&image, trace.iter().copied(), &full_data).unwrap();
         let tight_gap = (tight.relative_execution_time() - 1.0).abs();
@@ -414,6 +524,46 @@ mod tests {
             cmp.standard.cache.misses * 32
         );
         assert!(cmp.ccrp.bytes_from_memory < cmp.standard.bytes_from_memory);
+    }
+
+    #[test]
+    fn probed_run_matches_plain_and_sees_all_misses() {
+        use ccrp_probe::EventLog;
+
+        let (image, trace) = fixture(4096);
+        let config = SystemConfig::new()
+            .with_cache_bytes(256)
+            .with_memory(MemoryModel::Eprom);
+        let plain = compare(&image, trace.iter().copied(), &config).unwrap();
+        let mut std_log = EventLog::new();
+        let mut ccrp_log = EventLog::new();
+        let probed = compare_probed(
+            &image,
+            trace.iter().copied(),
+            &config,
+            &mut std_log,
+            &mut ccrp_log,
+        )
+        .unwrap();
+        assert_eq!(plain, probed, "probes must not perturb the simulation");
+
+        let misses = |log: &EventLog| {
+            log.events()
+                .iter()
+                .filter(|e| matches!(e.event, Event::CacheMiss { .. }))
+                .count() as u64
+        };
+        assert_eq!(misses(&std_log), plain.standard.cache.misses);
+        assert_eq!(misses(&ccrp_log), plain.ccrp.cache.misses);
+        // The CCRP stream also carries refill and CLB events.
+        assert!(ccrp_log
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, Event::RefillDone { .. })));
+        assert!(std_log
+            .events()
+            .iter()
+            .all(|e| !matches!(e.event, Event::RefillDone { .. })));
     }
 
     #[test]

@@ -45,7 +45,7 @@ proptest! {
     fn cycle_accounting_is_exact(seed: u64) {
         let (image, trace) = fixture(seed, 2);
         for memory in MemoryModel::ALL {
-            let config = SystemConfig { cache_bytes: 512, memory, ..SystemConfig::default() };
+            let config = SystemConfig::new().with_cache_bytes(512).with_memory(memory);
             let std_run = simulate_standard(trace.iter().copied(), &config).unwrap();
             prop_assert_eq!(
                 std_run.total_cycles(),
@@ -65,7 +65,7 @@ proptest! {
     fn standard_refills_cost_the_model_constant(seed: u64) {
         let (_, trace) = fixture(seed, 1);
         for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
-            let config = SystemConfig { cache_bytes: 256, memory, ..SystemConfig::default() };
+            let config = SystemConfig::new().with_cache_bytes(256).with_memory(memory);
             let run = simulate_standard(trace.iter().copied(), &config).unwrap();
             prop_assert_eq!(
                 run.refill_cycles,
@@ -80,7 +80,7 @@ proptest! {
     #[test]
     fn traffic_bound(seed: u64) {
         let (image, trace) = fixture(seed, 2);
-        let config = SystemConfig { cache_bytes: 256, ..SystemConfig::default() };
+        let config = SystemConfig::new().with_cache_bytes(256);
         let cmp = compare(&image, trace.iter().copied(), &config).unwrap();
         let upper = cmp.standard.cache.misses * (32 + 8);
         prop_assert!(cmp.ccrp.bytes_from_memory <= upper);
@@ -94,7 +94,7 @@ proptest! {
         let (_, trace) = fixture(seed, 2);
         let mut last = 0u64;
         for cache_bytes in [4096u32, 2048, 1024, 512, 256] {
-            let config = SystemConfig { cache_bytes, ..SystemConfig::default() };
+            let config = SystemConfig::new().with_cache_bytes(cache_bytes);
             let run = simulate_standard(trace.iter().copied(), &config).unwrap();
             prop_assert!(run.cache.misses >= last, "{cache_bytes}B went below smaller cache");
             last = run.cache.misses;
@@ -107,18 +107,18 @@ proptest! {
     #[test]
     fn relative_time_ordering_across_memories(seed: u64) {
         let (image, trace) = fixture(seed, 2);
-        let base = SystemConfig { cache_bytes: 256, ..SystemConfig::default() };
+        let base = SystemConfig::new().with_cache_bytes(256);
         let eprom = compare(
             &image,
             trace.iter().copied(),
-            &SystemConfig { memory: MemoryModel::Eprom, ..base },
+            &base.with_memory(MemoryModel::Eprom),
         )
         .unwrap()
         .relative_execution_time();
         let burst = compare(
             &image,
             trace.iter().copied(),
-            &SystemConfig { memory: MemoryModel::BurstEprom, ..base },
+            &base.with_memory(MemoryModel::BurstEprom),
         )
         .unwrap()
         .relative_execution_time();
@@ -131,12 +131,10 @@ proptest! {
     fn dcache_rates_are_bracketed(seed: u64, rate in 0.0f64..1.0) {
         let (image, trace) = fixture(seed, 1);
         let run = |miss_rate: f64| {
-            let config = SystemConfig {
-                cache_bytes: 256,
-                memory: MemoryModel::BurstEprom,
-                dcache: DataCacheModel::with_miss_rate(miss_rate),
-                ..SystemConfig::default()
-            };
+            let config = SystemConfig::new()
+                .with_cache_bytes(256)
+                .with_memory(MemoryModel::BurstEprom)
+                .with_dcache(DataCacheModel::with_miss_rate(miss_rate));
             compare(&image, trace.iter().copied(), &config)
                 .unwrap()
                 .relative_execution_time()

@@ -30,11 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut miss = 0.0;
             let mut traffic = 0.0;
             for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
-                let config = SystemConfig {
-                    cache_bytes,
-                    memory,
-                    ..SystemConfig::default()
-                };
+                let config = SystemConfig::new()
+                    .with_cache_bytes(cache_bytes)
+                    .with_memory(memory);
                 let cmp = compare(&image, w.trace.iter(), &config)?;
                 miss = cmp.miss_rate();
                 traffic = cmp.memory_traffic_ratio();

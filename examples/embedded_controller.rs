@@ -148,11 +148,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nperformance with a 256-byte on-chip I-cache:");
     for memory in MemoryModel::ALL {
-        let config = SystemConfig {
-            cache_bytes: 256,
-            memory,
-            ..SystemConfig::default()
-        };
+        let config = SystemConfig::new()
+            .with_cache_bytes(256)
+            .with_memory(memory);
         let result = compare(&compressed, trace.iter(), &config)?;
         let verdict = if result.relative_execution_time() < 1.0 {
             "CCRP faster"

@@ -57,11 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Standard R2000 vs CCRP on the paper's memory models.
     for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
-        let config = SystemConfig {
-            cache_bytes: 256,
-            memory,
-            ..SystemConfig::default()
-        };
+        let config = SystemConfig::new()
+            .with_cache_bytes(256)
+            .with_memory(memory);
         let result = compare(&compressed, trace.iter(), &config)?;
         println!(
             "{:>12}: relative execution time {:.3} (miss rate {:.2}%, traffic {:.1}%)",

@@ -117,11 +117,9 @@ fn compressed_system_matches_paper_claims() {
     );
 
     for memory in MemoryModel::ALL {
-        let config = SystemConfig {
-            cache_bytes: 256,
-            memory,
-            ..SystemConfig::default()
-        };
+        let config = SystemConfig::new()
+            .with_cache_bytes(256)
+            .with_memory(memory);
         let result = compare(&compressed, trace.iter(), &config).expect("simulates");
         // Traffic always shrinks; EPROM never loses by much; fast memory
         // never wins (it can only lose time to the decoder).
@@ -142,11 +140,9 @@ fn refill_engine_agrees_with_system_simulator() {
     let compressed = CompressedImage::build(0, image.text_bytes(), code, BlockAlignment::Word)
         .expect("compresses");
 
-    let config = SystemConfig {
-        cache_bytes: 256,
-        memory: MemoryModel::Eprom,
-        ..SystemConfig::default()
-    };
+    let config = SystemConfig::new()
+        .with_cache_bytes(256)
+        .with_memory(MemoryModel::Eprom);
     let ccrp_run = ccrp_sim::simulate_ccrp(&compressed, trace.iter(), &config).expect("simulates");
 
     // Drive the engine manually over the same miss stream.
@@ -181,12 +177,10 @@ fn standard_simulator_baseline_sanity() {
     // With a huge cache, total cycles = instructions + compulsory
     // refills + data stalls, exactly.
     let (_, trace, _) = build();
-    let config = SystemConfig {
-        cache_bytes: 4096,
-        memory: MemoryModel::BurstEprom,
-        dcache: DataCacheModel::NONE,
-        ..SystemConfig::default()
-    };
+    let config = SystemConfig::new()
+        .with_cache_bytes(4096)
+        .with_memory(MemoryModel::BurstEprom)
+        .with_dcache(DataCacheModel::NONE);
     let run = simulate_standard(trace.iter(), &config).expect("simulates");
     let expected = run.instructions as f64 + (run.cache.misses * 10) as f64 + run.data_stall_cycles;
     assert_eq!(run.total_cycles(), expected);

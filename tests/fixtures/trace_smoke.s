@@ -1,0 +1,12 @@
+# Fixture for the trace-export golden test: a hot loop plus a callee,
+# small enough that the full trace stays a small golden file while its
+# compulsory misses still fire cache, refill, CLB, and memory events.
+main:   li   $t0, 6
+loop:   addiu $t0, $t0, -1
+        jal  work
+        bnez $t0, loop
+        li   $v0, 10
+        syscall
+work:   addiu $t1, $t1, 3
+        addiu $t1, $t1, 5
+        jr   $ra

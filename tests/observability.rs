@@ -1,0 +1,122 @@
+//! Observability contract tests: the probe layer must never perturb
+//! results (probe-off sweeps reproduce the committed `BENCH_*.json`
+//! documents), and the two exporters built on it — the Chrome
+//! trace-event document and the metric registry — must be deterministic,
+//! worker-count-independent, and golden-snapshotted so drift is loud.
+//! Refresh intentionally changed snapshots with
+//! `UPDATE_GOLDEN=1 cargo test --test observability`.
+
+use std::path::PathBuf;
+
+use ccrp_bench::json::Json;
+use ccrp_bench::{runner, Experiment, SweepOptions, ToJson};
+
+fn repo_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = repo_path("tests/golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("golden file writes");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}; run with UPDATE_GOLDEN=1 to (re)create it",
+            path.display()
+        )
+    });
+    assert!(
+        rendered == expected,
+        "{name} drifted from its snapshot; if the change is intended, \
+         refresh with UPDATE_GOLDEN=1 cargo test --test observability"
+    );
+}
+
+/// Parses a full sweep report and strips the run metadata (`jobs`,
+/// `timing`) that legitimately varies between machines and runs.
+fn results_only(text: &str) -> String {
+    let mut json = Json::parse(text).expect("report parses as JSON");
+    json.remove("jobs");
+    json.remove("timing");
+    json.to_compact()
+}
+
+/// The committed benchmark results are the probe-off reference: a fresh
+/// sweep with probes compiled out must reproduce their deterministic
+/// sections exactly, proving observability costs nothing when off.
+#[test]
+fn probe_off_sweep_reproduces_committed_bench_files() {
+    for (file, experiment) in [
+        ("BENCH_fig5.json", Experiment::Fig5),
+        ("BENCH_tables1_8.json", Experiment::Tables1To8),
+    ] {
+        let committed =
+            std::fs::read_to_string(repo_path(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        let report = runner::run(experiment, &SweepOptions::default());
+        assert_eq!(
+            results_only(&committed),
+            report.results_json().to_compact(),
+            "{file} no longer matches a probe-off sweep"
+        );
+    }
+}
+
+/// The trace exporter is a pure function of (program, options): its
+/// entire JSON document — event order, timestamps, metrics — is
+/// golden-stable.
+#[test]
+fn trace_export_matches_golden() {
+    let source = repo_path("tests/fixtures/trace_smoke.s");
+    let argv: Vec<String> = [
+        "trace",
+        source.to_str().expect("fixture path is UTF-8"),
+        "--cache",
+        "256",
+        "--metrics",
+    ]
+    .map(String::from)
+    .to_vec();
+    let mut buffer = Vec::new();
+    ccrp_cli::dispatch(&argv, &mut buffer).expect("trace command succeeds");
+    let text = String::from_utf8(buffer).expect("trace output is UTF-8");
+
+    let json = Json::parse(&text).expect("trace output parses as JSON");
+    let Some(Json::Arr(events)) = json.get("traceEvents") else {
+        panic!("traceEvents missing");
+    };
+    assert!(!events.is_empty());
+    check_golden("trace_smoke.json", &text);
+}
+
+/// The metric registry folded into a probed sweep is golden-stable and
+/// — because per-cell sets are merged in cell generation order — does
+/// not depend on the worker count.
+#[test]
+fn sweep_metrics_match_golden_and_are_jobs_independent() {
+    let options = |jobs| SweepOptions {
+        jobs,
+        metrics: true,
+    };
+    let serial = runner::run(Experiment::Tables11To13, &options(1));
+    let parallel = runner::run(Experiment::Tables11To13, &options(4));
+
+    assert_eq!(
+        results_only(&serial.to_json().to_pretty()),
+        results_only(&parallel.to_json().to_pretty()),
+        "probed sweep diverged between 1 and 4 workers"
+    );
+
+    let metrics = serial.metrics.as_ref().expect("metrics requested");
+    assert_eq!(
+        metrics.to_json().to_compact(),
+        parallel
+            .metrics
+            .as_ref()
+            .expect("metrics requested")
+            .to_json()
+            .to_compact()
+    );
+    check_golden("metrics_tables11_13.json", &metrics.to_json().to_pretty());
+}

@@ -76,11 +76,9 @@ fn section_4_3_conclusions() {
             .expect("compresses");
         for cache_bytes in [256u32, 1024, 4096] {
             for memory in [MemoryModel::Eprom, MemoryModel::BurstEprom] {
-                let config = SystemConfig {
-                    cache_bytes,
-                    memory,
-                    ..SystemConfig::default()
-                };
+                let config = SystemConfig::new()
+                    .with_cache_bytes(cache_bytes)
+                    .with_memory(memory);
                 let rel = compare(&image, w.trace.iter(), &config)
                     .expect("simulates")
                     .relative_execution_time();
@@ -121,11 +119,9 @@ fn traffic_reduced_in_all_cases() {
         let image = CompressedImage::build(0, &w.text, code.clone(), BlockAlignment::Word)
             .expect("compresses");
         for cache_bytes in [256u32, 4096] {
-            let config = SystemConfig {
-                cache_bytes,
-                memory: MemoryModel::BurstEprom,
-                ..SystemConfig::default()
-            };
+            let config = SystemConfig::new()
+                .with_cache_bytes(cache_bytes)
+                .with_memory(MemoryModel::BurstEprom);
             let traffic = compare(&image, w.trace.iter(), &config)
                 .expect("simulates")
                 .memory_traffic_ratio();

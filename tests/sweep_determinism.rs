@@ -4,13 +4,20 @@
 //! with `PartialEq`, so "equal" here means bit-identical floating-point
 //! results, not approximately close.
 
-use ccrp_bench::{runner, Experiment, SweepOptions};
+use ccrp_bench::{runner, Experiment, SweepOptions, ToJson};
+
+fn options(jobs: usize) -> SweepOptions {
+    SweepOptions {
+        jobs,
+        ..Default::default()
+    }
+}
 
 #[test]
 fn eight_jobs_match_one_job_bit_for_bit() {
     for experiment in Experiment::ALL {
-        let serial = runner::run(experiment, &SweepOptions { jobs: 1 });
-        let parallel = runner::run(experiment, &SweepOptions { jobs: 8 });
+        let serial = runner::run(experiment, &options(1));
+        let parallel = runner::run(experiment, &options(8));
         assert_eq!(
             serial.results,
             parallel.results,
@@ -32,7 +39,7 @@ fn eight_jobs_match_one_job_bit_for_bit() {
 
 #[test]
 fn full_json_differs_from_results_json_only_by_run_metadata() {
-    let report = runner::run(Experiment::Fig5, &SweepOptions { jobs: 2 });
+    let report = runner::run(Experiment::Fig5, &options(2));
     let results = report.results_json().to_compact();
     let full = report.to_json().to_compact();
     assert!(!results.contains("\"timing\""));
