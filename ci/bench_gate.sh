@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Benchmark reproduction gate.
+#
+# Two checks, both against the results files committed at the repo root:
+#
+#   1. Reproduction: re-run the tables1_8 and fig5 sweeps and require the
+#      deterministic sections of the fresh BENCH_<experiment>.json to be
+#      byte-identical to the committed files.  Only the `jobs` and
+#      `timing` keys are host-dependent; everything else (schema,
+#      experiment, cells, results — including every simulated cycle
+#      count) must reproduce exactly, on any machine, at any job count.
+#
+#   2. Decoder speedup: run the decoder_bench target and require the
+#      table-driven fast path to beat the canonical bit-walk reference
+#      by at least MIN_SPEEDUP (default 2.0).  The committed
+#      BENCH_decoder.json records one blessed run; the gate re-measures
+#      on the CI host rather than trusting the committed numbers.
+#
+# Mirrors tests/observability.rs (probe_off_sweep_reproduces_committed_
+# bench_files) so the property holds both under `cargo test` and as a
+# standalone CI step against release binaries.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP="${MIN_SPEEDUP:-2.0}"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench_gate: re-running sweeps into $tmp"
+cargo run --release -p ccrp-cli --bin ccrp-tools -- \
+    sweep --experiment tables1_8 --jobs 2 --out "$tmp"
+cargo run --release -p ccrp-cli --bin ccrp-tools -- \
+    sweep --experiment fig5 --out "$tmp"
+
+for name in tables1_8 fig5; do
+    python3 - "BENCH_${name}.json" "$tmp/BENCH_${name}.json" <<'PY'
+import json, sys
+
+committed_path, fresh_path = sys.argv[1:3]
+with open(committed_path) as f:
+    committed = json.load(f)
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+# Host-dependent keys; everything that remains must match byte-for-byte
+# once serialized with a canonical writer.
+for doc in (committed, fresh):
+    for key in ("jobs", "timing"):
+        doc.pop(key, None)
+
+a = json.dumps(committed, sort_keys=True)
+b = json.dumps(fresh, sort_keys=True)
+if a != b:
+    print(f"bench_gate: FAIL {committed_path} no longer reproduces", file=sys.stderr)
+    for key in sorted(set(committed) | set(fresh)):
+        ca = json.dumps(committed.get(key), sort_keys=True)
+        cb = json.dumps(fresh.get(key), sort_keys=True)
+        if ca != cb:
+            print(f"  section {key!r} differs", file=sys.stderr)
+    sys.exit(1)
+print(f"bench_gate: {committed_path} reproduces byte-for-byte")
+PY
+done
+
+echo "bench_gate: measuring decoder speedup (gate: >= ${MIN_SPEEDUP}x)"
+cargo bench -p ccrp-bench --bench decoder_bench -- --out "$tmp/BENCH_decoder.json"
+
+python3 - "$tmp/BENCH_decoder.json" "$MIN_SPEEDUP" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+minimum = float(sys.argv[2])
+speedup = report["speedup"]
+if report["schema"] != "ccrp-bench-decoder/1":
+    print(f"bench_gate: FAIL unexpected schema {report['schema']!r}", file=sys.stderr)
+    sys.exit(1)
+if speedup < minimum:
+    print(
+        f"bench_gate: FAIL decoder speedup {speedup:.2f}x < {minimum}x "
+        f"(bit-walk {report['bitwalk']['lines_per_sec']:.0f} lines/s, "
+        f"table {report['table']['lines_per_sec']:.0f} lines/s)",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+print(f"bench_gate: decoder speedup {speedup:.2f}x >= {minimum}x")
+PY
+
+echo "bench_gate: all checks passed"

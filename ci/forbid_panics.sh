@@ -4,10 +4,14 @@
 # The fault-injection campaign proves the loader and decoder never panic
 # on corrupt input; this guard keeps new `.unwrap()` / `.expect(` /
 # `panic!(` / `unreachable!(` calls from creeping back into the crates
-# that sit on that path (ccrp-core and ccrp-compress).
+# that sit on that path (ccrp-core, ccrp-compress, and — since the
+# table-driven fast decoder landed — ccrp-bitstream, whose peek/consume
+# primitives feed the lookup table).  Decode-table construction must
+# likewise report CompressError on bad inputs, never panic.
 #
 # Scope and escape hatches:
-#   * only library source under crates/{core,compress}/src is scanned;
+#   * only library source under crates/{core,compress,bitstream}/src is
+#     scanned;
 #   * everything from the first `#[cfg(test)]` line to end-of-file is
 #     ignored (test modules may panic freely);
 #   * `//` comment and doc-comment lines are ignored;
@@ -17,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-hits=$(find crates/core/src crates/compress/src -name '*.rs' | sort | while IFS= read -r file; do
+hits=$(find crates/core/src crates/compress/src crates/bitstream/src -name '*.rs' | sort | while IFS= read -r file; do
     awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { next }
@@ -36,4 +40,4 @@ if [ -n "$hits" ]; then
     echo "       mark a documented contract with a 'panic-ok:' comment." >&2
     exit 1
 fi
-echo "forbid_panics: crates/core and crates/compress library code is panic-free."
+echo "forbid_panics: crates/{core,compress,bitstream} library code is panic-free."

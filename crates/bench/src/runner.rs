@@ -2,7 +2,7 @@
 //! independent (workload, configuration) cells, executes them across a
 //! worker pool fed by a shared index queue, and records the outcome —
 //! wall time per cell, cycle counts, and the simulator's
-//! [`RunStats`](ccrp_sim::RunStats)/[`ClbStats`](ccrp_sim::ClbStats)
+//! [`RunStats`](ccrp_sim::RunStats)/[`ClbStats`](ccrp::ClbStats)
 //! counters — into a structured [`SweepReport`] that serializes to
 //! `BENCH_<experiment>.json`.
 //!

@@ -103,11 +103,58 @@ impl<'a> BitReader<'a> {
                 available: self.bit_len(),
             });
         }
-        let mut value = 0u32;
-        for _ in 0..count {
-            value = (value << 1) | u32::from(self.read_bit().expect("length checked"));
-        }
+        let value = self.peek_bits(count);
+        self.bit_pos += u64::from(count);
         Ok(value)
+    }
+
+    /// Returns the next `count` bits (1..=32) right-aligned without
+    /// advancing the cursor, as if the stream were extended with zero
+    /// bits past its end.
+    ///
+    /// This is the multi-bit probe a table-driven decoder needs: it can
+    /// inspect a full lookup window near the end of the stream and only
+    /// [`consume_bits`](Self::consume_bits) the bits a matched symbol
+    /// actually uses. Callers that must distinguish real bits from
+    /// padding check [`remaining`](Self::remaining) themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is 0 or greater than 32.
+    pub fn peek_bits(&self, count: u32) -> u32 {
+        assert!((1..=32).contains(&count), "bit count {count} out of range");
+        let byte_index = (self.bit_pos / 8) as usize;
+        let bit_in_byte = (self.bit_pos % 8) as u32;
+        if let Some(window) = self.bytes.get(byte_index..byte_index + 5) {
+            // Away from the tail, load the 5 bytes any mid-byte 32-bit
+            // window can touch in one go — this is the decoder's hot
+            // path, hit for every symbol of every non-final line byte.
+            let mut word = [0u8; 8];
+            word[..5].copy_from_slice(window);
+            let acc = u64::from_be_bytes(word);
+            return ((acc << bit_in_byte) >> (64 - count)) as u32;
+        }
+        // Tail path: gather the touched bytes one at a time,
+        // zero-padding past the end of the slice.
+        let touched = (bit_in_byte + count).div_ceil(8) as usize;
+        let mut acc = 0u64;
+        for offset in 0..touched {
+            let byte = self.bytes.get(byte_index + offset).copied().unwrap_or(0);
+            acc = (acc << 8) | u64::from(byte);
+        }
+        let shift = touched as u32 * 8 - bit_in_byte - count;
+        ((acc >> shift) & (u64::MAX >> (64 - count))) as u32
+    }
+
+    /// Advances the cursor past `count` bits previously examined with
+    /// [`peek_bits`](Self::peek_bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadBitsError`] if fewer than `count` bits remain; the
+    /// reader position is unchanged on error.
+    pub fn consume_bits(&mut self, count: u32) -> Result<(), ReadBitsError> {
+        self.skip(u64::from(count))
     }
 
     /// Skips forward `count` bits.
@@ -181,5 +228,67 @@ mod tests {
     fn read_full_word() {
         let mut r = BitReader::new(&[0xDE, 0xAD, 0xBE, 0xEF]);
         assert_eq!(r.read_bits(32).unwrap(), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn peek_matches_read_without_advancing() {
+        let bytes = [0xA5, 0x3C, 0x0F, 0xF0, 0x81];
+        for start in 0..8u64 {
+            for count in 1..=32u32 {
+                let mut r = BitReader::new(&bytes);
+                r.skip(start).unwrap();
+                let peeked = r.peek_bits(count);
+                assert_eq!(r.bit_pos(), start, "peek must not move the cursor");
+                if u64::from(count) <= r.remaining() {
+                    assert_eq!(peeked, r.read_bits(count).unwrap(), "{start}+{count}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peek_zero_pads_past_the_end() {
+        let mut r = BitReader::new(&[0xFF]);
+        r.skip(4).unwrap();
+        // 4 real one-bits, then padding zeros.
+        assert_eq!(r.peek_bits(8), 0b1111_0000);
+        assert_eq!(r.peek_bits(32), 0b1111 << 28);
+        // A fully exhausted reader peeks all zeros.
+        r.skip(4).unwrap();
+        assert_eq!(r.peek_bits(16), 0);
+    }
+
+    #[test]
+    fn consume_advances_or_rejects() {
+        let mut r = BitReader::new(&[0xAB, 0xCD]);
+        r.consume_bits(12).unwrap();
+        assert_eq!(r.bit_pos(), 12);
+        let err = r.consume_bits(5).unwrap_err();
+        assert_eq!(err.at_bit, 12);
+        assert_eq!(r.bit_pos(), 12, "failed consume must not move");
+        r.consume_bits(4).unwrap();
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn full_window_peek_at_every_offset() {
+        // 32-bit windows spanning five bytes, checked against a naive
+        // bit-by-bit reference.
+        let bytes = [0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC];
+        for start in 0..16u64 {
+            let mut reference = 0u32;
+            for bit in 0..32u64 {
+                let pos = start + bit;
+                let real = if pos < 48 {
+                    (bytes[(pos / 8) as usize] >> (7 - pos % 8)) & 1
+                } else {
+                    0
+                };
+                reference = (reference << 1) | u32::from(real);
+            }
+            let mut r = BitReader::new(&bytes);
+            r.skip(start).unwrap();
+            assert_eq!(r.peek_bits(32), reference, "offset {start}");
+        }
     }
 }

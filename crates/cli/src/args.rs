@@ -42,7 +42,7 @@ pub struct Args {
 impl Args {
     /// Parses raw arguments. `value_options` lists the option names that
     /// consume a following value; any other `--name` is a switch. The
-    /// shared options ([`SHARED_VALUE_OPTIONS`], [`SHARED_SWITCHES`])
+    /// shared options (`SHARED_VALUE_OPTIONS`, `SHARED_SWITCHES`)
     /// and their deprecated aliases are accepted on top of both lists.
     ///
     /// # Errors

@@ -126,7 +126,29 @@ pub fn compress_line(code: &ByteCode, line: &[u8], alignment: BlockAlignment) ->
     }
 }
 
-/// Decompresses a line produced by [`compress_line`].
+/// Decompresses a line produced by [`compress_line`] directly into
+/// `out` — the allocation-free expansion the refill hot path uses.
+/// Bypassed lines are a straight copy of the stored bytes; the decoder
+/// (and its lookup table) is never consulted for them.
+///
+/// # Errors
+///
+/// Propagates decode failures on corrupt data; `out` then holds the
+/// bytes expanded before the failure.
+pub fn decompress_line_into(
+    code: &ByteCode,
+    line: &CompressedLine,
+    out: &mut [u8; LINE_SIZE],
+) -> Result<(), CompressError> {
+    if line.bypass {
+        out.copy_from_slice(&line.data[..LINE_SIZE]);
+        return Ok(());
+    }
+    code.decode_into(&mut BitReader::new(&line.data), out)
+}
+
+/// Decompresses a line produced by [`compress_line`] (a thin wrapper
+/// over [`decompress_line_into`]).
 ///
 /// # Errors
 ///
@@ -136,12 +158,7 @@ pub fn decompress_line(
     line: &CompressedLine,
 ) -> Result<[u8; LINE_SIZE], CompressError> {
     let mut out = [0u8; LINE_SIZE];
-    if line.bypass {
-        out.copy_from_slice(&line.data[..LINE_SIZE]);
-        return Ok(out);
-    }
-    let decoded = code.decode_from(&mut BitReader::new(&line.data), LINE_SIZE)?;
-    out.copy_from_slice(&decoded);
+    decompress_line_into(code, line, &mut out)?;
     Ok(out)
 }
 

@@ -4,6 +4,7 @@ use crate::bounded::{bounded_lengths, PAPER_MAX_LEN};
 use crate::error::CompressError;
 use crate::histogram::ByteHistogram;
 use crate::huffman::traditional_lengths;
+use crate::table::{DecodeTable, LOOKUP_BITS};
 
 /// A canonical prefix code over bytes.
 ///
@@ -34,6 +35,9 @@ pub struct ByteCode {
     first_index: [u16; 33],
     counts: [u16; 33],
     ordered: Vec<u8>,
+    /// Fast-path LUT (the software model of the paper's hardwired
+    /// decoder); built once here so every decode shares it.
+    table: DecodeTable,
 }
 
 impl ByteCode {
@@ -95,6 +99,7 @@ impl ByteCode {
             }
         }
 
+        let table = DecodeTable::build(&lengths, &codes)?;
         Ok(Self {
             lengths,
             codes,
@@ -103,6 +108,7 @@ impl ByteCode {
             first_index,
             counts,
             ordered,
+            table,
         })
     }
 
@@ -201,21 +207,44 @@ impl ByteCode {
         w.into_bytes()
     }
 
-    /// Decodes exactly `count` symbols from `reader`.
+    /// The fast-path lookup table (the software model of the paper's
+    /// hardwired decoder).
+    pub fn decode_table(&self) -> &DecodeTable {
+        &self.table
+    }
+
+    /// Decodes one symbol per slot of `out` from `reader` — the
+    /// allocation-free core every decode entry point routes through.
     ///
     /// # Errors
     ///
     /// [`CompressError::Truncated`] if the stream ends mid-symbol or
-    /// [`CompressError::BadSymbol`] on a pattern with no symbol.
+    /// [`CompressError::BadSymbol`] on a pattern with no symbol; `out`
+    /// holds the symbols decoded before the failure.
+    pub fn decode_into(
+        &self,
+        reader: &mut BitReader<'_>,
+        out: &mut [u8],
+    ) -> Result<(), CompressError> {
+        for slot in out {
+            *slot = self.decode_symbol(reader)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes exactly `count` symbols from `reader` into a fresh
+    /// vector (a thin wrapper over [`decode_into`](Self::decode_into)).
+    ///
+    /// # Errors
+    ///
+    /// As for [`decode_into`](Self::decode_into).
     pub fn decode_from(
         &self,
         reader: &mut BitReader<'_>,
         count: usize,
     ) -> Result<Vec<u8>, CompressError> {
-        let mut out = Vec::with_capacity(count);
-        for _ in 0..count {
-            out.push(self.decode_symbol(reader)?);
-        }
+        let mut out = vec![0u8; count];
+        self.decode_into(reader, &mut out)?;
         Ok(out)
     }
 
@@ -223,17 +252,51 @@ impl ByteCode {
     ///
     /// # Errors
     ///
-    /// As for [`decode_from`](Self::decode_from).
+    /// As for [`decode_into`](Self::decode_into).
     pub fn decode(&self, bytes: &[u8], count: usize) -> Result<Vec<u8>, CompressError> {
         self.decode_from(&mut BitReader::new(bytes), count)
     }
 
-    /// Decodes a single symbol.
+    /// Decodes a single symbol: peek a [`LOOKUP_BITS`] window, hit the
+    /// LUT, and consume only the matched codeword's bits. Windows the
+    /// table cannot resolve (codes longer than the window, unassigned
+    /// patterns, or ends-of-stream whose match would need padding bits)
+    /// fall back to [`decode_symbol_reference`](Self::decode_symbol_reference),
+    /// which also keeps the error positions of the two paths identical.
     ///
     /// # Errors
     ///
-    /// As for [`decode_from`](Self::decode_from).
+    /// As for [`decode_into`](Self::decode_into).
+    #[inline]
     pub fn decode_symbol(&self, reader: &mut BitReader<'_>) -> Result<u8, CompressError> {
+        let window = reader.peek_bits(LOOKUP_BITS);
+        if let Some((symbol, len)) = self.table.lookup(window) {
+            // Only real bits may satisfy a match: a window padded past
+            // the end of the stream falls through to the reference
+            // walk, which reports the same truncation the bit-by-bit
+            // decoder always has.
+            if u64::from(len) <= reader.remaining() {
+                reader.consume_bits(u32::from(len))?;
+                return Ok(symbol);
+            }
+        }
+        self.decode_symbol_reference(reader)
+    }
+
+    /// Decodes a single symbol by the canonical bit walk over the
+    /// `first_code`/`first_index` tables — one bit per iteration, the
+    /// direct software transcription of canonical-Huffman decoding.
+    ///
+    /// This is the reference [`decode_symbol`](Self::decode_symbol) is
+    /// differentially tested against (identical symbols *and* identical
+    /// errors at identical bit positions), its slow path for codewords
+    /// longer than [`LOOKUP_BITS`], and the baseline the
+    /// `decoder_bench` target measures the LUT against.
+    ///
+    /// # Errors
+    ///
+    /// As for [`decode_into`](Self::decode_into).
+    pub fn decode_symbol_reference(&self, reader: &mut BitReader<'_>) -> Result<u8, CompressError> {
         let start = reader.bit_pos();
         let mut code = 0u32;
         for len in 1..=self.max_len as usize {

@@ -19,6 +19,11 @@
 //!   "more sophisticated encoding techniques": one bounded code per
 //!   byte position within the instruction word.
 //!
+//! Decoding is table-driven: every [`ByteCode`] carries a
+//! [`DecodeTable`] — a single-level 2^[`LOOKUP_BITS`] LUT modeling the
+//! paper's hardwired decoder — with a canonical bit-walk fallback for
+//! codewords longer than the window.
+//!
 //! # Examples
 //!
 //! Compress a cache line with a corpus-trained preselected code:
@@ -46,6 +51,7 @@ mod histogram;
 mod huffman;
 pub mod lzw;
 mod positional;
+mod table;
 
 pub use block::{BlockAlignment, CompressedLine, LINE_SIZE};
 pub use bounded::{bounded_lengths, PAPER_MAX_LEN};
@@ -54,6 +60,7 @@ pub use error::CompressError;
 pub use histogram::ByteHistogram;
 pub use huffman::traditional_lengths;
 pub use positional::{PositionalCode, PositionalHistogram, POSITIONS};
+pub use table::{DecodeTable, LOOKUP_BITS};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,173 @@
+//! The table-driven fast decode path.
+//!
+//! The paper's decoder is *hardwired* for the preselected code: a
+//! combinational lookup recognizes a codeword per clock edge instead of
+//! shifting one bit at a time. [`DecodeTable`] is the software model of
+//! that lookup: a single-level 2^[`LOOKUP_BITS`] LUT, indexed by the
+//! next [`LOOKUP_BITS`] bits of the stream, whose entries give the
+//! decoded symbol and its code length for every codeword short enough
+//! to fit the window. Longer codewords (and bit patterns no codeword
+//! prefixes) carry a slow-path marker; the decoder falls back to the
+//! canonical first-code/first-index bit walk, which the 16-bit bound of
+//! [`bounded_lengths`](crate::bounded_lengths) keeps shallow.
+//!
+//! The table is built once per [`ByteCode`](crate::ByteCode) and is a
+//! pure function of the length table, so two equal codes always carry
+//! equal tables.
+
+use crate::error::CompressError;
+
+/// Width of the lookup window in bits (table size 2^11 = 2048 entries,
+/// 4 KiB). Chosen so the common symbols of a bounded (≤16-bit) code hit
+/// the fast path while the table still fits comfortably in L1.
+pub const LOOKUP_BITS: u32 = 11;
+
+/// A packed LUT entry: code length in the high byte (0 = slow-path
+/// marker), symbol in the low byte.
+type Entry = u16;
+
+/// Single-level lookup table accelerating canonical-Huffman decode.
+///
+/// See the [crate docs](crate) for the model. Constructed through
+/// [`ByteCode`](crate::ByteCode); exposed so benchmarks and tests can
+/// reason about the fast path explicitly.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DecodeTable {
+    entries: Vec<Entry>,
+}
+
+impl DecodeTable {
+    /// Builds the table for a canonical code described by per-symbol
+    /// `lengths` and `codes` (as produced by
+    /// [`ByteCode::from_lengths`](crate::ByteCode::from_lengths)).
+    ///
+    /// Never panics: a degenerate table (for example the 1-symbol code,
+    /// whose single length-1 codeword leaves half the window
+    /// unassigned) simply leaves slow-path markers in the unassigned
+    /// slots, and inconsistent inputs are reported as errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::InvalidCodeLengths`] if a codeword does not fit
+    /// its stated length or its expansion would overflow the table —
+    /// impossible for inputs that passed the Kraft check, but checked
+    /// rather than trusted so corrupt length tables can never panic the
+    /// decode path.
+    pub(crate) fn build(lengths: &[u8; 256], codes: &[u32; 256]) -> Result<Self, CompressError> {
+        let mut entries = vec![0_u16; 1 << LOOKUP_BITS];
+        for symbol in 0u16..256 {
+            let len = lengths[symbol as usize];
+            if len == 0 || u32::from(len) > LOOKUP_BITS {
+                continue; // uncoded symbol, or slow-path length
+            }
+            let code = codes[symbol as usize];
+            if u64::from(code) >= 1u64 << len {
+                return Err(CompressError::InvalidCodeLengths {
+                    kraft: u64::from(code),
+                    max_len: len,
+                });
+            }
+            // Every window whose first `len` bits equal `code` decodes
+            // to `symbol`: fill the whole padding range.
+            let span = 1usize << (LOOKUP_BITS - u32::from(len));
+            let first = (code as usize) << (LOOKUP_BITS - u32::from(len));
+            let entry = (u16::from(len) << 8) | symbol;
+            let slots =
+                entries
+                    .get_mut(first..first + span)
+                    .ok_or(CompressError::InvalidCodeLengths {
+                        kraft: u64::from(code),
+                        max_len: len,
+                    })?;
+            slots.fill(entry);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Looks up a [`LOOKUP_BITS`]-wide window, returning the decoded
+    /// `(symbol, code_length)` when some codeword of length ≤
+    /// [`LOOKUP_BITS`] is a prefix of the window, and `None` (the
+    /// slow-path marker) otherwise.
+    #[inline]
+    pub fn lookup(&self, window: u32) -> Option<(u8, u8)> {
+        let entry = self.entries[window as usize & ((1 << LOOKUP_BITS) - 1)];
+        if entry >> 8 == 0 {
+            return None;
+        }
+        Some((entry as u8, (entry >> 8) as u8))
+    }
+
+    /// How many of the 2^[`LOOKUP_BITS`] windows resolve on the fast
+    /// path (diagnostics; the rest fall back to the bit walk).
+    pub fn fast_fraction(&self) -> f64 {
+        let hits = self.entries.iter().filter(|&&e| e >> 8 != 0).count();
+        hits as f64 / self.entries.len() as f64
+    }
+}
+
+impl std::fmt::Debug for DecodeTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeTable")
+            .field("lookup_bits", &LOOKUP_BITS)
+            .field("fast_fraction", &self.fast_fraction())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_padding_ranges() {
+        // lengths {a:1, b:2}: 'a' covers windows 0xxxxxxxxxx,
+        // 'b' covers 10xxxxxxxxx, 11xxxxxxxxx is unassigned.
+        let mut lengths = [0u8; 256];
+        let mut codes = [0u32; 256];
+        lengths[b'a' as usize] = 1;
+        codes[b'a' as usize] = 0;
+        lengths[b'b' as usize] = 2;
+        codes[b'b' as usize] = 0b10;
+        let table = DecodeTable::build(&lengths, &codes).unwrap();
+        assert_eq!(table.lookup(0), Some((b'a', 1)));
+        assert_eq!(table.lookup((1 << LOOKUP_BITS) - 1), None);
+        assert_eq!(table.lookup(0b10 << (LOOKUP_BITS - 2)), Some((b'b', 2)));
+        let covered = 0.5 + 0.25; // 'a' half + 'b' quarter of the window space
+        assert!((table.fast_fraction() - covered).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_codes_stay_on_the_slow_path() {
+        let mut lengths = [0u8; 256];
+        let mut codes = [0u32; 256];
+        lengths[0] = 1;
+        codes[0] = 0;
+        lengths[1] = LOOKUP_BITS as u8 + 5;
+        codes[1] = (1 << (LOOKUP_BITS + 4)) | 1;
+        let table = DecodeTable::build(&lengths, &codes).unwrap();
+        // The long code's window region keeps the marker.
+        assert_eq!(table.lookup(1 << (LOOKUP_BITS - 1)), None);
+    }
+
+    #[test]
+    fn oversized_code_value_is_an_error_not_a_panic() {
+        let mut lengths = [0u8; 256];
+        let mut codes = [0u32; 256];
+        lengths[7] = 3;
+        codes[7] = 0b1000; // does not fit in 3 bits
+        assert!(matches!(
+            DecodeTable::build(&lengths, &codes),
+            Err(CompressError::InvalidCodeLengths { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let mut lengths = [0u8; 256];
+        lengths[0] = 1;
+        let table = DecodeTable::build(&lengths, &[0u32; 256]).unwrap();
+        let text = format!("{table:?}");
+        assert!(text.contains("lookup_bits"));
+        assert!(text.len() < 120, "no entry dump: {text}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Differential testing of the table-driven fast decoder against the
+//! canonical bit-walk reference.
+//!
+//! [`ByteCode::decode_symbol`] (LUT fast path with bit-walk fallback)
+//! and [`ByteCode::decode_symbol_reference`] (the pre-table decoder)
+//! must be observationally identical on *every* input — well-formed
+//! streams, corrupt streams, truncated streams, and foreign-program
+//! bytes pushed through a mismatched preselected code. Identical means:
+//! the same symbols in the same order, the same error variant at the
+//! same bit position, and the same reader position after every step.
+//! That identity is what lets the committed BENCH files (simulated
+//! cycle counts included) reproduce byte-for-byte across the decoder
+//! swap.
+
+use ccrp_bitstream::BitReader;
+use ccrp_compress::{ByteCode, ByteHistogram, CompressError, LOOKUP_BITS};
+use proptest::prelude::*;
+
+/// Decodes `count` symbols through both paths in lock step, asserting
+/// identical results (Ok symbol or error value) and identical reader
+/// positions after every symbol.
+fn assert_paths_identical(code: &ByteCode, bytes: &[u8], count: usize) {
+    let mut fast = BitReader::new(bytes);
+    let mut reference = BitReader::new(bytes);
+    for step in 0..count {
+        let a = code.decode_symbol(&mut fast);
+        let b = code.decode_symbol_reference(&mut reference);
+        assert_eq!(
+            a,
+            b,
+            "paths diverged at symbol {step} (bit {})",
+            reference.bit_pos()
+        );
+        assert_eq!(fast.bit_pos(), reference.bit_pos());
+        if a.is_err() {
+            break;
+        }
+    }
+}
+
+/// A bounded code from a seeded random histogram; seeds cover skews
+/// from near-uniform (short codes, all fast path) to heavy-headed
+/// (long codes past [`LOOKUP_BITS`], exercising the slow-path marker).
+fn seeded_code(seed: u64) -> ByteCode {
+    let mut state = seed | 1;
+    let mut sample = Vec::new();
+    for byte in 0u16..=255 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Exponential-ish weights: a few very hot symbols, a long tail.
+        let weight = 1 + ((state >> 48) as usize >> ((byte / 16) % 12));
+        sample.extend(std::iter::repeat_n(byte as u8, weight));
+    }
+    ByteCode::bounded(&ByteHistogram::of(&sample)).expect("seeded code builds")
+}
+
+proptest! {
+    /// Round-trip: encoded well-formed streams decode identically (and
+    /// correctly) on both paths.
+    #[test]
+    fn round_trip_streams_decode_identically(
+        seed in any::<u64>(),
+        symbols in proptest::collection::vec(any::<u8>(), 1..128),
+    ) {
+        let code = seeded_code(seed);
+        let bytes = code.encode(&symbols);
+        assert_paths_identical(&code, &bytes, symbols.len());
+        // And the fast path is actually *right*, not just consistent.
+        prop_assert_eq!(code.decode(&bytes, symbols.len()).unwrap(), symbols);
+    }
+
+    /// Corrupt streams: arbitrary garbage bytes produce the same symbols
+    /// or the same structured error at the same bit position.
+    #[test]
+    fn corrupt_streams_decode_identically(
+        seed in any::<u64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..96),
+        count in 0usize..64,
+    ) {
+        assert_paths_identical(&seeded_code(seed), &bytes, count);
+    }
+
+    /// Truncated streams: cutting a valid stream mid-codeword must
+    /// surface the same `Truncated`/`BadSymbol` error from both paths.
+    /// The zero-padded lookup window must never fabricate a symbol the
+    /// bit-walk would refuse.
+    #[test]
+    fn truncated_streams_fail_identically(
+        seed in any::<u64>(),
+        symbols in proptest::collection::vec(any::<u8>(), 1..64),
+        cut_bits in any::<u16>(),
+    ) {
+        let code = seeded_code(seed);
+        let bytes = code.encode(&symbols);
+        let total_bits = bytes.len() * 8;
+        let keep_bits = cut_bits as usize % total_bits.max(1);
+        let mut cut = bytes[..keep_bits.div_ceil(8)].to_vec();
+        if keep_bits % 8 != 0 {
+            if let Some(last) = cut.last_mut() {
+                // Zero the dropped tail bits of the final partial byte.
+                *last &= 0xFFu8 << (8 - keep_bits % 8);
+            }
+        }
+        assert_paths_identical(&code, &cut, symbols.len());
+    }
+
+    /// Foreign-program bytes through a preselected code: a code trained
+    /// on one corpus decoding bytes from a *different* program is the
+    /// paper's deployment scenario for the hardwired decoder, and a rich
+    /// source of slow-path hits and BadSymbol exits.
+    #[test]
+    fn foreign_bytes_through_preselected_code(
+        foreign in proptest::collection::vec(any::<u8>(), 1..96),
+    ) {
+        // Train on synthetic "code-like" material with a skewed head.
+        let mut corpus = Vec::new();
+        for i in 0..4096u32 {
+            corpus.extend_from_slice(&(0x2402_0000u32 | (i & 0xFF)).to_le_bytes());
+        }
+        let code = ByteCode::preselected(&ByteHistogram::of(&corpus)).unwrap();
+        assert_paths_identical(&code, &foreign, foreign.len());
+    }
+}
+
+/// The degenerate 1-symbol code: a single length-1 codeword leaves half
+/// the lookup window on the slow-path marker and the other half mapping
+/// to the lone symbol. Table construction must succeed (never panic),
+/// and both decode paths must agree on hits and on the `BadSymbol` miss.
+#[test]
+fn one_symbol_code_builds_and_decodes() {
+    let mut lengths = [0u8; 256];
+    lengths[b'x' as usize] = 1;
+    let code = ByteCode::from_lengths(lengths).expect("1-symbol code builds");
+    assert!(!code.is_complete_alphabet());
+    assert!(code.decode_table().fast_fraction() > 0.0);
+
+    // Codeword is `0`: a zero byte decodes to eight 'x's on both paths.
+    assert_eq!(code.decode(&[0x00], 8).unwrap(), vec![b'x'; 8]);
+    assert_paths_identical(&code, &[0x00], 8);
+
+    // A `1` bit is no codeword at all: identical BadSymbol at bit 0.
+    let err = code.decode(&[0x80], 1).unwrap_err();
+    assert_eq!(err, CompressError::BadSymbol { at_bit: 0 });
+    assert_paths_identical(&code, &[0x80], 1);
+}
+
+/// Codes whose longest codeword exceeds the lookup window still decode
+/// every symbol identically — the marker entries route those codewords
+/// to the reference walk.
+#[test]
+fn codes_longer_than_the_window_round_trip() {
+    // Skewed enough that bounded() assigns lengths past LOOKUP_BITS.
+    let mut sample = Vec::new();
+    for byte in 0u16..=255 {
+        let weight = 1usize << (14 - (byte / 20).min(13));
+        sample.extend(std::iter::repeat_n(byte as u8, weight));
+    }
+    let code = ByteCode::bounded(&ByteHistogram::of(&sample)).unwrap();
+    assert!(
+        u32::from(code.max_length()) > LOOKUP_BITS,
+        "corpus must force codes past the window (max {})",
+        code.max_length()
+    );
+    let symbols: Vec<u8> = (0..=255).collect();
+    let bytes = code.encode(&symbols);
+    assert_eq!(code.decode(&bytes, symbols.len()).unwrap(), symbols);
+    assert_paths_identical(&code, &bytes, symbols.len());
+}

@@ -255,15 +255,18 @@ impl CompressedImage {
     }
 
     /// Runs the decompressor on the stored block covering `address`,
-    /// returning the expanded 32-byte cache line. When CRC records are
-    /// attached (version-2 containers), the stored bytes are checked
-    /// against their record first.
+    /// expanding the 32-byte cache line directly into `out` — the
+    /// allocation-free path the refill engine and the emulator's
+    /// compressed-ROM fetch use. When CRC records are attached
+    /// (version-2 containers), the stored bytes are checked against
+    /// their record first.
     ///
     /// # Errors
     ///
     /// Address-range, [`CcrpError::CrcMismatch`], or (for corrupt
-    /// images) decode failures.
-    pub fn expand_line(&self, address: u32) -> Result<[u8; 32], CcrpError> {
+    /// images) decode failures; `out` holds the bytes expanded before a
+    /// decode failure.
+    pub fn expand_line_into(&self, address: u32, out: &mut [u8; 32]) -> Result<(), CcrpError> {
         let loc = self.locate(address)?;
         let global = (loc.lat_index * LINES_PER_ENTRY + loc.line_in_entry) as usize;
         let stored = &self.lines[global];
@@ -278,7 +281,19 @@ impl CompressedImage {
                 });
             }
         }
-        Ok(block::decompress_line(&self.code, stored)?)
+        Ok(block::decompress_line_into(&self.code, stored, out)?)
+    }
+
+    /// [`expand_line_into`](Self::expand_line_into), returning the
+    /// expanded line by value.
+    ///
+    /// # Errors
+    ///
+    /// As for [`expand_line_into`](Self::expand_line_into).
+    pub fn expand_line(&self, address: u32) -> Result<[u8; 32], CcrpError> {
+        let mut out = [0u8; 32];
+        self.expand_line_into(address, &mut out)?;
+        Ok(out)
     }
 
     /// The packed compressed blocks, exactly as laid out in instruction
@@ -330,6 +345,7 @@ impl CompressedImage {
         let mut lines = Vec::with_capacity(line_count);
         let mut block_addresses = Vec::with_capacity(line_count);
         let mut original_text = Vec::with_capacity(line_count * LINE_SIZE as usize);
+        let mut expanded = [0u8; LINE_SIZE as usize];
         for global in 0..line_count {
             let entry =
                 lat.entry((global / RECORDS_PER_ENTRY) as u32)
@@ -355,7 +371,7 @@ impl CompressedImage {
                 data.to_vec(),
                 entry.is_uncompressed(slot),
             )?;
-            let expanded = block::decompress_line(&code, &line)?;
+            block::decompress_line_into(&code, &line, &mut expanded)?;
             original_text.extend_from_slice(&expanded);
             block_addresses.push(physical as u32);
             lines.push(line);

@@ -369,11 +369,15 @@ impl RefillEngine {
         );
         progress.time = progress.time.max(last_arrival);
 
+        // Expansion buffer for the Full-integrity decode: stack-only,
+        // so the per-refill hot path never heap-allocates.
+        let mut line_buf = [0u8; LINE_SIZE as usize];
         let ready_at = if location.bypass {
-            // Raw line: bytes go straight to the cache as they arrive.
+            // Raw line: bytes go straight to the cache as they arrive;
+            // the decoder (and its lookup table) is never consulted.
             if matches!(self.integrity, IntegrityCheck::Full) {
                 // CRC the stored bytes when the image carries records.
-                image.expand_line(address)?;
+                image.expand_line_into(address, &mut line_buf)?;
             }
             last_arrival
         } else {
@@ -392,10 +396,10 @@ impl RefillEngine {
                 // Actually run the decoder (surfacing CRC and decode
                 // errors) and time the bytes it really produced.
                 IntegrityCheck::Full => {
-                    let decoded = image.expand_line(address)?;
+                    image.expand_line_into(address, &mut line_buf)?;
                     decode_completion(
                         image.code(),
-                        &decoded,
+                        &line_buf,
                         byte_offset_in_burst,
                         &self.scratch,
                         self.decode_rate,
@@ -590,6 +594,55 @@ mod tests {
         // 8 words, first at 3, then one per cycle -> ready at 10.
         assert_eq!(outcome.ready_at, 10);
         assert_eq!(outcome.bytes_fetched, 32);
+    }
+
+    #[test]
+    fn bypass_lines_never_consult_the_decoder() {
+        // Hostile construction: random text against a code trained on
+        // all-zero data, so most lines bypass and their stored bytes are
+        // the raw program bytes — garbage *as a Huffman stream* for this
+        // image's code. If any path (including Full integrity, which
+        // decodes stored blocks) ran bypass bytes through the decode
+        // table or the bit-walk, these refills would surface decode
+        // errors or wrong bytes; instead every line must expand back to
+        // the original text by raw copy.
+        let mut text = vec![0u8; 256];
+        let mut x = 123u32;
+        for b in &mut text {
+            x = x.wrapping_mul(1_103_515_245).wrapping_add(12_345);
+            *b = (x >> 17) as u8;
+        }
+        let code = ByteCode::preselected(&ByteHistogram::of(&vec![0u8; 4096])).unwrap();
+        let image = CompressedImage::build(0, &text, code, BlockAlignment::Word).unwrap();
+        assert!(image.bypass_count() > 0, "expected bypassed lines");
+
+        let mut engine = RefillEngine::new(RefillConfig {
+            integrity: IntegrityCheck::Full,
+            ..RefillConfig::default()
+        })
+        .unwrap();
+        let mut mem = TestMemory::new(1);
+        let mut bypass_seen = 0usize;
+        for line in 0..image.line_count() {
+            let address = line as u32 * LINE_SIZE;
+            let outcome = engine.refill(&image, address, 0, &mut mem).unwrap();
+            let chunk = &text[line * LINE_SIZE as usize..][..LINE_SIZE as usize];
+            assert_eq!(image.expand_line(address).unwrap().as_slice(), chunk);
+            if outcome.bypass {
+                bypass_seen += 1;
+                // The stored bytes of a bypassed line are the raw text
+                // bytes; prove they are NOT decodable as this code's
+                // Huffman stream, so the successful refill above can
+                // only have come from the raw-copy path.
+                let decoded = image.code().decode(chunk, LINE_SIZE as usize);
+                assert!(
+                    decoded.map_or(true, |d| d != chunk),
+                    "line {line}: bypass bytes happen to self-decode; \
+                     pick a different corpus seed"
+                );
+            }
+        }
+        assert_eq!(bypass_seen, image.bypass_count());
     }
 
     #[test]

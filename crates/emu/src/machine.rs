@@ -190,12 +190,13 @@ impl Machine {
         let words = (rom.original_bytes() / 4) as usize;
         match policy {
             DegradePolicy::Abort => {
-                // Fail-fast: expand and decode the whole ROM up front.
+                // Fail-fast: expand and decode the whole ROM up front,
+                // reusing one stack line buffer for every expansion.
                 let mut decoded = Vec::with_capacity(words);
+                let mut bytes = [0u8; 32];
                 for line in 0..rom.line_count() {
                     let addr = rom.text_base() + line as u32 * 32;
-                    let bytes = rom
-                        .expand_line(addr)
+                    rom.expand_line_into(addr, &mut bytes)
                         .map_err(|_| EmuError::MachineCheck { pc: addr })?;
                     decoded.extend(
                         bytes
@@ -381,7 +382,8 @@ impl Machine {
             DegradePolicy::Retry { attempts } => attempts,
             _ => 0,
         };
-        let mut result = rom.image.expand_line(line_addr);
+        let mut bytes = [0u8; 32];
+        let mut result = rom.image.expand_line_into(line_addr, &mut bytes);
         let mut tries = 0;
         while result.is_err() && tries < budget {
             if let Some(log) = &mut self.probe_log {
@@ -398,7 +400,7 @@ impl Machine {
             // Model a re-read of the stored block: recoverable only for
             // transient upsets, which an in-memory image cannot exhibit —
             // but the escalation path is exercised either way.
-            result = rom.image.expand_line(line_addr);
+            result = rom.image.expand_line_into(line_addr, &mut bytes);
             tries += 1;
         }
         if result.is_err() {
@@ -406,7 +408,7 @@ impl Machine {
                 log.emit(self.steps, Event::IntegrityFailure { address: line_addr });
             }
         }
-        let bytes = result.map_err(|_| EmuError::MachineCheck { pc: line_addr })?;
+        result.map_err(|_| EmuError::MachineCheck { pc: line_addr })?;
         if let Some(log) = &mut self.probe_log {
             // Bus traffic as the refill engine would count it: the whole
             // words the stored block spans.

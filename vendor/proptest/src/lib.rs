@@ -1,9 +1,11 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment cannot reach crates.io, so this crate provides
-//! the subset of proptest the workspace uses: the [`Strategy`] trait
-//! with `prop_map`, range / `any` / [`Just`] / tuple / collection /
-//! array / sample strategies, [`Union`] for `prop_oneof!`, and the
+//! the subset of proptest the workspace uses: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, range /
+//! `any` / [`Just`](strategy::Just) / tuple / collection / array /
+//! sample strategies, [`Union`](strategy::Union) for `prop_oneof!`,
+//! and the
 //! `proptest!`, `prop_assert*`, `prop_oneof!`, and `prop_compose!`
 //! macros.
 //!
@@ -276,7 +278,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count bounds for [`vec`], inclusive on both ends.
+    /// Element-count bounds for [`vec()`], inclusive on both ends.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -312,7 +314,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
