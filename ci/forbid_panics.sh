@@ -9,23 +9,33 @@
 # primitives feed the lookup table).  Decode-table construction must
 # likewise report CompressError on bad inputs, never panic.
 #
+# The differential co-simulation harness (ccrp-difftest) and the shared
+# test utilities (ccrp-testutil) are scanned too: campaign trials run
+# under catch_unwind and count any panic as a harness bug, so their
+# library code must degrade through Result — except where a `panic-ok:`
+# marker documents that panicking IS the contract (golden-test helpers
+# fail tests by panicking, exactly like `assert_eq!`).
+#
 # Scope and escape hatches:
-#   * only library source under crates/{core,compress,bitstream}/src is
-#     scanned;
+#   * only library source under
+#     crates/{core,compress,bitstream,testutil,difftest}/src is scanned;
 #   * everything from the first `#[cfg(test)]` line to end-of-file is
 #     ignored (test modules may panic freely);
 #   * `//` comment and doc-comment lines are ignored;
-#   * a line carrying a `panic-ok:` marker comment is exempt — the
-#     marker documents why the panic is part of a stated contract.
+#   * a line carrying a `panic-ok:` marker comment is exempt, as is the
+#     single line following a comment that carries one — the marker
+#     documents why the panic is part of a stated contract.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-hits=$(find crates/core/src crates/compress/src crates/bitstream/src -name '*.rs' | sort | while IFS= read -r file; do
+hits=$(find crates/core/src crates/compress/src crates/bitstream/src \
+            crates/testutil/src crates/difftest/src -name '*.rs' | sort | while IFS= read -r file; do
     awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
-        /^[[:space:]]*\/\// { next }
+        /^[[:space:]]*\/\// { if (/panic-ok:/) skip = 1; next }
         /panic-ok:/ { next }
+        skip { skip = 0; next }
         /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
             printf "%s:%d: %s\n", FILENAME, FNR, $0
         }
@@ -40,4 +50,4 @@ if [ -n "$hits" ]; then
     echo "       mark a documented contract with a 'panic-ok:' comment." >&2
     exit 1
 fi
-echo "forbid_panics: crates/{core,compress,bitstream} library code is panic-free."
+echo "forbid_panics: crates/{core,compress,bitstream,testutil,difftest} library code is panic-free."

@@ -116,6 +116,20 @@ impl ProgramImage {
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
     }
 
+    /// Number of 32-byte cache lines the text segment spans, counting
+    /// the partial line at each end. This is the footprint that decides
+    /// how many Line Address Table records a compressed build of this
+    /// image needs, so program generators can size code to stress
+    /// multi-entry / eviction behavior.
+    pub fn text_lines(&self) -> u32 {
+        if self.text.is_empty() {
+            return 0;
+        }
+        let first = self.text_base / 32;
+        let last = (self.text_base + self.text.len() as u32 - 1) / 32;
+        last - first + 1
+    }
+
     /// Fetches the instruction word at `addr`.
     ///
     /// Returns `None` when `addr` is outside the text segment or not
@@ -151,5 +165,15 @@ mod tests {
     fn little_endian_layout() {
         let image = ProgramImage::from_words(0, &[0x1122_3344]);
         assert_eq!(image.text_bytes(), &[0x44, 0x33, 0x22, 0x11]);
+    }
+
+    #[test]
+    fn text_lines_counts_partial_lines() {
+        assert_eq!(ProgramImage::from_words(0, &[]).text_lines(), 0);
+        assert_eq!(ProgramImage::from_words(0, &[1]).text_lines(), 1);
+        assert_eq!(ProgramImage::from_words(0, &[0; 8]).text_lines(), 1);
+        assert_eq!(ProgramImage::from_words(0, &[0; 9]).text_lines(), 2);
+        // A misaligned base straddles one extra line.
+        assert_eq!(ProgramImage::from_words(28, &[0; 8]).text_lines(), 2);
     }
 }

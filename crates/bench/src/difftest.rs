@@ -1,0 +1,301 @@
+//! Differential co-simulation campaigns.
+//!
+//! Fans [`ccrp_difftest::run_trial`] out across a worker pool: each
+//! trial generates a seeded random program, runs it in lockstep on the
+//! plain-ROM reference and every compressed variant, then sweeps the
+//! refill timing invariants. The transparency contract the campaign
+//! enforces is *zero* divergences and *zero* invariant violations —
+//! any other outcome carries a shrunk, disassembled repro in the
+//! report.
+//!
+//! Trial verdicts are a pure function of `(campaign seed, trial
+//! index)`, so the results section of the report is bit-identical
+//! across `--jobs` settings and machines.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use ccrp_difftest::{run_trial, TrialOutcome, TrialReport};
+
+use crate::json::Json;
+use crate::report::ToJson;
+use crate::runner::parallel_map;
+
+/// How one differential trial ended, campaign-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// All variants matched and every timing invariant held.
+    Match,
+    /// A compressed variant disagreed with the reference.
+    Divergence,
+    /// A refill accounting identity failed.
+    TimingViolation,
+    /// The generator produced an invalid program.
+    GenFailure,
+    /// The trial panicked (a harness bug; counted, not propagated).
+    Panic,
+}
+
+impl Outcome {
+    /// All outcomes, in report order.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Match,
+        Outcome::Divergence,
+        Outcome::TimingViolation,
+        Outcome::GenFailure,
+        Outcome::Panic,
+    ];
+
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Match => "match",
+            Outcome::Divergence => "divergence",
+            Outcome::TimingViolation => "timing-violation",
+            Outcome::GenFailure => "gen-failure",
+            Outcome::Panic => "panic",
+        }
+    }
+
+    /// One-letter code for the compact per-trial outcome string.
+    pub fn code(self) -> char {
+        match self {
+            Outcome::Match => 'M',
+            Outcome::Divergence => 'D',
+            Outcome::TimingViolation => 'T',
+            Outcome::GenFailure => 'G',
+            Outcome::Panic => 'P',
+        }
+    }
+}
+
+/// Campaign knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DifftestOptions {
+    /// Number of generated programs.
+    pub programs: usize,
+    /// Campaign seed; trial `i` derives its own seed from `(seed, i)`.
+    pub seed: u64,
+    /// Worker threads (1 = serial). Does not affect verdicts.
+    pub jobs: usize,
+}
+
+impl Default for DifftestOptions {
+    fn default() -> Self {
+        Self {
+            programs: 1000,
+            seed: 1,
+            jobs: crate::runner::available_jobs(),
+        }
+    }
+}
+
+/// One trial's campaign-side record: the verdict, the deterministic
+/// workload statistics, and (for failures) the shrunk repro text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trial {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Instructions the reference retired.
+    pub instructions: u64,
+    /// Text-segment size in bytes.
+    pub text_bytes: u64,
+    /// LAT entries the compressed build needs.
+    pub lat_entries: u64,
+    /// Probed refills the timing sweep performed.
+    pub refills: u64,
+    /// Failure detail (rendered divergence report, violation list, or
+    /// generator error); empty for matches.
+    pub detail: String,
+}
+
+/// A finished campaign.
+#[derive(Debug, Clone)]
+pub struct DifftestReport {
+    /// The options the campaign ran with.
+    pub options: DifftestOptions,
+    /// Trial `i`'s record at index `i`.
+    pub trials: Vec<Trial>,
+    /// End-to-end wall time.
+    pub total_wall: Duration,
+}
+
+/// Decorrelates per-trial seeds (the SplitMix64 increment constant),
+/// matching the fault-injection campaign's derivation.
+pub fn trial_seed(seed: u64, trial: usize) -> u64 {
+    seed ^ (trial as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+fn record(report: TrialReport) -> Trial {
+    let (outcome, detail) = match &report.outcome {
+        TrialOutcome::Match => (Outcome::Match, String::new()),
+        TrialOutcome::Divergence(divergence) => (Outcome::Divergence, divergence.to_string()),
+        TrialOutcome::TimingViolation(detail) => (Outcome::TimingViolation, detail.clone()),
+        TrialOutcome::GenFailure(detail) => (Outcome::GenFailure, detail.clone()),
+    };
+    Trial {
+        outcome,
+        instructions: report.instructions,
+        text_bytes: report.text_bytes,
+        lat_entries: report.lat_entries,
+        refills: report.refills,
+        detail,
+    }
+}
+
+/// Runs a campaign. Verdicts depend only on `(options.seed, trial)` —
+/// `options.jobs` changes wall time, never results.
+pub fn run(options: DifftestOptions) -> DifftestReport {
+    let started = Instant::now();
+    let indices: Vec<usize> = (0..options.programs).collect();
+    let trials = parallel_map(options.jobs, &indices, |&trial| {
+        let seed = trial_seed(options.seed, trial);
+        // catch_unwind so a harness bug is counted, not propagated.
+        panic::catch_unwind(AssertUnwindSafe(|| record(run_trial(seed)))).unwrap_or(Trial {
+            outcome: Outcome::Panic,
+            instructions: 0,
+            text_bytes: 0,
+            lat_entries: 0,
+            refills: 0,
+            detail: format!("trial {trial} (seed {seed}) panicked"),
+        })
+    })
+    .into_iter()
+    .map(|(trial, _)| trial)
+    .collect();
+    DifftestReport {
+        options,
+        trials,
+        total_wall: started.elapsed(),
+    }
+}
+
+impl DifftestReport {
+    /// Trials that ended with `outcome`.
+    pub fn count(&self, outcome: Outcome) -> usize {
+        self.trials.iter().filter(|t| t.outcome == outcome).count()
+    }
+
+    /// The transparency contract: every trial matched.
+    pub fn acceptable(&self) -> bool {
+        self.trials.iter().all(|t| t.outcome == Outcome::Match)
+    }
+
+    /// The compact per-trial outcome string (`chars[i]` = trial `i`).
+    pub fn outcome_string(&self) -> String {
+        self.trials.iter().map(|t| t.outcome.code()).collect()
+    }
+
+    /// Details of the first `limit` failing trials, for the report.
+    fn failures_json(&self, limit: usize) -> Json {
+        Json::Arr(
+            self.trials
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.outcome != Outcome::Match)
+                .take(limit)
+                .map(|(index, t)| {
+                    Json::obj([
+                        ("trial", Json::U64(index as u64)),
+                        ("seed", Json::U64(trial_seed(self.options.seed, index))),
+                        ("outcome", Json::str(t.outcome.name())),
+                        ("detail", Json::str(&t.detail)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// The deterministic half of the report: identical for equal
+    /// `(programs, seed)` whatever the job count or machine.
+    pub fn results_json(&self) -> Json {
+        let sum = |f: fn(&Trial) -> u64| Json::U64(self.trials.iter().map(f).sum());
+        Json::obj([
+            ("schema", Json::str("ccrp-difftest/1")),
+            ("programs", Json::U64(self.options.programs as u64)),
+            ("seed", Json::U64(self.options.seed)),
+            (
+                "counts",
+                Json::Obj(
+                    Outcome::ALL
+                        .map(|o| (o.name().to_string(), Json::U64(self.count(o) as u64)))
+                        .into_iter()
+                        .collect(),
+                ),
+            ),
+            ("instructions", sum(|t| t.instructions)),
+            ("text_bytes", sum(|t| t.text_bytes)),
+            ("lat_entries", sum(|t| t.lat_entries)),
+            ("refills", sum(|t| t.refills)),
+            ("outcomes", Json::str(&self.outcome_string())),
+            ("failures", self.failures_json(8)),
+            ("acceptable", Json::Bool(self.acceptable())),
+        ])
+    }
+}
+
+impl ToJson for DifftestReport {
+    /// [`results_json`](DifftestReport::results_json) plus the
+    /// run-specific job count and wall-clock timing.
+    fn to_json(&self) -> Json {
+        let Json::Obj(mut pairs) = self.results_json() else {
+            unreachable!("results_json returns an object");
+        };
+        pairs.push(("jobs".into(), Json::U64(self.options.jobs as u64)));
+        pairs.push((
+            "timing".into(),
+            Json::obj([(
+                "total_wall_us",
+                Json::U64(self.total_wall.as_micros() as u64),
+            )]),
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_campaign(jobs: usize) -> DifftestReport {
+        run(DifftestOptions {
+            programs: 24,
+            seed: 7,
+            jobs,
+        })
+    }
+
+    #[test]
+    fn verdicts_identical_across_job_counts() {
+        let serial = small_campaign(1);
+        let parallel = small_campaign(4);
+        assert_eq!(serial.trials, parallel.trials);
+        assert_eq!(
+            serial.results_json().to_compact(),
+            parallel.results_json().to_compact()
+        );
+    }
+
+    #[test]
+    fn campaign_is_clean_and_not_vacuous() {
+        let report = small_campaign(4);
+        assert!(
+            report.acceptable(),
+            "failures:\n{}",
+            report
+                .trials
+                .iter()
+                .filter(|t| t.outcome != Outcome::Match)
+                .map(|t| t.detail.as_str())
+                .collect::<Vec<_>>()
+                .join("\n---\n")
+        );
+        assert_eq!(report.count(Outcome::Match), 24);
+        let instructions: u64 = report.trials.iter().map(|t| t.instructions).sum();
+        assert!(instructions > 0, "trials retired no instructions");
+        assert!(
+            report.trials.iter().all(|t| t.lat_entries >= 2),
+            "programs must span multiple LAT entries"
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! `ccrp-tools difftest [--programs N] [--seed N] [--jobs N] [--out FILE]`
+//!
+//! Runs a differential co-simulation campaign: N seeded random programs
+//! executed in lockstep on the plain-ROM reference machine and on every
+//! compressed-ROM variant, with the refill timing invariants swept per
+//! program. Results go to a machine-readable JSON file (default
+//! `BENCH_difftest.json`). Verdicts are a pure function of
+//! `(--programs, --seed)`, so the results section of the JSON is
+//! bit-identical for any `--jobs` value.
+//!
+//! The command exits nonzero on any divergence, timing-invariant
+//! violation, generator failure, or panic — the transparency contract
+//! is that all four counts are zero.
+
+use std::io::Write;
+
+use ccrp_bench::difftest::{self, DifftestOptions, Outcome};
+use ccrp_bench::{runner, ToJson};
+
+use crate::args::Args;
+use crate::error::{write_file, CliError};
+
+/// Option names consuming a value.
+pub const VALUE_OPTIONS: &[&str] = &["programs", "seed", "jobs", "out"];
+/// Switch names.
+pub const SWITCHES: &[&str] = &[];
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for bad numbers, [`CliError::Io`] when the
+/// results file cannot be written, and [`CliError::Campaign`] when any
+/// trial fails the transparency contract.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let programs = args.option_u32("programs", 1000)? as usize;
+    if programs == 0 {
+        return Err(CliError::Usage("--programs must be at least 1".into()));
+    }
+    let seed = match args.option("seed") {
+        None => 1,
+        Some(text) => text
+            .parse::<u64>()
+            .map_err(|_| CliError::Usage(format!("--seed: bad number `{text}`")))?,
+    };
+    let jobs = args.option_u32("jobs", runner::available_jobs() as u32)? as usize;
+    if jobs == 0 {
+        return Err(CliError::Usage("--jobs must be at least 1".into()));
+    }
+    let path = args.option("out").unwrap_or("BENCH_difftest.json");
+
+    let report = difftest::run(DifftestOptions {
+        programs,
+        seed,
+        jobs,
+    });
+    write_file(path, report.to_json().to_pretty().as_bytes())?;
+
+    if args.json() {
+        // Same document as the results file, for pipelines that read
+        // stdout instead of the --out path.
+        write!(out, "{}", report.to_json().to_pretty()).ok();
+        return check(&report);
+    }
+
+    writeln!(
+        out,
+        "difftest: {programs} programs seed {seed} {jobs} jobs {:?}  -> {path}",
+        report.total_wall,
+    )
+    .ok();
+    for outcome in Outcome::ALL {
+        writeln!(out, "  {:<18} {:>6}", outcome.name(), report.count(outcome)).ok();
+    }
+    let sum = |f: fn(&difftest::Trial) -> u64| report.trials.iter().map(f).sum::<u64>();
+    writeln!(
+        out,
+        "  instructions {} text-bytes {} lat-entries {} refills {}",
+        sum(|t| t.instructions),
+        sum(|t| t.text_bytes),
+        sum(|t| t.lat_entries),
+        sum(|t| t.refills),
+    )
+    .ok();
+    for trial in report.trials.iter().filter(|t| t.outcome != Outcome::Match) {
+        writeln!(out, "--- {} ---", trial.outcome.name()).ok();
+        for line in trial.detail.lines() {
+            writeln!(out, "  {line}").ok();
+        }
+    }
+
+    check(&report)
+}
+
+/// Maps the transparency contract onto the exit status.
+fn check(report: &difftest::DifftestReport) -> Result<(), CliError> {
+    if !report.acceptable() {
+        return Err(CliError::Campaign(format!(
+            "{} divergence(s), {} timing violation(s), {} generator failure(s), {} panic(s)",
+            report.count(Outcome::Divergence),
+            report.count(Outcome::TimingViolation),
+            report.count(Outcome::GenFailure),
+            report.count(Outcome::Panic),
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::temp_path;
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn rejects_zero_programs_and_bad_seed() {
+        let args = Args::parse(&strings(&["--programs", "0"]), VALUE_OPTIONS, SWITCHES).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+
+        let args = Args::parse(&strings(&["--seed", "x"]), VALUE_OPTIONS, SWITCHES).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("--seed"));
+    }
+
+    #[test]
+    fn small_campaign_writes_results_file() {
+        let path = temp_path("difftest.json");
+        let args = Args::parse(
+            &strings(&[
+                "--programs",
+                "8",
+                "--seed",
+                "7",
+                "--jobs",
+                "2",
+                "--out",
+                &path,
+            ]),
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("difftest: 8 programs"));
+        assert!(text.contains("match"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\": \"ccrp-difftest/1\""));
+        assert!(json.contains("\"acceptable\": true"));
+        std::fs::remove_file(&path).ok();
+    }
+}

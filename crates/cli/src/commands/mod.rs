@@ -3,6 +3,7 @@
 
 pub mod asm;
 pub mod compress;
+pub mod difftest;
 pub mod disasm;
 pub mod faultsim;
 pub mod inspect;

@@ -85,6 +85,11 @@ COMMANDS:
       run a seeded fault-injection campaign over the container format,
       write BENCH_faultsim.json, and fail on panics, hangs, or silent
       miscompares in CRC-carrying (v2) containers
+  difftest [--programs N] [--seed N] [--jobs N] [--out FILE]
+      run a differential co-simulation campaign: seeded random programs
+      executed in lockstep on the plain and compressed machines with
+      refill timing invariants checked per program; write
+      BENCH_difftest.json and fail on any divergence or violation
   help
       print this text
 
@@ -164,6 +169,13 @@ const COMMANDS: &[Command] = &[
         switches: commands::workloads::SWITCHES,
         run: commands::workloads::run,
         owns_out: false,
+    },
+    Command {
+        name: "difftest",
+        value_options: commands::difftest::VALUE_OPTIONS,
+        switches: commands::difftest::SWITCHES,
+        run: commands::difftest::run,
+        owns_out: true,
     },
     Command {
         name: "faultsim",

@@ -232,6 +232,22 @@ mod tests {
     }
 
     #[test]
+    fn single_slot_never_serves_an_aliased_index() {
+        // Two LAT indices competing for one slot: after eviction and
+        // refetch the slot must serve whichever index was inserted
+        // last, never entry 8's records for a probe of entry 0.
+        let mut clb = Clb::new(1).unwrap();
+        clb.insert(0, entry(0));
+        assert_eq!(clb.insert(8, entry(8)), Some(0));
+        assert!(clb.probe(0).is_none(), "evicted index must miss");
+        assert_eq!(clb.probe(8).unwrap().base(), entry(8).base());
+        // Refetching 0 displaces 8 in turn.
+        assert_eq!(clb.insert(0, entry(0)), Some(8));
+        assert!(clb.probe(8).is_none());
+        assert_eq!(clb.probe(0).unwrap().base(), entry(0).base());
+    }
+
+    #[test]
     fn miss_rate_zero_when_unprobed() {
         let clb = Clb::new(1).unwrap();
         assert_eq!(clb.stats().miss_rate(), 0.0);

@@ -1,0 +1,443 @@
+//! Lockstep differential co-simulation.
+//!
+//! Runs the same [`ProgramImage`] on a plain-ROM reference machine and
+//! on compressed-ROM variants (direct image, v1 container round-trip,
+//! v2 container round-trip — one per [`DegradePolicy`]), comparing the
+//! full architectural state after every retired instruction: PC, the 32
+//! GPRs, hi/lo, the CP1 register file and condition flag, program
+//! output, the ordered data-access log, and the memory words each
+//! instruction touched. The first mismatch produces a
+//! [`DivergenceReport`] with a disassembled window around the faulting
+//! PC; the caller may attach a shrunk repro via [`minimize_lines`].
+
+use std::fmt;
+
+use ccrp::{CompressedImage, DegradePolicy};
+use ccrp_asm::ProgramImage;
+use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+use ccrp_emu::{Machine, MachineConfig, TraceSink};
+use ccrp_isa::{disassemble_word, FpReg, Reg};
+
+/// Records the data accesses one instruction performed, in order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordingSink {
+    /// `(address, is_store)` pairs in execution order.
+    pub accesses: Vec<(u32, bool)>,
+}
+
+impl TraceSink for RecordingSink {
+    fn instruction(&mut self, _pc: u32) {}
+
+    fn data_access(&mut self, addr: u32, store: bool) {
+        self.accesses.push((addr, store));
+    }
+}
+
+/// First observed difference between the reference and a variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// Retired-instruction count at the divergence (1-based; 0 means
+    /// the variant failed to construct).
+    pub step: u64,
+    /// Address of the instruction that diverged.
+    pub pc: u32,
+    /// Which compressed variant diverged.
+    pub variant: &'static str,
+    /// The state component that differed (e.g. `"$t3"`, `"pc"`).
+    pub field: String,
+    /// Reference vs variant values.
+    pub detail: String,
+    /// Disassembled window around [`pc`](Self::pc), faulting line
+    /// marked with `>`.
+    pub window: Vec<String>,
+    /// Minimized source repro, when the shrinker found one.
+    pub minimized: Option<String>,
+}
+
+impl fmt::Display for DivergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "divergence on `{}` at step {} pc {:#010x}: {} ({})",
+            self.variant, self.step, self.pc, self.field, self.detail
+        )?;
+        for line in &self.window {
+            writeln!(f, "  {line}")?;
+        }
+        if let Some(minimized) = &self.minimized {
+            writeln!(f, "minimized repro:")?;
+            for line in minimized.lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one lockstep run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CosimVerdict {
+    /// Every variant matched the reference to completion.
+    Match {
+        /// Retired instructions (identical across machines).
+        instructions: u64,
+    },
+    /// A variant disagreed with the reference.
+    Divergence(Box<DivergenceReport>),
+}
+
+/// Builds the compressed ROM for `image` with the workspace's standard
+/// byte-Huffman code.
+///
+/// # Errors
+///
+/// Describes the compression failure (empty text, misaligned base).
+pub fn build_rom(image: &ProgramImage) -> Result<CompressedImage, String> {
+    let text = image.text_bytes();
+    let code = ByteCode::preselected(&ByteHistogram::of(text))
+        .map_err(|e| format!("code selection failed: {e}"))?;
+    CompressedImage::build(image.text_base(), text, code, BlockAlignment::Word)
+        .map_err(|e| format!("compressed image build failed: {e}"))
+}
+
+/// One compressed execution variant for [`run_cosim_with`].
+pub struct CosimVariant {
+    /// Display label, e.g. `"v1-trap"`.
+    pub label: &'static str,
+    /// The ROM this variant fetches from.
+    pub rom: CompressedImage,
+    /// Its degradation policy.
+    pub policy: DegradePolicy,
+}
+
+/// Runs the standard variant matrix for `image`: the directly-built ROM
+/// under [`DegradePolicy::Abort`] (eager expansion), a v1-container
+/// round-trip under [`DegradePolicy::Trap`], and a v2-container
+/// round-trip (header + per-block CRCs) under [`DegradePolicy::Retry`].
+///
+/// # Errors
+///
+/// Infrastructure failures — compression or container round-trip broke,
+/// or the *reference* machine faulted / exceeded `max_steps`, which
+/// means the generated program itself is invalid.
+pub fn run_cosim(image: &ProgramImage, max_steps: u64) -> Result<CosimVerdict, String> {
+    let rom = build_rom(image)?;
+    let v1 = CompressedImage::from_bytes(&rom.to_bytes())
+        .map_err(|e| format!("v1 container round-trip failed: {e}"))?;
+    let v2 = CompressedImage::from_bytes(&rom.to_bytes_v2())
+        .map_err(|e| format!("v2 container round-trip failed: {e}"))?;
+    let variants = vec![
+        CosimVariant {
+            label: "direct-abort",
+            rom,
+            policy: DegradePolicy::Abort,
+        },
+        CosimVariant {
+            label: "v1-trap",
+            rom: v1,
+            policy: DegradePolicy::Trap,
+        },
+        CosimVariant {
+            label: "v2-retry",
+            rom: v2,
+            policy: DegradePolicy::Retry { attempts: 2 },
+        },
+    ];
+    run_cosim_with(image, variants, max_steps)
+}
+
+/// Runs `image` on the reference machine and on each variant in
+/// lockstep. A variant that fails to construct (eager expansion of a
+/// corrupt ROM under Abort) is reported as a step-0 divergence — the
+/// integrity machinery caught the corruption before execution.
+///
+/// # Errors
+///
+/// See [`run_cosim`]; variant misbehaviour is a
+/// [`CosimVerdict::Divergence`], never an `Err`.
+pub fn run_cosim_with(
+    image: &ProgramImage,
+    variants: Vec<CosimVariant>,
+    max_steps: u64,
+) -> Result<CosimVerdict, String> {
+    let config = MachineConfig {
+        max_steps,
+        ..MachineConfig::default()
+    };
+    let mut reference = Machine::with_config(image, config.clone());
+    let mut running: Vec<(&'static str, Machine, RecordingSink)> = Vec::new();
+    for variant in variants {
+        match Machine::with_compressed_text(image, &variant.rom, variant.policy, config.clone()) {
+            Ok(machine) => running.push((variant.label, machine, RecordingSink::default())),
+            Err(err) => {
+                return Ok(CosimVerdict::Divergence(Box::new(DivergenceReport {
+                    step: 0,
+                    pc: image.entry(),
+                    variant: variant.label,
+                    field: "construction".to_string(),
+                    detail: format!("reference constructed, variant failed: {err:?}"),
+                    window: disasm_window(image, image.entry()),
+                    minimized: None,
+                })));
+            }
+        }
+    }
+    let mut ref_sink = RecordingSink::default();
+    let mut step: u64 = 0;
+    loop {
+        if step >= max_steps {
+            return Err(format!("reference exceeded step budget {max_steps}"));
+        }
+        let pc = reference.pc();
+        ref_sink.accesses.clear();
+        let ref_result = reference.step(&mut ref_sink);
+        step += 1;
+        for (label, machine, sink) in &mut running {
+            sink.accesses.clear();
+            let var_result = machine.step(sink);
+            let mismatch = match (&ref_result, &var_result) {
+                (Ok(()), Ok(())) => {
+                    compare_state(&reference, machine, &ref_sink.accesses, &sink.accesses)
+                }
+                (Err(a), Err(b)) if a == b => None,
+                (a, b) => Some(("fault".to_string(), format!("reference {a:?} vs {b:?}"))),
+            };
+            if let Some((field, detail)) = mismatch {
+                return Ok(CosimVerdict::Divergence(Box::new(DivergenceReport {
+                    step,
+                    pc,
+                    variant: label,
+                    field,
+                    detail,
+                    window: disasm_window(image, pc),
+                    minimized: None,
+                })));
+            }
+        }
+        if let Err(err) = ref_result {
+            // All variants reproduced the same fault (else we returned
+            // above), so this is a generator bug, not a divergence.
+            return Err(format!("generated program faulted identically: {err:?}"));
+        }
+        if reference.exit_code().is_some() {
+            return Ok(CosimVerdict::Match { instructions: step });
+        }
+    }
+}
+
+/// Compares the full post-step architectural state, returning the first
+/// differing `(field, reference-vs-variant detail)`.
+fn compare_state(
+    reference: &Machine,
+    variant: &Machine,
+    ref_accesses: &[(u32, bool)],
+    var_accesses: &[(u32, bool)],
+) -> Option<(String, String)> {
+    if reference.pc() != variant.pc() {
+        return Some((
+            "pc".to_string(),
+            format!("{:#010x} vs {:#010x}", reference.pc(), variant.pc()),
+        ));
+    }
+    for reg in Reg::all() {
+        let (a, b) = (reference.reg(reg), variant.reg(reg));
+        if a != b {
+            return Some((reg.to_string(), format!("{a:#010x} vs {b:#010x}")));
+        }
+    }
+    if reference.hi() != variant.hi() || reference.lo() != variant.lo() {
+        return Some((
+            "hi/lo".to_string(),
+            format!(
+                "{:#010x}:{:#010x} vs {:#010x}:{:#010x}",
+                reference.hi(),
+                reference.lo(),
+                variant.hi(),
+                variant.lo()
+            ),
+        ));
+    }
+    for reg in FpReg::all() {
+        let (a, b) = (reference.fp_bits(reg), variant.fp_bits(reg));
+        if a != b {
+            return Some((reg.to_string(), format!("{a:#010x} vs {b:#010x}")));
+        }
+    }
+    if reference.fp_cond() != variant.fp_cond() {
+        return Some((
+            "fp_cond".to_string(),
+            format!("{} vs {}", reference.fp_cond(), variant.fp_cond()),
+        ));
+    }
+    if reference.exit_code() != variant.exit_code() {
+        return Some((
+            "exit_code".to_string(),
+            format!("{:?} vs {:?}", reference.exit_code(), variant.exit_code()),
+        ));
+    }
+    if ref_accesses != var_accesses {
+        return Some((
+            "data-access log".to_string(),
+            format!("{ref_accesses:x?} vs {var_accesses:x?}"),
+        ));
+    }
+    for &(addr, _store) in ref_accesses {
+        let word = addr & !3;
+        let (a, b) = (reference.read_word(word), variant.read_word(word));
+        if a != b {
+            return Some((format!("mem[{word:#010x}]"), format!("{a:x?} vs {b:x?}")));
+        }
+    }
+    if reference.output() != variant.output() {
+        return Some((
+            "output".to_string(),
+            format!("{:?} vs {:?}", reference.output(), variant.output()),
+        ));
+    }
+    None
+}
+
+/// Disassembles ±4 instructions around `pc`, marking the faulting line.
+fn disasm_window(image: &ProgramImage, pc: u32) -> Vec<String> {
+    let mut out = Vec::new();
+    for slot in -4i64..=4 {
+        let addr = i64::from(pc) + slot * 4;
+        let Ok(addr) = u32::try_from(addr) else {
+            continue;
+        };
+        if let Some(word) = image.word_at(addr) {
+            let marker = if addr == pc { '>' } else { ' ' };
+            out.push(format!("{marker} {addr:#010x}  {}", disassemble_word(word)));
+        }
+    }
+    out
+}
+
+/// Greedy line-removal shrinker. Repeatedly deletes single `removable`
+/// lines (highest index first, so earlier indices stay valid), keeping
+/// a deletion only when `still_fails` accepts the shrunk source, until
+/// a pass removes nothing or `budget` checks are spent. `still_fails`
+/// must re-validate the candidate end to end (re-assemble, re-run), so
+/// a deletion that breaks assembly or termination is simply rejected.
+pub fn minimize_lines(
+    lines: &[String],
+    removable: &[usize],
+    budget: usize,
+    mut still_fails: impl FnMut(&str) -> bool,
+) -> Vec<String> {
+    let mut kept: Vec<Option<&String>> = lines.iter().map(Some).collect();
+    let mut checks = 0usize;
+    loop {
+        let mut shrunk = false;
+        for &index in removable.iter().rev() {
+            if checks >= budget {
+                return render(&kept);
+            }
+            let Some(slot) = kept.get_mut(index) else {
+                continue;
+            };
+            let Some(line) = slot.take() else {
+                continue;
+            };
+            checks += 1;
+            if still_fails(&render_source(&kept)) {
+                shrunk = true;
+            } else if let Some(slot) = kept.get_mut(index) {
+                *slot = Some(line);
+            }
+        }
+        if !shrunk {
+            return render(&kept);
+        }
+    }
+}
+
+fn render(kept: &[Option<&String>]) -> Vec<String> {
+    kept.iter().flatten().map(|s| (*s).clone()).collect()
+}
+
+fn render_source(kept: &[Option<&String>]) -> String {
+    let mut out = String::new();
+    for line in kept.iter().flatten() {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// True when `verdict` is a divergence — the shrinker's usual predicate.
+pub fn diverges(verdict: &Result<CosimVerdict, String>) -> bool {
+    matches!(verdict, Ok(CosimVerdict::Divergence(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progen::ProgGen;
+    use ccrp_asm::assemble;
+
+    #[test]
+    fn pristine_programs_match_across_all_variants() {
+        for seed in 0..12 {
+            let image = assemble(&ProgGen::generate(seed).source()).expect("assembles");
+            match run_cosim(&image, 2_000_000).expect("cosim runs") {
+                CosimVerdict::Match { instructions } => assert!(instructions > 0),
+                CosimVerdict::Divergence(report) => {
+                    panic!("seed {seed} diverged:\n{report}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_rom_is_reported_as_divergence_under_abort() {
+        let image = assemble(&ProgGen::generate(3).source()).expect("assembles");
+        let mut rom = build_rom(&image).expect("builds");
+        rom.corrupt_block_byte(0, 0, 0xFF).expect("corrupts");
+        let verdict = run_cosim_with(
+            &image,
+            vec![CosimVariant {
+                label: "corrupt-abort",
+                rom,
+                policy: DegradePolicy::Abort,
+            }],
+            100_000,
+        )
+        .expect("runs");
+        // A flipped stream byte either fails eager expansion (step-0
+        // construction divergence) or decodes to wrong instructions the
+        // lockstep comparison flags on the corrupted line's first use.
+        match verdict {
+            CosimVerdict::Divergence(report) => {
+                if report.step == 0 {
+                    assert_eq!(report.field, "construction");
+                }
+            }
+            CosimVerdict::Match { .. } => panic!("corruption went unnoticed"),
+        }
+    }
+
+    #[test]
+    fn minimize_lines_shrinks_to_the_failing_line() {
+        let lines: Vec<String> = ["keep:", "a", "b", "poison", "c"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let removable = vec![1, 2, 3, 4];
+        let minimal = minimize_lines(&lines, &removable, 64, |src| src.contains("poison"));
+        assert_eq!(minimal, vec!["keep:".to_string(), "poison".to_string()]);
+    }
+
+    #[test]
+    fn minimize_lines_respects_budget() {
+        let lines: Vec<String> = (0..10).map(|i| format!("l{i}")).collect();
+        let removable: Vec<usize> = (0..10).collect();
+        let mut calls = 0;
+        let out = minimize_lines(&lines, &removable, 3, |_| {
+            calls += 1;
+            false
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(out.len(), 10);
+    }
+}

@@ -1,0 +1,186 @@
+//! Differential co-simulation for the CCRP workspace.
+//!
+//! The paper's central claim is that compressed-program execution is
+//! *transparent*: a program run out of the compressed instruction ROM
+//! retires exactly the instruction stream its uncompressed build does,
+//! with the compression visible only in the refill timing. The unit
+//! oracles in each crate check components; this crate checks the claim
+//! end to end, on programs nobody hand-picked:
+//!
+//! * [`ProgGen`] — a seeded, ISA-aware random program
+//!   generator emitting valid, terminating MIPS R2000 assembly sized to
+//!   span several Line Address Table entries;
+//! * [`run_cosim`] — a lockstep co-simulator running
+//!   each program on a plain-ROM reference and on compressed variants
+//!   (direct, v1 container, v2 container — one per degradation policy),
+//!   comparing full architectural state after every retired
+//!   instruction and shrinking any failure to a minimal repro;
+//! * [`check_refill_invariants`] — a
+//!   probe-event checker asserting the refill engine's accounting
+//!   identities (bus bytes, bypass latency, CLB/LAT traffic) on the
+//!   same images.
+//!
+//! [`run_trial`] composes the three into one deterministic trial — a
+//! pure function of the seed — which `ccrp-bench` fans out across
+//! workers and `ccrp-tools difftest` exposes on the command line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cosim;
+pub mod progen;
+pub mod rng;
+pub mod timing;
+
+pub use cosim::{
+    build_rom, minimize_lines, run_cosim, run_cosim_with, CosimVariant, CosimVerdict,
+    DivergenceReport, RecordingSink,
+};
+pub use progen::{GeneratedProgram, ProgGen, SCRATCH_BASE, SCRATCH_SIZE};
+pub use rng::SplitMix64;
+pub use timing::{check_refill_invariants, LinearMemory, TimingReport};
+
+use ccrp_asm::assemble;
+
+/// Per-trial instruction budget. Generated programs retire well under
+/// 100k instructions; hitting this means the generator broke.
+pub const TRIAL_MAX_STEPS: u64 = 2_000_000;
+
+/// Re-run budget for the divergence shrinker.
+pub const SHRINK_BUDGET: usize = 200;
+
+/// How one trial ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// Every variant matched and every timing invariant held.
+    Match,
+    /// A compressed variant disagreed with the reference.
+    Divergence(Box<DivergenceReport>),
+    /// A refill accounting identity failed.
+    TimingViolation(String),
+    /// The generator produced an invalid program (assembly failure,
+    /// reference fault, or budget exhaustion) — a harness bug.
+    GenFailure(String),
+}
+
+impl TrialOutcome {
+    /// Stable one-character code for campaign summaries.
+    pub fn code(&self) -> char {
+        match self {
+            TrialOutcome::Match => 'M',
+            TrialOutcome::Divergence(_) => 'D',
+            TrialOutcome::TimingViolation(_) => 'T',
+            TrialOutcome::GenFailure(_) => 'G',
+        }
+    }
+}
+
+/// Everything one trial produced: the verdict plus deterministic
+/// workload statistics (pure functions of the seed, so campaign
+/// aggregates are jobs-independent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialReport {
+    /// The verdict.
+    pub outcome: TrialOutcome,
+    /// Instructions the reference retired (0 unless `Match`).
+    pub instructions: u64,
+    /// Text-segment size in bytes.
+    pub text_bytes: u64,
+    /// Line Address Table entries the compressed build needs.
+    pub lat_entries: u64,
+    /// Probed refills the timing sweep performed (0 unless it ran).
+    pub refills: u64,
+}
+
+/// Runs the full differential trial for `seed`: generate, assemble,
+/// co-simulate every variant in lockstep, then sweep the refill timing
+/// invariants. On divergence the repro is shrunk before reporting.
+/// Deterministic: the report is a pure function of `seed`.
+pub fn run_trial(seed: u64) -> TrialReport {
+    let generated = ProgGen::generate(seed);
+    let mut report = TrialReport {
+        outcome: TrialOutcome::Match,
+        instructions: 0,
+        text_bytes: 0,
+        lat_entries: 0,
+        refills: 0,
+    };
+    let image = match assemble(&generated.source()) {
+        Ok(image) => image,
+        Err(err) => {
+            report.outcome = TrialOutcome::GenFailure(format!("assembly failed: {err}"));
+            return report;
+        }
+    };
+    report.text_bytes = u64::from(image.text_size());
+    report.lat_entries = u64::from(image.text_lines().div_ceil(8));
+    match run_cosim(&image, TRIAL_MAX_STEPS) {
+        Err(err) => {
+            report.outcome = TrialOutcome::GenFailure(err);
+            return report;
+        }
+        Ok(CosimVerdict::Divergence(mut divergence)) => {
+            let minimal = minimize_lines(
+                &generated.lines,
+                &generated.removable,
+                SHRINK_BUDGET,
+                |source| match assemble(source) {
+                    Ok(image) => cosim::diverges(&run_cosim(&image, TRIAL_MAX_STEPS)),
+                    Err(_) => false,
+                },
+            );
+            divergence.minimized = Some(minimal.join("\n"));
+            report.outcome = TrialOutcome::Divergence(divergence);
+            return report;
+        }
+        Ok(CosimVerdict::Match { instructions }) => {
+            report.instructions = instructions;
+        }
+    }
+    match build_rom(&image) {
+        Ok(rom) => {
+            let timing = check_refill_invariants(&rom);
+            report.refills = timing.refills;
+            if !timing.clean() {
+                report.outcome = TrialOutcome::TimingViolation(timing.violations.join("; "));
+            }
+        }
+        Err(err) => {
+            report.outcome = TrialOutcome::GenFailure(err);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_match_and_are_deterministic() {
+        for seed in [1u64, 2, 42] {
+            let a = run_trial(seed);
+            let b = run_trial(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            assert_eq!(
+                a.outcome,
+                TrialOutcome::Match,
+                "seed {seed}: {:?}",
+                a.outcome
+            );
+            assert!(a.instructions > 0);
+            assert!(
+                a.lat_entries >= 2,
+                "seed {seed} too small to stress the LAT"
+            );
+            assert!(a.refills > 0);
+        }
+    }
+
+    #[test]
+    fn outcome_codes_are_stable() {
+        assert_eq!(TrialOutcome::Match.code(), 'M');
+        assert_eq!(TrialOutcome::TimingViolation(String::new()).code(), 'T');
+        assert_eq!(TrialOutcome::GenFailure(String::new()).code(), 'G');
+    }
+}

@@ -263,6 +263,26 @@ impl Machine {
         }
     }
 
+    /// The address of the next instruction to execute.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// The multiply/divide `hi` result register.
+    pub fn hi(&self) -> u32 {
+        self.hi
+    }
+
+    /// The multiply/divide `lo` result register.
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// The CP1 condition flag set by `c.eq.s`-family compares.
+    pub fn fp_cond(&self) -> bool {
+        self.fp_cond
+    }
+
     /// Raw bits of an FP register.
     pub fn fp_bits(&self, reg: FpReg) -> u32 {
         self.fpr[reg.number() as usize]

@@ -95,6 +95,30 @@ impl Reg {
     /// `$ra`, return address.
     pub const RA: Reg = Reg(31);
 
+    /// The registers a code generator may clobber freely without
+    /// breaking the ABI or the assembler: the caller-saved temporaries,
+    /// argument, and result registers. Excludes `$at` (reserved for
+    /// pseudo-instruction expansion), `$k0`/`$k1` (kernel), and the
+    /// callee-saved / pointer registers.
+    pub const CALLER_SAVED: [Reg; 16] = [
+        Reg::V0,
+        Reg::V1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+        Reg::T8,
+        Reg::T9,
+    ];
+
     /// Builds a register from its number.
     ///
     /// # Errors
@@ -250,6 +274,18 @@ mod tests {
     #[test]
     fn s8_alias() {
         assert_eq!("$s8".parse::<Reg>().unwrap(), Reg::FP);
+    }
+
+    #[test]
+    fn caller_saved_excludes_reserved_registers() {
+        for reg in Reg::CALLER_SAVED {
+            assert!(![Reg::ZERO, Reg::AT, Reg::K0, Reg::K1].contains(&reg));
+            assert!(![Reg::GP, Reg::SP, Reg::FP, Reg::RA].contains(&reg));
+            assert!(!(Reg::S0..=Reg::S7).contains(&reg));
+        }
+        let mut sorted = Reg::CALLER_SAVED.to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), Reg::CALLER_SAVED.len(), "no duplicates");
     }
 
     #[test]

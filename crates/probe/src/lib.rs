@@ -224,6 +224,15 @@ impl EventLog {
         &self.events
     }
 
+    /// The recorded events of one [`kind`](Event::kind), in emission
+    /// order — the shape invariant checkers consume ("every refill",
+    /// "every burst") without re-matching variants.
+    pub fn events_of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TimedEvent> {
+        self.events
+            .iter()
+            .filter(move |timed| timed.event.kind() == kind)
+    }
+
     /// Events discarded by the [`with_limit`](Self::with_limit) cap.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -254,6 +263,17 @@ mod tests {
         let mut probe = NullProbe;
         assert!(!probe.enabled());
         probe.emit(0, Event::CacheMiss { address: 0 });
+    }
+
+    #[test]
+    fn events_of_kind_filters_in_order() {
+        let mut log = EventLog::new();
+        log.emit(1, Event::ClbMiss { lat_index: 1 });
+        log.emit(2, Event::ClbHit { lat_index: 1 });
+        log.emit(3, Event::ClbHit { lat_index: 2 });
+        let hits: Vec<u64> = log.events_of_kind("clb_hit").map(|t| t.cycle).collect();
+        assert_eq!(hits, vec![2, 3]);
+        assert_eq!(log.events_of_kind("refill").count(), 0);
     }
 
     #[test]

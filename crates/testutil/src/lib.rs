@@ -1,0 +1,130 @@
+//! Shared test utilities for the CCRP workspace.
+//!
+//! The workspace's golden-file tests all follow the same protocol:
+//! render a deterministic report, compare it byte-for-byte against a
+//! committed snapshot, and refresh the snapshot when the change is
+//! intentional by re-running with `UPDATE_GOLDEN=1`. That
+//! compare/refresh logic used to be copy-pasted into every golden test
+//! file; this crate is its single home.
+//!
+//! The helpers here are test infrastructure: they assert by panicking,
+//! exactly like `assert_eq!`, because their callers are `#[test]`
+//! functions. They must never be used from library code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::{Path, PathBuf};
+
+/// The environment variable that switches golden tests from *compare*
+/// to *refresh* mode.
+pub const UPDATE_GOLDEN_ENV: &str = "UPDATE_GOLDEN";
+
+/// A directory of golden snapshot files plus the test invocation that
+/// refreshes them (used in failure messages, e.g.
+/// `"cargo test --test golden_reports"`).
+#[derive(Debug, Clone)]
+pub struct GoldenDir {
+    dir: PathBuf,
+    refresh_command: String,
+}
+
+impl GoldenDir {
+    /// A golden directory at `dir`; `refresh_command` is the test
+    /// invocation to suggest when a snapshot drifts.
+    pub fn new(dir: impl Into<PathBuf>, refresh_command: impl Into<String>) -> GoldenDir {
+        GoldenDir {
+            dir: dir.into(),
+            refresh_command: refresh_command.into(),
+        }
+    }
+
+    /// The full path of snapshot `name`.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Compares `rendered` against the committed snapshot `name`, or
+    /// rewrites the snapshot when [`UPDATE_GOLDEN_ENV`] is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics (the test-failure mechanism) when the snapshot is missing
+    /// or does not match `rendered`, with a hint naming the refresh
+    /// command. Also panics if the snapshot cannot be (re)written in
+    /// refresh mode.
+    pub fn check(&self, name: &str, rendered: &str) {
+        let path = self.path(name);
+        if std::env::var_os(UPDATE_GOLDEN_ENV).is_some() {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            // panic-ok: test helper; failing to write a snapshot must fail the test.
+            std::fs::write(&path, rendered).expect("golden file writes");
+            return;
+        }
+        let expected = read_or_hint(&path, &self.refresh_command);
+        // panic-ok: test helper; mismatch is the test failure.
+        assert!(
+            rendered == expected,
+            "{name} drifted from its snapshot; if the change is intended, \
+             refresh with UPDATE_GOLDEN=1 {}",
+            self.refresh_command
+        );
+    }
+}
+
+/// Reads a snapshot, panicking with a create/refresh hint when absent.
+fn read_or_hint(path: &Path, refresh_command: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        // panic-ok: test helper; a missing snapshot must fail the test.
+        panic!(
+            "{}: {e}; run with UPDATE_GOLDEN=1 {refresh_command} to (re)create it",
+            path.display()
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("ccrp_testutil_{}_{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    #[test]
+    fn matching_snapshot_passes() {
+        let dir = temp_dir();
+        std::fs::write(dir.join("ok.txt"), "hello\n").unwrap();
+        let golden = GoldenDir::new(&dir, "cargo test");
+        golden.check("ok.txt", "hello\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_names_the_refresh_command() {
+        let dir = temp_dir();
+        let golden = GoldenDir::new(&dir, "cargo test --test example");
+        let err = std::panic::catch_unwind(|| golden.check("absent.txt", "x"))
+            .expect_err("missing snapshot must fail");
+        let message = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("UPDATE_GOLDEN=1 cargo test --test example"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drifted_snapshot_fails() {
+        let dir = temp_dir();
+        std::fs::write(dir.join("drift.txt"), "old").unwrap();
+        let golden = GoldenDir::new(&dir, "cargo test");
+        assert!(std::panic::catch_unwind(|| golden.check("drift.txt", "new")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

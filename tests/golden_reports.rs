@@ -8,40 +8,23 @@
 use std::path::PathBuf;
 
 use ccrp_bench::{render, runner, Experiment, SweepOptions};
+use ccrp_testutil::GoldenDir;
 
-fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(name)
-}
-
-fn check_golden(name: &str, rendered: &str) {
-    let path = golden_path(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(&path, rendered).expect("golden file writes");
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "{}: {e}; run with UPDATE_GOLDEN=1 to (re)create it",
-            path.display()
-        )
-    });
-    assert!(
-        rendered == expected,
-        "{name} drifted from its snapshot; if the change is intended, \
-         refresh with UPDATE_GOLDEN=1 cargo test --test golden_reports"
-    );
+fn golden() -> GoldenDir {
+    GoldenDir::new(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden"),
+        "cargo test --test golden_reports",
+    )
 }
 
 #[test]
 fn tables_1_to_8_report_matches_golden() {
     let report = runner::run(Experiment::Tables1To8, &SweepOptions::default());
-    check_golden("tables1_8.txt", &render::report(&report));
+    golden().check("tables1_8.txt", &render::report(&report));
 }
 
 #[test]
 fn fig5_report_matches_golden() {
     let report = runner::run(Experiment::Fig5, &SweepOptions::default());
-    check_golden("fig5.txt", &render::report(&report));
+    golden().check("fig5.txt", &render::report(&report));
 }

@@ -10,28 +10,14 @@ use std::path::PathBuf;
 
 use ccrp_bench::json::Json;
 use ccrp_bench::{runner, Experiment, SweepOptions, ToJson};
+use ccrp_testutil::GoldenDir;
 
 fn repo_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(name)
 }
 
-fn check_golden(name: &str, rendered: &str) {
-    let path = repo_path("tests/golden").join(name);
-    if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        std::fs::write(&path, rendered).expect("golden file writes");
-        return;
-    }
-    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        panic!(
-            "{}: {e}; run with UPDATE_GOLDEN=1 to (re)create it",
-            path.display()
-        )
-    });
-    assert!(
-        rendered == expected,
-        "{name} drifted from its snapshot; if the change is intended, \
-         refresh with UPDATE_GOLDEN=1 cargo test --test observability"
-    );
+fn golden() -> GoldenDir {
+    GoldenDir::new(repo_path("tests/golden"), "cargo test --test observability")
 }
 
 /// Parses a full sweep report and strips the run metadata (`jobs`,
@@ -87,7 +73,7 @@ fn trace_export_matches_golden() {
         panic!("traceEvents missing");
     };
     assert!(!events.is_empty());
-    check_golden("trace_smoke.json", &text);
+    golden().check("trace_smoke.json", &text);
 }
 
 /// The metric registry folded into a probed sweep is golden-stable and
@@ -118,5 +104,5 @@ fn sweep_metrics_match_golden_and_are_jobs_independent() {
             .to_json()
             .to_compact()
     );
-    check_golden("metrics_tables11_13.json", &metrics.to_json().to_pretty());
+    golden().check("metrics_tables11_13.json", &metrics.to_json().to_pretty());
 }

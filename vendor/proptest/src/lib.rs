@@ -11,8 +11,14 @@
 //!
 //! Semantics differ from real proptest in two deliberate ways:
 //!
-//! * **No shrinking.** A failing case reports the assertion directly;
-//!   inputs are not minimised.
+//! * **Greedy shrinking, not a shrink tree.** When a case fails, the
+//!   runner asks the strategy for candidate simplifications
+//!   ([`Strategy::shrink`](strategy::Strategy::shrink)) — bisection and
+//!   single-element removal for `vec` strategies, movement toward the
+//!   lower bound for ranges, per-component shrinking for tuples — and
+//!   greedily accepts any candidate that still fails, within a fixed
+//!   re-run budget. The minimal input is printed before the original
+//!   panic is re-raised.
 //! * **Fully deterministic sampling.** Each generated test derives its
 //!   RNG seed from the test's module path and name, so failures
 //!   reproduce exactly across runs and machines.
@@ -87,6 +93,18 @@ pub mod strategy {
         /// Draws one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Candidate simplifications of `value`, simplest first.
+        ///
+        /// The runner re-runs the failing test on each candidate and
+        /// greedily keeps the first that still fails, so candidates
+        /// only need to be plausible members of the strategy's domain —
+        /// they are never trusted without a re-run. The default is no
+        /// shrinking.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
+
         /// Transforms generated values through `f`.
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
         where
@@ -113,6 +131,9 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (**self).generate(rng)
         }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
@@ -120,6 +141,16 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (**self).generate(rng)
         }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
+        }
+    }
+
+    /// The zero-strategy tuple: produces `()` and never shrinks. Anchors
+    /// the recursive tuple impls and parameterless `proptest!` bodies.
+    impl Strategy for () {
+        type Value = ();
+        fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
     }
 
     /// Always produces a clone of the wrapped value.
@@ -174,6 +205,35 @@ pub mod strategy {
             let index = rng.gen_range(0..self.options.len());
             self.options[index].generate(rng)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            // A union cannot know which alternative produced `value`,
+            // so it pools every alternative's candidates; wrong guesses
+            // are weeded out by the runner's re-run.
+            self.options
+                .iter()
+                .flat_map(|option| option.shrink(value))
+                .collect()
+        }
+    }
+
+    /// Shrink candidates for an integer drawn from `lo..`: the lower
+    /// bound itself, the midpoint toward it (bisection), and the
+    /// predecessor. Arithmetic is widened to `i128` so extreme signed
+    /// bounds cannot overflow.
+    fn shrink_int(lo: i128, value: i128) -> Vec<i128> {
+        if value <= lo {
+            return Vec::new();
+        }
+        let mut out = vec![lo];
+        let mid = lo + (value - lo) / 2;
+        if mid != lo {
+            out.push(mid);
+        }
+        let prev = value - 1;
+        if prev != lo && prev != mid {
+            out.push(prev);
+        }
+        out
     }
 
     macro_rules! int_range_strategy {
@@ -183,11 +243,23 @@ pub mod strategy {
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.gen_range(self.clone())
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
             impl Strategy for RangeInclusive<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.gen_range(self.clone())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    shrink_int(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
                 }
             }
         )*};
@@ -208,26 +280,46 @@ pub mod strategy {
         }
     }
 
+    // Tuple impls are generated by peeling the head: an N-tuple shrinks
+    // its head directly and delegates the rest to the (N-1)-tuple of
+    // references, bottoming out at `()`. The `Clone` bounds on the
+    // component values exist only to rebuild the tuple around a shrunk
+    // component; every strategy value in this workspace is `Clone`.
     macro_rules! tuple_strategy {
-        ($(($($name:ident),+))*) => {$(
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
-                type Value = ($($name::Value,)+);
+        () => {};
+        ($head:ident $head_v:ident $(, $tail:ident $tail_v:ident)*) => {
+            impl<$head: Strategy $(, $tail: Strategy)*> Strategy for ($head, $($tail,)*)
+            where
+                $head::Value: Clone,
+                $($tail::Value: Clone,)*
+            {
+                type Value = ($head::Value, $($tail::Value,)*);
                 #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
+                    let ($head, $($tail,)*) = self;
+                    ($head.generate(rng), $($tail.generate(rng),)*)
+                }
+                #[allow(non_snake_case)]
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let ($head, $($tail,)*) = self;
+                    let ($head_v, $($tail_v,)*) = value;
+                    let mut out = Vec::new();
+                    for candidate in $head.shrink($head_v) {
+                        out.push((candidate, $($tail_v.clone(),)*));
+                    }
+                    let tail_strategy = ($(&$tail,)*);
+                    let tail_value = ($($tail_v.clone(),)*);
+                    for candidate in Strategy::shrink(&tail_strategy, &tail_value) {
+                        let ($($tail_v,)*) = candidate;
+                        out.push(($head_v.clone(), $($tail_v,)*));
+                    }
+                    out
                 }
             }
-        )*};
+            tuple_strategy!($($tail $tail_v),*);
+        };
     }
-    tuple_strategy! {
-        (A)
-        (A, B)
-        (A, B, C)
-        (A, B, C, D)
-        (A, B, C, D, E)
-        (A, B, C, D, E, F)
-    }
+    tuple_strategy!(A a, B b, C c, D d, E e, F f);
 }
 
 /// `any::<T>()` over primitive types.
@@ -241,18 +333,55 @@ pub mod arbitrary {
     pub trait Arbitrary: Sized {
         /// Draws one value from the type's whole domain.
         fn arbitrary(rng: &mut TestRng) -> Self;
+
+        /// Candidate simplifications of `self` (see
+        /// [`Strategy::shrink`]). Defaults to none.
+        fn shrink(&self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
-    macro_rules! arbitrary_prim {
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+        fn shrink(&self) -> Vec<Self> {
+            if *self {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    macro_rules! arbitrary_int {
         ($($t:ty),*) => {$(
             impl Arbitrary for $t {
                 fn arbitrary(rng: &mut TestRng) -> Self {
                     rng.gen()
                 }
+                fn shrink(&self) -> Vec<Self> {
+                    // Toward zero: zero, halving, predecessor in
+                    // magnitude (also walks negatives up toward zero).
+                    let v = *self;
+                    if v == 0 {
+                        return Vec::new();
+                    }
+                    let mut out = vec![0];
+                    let half = v / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                    let nearer = if v > 0 { v - 1 } else { v + 1 };
+                    if nearer != 0 && nearer != half {
+                        out.push(nearer);
+                    }
+                    out
+                }
             }
         )*};
     }
-    arbitrary_prim!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
     /// The strategy returned by [`any`].
     #[derive(Debug, Clone, Copy)]
@@ -262,6 +391,9 @@ pub mod arbitrary {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             T::arbitrary(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            value.shrink()
         }
     }
 
@@ -321,11 +453,44 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.lo..=self.size.hi);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let len = value.len();
+            let mut out = Vec::new();
+            // Bisection first: either half alone, when still long
+            // enough — collapses large failing inputs in O(log n)
+            // accepted steps.
+            let half = len / 2;
+            if half >= self.size.lo && half < len {
+                out.push(value[..half].to_vec());
+                out.push(value[len - half..].to_vec());
+            }
+            // Then single-element removal, which finishes the job once
+            // bisection stalls.
+            if len > self.size.lo {
+                for index in 0..len {
+                    let mut shorter = value.clone();
+                    shorter.remove(index);
+                    out.push(shorter);
+                }
+            }
+            // Finally shrink elements in place.
+            for index in 0..len {
+                for candidate in self.element.shrink(&value[index]) {
+                    let mut simpler = value.clone();
+                    simpler[index] = candidate;
+                    out.push(simpler);
+                }
+            }
+            out
         }
     }
 
@@ -348,7 +513,10 @@ pub mod array {
     #[derive(Debug, Clone)]
     pub struct Uniform8<S>(S);
 
-    impl<S: Strategy> Strategy for Uniform8<S> {
+    impl<S: Strategy> Strategy for Uniform8<S>
+    where
+        S::Value: Clone,
+    {
         type Value = [S::Value; 8];
         fn generate(&self, rng: &mut TestRng) -> [S::Value; 8] {
             let drawn: Vec<S::Value> = (0..8).map(|_| self.0.generate(rng)).collect();
@@ -356,6 +524,18 @@ pub mod array {
                 Ok(array) => array,
                 Err(_) => unreachable!("drew exactly 8 elements"),
             }
+        }
+        fn shrink(&self, value: &[S::Value; 8]) -> Vec<[S::Value; 8]> {
+            // Fixed length: only the elements can simplify.
+            let mut out = Vec::new();
+            for index in 0..8 {
+                for candidate in self.0.shrink(&value[index]) {
+                    let mut simpler = value.clone();
+                    simpler[index] = candidate;
+                    out.push(simpler);
+                }
+            }
+            out
         }
     }
 
@@ -396,6 +576,75 @@ pub mod sample {
     }
 }
 
+/// Case execution and greedy minimization (used by `proptest!`).
+#[doc(hidden)]
+pub mod runner {
+    use crate::strategy::Strategy;
+    use std::any::Any;
+    use std::fmt::Debug;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Hard ceiling on shrink-candidate re-runs per failing case, so a
+    /// slow test body cannot turn minimization into a hang.
+    pub const SHRINK_BUDGET: usize = 1024;
+
+    /// Runs one sampled case; on failure, minimizes the input and
+    /// re-raises the panic with the minimal reproduction printed.
+    pub fn run_case<S, F>(strategy: &S, value: S::Value, run: &F)
+    where
+        S: Strategy,
+        S::Value: Clone + Debug,
+        F: Fn(&S::Value),
+    {
+        let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(&value))) else {
+            return;
+        };
+        eprintln!("proptest shim: failing input: {value:?}");
+        let (minimal, payload) = minimize(strategy, value, run, payload);
+        eprintln!("proptest shim: minimal failing input: {minimal:?}");
+        resume_unwind(payload);
+    }
+
+    /// Greedily walks `strategy`'s shrink candidates from `value`,
+    /// keeping the first candidate at each step that still fails `run`,
+    /// until no candidate fails or [`SHRINK_BUDGET`] re-runs are spent.
+    /// Returns the minimal failing value and its panic payload.
+    pub fn minimize<S, F>(
+        strategy: &S,
+        mut value: S::Value,
+        run: &F,
+        mut payload: Box<dyn Any + Send>,
+    ) -> (S::Value, Box<dyn Any + Send>)
+    where
+        S: Strategy,
+        S::Value: Clone + Debug,
+        F: Fn(&S::Value),
+    {
+        let mut budget = SHRINK_BUDGET;
+        loop {
+            let mut advanced = false;
+            for candidate in strategy.shrink(&value) {
+                if budget == 0 {
+                    return (value, payload);
+                }
+                budget -= 1;
+                match catch_unwind(AssertUnwindSafe(|| run(&candidate))) {
+                    Ok(()) => {}
+                    Err(candidate_payload) => {
+                        value = candidate;
+                        payload = candidate_payload;
+                        advanced = true;
+                        break;
+                    }
+                }
+            }
+            if !advanced {
+                return (value, payload);
+            }
+        }
+    }
+}
+
 /// The glob-import surface test modules use.
 pub mod prelude {
     pub use crate::arbitrary::any;
@@ -431,39 +680,63 @@ macro_rules! __proptest_fns {
             );
             for __proptest_case in 0..__proptest_config.cases {
                 let _ = __proptest_case;
-                $crate::__proptest_body!(__proptest_rng {$body} $($params)*);
+                $crate::__proptest_body!(__proptest_rng {$body} @parse () () $($params)*);
             }
         }
         $crate::__proptest_fns!(($cfg) $($rest)*);
     };
 }
 
+// Normalizes the mixed parameter forms (`pat in strategy` and
+// `name: Type`) into parallel pattern/strategy lists, then runs the
+// body through one tuple strategy so a failure can shrink every
+// parameter jointly.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_body {
-    ($rng:ident {$body:block}) => { $body };
-    ($rng:ident {$body:block} $pat:pat in $strat:expr) => {{
-        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
-        $crate::__proptest_body!($rng {$body});
-    }};
-    ($rng:ident {$body:block} $pat:pat in $strat:expr, $($rest:tt)*) => {{
-        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
-        $crate::__proptest_body!($rng {$body} $($rest)*);
-    }};
-    ($rng:ident {$body:block} $arg:ident: $ty:ty) => {{
-        let $arg = $crate::strategy::Strategy::generate(
-            &$crate::arbitrary::any::<$ty>(),
-            &mut $rng,
+    // Fully parsed, no parameters: run the body directly.
+    ($rng:ident {$body:block} @parse () ()) => { $body };
+    // Fully parsed: bundle the strategies into a tuple, sample once,
+    // and hand the case to the runner (which owns shrinking).
+    ($rng:ident {$body:block} @parse ($($pat:pat),+) ($($strat:expr),+)) => {{
+        let __proptest_strategy = ($($strat,)+);
+        let __proptest_value =
+            $crate::strategy::Strategy::generate(&__proptest_strategy, &mut $rng);
+        $crate::runner::run_case(
+            &__proptest_strategy,
+            __proptest_value,
+            &|__proptest_case| {
+                let ($($pat,)+) = ::std::clone::Clone::clone(__proptest_case);
+                $body
+            },
         );
-        $crate::__proptest_body!($rng {$body});
     }};
-    ($rng:ident {$body:block} $arg:ident: $ty:ty, $($rest:tt)*) => {{
-        let $arg = $crate::strategy::Strategy::generate(
-            &$crate::arbitrary::any::<$ty>(),
-            &mut $rng,
-        );
-        $crate::__proptest_body!($rng {$body} $($rest)*);
-    }};
+    // Munch `pat in strategy`.
+    ($rng:ident {$body:block} @parse ($($pats:pat),*) ($($strats:expr),*)
+        $pat:pat in $strat:expr) => {
+        $crate::__proptest_body!($rng {$body} @parse ($($pats,)* $pat) ($($strats,)* $strat))
+    };
+    ($rng:ident {$body:block} @parse ($($pats:pat),*) ($($strats:expr),*)
+        $pat:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_body!(
+            $rng {$body} @parse ($($pats,)* $pat) ($($strats,)* $strat) $($rest)*
+        )
+    };
+    // Munch `name: Type` (sugar for `name in any::<Type>()`).
+    ($rng:ident {$body:block} @parse ($($pats:pat),*) ($($strats:expr),*)
+        $arg:ident: $ty:ty) => {
+        $crate::__proptest_body!(
+            $rng {$body}
+            @parse ($($pats,)* $arg) ($($strats,)* $crate::arbitrary::any::<$ty>())
+        )
+    };
+    ($rng:ident {$body:block} @parse ($($pats:pat),*) ($($strats:expr),*)
+        $arg:ident: $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_body!(
+            $rng {$body}
+            @parse ($($pats,)* $arg) ($($strats,)* $crate::arbitrary::any::<$ty>()) $($rest)*
+        )
+    };
 }
 
 /// `assert!` under a proptest-flavoured name.
@@ -556,6 +829,55 @@ mod tests {
             prop_assert!((3..7).contains(&bytes.len()));
             prop_assert!(lanes.iter().all(|l| (1..=32).contains(l)));
             prop_assert!([5, 7, 9].contains(&choice));
+        }
+    }
+
+    #[test]
+    fn shrinking_minimizes_vec_case() {
+        use crate::runner::minimize;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let strategy = crate::collection::vec(any::<u8>(), 0..=16);
+        let run = |v: &Vec<u8>| assert!(!v.iter().any(|&b| b >= 10), "found a big element");
+        let start = vec![3u8, 12, 200, 7, 10, 10];
+        let payload = catch_unwind(AssertUnwindSafe(|| run(&start))).unwrap_err();
+        let (minimal, _) = minimize(&strategy, start, &run, payload);
+        assert_eq!(
+            minimal,
+            vec![10],
+            "bisect + removal + element shrink bottoms out"
+        );
+    }
+
+    #[test]
+    fn shrinking_minimizes_range_case_to_boundary() {
+        use crate::runner::minimize;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let strategy = 5u32..100;
+        let run = |v: &u32| assert!(*v < 37);
+        let payload = catch_unwind(AssertUnwindSafe(|| run(&80))).unwrap_err();
+        let (minimal, _) = minimize(&strategy, 80, &run, payload);
+        assert_eq!(minimal, 37, "bisection walks to the smallest failing value");
+    }
+
+    #[test]
+    fn run_case_reraises_the_failure_after_minimizing() {
+        let strategy = 0u32..1000;
+        let run = |v: &u32| assert!(*v < 10);
+        let outcome = std::panic::catch_unwind(|| crate::runner::run_case(&strategy, 500, &run));
+        assert!(outcome.is_err(), "a failing case must still fail the test");
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        use crate::strategy::Strategy;
+        let strategy = (0u32..10, 0u8..4);
+        let candidates = strategy.shrink(&(6, 3));
+        assert!(!candidates.is_empty());
+        for (a, b) in candidates {
+            assert!(
+                (a, b) != (6, 3) && ((a, 3u8) == (a, b) || (6u32, b) == (a, b)),
+                "each candidate changes exactly one component"
+            );
         }
     }
 
