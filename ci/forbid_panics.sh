@@ -16,9 +16,15 @@
 # marker documents that panicking IS the contract (golden-test helpers
 # fail tests by panicking, exactly like `assert_eq!`).
 #
+# The emulator (ccrp-emu) joined the scan with the checkpoint layer:
+# Checkpoint::from_bytes consumes untrusted files, and the corruption
+# battery requires a typed CheckpointError on every stomped input —
+# never a panic.
+#
 # Scope and escape hatches:
 #   * only library source under
-#     crates/{core,compress,bitstream,testutil,difftest}/src is scanned;
+#     crates/{core,compress,bitstream,testutil,difftest,emu}/src is
+#     scanned;
 #   * everything from the first `#[cfg(test)]` line to end-of-file is
 #     ignored (test modules may panic freely);
 #   * `//` comment and doc-comment lines are ignored;
@@ -30,7 +36,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 hits=$(find crates/core/src crates/compress/src crates/bitstream/src \
-            crates/testutil/src crates/difftest/src -name '*.rs' | sort | while IFS= read -r file; do
+            crates/testutil/src crates/difftest/src crates/emu/src \
+            -name '*.rs' | sort | while IFS= read -r file; do
     awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { if (/panic-ok:/) skip = 1; next }
@@ -50,4 +57,4 @@ if [ -n "$hits" ]; then
     echo "       mark a documented contract with a 'panic-ok:' comment." >&2
     exit 1
 fi
-echo "forbid_panics: crates/{core,compress,bitstream,testutil,difftest} library code is panic-free."
+echo "forbid_panics: crates/{core,compress,bitstream,testutil,difftest,emu} library code is panic-free."

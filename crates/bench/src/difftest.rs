@@ -15,7 +15,7 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use ccrp_difftest::{run_trial, TrialOutcome, TrialReport};
+use ccrp_difftest::{run_trial, run_trial_segmented, TrialOutcome, TrialReport};
 
 use crate::json::Json;
 use crate::report::ToJson;
@@ -78,6 +78,11 @@ pub struct DifftestOptions {
     pub seed: u64,
     /// Worker threads (1 = serial). Does not affect verdicts.
     pub jobs: usize,
+    /// Checkpoint interval: `Some(n)` routes every trial through the
+    /// segmented co-simulator with a checkpoint every `n` retired
+    /// instructions; `None` runs monolithically. Does not affect
+    /// verdicts.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for DifftestOptions {
@@ -86,6 +91,7 @@ impl Default for DifftestOptions {
             programs: 1000,
             seed: 1,
             jobs: crate::runner::available_jobs(),
+            checkpoint_every: None,
         }
     }
 }
@@ -104,6 +110,8 @@ pub struct Trial {
     pub lat_entries: u64,
     /// Probed refills the timing sweep performed.
     pub refills: u64,
+    /// Segments the co-simulation replayed (0 for monolithic trials).
+    pub segments: u64,
     /// Failure detail (rendered divergence report, violation list, or
     /// generator error); empty for matches.
     pub detail: String,
@@ -139,6 +147,7 @@ fn record(report: TrialReport) -> Trial {
         text_bytes: report.text_bytes,
         lat_entries: report.lat_entries,
         refills: report.refills,
+        segments: report.segments,
         detail,
     }
 }
@@ -151,12 +160,19 @@ pub fn run(options: DifftestOptions) -> DifftestReport {
     let trials = parallel_map(options.jobs, &indices, |&trial| {
         let seed = trial_seed(options.seed, trial);
         // catch_unwind so a harness bug is counted, not propagated.
-        panic::catch_unwind(AssertUnwindSafe(|| record(run_trial(seed)))).unwrap_or(Trial {
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            record(match options.checkpoint_every {
+                Some(every) => run_trial_segmented(seed, every),
+                None => run_trial(seed),
+            })
+        }))
+        .unwrap_or(Trial {
             outcome: Outcome::Panic,
             instructions: 0,
             text_bytes: 0,
             lat_entries: 0,
             refills: 0,
+            segments: 0,
             detail: format!("trial {trial} (seed {seed}) panicked"),
         })
     })
@@ -207,10 +223,13 @@ impl DifftestReport {
     }
 
     /// The deterministic half of the report: identical for equal
-    /// `(programs, seed)` whatever the job count or machine.
+    /// `(programs, seed, checkpoint_every)` whatever the job count or
+    /// machine. The `checkpoint_every` and `segments` keys appear only
+    /// for segmented campaigns, so monolithic reports stay byte-for-byte
+    /// compatible with the pre-checkpointing schema.
     pub fn results_json(&self) -> Json {
         let sum = |f: fn(&Trial) -> u64| Json::U64(self.trials.iter().map(f).sum());
-        Json::obj([
+        let base = Json::obj([
             ("schema", Json::str("ccrp-difftest/1")),
             ("programs", Json::U64(self.options.programs as u64)),
             ("seed", Json::U64(self.options.seed)),
@@ -230,7 +249,24 @@ impl DifftestReport {
             ("outcomes", Json::str(&self.outcome_string())),
             ("failures", self.failures_json(8)),
             ("acceptable", Json::Bool(self.acceptable())),
-        ])
+        ]);
+        let Some(every) = self.options.checkpoint_every else {
+            return base;
+        };
+        let Json::Obj(mut pairs) = base else {
+            unreachable!("Json::obj returns an object");
+        };
+        let seed_at = pairs
+            .iter()
+            .position(|(key, _)| key == "seed")
+            .expect("seed key present");
+        pairs.insert(seed_at + 1, ("checkpoint_every".into(), Json::U64(every)));
+        let refills_at = pairs
+            .iter()
+            .position(|(key, _)| key == "refills")
+            .expect("refills key present");
+        pairs.insert(refills_at + 1, ("segments".into(), sum(|t| t.segments)));
+        Json::Obj(pairs)
     }
 }
 
@@ -262,7 +298,37 @@ mod tests {
             programs: 24,
             seed: 7,
             jobs,
+            checkpoint_every: None,
         })
+    }
+
+    #[test]
+    fn segmented_campaign_matches_monolithic_results() {
+        let monolithic = run(DifftestOptions {
+            programs: 8,
+            seed: 7,
+            jobs: 2,
+            checkpoint_every: None,
+        });
+        let segmented = run(DifftestOptions {
+            programs: 8,
+            seed: 7,
+            jobs: 2,
+            checkpoint_every: Some(64),
+        });
+        // Verdicts and workload statistics agree; only the segment
+        // counts (and the two extra JSON keys) differ.
+        for (mono, seg) in monolithic.trials.iter().zip(&segmented.trials) {
+            assert!(seg.segments >= 1, "segmented trial recorded no segments");
+            let mut comparable = seg.clone();
+            comparable.segments = 0;
+            assert_eq!(&comparable, mono);
+        }
+        let mono_json = monolithic.results_json().to_compact();
+        let seg_json = segmented.results_json().to_compact();
+        assert!(!mono_json.contains("checkpoint_every"));
+        assert!(seg_json.contains("\"checkpoint_every\":64"));
+        assert!(seg_json.contains("\"segments\":"));
     }
 
     #[test]

@@ -396,8 +396,8 @@ fn results_json(results: &ExperimentResults) -> Json {
 /// data-cache) configuration, generated in the serial nesting order of
 /// the experiment it belongs to.
 #[derive(Debug, Clone, Copy)]
-struct SimCell {
-    workload: &'static str,
+pub(crate) struct SimCell {
+    pub(crate) workload: &'static str,
     memory: MemoryModel,
     cache_bytes: u32,
     clb_entries: usize,
@@ -406,7 +406,7 @@ struct SimCell {
 }
 
 impl SimCell {
-    fn label(&self) -> String {
+    pub(crate) fn label(&self) -> String {
         let mut label = format!(
             "{}/{}/{}B/clb{}",
             self.workload,
@@ -420,7 +420,7 @@ impl SimCell {
         label
     }
 
-    fn config(&self) -> SystemConfig {
+    pub(crate) fn config(&self) -> SystemConfig {
         SystemConfig::new()
             .with_cache_bytes(self.cache_bytes)
             .with_memory(self.memory)
@@ -430,7 +430,7 @@ impl SimCell {
             }))
     }
 
-    fn simulate(&self, suite: &Suite) -> Comparison {
+    pub(crate) fn simulate(&self, suite: &Suite) -> Comparison {
         let prepared = suite.get(self.workload);
         compare(
             &prepared.image,
@@ -472,7 +472,7 @@ fn tables_1_8_memories(workload: &str) -> &'static [MemoryModel] {
     }
 }
 
-fn sim_cells(experiment: Experiment, suite: &Suite) -> Vec<SimCell> {
+pub(crate) fn sim_cells(experiment: Experiment, suite: &Suite) -> Vec<SimCell> {
     let mut cells = Vec::new();
     let mut push = |workload, memory, cache_bytes, clb_entries, dcache_miss_pct| {
         cells.push(SimCell {

@@ -1,12 +1,17 @@
-//! `ccrp-tools difftest [--programs N] [--seed N] [--jobs N] [--out FILE]`
+//! `ccrp-tools difftest [--programs N] [--seed N] [--jobs N]
+//! [--checkpoint-every N] [--out FILE]`
 //!
 //! Runs a differential co-simulation campaign: N seeded random programs
 //! executed in lockstep on the plain-ROM reference machine and on every
 //! compressed-ROM variant, with the refill timing invariants swept per
-//! program. Results go to a machine-readable JSON file (default
-//! `BENCH_difftest.json`). Verdicts are a pure function of
-//! `(--programs, --seed)`, so the results section of the JSON is
-//! bit-identical for any `--jobs` value.
+//! program. With `--checkpoint-every` each trial runs through the
+//! segmented co-simulator: a checkpoint-recording pass over the
+//! reference, then per-segment restore-and-replay — same verdicts,
+//! exercising the checkpoint path on every program. Results go to a
+//! machine-readable JSON file (default `BENCH_difftest.json`). Verdicts
+//! are a pure function of `(--programs, --seed, --checkpoint-every)`,
+//! so the results section of the JSON is bit-identical for any `--jobs`
+//! value.
 //!
 //! The command exits nonzero on any divergence, timing-invariant
 //! violation, generator failure, or panic — the transparency contract
@@ -21,7 +26,7 @@ use crate::args::Args;
 use crate::error::{write_file, CliError};
 
 /// Option names consuming a value.
-pub const VALUE_OPTIONS: &[&str] = &["programs", "seed", "jobs", "out"];
+pub const VALUE_OPTIONS: &[&str] = &["programs", "seed", "jobs", "checkpoint-every", "out"];
 /// Switch names.
 pub const SWITCHES: &[&str] = &[];
 
@@ -47,12 +52,19 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if jobs == 0 {
         return Err(CliError::Usage("--jobs must be at least 1".into()));
     }
+    let checkpoint_every = match args.option("checkpoint-every") {
+        None => None,
+        Some(text) => Some(text.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+            CliError::Usage(format!("--checkpoint-every: bad interval `{text}`"))
+        })?),
+    };
     let path = args.option("out").unwrap_or("BENCH_difftest.json");
 
     let report = difftest::run(DifftestOptions {
         programs,
         seed,
         jobs,
+        checkpoint_every,
     });
     write_file(path, report.to_json().to_pretty().as_bytes())?;
 
@@ -123,6 +135,41 @@ mod tests {
         let args = Args::parse(&strings(&["--seed", "x"]), VALUE_OPTIONS, SWITCHES).unwrap();
         let err = run(&args, &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("--seed"));
+    }
+
+    #[test]
+    fn segmented_campaign_records_segments() {
+        let path = temp_path("difftest_seg.json");
+        let args = Args::parse(
+            &strings(&[
+                "--programs",
+                "4",
+                "--seed",
+                "7",
+                "--jobs",
+                "2",
+                "--checkpoint-every",
+                "50",
+                "--out",
+                &path,
+            ]),
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        run(&args, &mut Vec::new()).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"checkpoint_every\": 50"));
+        assert!(json.contains("\"segments\":"));
+        std::fs::remove_file(&path).ok();
+
+        let args = Args::parse(
+            &strings(&["--checkpoint-every", "0"]),
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
     }
 
     #[test]

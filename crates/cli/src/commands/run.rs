@@ -1,34 +1,71 @@
-//! `ccrp-tools run <input.s> [--input 1,2,3] [--max-steps N] [--stats]`
+//! `ccrp-tools run <input.s> [--input 1,2,3] [--max-steps N] [--stats]
+//! [--checkpoint-every N --checkpoint-out FILE] [--resume-from FILE]`
 //!
 //! Assembles and executes a program on the functional R2000 emulator.
+//! With `--checkpoint-every N` the machine's architectural state is
+//! serialized to `--checkpoint-out` every N retired instructions;
+//! `--resume-from` restores such a file (it must have been taken on the
+//! same program) and continues from the recorded instruction.
 
 use std::io::Write;
 
 use ccrp_bench::json::Json;
-use ccrp_emu::{Machine, MachineConfig, ProgramTrace};
+use ccrp_emu::{Checkpoint, EmuError, Machine, MachineConfig, ProgramTrace, RunSummary};
 
 use crate::args::Args;
-use crate::error::{read_text, CliError};
+use crate::error::{read_file, read_text, write_file, CliError};
 
 /// Option names consuming a value.
-pub const VALUE_OPTIONS: &[&str] = &["input", "max-steps"];
+pub const VALUE_OPTIONS: &[&str] = &[
+    "input",
+    "max-steps",
+    "checkpoint-every",
+    "checkpoint-out",
+    "resume-from",
+];
 /// Switch names.
 pub const SWITCHES: &[&str] = &["stats"];
+
+/// Parses `--checkpoint-every`/`--checkpoint-out`, which come together
+/// or not at all.
+fn checkpoint_options(args: &Args) -> Result<Option<(u64, &str)>, CliError> {
+    match (
+        args.option("checkpoint-every"),
+        args.option("checkpoint-out"),
+    ) {
+        (None, None) => Ok(None),
+        (Some(text), Some(path)) => {
+            let every = text.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                CliError::Usage(format!("--checkpoint-every: bad interval `{text}`"))
+            })?;
+            Ok(Some((every, path)))
+        }
+        _ => Err(CliError::Usage(
+            "--checkpoint-every and --checkpoint-out must be given together".into(),
+        )),
+    }
+}
 
 /// Runs the subcommand.
 ///
 /// # Errors
 ///
-/// Usage, I/O, assembly, or runtime errors.
+/// Usage, I/O, assembly, checkpoint, or runtime errors.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let input = args.positional(0, "input assembly file")?;
+    let checkpointing = checkpoint_options(args)?;
     let source = read_text(input)?;
     let image = ccrp_asm::assemble(&source)?;
     let mut config = MachineConfig::default();
     if args.option("max-steps").is_some() {
         config.max_steps = u64::from(args.option_u32("max-steps", 0)?);
     }
+    let max_steps = config.max_steps;
     let mut machine = Machine::with_config(&image, config);
+    if let Some(path) = args.option("resume-from") {
+        let checkpoint = Checkpoint::from_bytes(&read_file(path)?)?;
+        machine.restore(&checkpoint)?;
+    }
     if let Some(list) = args.option("input") {
         let values: Result<Vec<i32>, _> = list.split(',').map(str::parse).collect();
         let values =
@@ -36,7 +73,26 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         machine.push_input(values);
     }
     let mut trace = ProgramTrace::new();
-    let summary = machine.run(&mut trace)?;
+    let summary = match checkpointing {
+        None => machine.run(&mut trace)?,
+        Some((every, path)) => {
+            // Machine::run, with a checkpoint written at every interval
+            // boundary the program crosses while still running.
+            while machine.exit_code().is_none() {
+                if machine.steps() >= max_steps {
+                    return Err(EmuError::StepLimitExceeded { limit: max_steps }.into());
+                }
+                machine.step(&mut trace)?;
+                if machine.exit_code().is_none() && machine.steps().is_multiple_of(every) {
+                    write_file(path, &machine.checkpoint().to_bytes())?;
+                }
+            }
+            RunSummary {
+                instructions: machine.steps(),
+                exit_code: machine.exit_code().unwrap_or_default(),
+            }
+        }
+    };
     if args.json() {
         let json = Json::obj([
             ("schema", Json::str("ccrp-run/1")),
@@ -68,7 +124,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_util::write_temp;
+    use crate::test_util::{temp_path, write_temp};
 
     #[test]
     fn runs_and_prints() {
@@ -110,6 +166,78 @@ mod tests {
         .unwrap();
         let err = run(&args, &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("1000 instructions"));
+        std::fs::remove_file(src).ok();
+    }
+
+    #[test]
+    fn checkpoint_resume_reproduces_the_full_run() {
+        let src = write_temp(
+            "run_ckpt.s",
+            "main: li $t0, 0\n li $t1, 5\nloop: move $a0, $t0\n li $v0, 1\n syscall\n addi $t0, $t0, 1\n blt $t0, $t1, loop\n li $v0, 10\n syscall\n",
+        );
+        let ckpt = temp_path("run_ckpt.bin");
+        let args = Args::parse(
+            &[
+                src.clone(),
+                "--checkpoint-every".into(),
+                "7".into(),
+                "--checkpoint-out".into(),
+                ckpt.clone(),
+            ],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut full = Vec::new();
+        run(&args, &mut full).unwrap();
+        assert!(
+            std::path::Path::new(&ckpt).exists(),
+            "no checkpoint written"
+        );
+
+        // Resuming the last checkpoint replays only the tail, but the
+        // restored state carries the prefix's output, so the final
+        // output is identical to the unbroken run's.
+        let args = Args::parse(
+            &[src.clone(), "--resume-from".into(), ckpt.clone()],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut resumed = Vec::new();
+        run(&args, &mut resumed).unwrap();
+        assert_eq!(resumed, full);
+        std::fs::remove_file(src).ok();
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected_not_executed() {
+        let src = write_temp("run_ckpt_bad.s", "main: li $v0, 10\n syscall\n");
+        let ckpt = write_temp("run_ckpt_bad.bin", "CCKPgarbage-not-a-frame");
+        let args = Args::parse(
+            &[src.clone(), "--resume-from".into(), ckpt.clone()],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("checkpoint rejected"));
+        std::fs::remove_file(src).ok();
+        std::fs::remove_file(ckpt).ok();
+    }
+
+    #[test]
+    fn checkpoint_options_must_come_together() {
+        let src = write_temp("run_ckpt_pair.s", "main: li $v0, 10\n syscall\n");
+        let args = Args::parse(
+            &[src.clone(), "--checkpoint-every".into(), "5".into()],
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-out"));
         std::fs::remove_file(src).ok();
     }
 

@@ -18,6 +18,9 @@ pub enum CliError {
     Asm(ccrp_asm::AsmError),
     /// Emulation failure.
     Emu(ccrp_emu::EmuError),
+    /// A checkpoint file was rejected (corrupt, truncated, wrong
+    /// version, or taken on a different program).
+    Checkpoint(ccrp_emu::CheckpointError),
     /// Compression/image failure.
     Ccrp(ccrp::CcrpError),
     /// Simulation failure.
@@ -34,6 +37,7 @@ impl fmt::Display for CliError {
             CliError::Io { path, source } => write!(f, "{path}: {source}"),
             CliError::Asm(e) => write!(f, "assembly failed: {e}"),
             CliError::Emu(e) => write!(f, "execution failed: {e}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
             CliError::Ccrp(e) => write!(f, "compression failed: {e}"),
             CliError::Sim(e) => write!(f, "simulation failed: {e}"),
             CliError::Campaign(msg) => write!(f, "fault campaign failed: {msg}"),
@@ -48,6 +52,7 @@ impl Error for CliError {
             CliError::Io { source, .. } => Some(source),
             CliError::Asm(e) => Some(e),
             CliError::Emu(e) => Some(e),
+            CliError::Checkpoint(e) => Some(e),
             CliError::Ccrp(e) => Some(e),
             CliError::Sim(e) => Some(e),
         }
@@ -63,6 +68,12 @@ impl From<ccrp_asm::AsmError> for CliError {
 impl From<ccrp_emu::EmuError> for CliError {
     fn from(e: ccrp_emu::EmuError) -> Self {
         CliError::Emu(e)
+    }
+}
+
+impl From<ccrp_emu::CheckpointError> for CliError {
+    fn from(e: ccrp_emu::CheckpointError) -> Self {
+        CliError::Checkpoint(e)
     }
 }
 

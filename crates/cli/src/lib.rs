@@ -58,7 +58,11 @@ COMMANDS:
   disasm <in> [--base N]
       disassemble a .s file or raw text binary
   run <in.s> [--input 1,2,3] [--max-steps N] [--stats]
-      execute on the functional R2000 emulator
+      [--checkpoint-every N --checkpoint-out FILE] [--resume-from FILE]
+      execute on the functional R2000 emulator; --checkpoint-every
+      serializes the machine state to --checkpoint-out every N retired
+      instructions, --resume-from restores such a file (same program
+      only) and continues from the recorded instruction
   compress <in> [--out f.ccrp] [--alignment byte|word] [--code preselected|self] [--text-base N] [--crc]
       compress into a CCRP ROM container (--crc: v2 container with
       header and per-line CRC-32 integrity records)
@@ -85,11 +89,14 @@ COMMANDS:
       run a seeded fault-injection campaign over the container format,
       write BENCH_faultsim.json, and fail on panics, hangs, or silent
       miscompares in CRC-carrying (v2) containers
-  difftest [--programs N] [--seed N] [--jobs N] [--out FILE]
+  difftest [--programs N] [--seed N] [--jobs N] [--checkpoint-every N]
+           [--out FILE]
       run a differential co-simulation campaign: seeded random programs
       executed in lockstep on the plain and compressed machines with
       refill timing invariants checked per program; write
-      BENCH_difftest.json and fail on any divergence or violation
+      BENCH_difftest.json and fail on any divergence or violation;
+      --checkpoint-every routes every trial through the segmented
+      (checkpoint/restore) co-simulator with identical verdicts
   help
       print this text
 

@@ -184,6 +184,35 @@ impl FaultInjector {
         }
         FaultPlan { faults }
     }
+
+    /// Draws a plan of `count` faults anywhere in a raw `len`-byte
+    /// buffer, for corrupting artifacts that are not containers —
+    /// checkpoint files, report blobs. Faults are tagged
+    /// [`FaultRegion::Any`]; an empty buffer yields an empty plan.
+    pub fn plan_raw(&mut self, len: usize, count: usize) -> FaultPlan {
+        let mut faults = Vec::with_capacity(count);
+        if len == 0 {
+            return FaultPlan { faults };
+        }
+        for _ in 0..count {
+            let offset = self.rng.below(len);
+            let kind = if self.rng.next_u64() & 1 == 0 {
+                FaultKind::BitFlip {
+                    bit: (self.rng.next_u64() & 7) as u8,
+                }
+            } else {
+                FaultKind::ByteStomp {
+                    value: (self.rng.next_u64() & 0xFF) as u8,
+                }
+            };
+            faults.push(Fault {
+                offset,
+                kind,
+                region: FaultRegion::Any,
+            });
+        }
+        FaultPlan { faults }
+    }
 }
 
 /// A deterministic list of byte mutations to apply to container bytes.

@@ -66,8 +66,9 @@ mod fault;
 mod image;
 mod lat;
 mod refill;
+mod snapshot;
 
-pub use clb::{Clb, ClbStats};
+pub use clb::{Clb, ClbSnapshot, ClbStats};
 pub use compact_lat::{CompactLatEntry, COMPACT_ENTRY_BYTES};
 pub use crc::crc32;
 pub use error::CcrpError;
@@ -75,7 +76,12 @@ pub use fault::{ContainerLayout, Fault, FaultInjector, FaultKind, FaultPlan, Fau
 pub use image::{CompressedImage, LineLocation};
 pub use lat::{LatEntry, LineAddressTable, ENTRY_BYTES, RECORDS_PER_ENTRY};
 pub use refill::{
-    DegradePolicy, IntegrityCheck, MemoryTiming, RefillConfig, RefillEngine, RefillOutcome,
+    DegradePolicy, IntegrityCheck, MemoryTiming, RefillConfig, RefillEngine, RefillEngineSnapshot,
+    RefillOutcome,
+};
+pub use snapshot::{
+    read_frame, write_frame, ByteReader, ByteWriter, SnapshotError, SnapshotHeader,
+    SNAPSHOT_HEADER_BYTES, SNAPSHOT_MAGIC,
 };
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use ccrp_compress::ByteCode;
 use ccrp_probe::{Event, NullProbe, Probe};
 
 use crate::addr::LINE_SIZE;
-use crate::clb::{Clb, ClbStats};
+use crate::clb::{Clb, ClbSnapshot, ClbStats};
 use crate::error::CcrpError;
 use crate::image::CompressedImage;
 
@@ -147,6 +147,24 @@ impl RefillEngine {
     /// CLB hit/miss statistics.
     pub fn clb_stats(&self) -> ClbStats {
         self.clb.stats()
+    }
+
+    /// Captures the engine's mutable state. Only the CLB is state:
+    /// decode rate, policy, and integrity mode are configuration, and
+    /// the burst-arrival scratch buffer is cleared at the start of
+    /// every memory read.
+    pub fn snapshot(&self) -> RefillEngineSnapshot {
+        RefillEngineSnapshot {
+            clb: self.clb.snapshot(),
+        }
+    }
+
+    /// Restores the state captured by [`snapshot`](Self::snapshot);
+    /// configuration fields are untouched. Refills after a restore
+    /// proceed bit-for-bit as they would have on the snapshotted
+    /// engine under the same configuration.
+    pub fn restore(&mut self, snapshot: &RefillEngineSnapshot) {
+        self.clb.restore(&snapshot.clb);
     }
 
     /// Whether `error` is something the degradation policy covers:
@@ -410,6 +428,20 @@ impl RefillEngine {
         };
         progress.time = progress.time.max(ready_at);
         Ok(ready_at)
+    }
+}
+
+/// A [`RefillEngine`]'s captured mutable state; see
+/// [`RefillEngine::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefillEngineSnapshot {
+    clb: ClbSnapshot,
+}
+
+impl RefillEngineSnapshot {
+    /// The captured CLB state.
+    pub fn clb(&self) -> &ClbSnapshot {
+        &self.clb
     }
 }
 

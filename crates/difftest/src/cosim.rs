@@ -121,12 +121,18 @@ pub struct CosimVariant {
 /// or the *reference* machine faulted / exceeded `max_steps`, which
 /// means the generated program itself is invalid.
 pub fn run_cosim(image: &ProgramImage, max_steps: u64) -> Result<CosimVerdict, String> {
+    run_cosim_with(image, standard_variants(image)?, max_steps)
+}
+
+/// The standard variant matrix shared by [`run_cosim`] and the segmented
+/// runner.
+pub(crate) fn standard_variants(image: &ProgramImage) -> Result<Vec<CosimVariant>, String> {
     let rom = build_rom(image)?;
     let v1 = CompressedImage::from_bytes(&rom.to_bytes())
         .map_err(|e| format!("v1 container round-trip failed: {e}"))?;
     let v2 = CompressedImage::from_bytes(&rom.to_bytes_v2())
         .map_err(|e| format!("v2 container round-trip failed: {e}"))?;
-    let variants = vec![
+    Ok(vec![
         CosimVariant {
             label: "direct-abort",
             rom,
@@ -142,8 +148,7 @@ pub fn run_cosim(image: &ProgramImage, max_steps: u64) -> Result<CosimVerdict, S
             rom: v2,
             policy: DegradePolicy::Retry { attempts: 2 },
         },
-    ];
-    run_cosim_with(image, variants, max_steps)
+    ])
 }
 
 /// Runs `image` on the reference machine and on each variant in
@@ -227,7 +232,7 @@ pub fn run_cosim_with(
 
 /// Compares the full post-step architectural state, returning the first
 /// differing `(field, reference-vs-variant detail)`.
-fn compare_state(
+pub(crate) fn compare_state(
     reference: &Machine,
     variant: &Machine,
     ref_accesses: &[(u32, bool)],
@@ -298,7 +303,7 @@ fn compare_state(
 }
 
 /// Disassembles ±4 instructions around `pc`, marking the faulting line.
-fn disasm_window(image: &ProgramImage, pc: u32) -> Vec<String> {
+pub(crate) fn disasm_window(image: &ProgramImage, pc: u32) -> Vec<String> {
     let mut out = Vec::new();
     for slot in -4i64..=4 {
         let addr = i64::from(pc) + slot * 4;

@@ -30,6 +30,7 @@
 pub mod cosim;
 pub mod progen;
 pub mod rng;
+pub mod segmented;
 pub mod timing;
 
 pub use cosim::{
@@ -38,6 +39,7 @@ pub use cosim::{
 };
 pub use progen::{GeneratedProgram, ProgGen, SCRATCH_BASE, SCRATCH_SIZE};
 pub use rng::SplitMix64;
+pub use segmented::{run_cosim_segmented, SegmentedVerdict};
 pub use timing::{check_refill_invariants, LinearMemory, TimingReport};
 
 use ccrp_asm::assemble;
@@ -90,6 +92,8 @@ pub struct TrialReport {
     pub lat_entries: u64,
     /// Probed refills the timing sweep performed (0 unless it ran).
     pub refills: u64,
+    /// Segments the co-simulation replayed (0 for monolithic runs).
+    pub segments: u64,
 }
 
 /// Runs the full differential trial for `seed`: generate, assemble,
@@ -104,6 +108,7 @@ pub fn run_trial(seed: u64) -> TrialReport {
         text_bytes: 0,
         lat_entries: 0,
         refills: 0,
+        segments: 0,
     };
     let image = match assemble(&generated.source()) {
         Ok(image) => image,
@@ -152,6 +157,75 @@ pub fn run_trial(seed: u64) -> TrialReport {
     report
 }
 
+/// Runs the same differential trial as [`run_trial`], but drives the
+/// co-simulation through the checkpoint-segmented runner with a
+/// checkpoint every `every` retired instructions. The verdict is
+/// byte-identical to the monolithic trial's; only
+/// [`TrialReport::segments`] differs (the segment count instead of 0).
+/// On divergence the shrinker re-checks candidates with the monolithic
+/// runner — the verdicts agree, and the monolithic path is cheaper.
+pub fn run_trial_segmented(seed: u64, every: u64) -> TrialReport {
+    let generated = ProgGen::generate(seed);
+    let mut report = TrialReport {
+        outcome: TrialOutcome::Match,
+        instructions: 0,
+        text_bytes: 0,
+        lat_entries: 0,
+        refills: 0,
+        segments: 0,
+    };
+    let image = match assemble(&generated.source()) {
+        Ok(image) => image,
+        Err(err) => {
+            report.outcome = TrialOutcome::GenFailure(format!("assembly failed: {err}"));
+            return report;
+        }
+    };
+    report.text_bytes = u64::from(image.text_size());
+    report.lat_entries = u64::from(image.text_lines().div_ceil(8));
+    match run_cosim_segmented(&image, TRIAL_MAX_STEPS, every) {
+        Err(err) => {
+            report.outcome = TrialOutcome::GenFailure(err);
+            return report;
+        }
+        Ok(segmented) => {
+            report.segments = segmented.segments;
+            match segmented.verdict {
+                CosimVerdict::Divergence(mut divergence) => {
+                    let minimal = minimize_lines(
+                        &generated.lines,
+                        &generated.removable,
+                        SHRINK_BUDGET,
+                        |source| match assemble(source) {
+                            Ok(image) => cosim::diverges(&run_cosim(&image, TRIAL_MAX_STEPS)),
+                            Err(_) => false,
+                        },
+                    );
+                    divergence.minimized = Some(minimal.join("\n"));
+                    report.outcome = TrialOutcome::Divergence(divergence);
+                    return report;
+                }
+                CosimVerdict::Match { instructions } => {
+                    report.instructions = instructions;
+                }
+            }
+        }
+    }
+    match build_rom(&image) {
+        Ok(rom) => {
+            let timing = check_refill_invariants(&rom);
+            report.refills = timing.refills;
+            if !timing.clean() {
+                report.outcome = TrialOutcome::TimingViolation(timing.violations.join("; "));
+            }
+        }
+        Err(err) => {
+            report.outcome = TrialOutcome::GenFailure(err);
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +248,18 @@ mod tests {
                 "seed {seed} too small to stress the LAT"
             );
             assert!(a.refills > 0);
+        }
+    }
+
+    #[test]
+    fn segmented_trial_matches_monolithic_trial() {
+        for seed in [1u64, 42] {
+            let monolithic = run_trial(seed);
+            let segmented = run_trial_segmented(seed, 64);
+            assert!(segmented.segments >= 1, "seed {seed} recorded no segments");
+            let mut comparable = segmented.clone();
+            comparable.segments = 0;
+            assert_eq!(comparable, monolithic, "seed {seed} drifted");
         }
     }
 

@@ -38,15 +38,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod error;
 mod machine;
 mod memory;
+mod state;
 mod trace;
 
 pub use ccrp::DegradePolicy;
+pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use error::EmuError;
 pub use machine::{Machine, MachineConfig, RunSummary};
-pub use memory::Memory;
+pub use memory::{Memory, PAGE_BYTES};
+pub use state::ArchState;
 pub use trace::{CountingSink, NullSink, ProgramTrace, TraceSink};
 
 #[cfg(test)]

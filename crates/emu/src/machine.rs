@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use ccrp::{CompressedImage, DegradePolicy};
+use ccrp::{crc32, CompressedImage, DegradePolicy};
 use ccrp_asm::ProgramImage;
 use ccrp_isa::{
     decode, AluOp, BranchOp, BranchZOp, Cp1MoveOp, FpCond, FpFmt, FpOp, FpReg, FpUnaryOp, HiLoOp,
@@ -10,6 +10,7 @@ use ccrp_probe::{Event, EventLog, Probe};
 
 use crate::error::EmuError;
 use crate::memory::Memory;
+use crate::state::ArchState;
 use crate::trace::TraceSink;
 
 /// Configuration for a [`Machine`].
@@ -45,11 +46,22 @@ pub struct RunSummary {
 /// come from the ROM's expanded lines, so in-ROM corruption is visible to
 /// the fetch path and handled per the degradation policy.
 #[derive(Debug, Clone)]
-struct CompressedRom {
-    image: CompressedImage,
-    policy: DegradePolicy,
+pub(crate) struct CompressedRom {
+    pub(crate) image: CompressedImage,
+    pub(crate) policy: DegradePolicy,
     /// One flag per cache line: whether it has been expanded and decoded.
-    expanded: Vec<bool>,
+    pub(crate) expanded: Vec<bool>,
+}
+
+/// Identifies a program image for checkpoint compatibility checks:
+/// content CRCs mixed with the layout parameters, so a checkpoint taken
+/// on one program (or the same bytes loaded elsewhere) is rejected when
+/// restored into another.
+fn program_fingerprint(image: &ProgramImage) -> u32 {
+    crc32(image.text_bytes())
+        ^ crc32(image.data_bytes()).rotate_left(1)
+        ^ image.text_base().wrapping_mul(0x9E37_79B9)
+        ^ image.entry().wrapping_mul(0x85EB_CA6B)
 }
 
 /// A functional MIPS R2000 + R2010 (FPA) emulator.
@@ -84,32 +96,25 @@ struct CompressedRom {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Machine {
-    regs: [u32; 32],
-    hi: u32,
-    lo: u32,
-    fpr: [u32; 32],
-    fp_cond: bool,
-    pc: u32,
-    next_pc: u32,
-    text_base: u32,
+    /// Everything the program can observe — the checkpointable part.
+    pub(crate) state: ArchState,
+    pub(crate) text_base: u32,
     /// Pre-decoded text segment; `None` entries are data words (jump
-    /// tables) or invalid encodings and fault if fetched.
-    decoded: Vec<Option<Instruction>>,
+    /// tables) or invalid encodings and fault if fetched. Derived state:
+    /// rebuilt from memory / the ROM on restore, never serialized.
+    pub(crate) decoded: Vec<Option<Instruction>>,
     /// Compressed instruction ROM for demand line expansion, when the
     /// machine was built with [`with_compressed_text`]
     /// (Self::with_compressed_text) under a demand policy.
-    rom: Option<CompressedRom>,
-    mem: Memory,
-    output: String,
-    input: VecDeque<i32>,
-    brk: u32,
-    exit: Option<i32>,
-    steps: u64,
-    config: MachineConfig,
+    pub(crate) rom: Option<CompressedRom>,
+    pub(crate) config: MachineConfig,
+    /// Identifies the loaded program, so a checkpoint taken on one
+    /// program is rejected when restored into another.
+    pub(crate) fingerprint: u32,
     /// Recording sink for compressed-ROM refill events, when enabled via
     /// [`enable_probe`](Self::enable_probe). Timestamps are dynamic
     /// instruction counts (the emulator is not cycle accurate).
-    probe_log: Option<EventLog>,
+    pub(crate) probe_log: Option<EventLog>,
 }
 
 impl Machine {
@@ -136,23 +141,26 @@ impl Machine {
         regs[Reg::RA.number() as usize] = 0x00FF_FFF0;
         let brk = image.data_base() + image.data_bytes().len() as u32;
         Self {
-            regs,
-            hi: 0,
-            lo: 0,
-            fpr: [0; 32],
-            fp_cond: false,
-            pc: image.entry(),
-            next_pc: image.entry().wrapping_add(4),
+            state: ArchState {
+                regs,
+                hi: 0,
+                lo: 0,
+                fpr: [0; 32],
+                fp_cond: false,
+                pc: image.entry(),
+                next_pc: image.entry().wrapping_add(4),
+                brk: (brk + 7) & !7,
+                exit: None,
+                steps: 0,
+                output: String::new(),
+                input: VecDeque::new(),
+                mem,
+            },
             text_base: image.text_base(),
             decoded,
             rom: None,
-            mem,
-            output: String::new(),
-            input: VecDeque::new(),
-            brk: (brk + 7) & !7,
-            exit: None,
-            steps: 0,
             config,
+            fingerprint: program_fingerprint(image),
             probe_log: None,
         }
     }
@@ -243,49 +251,49 @@ impl Machine {
 
     /// Queues integers for the `read_int` syscall to return in order.
     pub fn push_input(&mut self, values: impl IntoIterator<Item = i32>) {
-        self.input.extend(values);
+        self.state.input.extend(values);
     }
 
     /// Everything the program printed so far.
     pub fn output(&self) -> &str {
-        &self.output
+        &self.state.output
     }
 
     /// Current value of a general-purpose register.
     pub fn reg(&self, reg: Reg) -> u32 {
-        self.regs[reg.number() as usize]
+        self.state.regs[reg.number() as usize]
     }
 
     /// Sets a general-purpose register (writes to `$zero` are ignored).
     pub fn set_reg(&mut self, reg: Reg, value: u32) {
         if reg != Reg::ZERO {
-            self.regs[reg.number() as usize] = value;
+            self.state.regs[reg.number() as usize] = value;
         }
     }
 
     /// The address of the next instruction to execute.
     pub fn pc(&self) -> u32 {
-        self.pc
+        self.state.pc
     }
 
     /// The multiply/divide `hi` result register.
     pub fn hi(&self) -> u32 {
-        self.hi
+        self.state.hi
     }
 
     /// The multiply/divide `lo` result register.
     pub fn lo(&self) -> u32 {
-        self.lo
+        self.state.lo
     }
 
     /// The CP1 condition flag set by `c.eq.s`-family compares.
     pub fn fp_cond(&self) -> bool {
-        self.fp_cond
+        self.state.fp_cond
     }
 
     /// Raw bits of an FP register.
     pub fn fp_bits(&self, reg: FpReg) -> u32 {
-        self.fpr[reg.number() as usize]
+        self.state.fpr[reg.number() as usize]
     }
 
     /// The single-precision value in `reg`.
@@ -301,8 +309,8 @@ impl Machine {
     pub fn fp_double(&self, reg: FpReg) -> f64 {
         let n = reg.number() as usize;
         assert!(n.is_multiple_of(2), "double access to odd FP register ${n}");
-        let lo = self.fpr[n] as u64;
-        let hi = self.fpr[n + 1] as u64;
+        let lo = self.state.fpr[n] as u64;
+        let hi = self.state.fpr[n + 1] as u64;
         f64::from_bits((hi << 32) | lo)
     }
 
@@ -310,23 +318,23 @@ impl Machine {
         let n = reg.number() as usize;
         assert!(n.is_multiple_of(2), "double write to odd FP register ${n}");
         let bits = value.to_bits();
-        self.fpr[n] = bits as u32;
-        self.fpr[n + 1] = (bits >> 32) as u32;
+        self.state.fpr[n] = bits as u32;
+        self.state.fpr[n + 1] = (bits >> 32) as u32;
     }
 
     /// Whether the program has exited, and with what code.
     pub fn exit_code(&self) -> Option<i32> {
-        self.exit
+        self.state.exit
     }
 
     /// Dynamic instructions executed so far.
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.state.steps
     }
 
     /// Direct read access to memory, for assertions in tests.
     pub fn read_word(&self, addr: u32) -> Option<u32> {
-        self.mem.read_u32(addr)
+        self.state.mem.read_u32(addr)
     }
 
     /// Runs until the program exits via syscall.
@@ -336,8 +344,8 @@ impl Machine {
     /// Any [`EmuError`] fault, including exceeding the configured step
     /// budget.
     pub fn run(&mut self, sink: &mut impl TraceSink) -> Result<RunSummary, EmuError> {
-        while self.exit.is_none() {
-            if self.steps >= self.config.max_steps {
+        while self.state.exit.is_none() {
+            if self.state.steps >= self.config.max_steps {
                 return Err(EmuError::StepLimitExceeded {
                     limit: self.config.max_steps,
                 });
@@ -345,8 +353,9 @@ impl Machine {
             self.step(sink)?;
         }
         Ok(RunSummary {
-            instructions: self.steps,
-            exit_code: self.exit.expect("loop exits only when set"),
+            instructions: self.state.steps,
+            // panic-ok: the loop above only exits once `exit` is set.
+            exit_code: self.state.exit.expect("loop exits only when set"),
         })
     }
 
@@ -356,12 +365,12 @@ impl Machine {
     ///
     /// Any [`EmuError`] fault raised by the instruction.
     pub fn step(&mut self, sink: &mut impl TraceSink) -> Result<(), EmuError> {
-        let pc = self.pc;
+        let pc = self.state.pc;
         let inst = self.fetch(pc)?;
         sink.instruction(pc);
-        self.steps += 1;
-        self.pc = self.next_pc;
-        self.next_pc = self.next_pc.wrapping_add(4);
+        self.state.steps += 1;
+        self.state.pc = self.state.next_pc;
+        self.state.next_pc = self.state.next_pc.wrapping_add(4);
         self.execute(inst, pc, sink)
     }
 
@@ -374,7 +383,7 @@ impl Machine {
         match self.decoded.get(index) {
             Some(Some(inst)) => Ok(*inst),
             Some(None) => {
-                let word = self.mem.read_u32(pc).unwrap_or(0);
+                let word = self.state.mem.read_u32(pc).unwrap_or(0);
                 Err(EmuError::IllegalInstruction { pc, word })
             }
             None => Err(EmuError::BadFetch { pc }),
@@ -395,8 +404,8 @@ impl Machine {
         }
         let line_addr = self.text_base + line as u32 * 32;
         if let Some(log) = &mut self.probe_log {
-            log.emit(self.steps, Event::CacheMiss { address: line_addr });
-            log.emit(self.steps, Event::RefillStart { address: line_addr });
+            log.emit(self.state.steps, Event::CacheMiss { address: line_addr });
+            log.emit(self.state.steps, Event::RefillStart { address: line_addr });
         }
         let budget = match rom.policy {
             DegradePolicy::Retry { attempts } => attempts,
@@ -407,9 +416,12 @@ impl Machine {
         let mut tries = 0;
         while result.is_err() && tries < budget {
             if let Some(log) = &mut self.probe_log {
-                log.emit(self.steps, Event::IntegrityFailure { address: line_addr });
                 log.emit(
-                    self.steps,
+                    self.state.steps,
+                    Event::IntegrityFailure { address: line_addr },
+                );
+                log.emit(
+                    self.state.steps,
                     Event::RetryBackoff {
                         address: line_addr,
                         attempt: tries + 1,
@@ -425,7 +437,10 @@ impl Machine {
         }
         if result.is_err() {
             if let Some(log) = &mut self.probe_log {
-                log.emit(self.steps, Event::IntegrityFailure { address: line_addr });
+                log.emit(
+                    self.state.steps,
+                    Event::IntegrityFailure { address: line_addr },
+                );
             }
         }
         result.map_err(|_| EmuError::MachineCheck { pc: line_addr })?;
@@ -442,7 +457,7 @@ impl Machine {
                 })
                 .unwrap_or((0, false));
             log.emit(
-                self.steps,
+                self.state.steps,
                 Event::RefillDone {
                     address: line_addr,
                     cycles: 0,
@@ -481,7 +496,8 @@ impl Machine {
     }
 
     fn read_u32(&self, addr: u32, pc: u32) -> Result<u32, EmuError> {
-        self.mem
+        self.state
+            .mem
             .read_u32(addr)
             .ok_or(EmuError::UnmappedRead { addr, pc })
     }
@@ -490,7 +506,7 @@ impl Machine {
         if taken {
             // `next_pc` currently points one past the delay slot; the
             // target is relative to the delay-slot address.
-            self.next_pc = self.pc.wrapping_add((i32::from(offset) << 2) as u32);
+            self.state.next_pc = self.state.pc.wrapping_add((i32::from(offset) << 2) as u32);
         }
     }
 
@@ -550,42 +566,42 @@ impl Machine {
                 match op {
                     MultDivOp::Mult => {
                         let p = i64::from(a as i32) * i64::from(b as i32);
-                        self.lo = p as u32;
-                        self.hi = (p >> 32) as u32;
+                        self.state.lo = p as u32;
+                        self.state.hi = (p >> 32) as u32;
                     }
                     MultDivOp::Multu => {
                         let p = u64::from(a) * u64::from(b);
-                        self.lo = p as u32;
-                        self.hi = (p >> 32) as u32;
+                        self.state.lo = p as u32;
+                        self.state.hi = (p >> 32) as u32;
                     }
                     MultDivOp::Div => {
                         if b == 0 {
                             return Err(EmuError::DivideByZero { pc });
                         }
                         let (a, b) = (a as i32, b as i32);
-                        self.lo = a.wrapping_div(b) as u32;
-                        self.hi = a.wrapping_rem(b) as u32;
+                        self.state.lo = a.wrapping_div(b) as u32;
+                        self.state.hi = a.wrapping_rem(b) as u32;
                     }
                     MultDivOp::Divu => {
                         if b == 0 {
                             return Err(EmuError::DivideByZero { pc });
                         }
-                        self.lo = a / b;
-                        self.hi = a % b;
+                        self.state.lo = a / b;
+                        self.state.hi = a % b;
                     }
                 }
             }
             Instruction::HiLo { op, reg } => match op {
-                HiLoOp::Mfhi => self.set_reg(reg, self.hi),
-                HiLoOp::Mflo => self.set_reg(reg, self.lo),
-                HiLoOp::Mthi => self.hi = self.reg(reg),
-                HiLoOp::Mtlo => self.lo = self.reg(reg),
+                HiLoOp::Mfhi => self.set_reg(reg, self.state.hi),
+                HiLoOp::Mflo => self.set_reg(reg, self.state.lo),
+                HiLoOp::Mthi => self.state.hi = self.reg(reg),
+                HiLoOp::Mtlo => self.state.lo = self.reg(reg),
             },
-            Instruction::Jr { rs } => self.next_pc = self.reg(rs),
+            Instruction::Jr { rs } => self.state.next_pc = self.reg(rs),
             Instruction::Jalr { rd, rs } => {
                 let target = self.reg(rs);
-                self.set_reg(rd, self.next_pc);
-                self.next_pc = target;
+                self.set_reg(rd, self.state.next_pc);
+                self.state.next_pc = target;
             }
             Instruction::Syscall { .. } => self.syscall(pc, sink)?,
             Instruction::Break { code } => return Err(EmuError::BreakTrap { pc, code }),
@@ -624,15 +640,15 @@ impl Machine {
                     BranchZOp::Bgez | BranchZOp::Bgezal => v >= 0,
                 };
                 if op.links() {
-                    self.set_reg(Reg::RA, self.next_pc);
+                    self.set_reg(Reg::RA, self.state.next_pc);
                 }
                 self.branch(taken, offset);
             }
             Instruction::Jump { link, target } => {
                 if link {
-                    self.set_reg(Reg::RA, self.next_pc);
+                    self.set_reg(Reg::RA, self.state.next_pc);
                 }
-                self.next_pc = (self.next_pc & 0xF000_0000) | (target << 2);
+                self.state.next_pc = (self.state.next_pc & 0xF000_0000) | (target << 2);
             }
             Instruction::Mem {
                 op,
@@ -650,19 +666,19 @@ impl Machine {
             } => {
                 let addr = self.load_addr(base, offset, 4, pc, sink, store)?;
                 if store {
-                    self.mem.write_u32(addr, self.fp_bits(ft));
+                    self.state.mem.write_u32(addr, self.fp_bits(ft));
                 } else {
                     let v = self.read_u32(addr, pc)?;
-                    self.fpr[ft.number() as usize] = v;
+                    self.state.fpr[ft.number() as usize] = v;
                 }
             }
             Instruction::Cp1Move { op, rt, fs } => match op {
                 Cp1MoveOp::Mfc1 => self.set_reg(rt, self.fp_bits(fs)),
-                Cp1MoveOp::Mtc1 => self.fpr[fs.number() as usize] = self.reg(rt),
+                Cp1MoveOp::Mtc1 => self.state.fpr[fs.number() as usize] = self.reg(rt),
                 // Control register moves: only the condition bit of FCR31
                 // is modeled.
-                Cp1MoveOp::Cfc1 => self.set_reg(rt, u32::from(self.fp_cond) << 23),
-                Cp1MoveOp::Ctc1 => self.fp_cond = self.reg(rt) & (1 << 23) != 0,
+                Cp1MoveOp::Cfc1 => self.set_reg(rt, u32::from(self.state.fp_cond) << 23),
+                Cp1MoveOp::Ctc1 => self.state.fp_cond = self.reg(rt) & (1 << 23) != 0,
             },
             Instruction::FpArith {
                 op,
@@ -680,7 +696,7 @@ impl Machine {
                         FpOp::Mul => a * b,
                         FpOp::Div => a / b,
                     };
-                    self.fpr[fd.number() as usize] = v.to_bits();
+                    self.state.fpr[fd.number() as usize] = v.to_bits();
                 }
                 FpFmt::Double => {
                     let a = self.fp_double(fs);
@@ -693,6 +709,7 @@ impl Machine {
                     };
                     self.set_fp_double(fd, v);
                 }
+                // panic-ok: the decoder never emits word-format FP arithmetic.
                 FpFmt::Word => unreachable!("decoder rejects word-format arithmetic"),
             },
             Instruction::FpUnary { op, fmt, fd, fs } => match fmt {
@@ -703,7 +720,7 @@ impl Machine {
                         FpUnaryOp::Neg => -a,
                         FpUnaryOp::Mov => a,
                     };
-                    self.fpr[fd.number() as usize] = v.to_bits();
+                    self.state.fpr[fd.number() as usize] = v.to_bits();
                 }
                 FpFmt::Double => {
                     let a = self.fp_double(fs);
@@ -714,6 +731,7 @@ impl Machine {
                     };
                     self.set_fp_double(fd, v);
                 }
+                // panic-ok: the decoder never emits word-format unary ops.
                 FpFmt::Word => unreachable!("decoder rejects word-format unary ops"),
             },
             Instruction::FpCvt { to, from, fd, fs } => {
@@ -722,11 +740,11 @@ impl Machine {
                 match (to, from) {
                     (FpFmt::Single, FpFmt::Double) => {
                         let v = self.fp_double(fs) as f32;
-                        self.fpr[fd.number() as usize] = v.to_bits();
+                        self.state.fpr[fd.number() as usize] = v.to_bits();
                     }
                     (FpFmt::Single, FpFmt::Word) => {
                         let v = self.fp_bits(fs) as i32 as f32;
-                        self.fpr[fd.number() as usize] = v.to_bits();
+                        self.state.fpr[fd.number() as usize] = v.to_bits();
                     }
                     (FpFmt::Double, FpFmt::Single) => {
                         let v = f64::from(self.fp_single(fs));
@@ -738,12 +756,13 @@ impl Machine {
                     }
                     (FpFmt::Word, FpFmt::Single) => {
                         let v = self.fp_single(fs).trunc() as i32;
-                        self.fpr[fd.number() as usize] = v as u32;
+                        self.state.fpr[fd.number() as usize] = v as u32;
                     }
                     (FpFmt::Word, FpFmt::Double) => {
                         let v = self.fp_double(fs).trunc() as i32;
-                        self.fpr[fd.number() as usize] = v as u32;
+                        self.state.fpr[fd.number() as usize] = v as u32;
                     }
+                    // panic-ok: the decoder never emits same-format conversions.
                     _ => unreachable!("decoder rejects same-format conversions"),
                 }
             }
@@ -765,12 +784,13 @@ impl Machine {
                             FpCond::Le => a <= b,
                         }
                     }
+                    // panic-ok: the decoder never emits word-format compares.
                     FpFmt::Word => unreachable!("decoder rejects word-format compares"),
                 };
-                self.fp_cond = result;
+                self.state.fp_cond = result;
             }
             Instruction::Bc1 { on_true, offset } => {
-                self.branch(self.fp_cond == on_true, offset);
+                self.branch(self.state.fp_cond == on_true, offset);
             }
         }
         Ok(())
@@ -795,6 +815,7 @@ impl Machine {
         match op {
             MemOp::Lb => {
                 let v = self
+                    .state
                     .mem
                     .read_u8(addr)
                     .ok_or(EmuError::UnmappedRead { addr, pc })?;
@@ -802,6 +823,7 @@ impl Machine {
             }
             MemOp::Lbu => {
                 let v = self
+                    .state
                     .mem
                     .read_u8(addr)
                     .ok_or(EmuError::UnmappedRead { addr, pc })?;
@@ -809,6 +831,7 @@ impl Machine {
             }
             MemOp::Lh => {
                 let v = self
+                    .state
                     .mem
                     .read_u16(addr)
                     .ok_or(EmuError::UnmappedRead { addr, pc })?;
@@ -816,6 +839,7 @@ impl Machine {
             }
             MemOp::Lhu => {
                 let v = self
+                    .state
                     .mem
                     .read_u16(addr)
                     .ok_or(EmuError::UnmappedRead { addr, pc })?;
@@ -825,15 +849,16 @@ impl Machine {
                 let v = self.read_u32(addr, pc)?;
                 self.set_reg(rt, v);
             }
-            MemOp::Sb => self.mem.write_u8(addr, self.reg(rt) as u8),
-            MemOp::Sh => self.mem.write_u16(addr, self.reg(rt) as u16),
-            MemOp::Sw => self.mem.write_u32(addr, self.reg(rt)),
+            MemOp::Sb => self.state.mem.write_u8(addr, self.reg(rt) as u8),
+            MemOp::Sh => self.state.mem.write_u16(addr, self.reg(rt) as u16),
+            MemOp::Sw => self.state.mem.write_u32(addr, self.reg(rt)),
             // Little-endian LWL/LWR/SWL/SWR (unaligned access pairs).
             MemOp::Lwl => {
                 let m = (addr & 3) + 1; // bytes loaded into the TOP of rt
                 let mut v = self.reg(rt);
                 for i in 0..m {
                     let b = self
+                        .state
                         .mem
                         .read_u8(addr - m + 1 + i)
                         .ok_or(EmuError::UnmappedRead { addr, pc })?;
@@ -847,6 +872,7 @@ impl Machine {
                 let mut v = self.reg(rt);
                 for i in 0..k {
                     let b = self
+                        .state
                         .mem
                         .read_u8(addr + i)
                         .ok_or(EmuError::UnmappedRead { addr, pc })?;
@@ -859,14 +885,14 @@ impl Machine {
                 let v = self.reg(rt);
                 for i in 0..m {
                     let byte = (v >> (8 * (4 - m + i))) as u8;
-                    self.mem.write_u8(addr - m + 1 + i, byte);
+                    self.state.mem.write_u8(addr - m + 1 + i, byte);
                 }
             }
             MemOp::Swr => {
                 let k = 4 - (addr & 3);
                 let v = self.reg(rt);
                 for i in 0..k {
-                    self.mem.write_u8(addr + i, (v >> (8 * i)) as u8);
+                    self.state.mem.write_u8(addr + i, (v >> (8 * i)) as u8);
                 }
             }
         }
@@ -880,20 +906,26 @@ impl Machine {
         let a0 = self.reg(Reg::A0);
         match number {
             1 => {
-                write!(self.output, "{}", a0 as i32).expect("write to String cannot fail");
+                // panic-ok: fmt::Write to a String is infallible.
+                write!(self.state.output, "{}", a0 as i32).expect("write to String cannot fail");
             }
             2 => {
+                // panic-ok: 12 < 32, and fmt::Write to a String is infallible.
                 let v = self.fp_single(FpReg::new(12).expect("f12 in range"));
-                write!(self.output, "{v}").expect("write to String cannot fail");
+                // panic-ok: fmt::Write to a String is infallible.
+                write!(self.state.output, "{v}").expect("write to String cannot fail");
             }
             3 => {
+                // panic-ok: 12 < 32, and fmt::Write to a String is infallible.
                 let v = self.fp_double(FpReg::new(12).expect("f12 in range"));
-                write!(self.output, "{v}").expect("write to String cannot fail");
+                // panic-ok: fmt::Write to a String is infallible.
+                write!(self.state.output, "{v}").expect("write to String cannot fail");
             }
             4 => {
                 let mut addr = a0;
                 loop {
                     let b = self
+                        .state
                         .mem
                         .read_u8(addr)
                         .ok_or(EmuError::UnmappedRead { addr, pc })?;
@@ -901,28 +933,28 @@ impl Machine {
                     if b == 0 {
                         break;
                     }
-                    self.output.push(b as char);
+                    self.state.output.push(b as char);
                     addr += 1;
                 }
             }
             5 => {
-                let v = self.input.pop_front().unwrap_or(0);
+                let v = self.state.input.pop_front().unwrap_or(0);
                 self.set_reg(Reg::V0, v as u32);
             }
             9 => {
-                let old = self.brk;
-                self.brk = self.brk.wrapping_add(a0);
+                let old = self.state.brk;
+                self.state.brk = self.state.brk.wrapping_add(a0);
                 // Touch the region so subsequent reads are mapped.
                 let mut a = old & !0xFFF;
-                while a < self.brk {
-                    self.mem.write_u8(a, 0);
+                while a < self.state.brk {
+                    self.state.mem.write_u8(a, 0);
                     a = a.saturating_add(0x1000);
                 }
                 self.set_reg(Reg::V0, old);
             }
-            10 => self.exit = Some(0),
-            11 => self.output.push((a0 & 0xFF) as u8 as char),
-            17 => self.exit = Some(a0 as i32),
+            10 => self.state.exit = Some(0),
+            11 => self.state.output.push((a0 & 0xFF) as u8 as char),
+            17 => self.state.exit = Some(a0 as i32),
             other => return Err(EmuError::UnknownSyscall { pc, number: other }),
         }
         Ok(())

@@ -6,13 +6,17 @@ use std::collections::BTreeMap;
 /// Reads from pages that were never written return `None`, which the
 /// emulator turns into an [`UnmappedRead`](crate::EmuError::UnmappedRead)
 /// fault — catching workload bugs instead of silently reading zeros.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Memory {
     pages: BTreeMap<u32, Box<Page>>,
 }
 
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Size of one memory page in bytes; the granularity at which
+/// checkpoints serialize memory.
+pub const PAGE_BYTES: usize = PAGE_SIZE;
 
 type Page = [u8; PAGE_SIZE];
 
@@ -86,6 +90,20 @@ impl Memory {
     /// Number of mapped pages (for resource accounting in tests).
     pub fn mapped_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// Iterates `(page_index, page_bytes)` for every mapped page in
+    /// ascending page-index order — a deterministic order, so memory
+    /// serializes identically across runs. A page's base address is
+    /// `page_index << 12`.
+    pub fn pages(&self) -> impl Iterator<Item = (u32, &[u8; PAGE_BYTES])> + '_ {
+        self.pages.iter().map(|(index, page)| (*index, &**page))
+    }
+
+    /// Installs a full page at `page_index`, replacing any existing
+    /// mapping — the rebuild half of [`pages`](Self::pages).
+    pub fn install_page(&mut self, page_index: u32, bytes: &[u8; PAGE_BYTES]) {
+        self.pages.insert(page_index, Box::new(*bytes));
     }
 }
 

@@ -98,6 +98,16 @@ pub enum Event {
         /// Idle cycles charged before the re-read.
         backoff_cycles: u64,
     },
+    /// Checkpointed segment-parallel replay crossed a segment boundary:
+    /// the machine state at this point was captured (recording pass) or
+    /// restored (replay pass).
+    SegmentBoundary {
+        /// Zero-based index of the segment beginning at this boundary.
+        index: u32,
+        /// Retired instructions (emulator) or trace entries (simulator)
+        /// at the boundary.
+        retired: u64,
+    },
 }
 
 impl Event {
@@ -114,6 +124,7 @@ impl Event {
             Event::MemoryBurst { .. } => "memory_burst",
             Event::IntegrityFailure { .. } => "integrity_failure",
             Event::RetryBackoff { .. } => "retry_backoff",
+            Event::SegmentBoundary { .. } => "segment_boundary",
         }
     }
 }

@@ -41,11 +41,13 @@
 mod dcache;
 mod icache;
 mod memory;
+mod stepper;
 mod system;
 
 pub use dcache::DataCacheModel;
-pub use icache::{BadCacheSize, CacheStats, ICache, LINE_BYTES};
-pub use memory::{standard_refill_cycles, MemoryModel, MemorySim};
+pub use icache::{BadCacheSize, CacheStats, ICache, ICacheSnapshot, LINE_BYTES};
+pub use memory::{standard_refill_cycles, MemoryModel, MemorySim, MemorySimSnapshot};
+pub use stepper::{CcrpSim, CcrpSimSnapshot, SimCounters, StandardSim, StandardSimSnapshot};
 pub use system::{
     compare, compare_probed, simulate_ccrp, simulate_ccrp_probed, simulate_standard,
     simulate_standard_probed, Comparison, RunStats, SimError, SystemConfig,

@@ -11,12 +11,13 @@
 use std::error::Error;
 use std::fmt;
 
-use ccrp::{CcrpError, ClbStats, CompressedImage, MemoryTiming, RefillConfig, RefillEngine};
-use ccrp_probe::{Event, NullProbe, Probe};
+use ccrp::{CcrpError, ClbStats, CompressedImage, RefillConfig};
+use ccrp_probe::{NullProbe, Probe};
 
 use crate::dcache::DataCacheModel;
-use crate::icache::{BadCacheSize, CacheStats, ICache};
+use crate::icache::{BadCacheSize, CacheStats};
 use crate::memory::MemoryModel;
+use crate::stepper::{CcrpSim, StandardSim};
 
 /// Configuration of one simulated system.
 ///
@@ -199,8 +200,8 @@ pub fn simulate_standard(
     simulate_standard_probed(trace, config, &mut NullProbe)
 }
 
-/// [`simulate_standard`], reporting [`Event::CacheMiss`] and
-/// [`Event::MemoryBurst`] to `probe` as the trace replays. The
+/// [`simulate_standard`], reporting [`Event::CacheMiss`](ccrp_probe::Event::CacheMiss) and
+/// [`Event::MemoryBurst`](ccrp_probe::Event::MemoryBurst) to `probe` as the trace replays. The
 /// computation is identical — the plain function is this one with
 /// [`NullProbe`].
 ///
@@ -212,39 +213,11 @@ pub fn simulate_standard_probed<P: Probe>(
     config: &SystemConfig,
     probe: &mut P,
 ) -> Result<RunStats, SimError> {
-    let mut cache = ICache::new(config.cache_bytes)?;
-    let mut memory = config.memory.timing();
-    let mut arrivals = Vec::with_capacity(8);
-    let mut cycle: u64 = 0;
-    let mut refill_cycles: u64 = 0;
-    let mut bytes: u64 = 0;
-    let mut instructions: u64 = 0;
-    let mut data_accesses: u64 = 0;
-
+    let mut sim = StandardSim::new(config)?;
     for (pc, data) in trace {
-        instructions += 1;
-        data_accesses += u64::from(data);
-        cycle += 1;
-        if !cache.access(pc) {
-            probe.emit(cycle, Event::CacheMiss { address: pc });
-            memory.read_burst(8, cycle, &mut arrivals);
-            let done = *arrivals.last().expect("8-word burst");
-            probe.emit(cycle, Event::MemoryBurst { words: 8, done });
-            refill_cycles += done - cycle;
-            bytes += 32;
-            cycle = done;
-        }
+        sim.step_probed(pc, data, probe);
     }
-
-    Ok(RunStats {
-        instructions,
-        data_accesses,
-        cache: cache.stats(),
-        refill_cycles,
-        bytes_from_memory: bytes,
-        data_stall_cycles: config.dcache.stall_cycles(data_accesses),
-        clb: None,
-    })
+    Ok(sim.stats())
 }
 
 /// Simulates the CCRP over `trace`, refilling through `image`'s
@@ -263,8 +236,8 @@ pub fn simulate_ccrp(
 }
 
 /// [`simulate_ccrp`], reporting the full event stream to `probe`:
-/// [`Event::CacheMiss`] per miss, plus everything
-/// [`RefillEngine::refill_probed`] emits (refill start/done, CLB
+/// [`Event::CacheMiss`](ccrp_probe::Event::CacheMiss) per miss, plus everything
+/// [`RefillEngine::refill_probed`](ccrp::RefillEngine::refill_probed) emits (refill start/done, CLB
 /// hit/miss/evict, memory bursts). The computation is identical — the
 /// plain function is this one with [`NullProbe`].
 ///
@@ -277,37 +250,11 @@ pub fn simulate_ccrp_probed<P: Probe>(
     config: &SystemConfig,
     probe: &mut P,
 ) -> Result<RunStats, SimError> {
-    let mut cache = ICache::new(config.cache_bytes)?;
-    let mut memory = config.memory.timing();
-    let mut engine = RefillEngine::new(config.refill)?;
-    let mut cycle: u64 = 0;
-    let mut refill_cycles: u64 = 0;
-    let mut bytes: u64 = 0;
-    let mut instructions: u64 = 0;
-    let mut data_accesses: u64 = 0;
-
+    let mut sim = CcrpSim::new(config)?;
     for (pc, data) in trace {
-        instructions += 1;
-        data_accesses += u64::from(data);
-        cycle += 1;
-        if !cache.access(pc) {
-            probe.emit(cycle, Event::CacheMiss { address: pc });
-            let outcome = engine.refill_probed(image, pc, cycle, &mut memory, probe)?;
-            refill_cycles += outcome.ready_at - cycle;
-            bytes += u64::from(outcome.bytes_fetched);
-            cycle = outcome.ready_at;
-        }
+        sim.step_probed(image, pc, data, probe)?;
     }
-
-    Ok(RunStats {
-        instructions,
-        data_accesses,
-        cache: cache.stats(),
-        refill_cycles,
-        bytes_from_memory: bytes,
-        data_stall_cycles: config.dcache.stall_cycles(data_accesses),
-        clb: Some(engine.clb_stats()),
-    })
+    Ok(sim.stats())
 }
 
 /// Both processors' results over the same trace and configuration — one
@@ -528,7 +475,7 @@ mod tests {
 
     #[test]
     fn probed_run_matches_plain_and_sees_all_misses() {
-        use ccrp_probe::EventLog;
+        use ccrp_probe::{Event, EventLog};
 
         let (image, trace) = fixture(4096);
         let config = SystemConfig::new()

@@ -1,0 +1,85 @@
+//! Golden-file snapshots of the checkpoint binary format and the
+//! segmented-difftest report. The checkpoint frame layout (magic,
+//! header fields, CRCs) and the campaign JSON schema are compatibility
+//! surfaces: a resume must read files written by older builds, and
+//! downstream tooling parses the report keys. Any drift here is a
+//! format change and must be deliberate. Refresh intentionally changed
+//! snapshots with `UPDATE_GOLDEN=1 cargo test --test golden_checkpoint`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ccrp::{read_frame, SNAPSHOT_HEADER_BYTES};
+use ccrp_bench::difftest::{self, DifftestOptions};
+use ccrp_bench::json::Json;
+use ccrp_emu::{Machine, MachineConfig, NullSink, CHECKPOINT_VERSION};
+use ccrp_testutil::GoldenDir;
+
+fn golden() -> GoldenDir {
+    GoldenDir::new(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden"),
+        "cargo test --test golden_checkpoint",
+    )
+}
+
+/// A fixed program whose checkpoint bytes must never drift: prints two
+/// numbers with a loop in between, checkpointed mid-loop.
+const PROGRAM: &str = "\
+main: li $t0, 0
+      li $t1, 8
+loop: addi $t0, $t0, 1
+      blt $t0, $t1, loop
+      move $a0, $t0
+      li $v0, 1
+      syscall
+      li $v0, 10
+      syscall
+";
+
+#[test]
+fn checkpoint_header_layout_matches_golden() {
+    let image = ccrp_asm::assemble(PROGRAM).expect("assembles");
+    let mut machine = Machine::with_config(&image, MachineConfig::default());
+    for _ in 0..5 {
+        machine.step(&mut NullSink).expect("runs");
+    }
+    let bytes = machine.checkpoint().to_bytes();
+    let (header, payload) = read_frame(&bytes).expect("frame parses");
+    assert_eq!(header.version, CHECKPOINT_VERSION);
+
+    let mut header_hex = String::new();
+    for byte in &bytes[..SNAPSHOT_HEADER_BYTES] {
+        write!(header_hex, "{byte:02x}").expect("write to String cannot fail");
+    }
+    let rendered = Json::obj([
+        ("schema", Json::str("ccrp-checkpoint-header/1")),
+        ("magic", Json::str("CCKP")),
+        ("header_bytes", Json::U64(SNAPSHOT_HEADER_BYTES as u64)),
+        ("version", Json::U64(u64::from(header.version))),
+        ("fingerprint", Json::U64(u64::from(header.fingerprint))),
+        ("payload_len", Json::U64(header.payload_len)),
+        ("payload_crc", Json::U64(u64::from(header.payload_crc))),
+        ("header_crc", Json::U64(u64::from(header.header_crc))),
+        ("header_hex", Json::str(&header_hex)),
+        ("total_bytes", Json::U64(bytes.len() as u64)),
+        ("steps", Json::U64(machine.steps())),
+    ]);
+    assert_eq!(payload.len() as u64, header.payload_len);
+    golden().check("checkpoint_header.json", &rendered.to_pretty());
+}
+
+#[test]
+fn segmented_difftest_report_matches_golden() {
+    let report = difftest::run(DifftestOptions {
+        programs: 4,
+        seed: 7,
+        jobs: 2,
+        checkpoint_every: Some(50),
+    });
+    // results_json is the jobs- and timing-independent half, so the
+    // snapshot is stable across machines and worker counts.
+    golden().check(
+        "segmented_difftest.json",
+        &report.results_json().to_pretty(),
+    );
+}
