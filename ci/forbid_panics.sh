@@ -21,10 +21,17 @@
 # battery requires a typed CheckpointError on every stomped input —
 # never a panic.
 #
+# The service (ccrp-served) joined with the daemon: every byte it reads
+# off a socket is attacker-controlled, request handlers run under
+# catch_unwind where a panic counts against the servesim campaign, and
+# failures must surface as typed protocol errors.  (The deliberate
+# chaos-endpoint panic that tests that isolation carries a `panic-ok:`
+# marker.)
+#
 # Scope and escape hatches:
 #   * only library source under
-#     crates/{core,compress,bitstream,testutil,difftest,emu}/src is
-#     scanned;
+#     crates/{core,compress,bitstream,testutil,difftest,emu,served}/src
+#     is scanned;
 #   * everything from the first `#[cfg(test)]` line to end-of-file is
 #     ignored (test modules may panic freely);
 #   * `//` comment and doc-comment lines are ignored;
@@ -37,6 +44,7 @@ cd "$(dirname "$0")/.."
 
 hits=$(find crates/core/src crates/compress/src crates/bitstream/src \
             crates/testutil/src crates/difftest/src crates/emu/src \
+            crates/served/src \
             -name '*.rs' | sort | while IFS= read -r file; do
     awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
@@ -57,4 +65,4 @@ if [ -n "$hits" ]; then
     echo "       mark a documented contract with a 'panic-ok:' comment." >&2
     exit 1
 fi
-echo "forbid_panics: crates/{core,compress,bitstream,testutil,difftest,emu} library code is panic-free."
+echo "forbid_panics: crates/{core,compress,bitstream,testutil,difftest,emu,served} library code is panic-free."

@@ -38,6 +38,7 @@ pub mod render;
 pub mod report;
 pub mod runner;
 pub mod segments;
+pub mod servesim;
 mod suite;
 mod table;
 

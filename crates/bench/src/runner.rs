@@ -709,6 +709,43 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_handles_zero_items() {
+        let items: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &items, |&x| x * 2).is_empty());
+        assert!(parallel_map(0, &items, |&x| x * 2).is_empty());
+    }
+
+    #[test]
+    fn parallel_map_clamps_jobs_past_item_count() {
+        // More workers than items: excess workers find the queue empty
+        // and exit; results stay complete and ordered.
+        let items: Vec<u32> = (0..3).collect();
+        let values: Vec<u32> = parallel_map(64, &items, |&x| x + 1)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(values, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parallel_map_reraises_a_worker_panic() {
+        let items: Vec<u32> = (0..16).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(4, &items, |&x| {
+                assert!(x != 9, "deliberate worker panic");
+                x
+            })
+        });
+        let payload = caught.expect_err("the worker panic must reach the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .expect("panic payload is a string");
+        assert!(message.contains("deliberate worker panic"));
+    }
+
+    #[test]
     fn experiment_names_round_trip() {
         for experiment in Experiment::ALL {
             assert_eq!(Experiment::from_name(experiment.name()), Some(experiment));

@@ -9,6 +9,8 @@ pub mod faultsim;
 pub mod inspect;
 pub mod profile;
 pub mod run;
+pub mod serve;
+pub mod servesim;
 pub mod simulate;
 pub mod sweep;
 pub mod trace;

@@ -97,6 +97,19 @@ COMMANDS:
       BENCH_difftest.json and fail on any divergence or violation;
       --checkpoint-every routes every trial through the segmented
       (checkpoint/restore) co-simulator with identical verdicts
+  serve [--addr HOST:PORT] [--addr-file FILE] [--workers N] [--queue N]
+        [--fuel N] [--deadline-ms N] [--max-requests N] [--chaos]
+      start the ccrp-served daemon: a framed TCP service exposing
+      compress/verify/inspect/expand-line/run/sweep-cell/attest with
+      per-request isolation, watchdog deadlines, fuel budgets, and
+      load shedding; --addr-file publishes the bound (ephemeral)
+      address, --max-requests stops after N requests (0 = forever)
+  servesim [--trials N] [--seed N] [--jobs N] [--burst N] [--out FILE]
+      run a seeded hostile-client campaign (corrupt uploads, truncated
+      and oversized frames, slow-loris stalls, runaway programs,
+      deliberate handler panics) against a real in-process server,
+      write BENCH_servesim.json, and fail on wrong responses, silent
+      corrupt-v2 acceptance, hangs, or uncontained panics
   help
       print this text
 
@@ -189,6 +202,20 @@ const COMMANDS: &[Command] = &[
         value_options: commands::faultsim::VALUE_OPTIONS,
         switches: commands::faultsim::SWITCHES,
         run: commands::faultsim::run,
+        owns_out: true,
+    },
+    Command {
+        name: "serve",
+        value_options: commands::serve::VALUE_OPTIONS,
+        switches: commands::serve::SWITCHES,
+        run: commands::serve::run,
+        owns_out: false,
+    },
+    Command {
+        name: "servesim",
+        value_options: commands::servesim::VALUE_OPTIONS,
+        switches: commands::servesim::SWITCHES,
+        run: commands::servesim::run,
         owns_out: true,
     },
     Command {

@@ -72,14 +72,34 @@ pub(crate) fn layout_of(bytes: &[u8]) -> Result<ContainerLayout, CcrpError> {
     }
     let lines = original_bytes / 32;
     let lat_entries = lines.div_ceil(crate::lat::RECORDS_PER_ENTRY);
-    let blocks = HEADER_BYTES..HEADER_BYTES + block_bytes;
-    let lat = blocks.end..blocks.end + lat_entries * ENTRY_BYTES;
+    // The header fields are attacker-controlled: every section end is
+    // computed with checked arithmetic and rejected against the actual
+    // buffer *before* any caller trusts a range or sizes an allocation,
+    // so a pathological header can neither wrap the offsets (32-bit
+    // hosts) nor drive a `Vec::with_capacity` beyond the input size.
+    let oversize = || bad("header-declared sizes exceed the container");
+    let bounded = |end: usize| {
+        if end > bytes.len() {
+            Err(oversize())
+        } else {
+            Ok(end)
+        }
+    };
+    let blocks_end = bounded(HEADER_BYTES.checked_add(block_bytes).ok_or_else(oversize)?)?;
+    let lat_bytes = lat_entries.checked_mul(ENTRY_BYTES).ok_or_else(oversize)?;
+    let lat_end = bounded(blocks_end.checked_add(lat_bytes).ok_or_else(oversize)?)?;
     let crc_bytes = if version == VERSION_V2 {
-        4 + 4 * lines
+        lines
+            .checked_mul(4)
+            .and_then(|records| records.checked_add(4))
+            .ok_or_else(oversize)?
     } else {
         0
     };
-    let crc = lat.end..lat.end + crc_bytes;
+    let crc_end = bounded(lat_end.checked_add(crc_bytes).ok_or_else(oversize)?)?;
+    let blocks = HEADER_BYTES..blocks_end;
+    let lat = blocks_end..lat_end;
+    let crc = lat_end..crc_end;
     if bytes.len() != crc.end {
         return Err(bad("container length disagrees with header"));
     }
@@ -271,6 +291,61 @@ mod tests {
                 assert!(differs, "corruption must not load back identical");
             }
         }
+    }
+
+    /// A minimal syntactically plausible header over `body` extra bytes,
+    /// with attacker-chosen size fields.
+    fn hostile_header(original_bytes: u32, block_bytes: u32, version: u16, body: usize) -> Vec<u8> {
+        let mut bytes = vec![0u8; HEADER_BYTES + body];
+        bytes[0..4].copy_from_slice(MAGIC);
+        bytes[4..6].copy_from_slice(&version.to_le_bytes());
+        bytes[6] = 1; // word alignment
+        bytes[12..16].copy_from_slice(&original_bytes.to_le_bytes());
+        bytes[16..20].copy_from_slice(&block_bytes.to_le_bytes());
+        bytes
+    }
+
+    #[test]
+    fn rejects_adversarial_length_fields_before_allocation() {
+        // Sizes wildly exceeding the buffer must bounce off the bounds
+        // check in `layout_of` — the parse never reaches the point where
+        // header-declared line counts size an allocation.
+        let cases = [
+            // Huge block section on a tiny container.
+            hostile_header(32, u32::MAX, VERSION, 8),
+            // Huge line count (LAT + v2 CRC sections follow from it).
+            hostile_header(u32::MAX - 31, 0, VERSION, 8),
+            hostile_header(u32::MAX - 31, 0, VERSION_V2, 8),
+            // Both maxed: on 32-bit hosts the unchecked sum would wrap.
+            hostile_header(0xFFFF_FFE0, u32::MAX, VERSION_V2, 0),
+            // Plausible-looking sizes that still overshoot the buffer.
+            hostile_header(4096, 4096, VERSION, 64),
+        ];
+        for bytes in cases {
+            assert!(
+                matches!(
+                    layout_of(&bytes),
+                    Err(CcrpError::BadContainer {
+                        what: "header-declared sizes exceed the container"
+                    })
+                ),
+                "pathological header must be rejected by the bounds check"
+            );
+            assert!(CompressedImage::from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_undersized_declared_sections() {
+        // Sections that fit the buffer but do not exactly tile it are a
+        // length disagreement, not an oversize.
+        let bytes = hostile_header(32, 4, VERSION, 100);
+        assert!(matches!(
+            layout_of(&bytes),
+            Err(CcrpError::BadContainer {
+                what: "container length disagrees with header"
+            })
+        ));
     }
 
     #[test]

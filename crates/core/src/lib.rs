@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+mod budget;
 mod clb;
 mod compact_lat;
 mod container;
@@ -68,6 +69,7 @@ mod lat;
 mod refill;
 mod snapshot;
 
+pub use budget::{BudgetExhausted, StepBudget};
 pub use clb::{Clb, ClbSnapshot, ClbStats};
 pub use compact_lat::{CompactLatEntry, COMPACT_ENTRY_BYTES};
 pub use crc::crc32;

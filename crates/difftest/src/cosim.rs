@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use ccrp::{CompressedImage, DegradePolicy};
+use ccrp::{CompressedImage, DegradePolicy, StepBudget};
 use ccrp_asm::ProgramImage;
 use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
 use ccrp_emu::{Machine, MachineConfig, TraceSink};
@@ -188,9 +188,13 @@ pub fn run_cosim_with(
         }
     }
     let mut ref_sink = RecordingSink::default();
+    // The fuel guard backing the generator's termination-by-construction
+    // invariant: if a generated program ever loops, the campaign reports
+    // a budget error instead of hanging a worker.
+    let mut budget = StepBudget::limited(max_steps);
     let mut step: u64 = 0;
     loop {
-        if step >= max_steps {
+        if budget.charge(1).is_err() {
             return Err(format!("reference exceeded step budget {max_steps}"));
         }
         let pc = reference.pc();

@@ -65,10 +65,11 @@ pub fn run_cosim_segmented(
     // bytes so the serialized form is what replay actually consumes.
     let mut reference = Machine::with_config(image, config.clone());
     let mut checkpoints = vec![record_checkpoint(&reference, 0)?];
+    let mut budget = ccrp::StepBudget::limited(max_steps);
     let mut total_steps: u64 = 0;
     let mut reference_faulted = false;
     while reference.exit_code().is_none() {
-        if total_steps >= max_steps {
+        if budget.charge(1).is_err() {
             return Err(format!("reference exceeded step budget {max_steps}"));
         }
         let result = reference.step(&mut NullSink);

@@ -66,6 +66,16 @@ pub enum EmuError {
         /// The configured limit.
         limit: u64,
     },
+    /// A caller-supplied [`StepBudget`](ccrp::StepBudget) ran out of
+    /// fuel (or its watchdog cancellation flag was raised) before the
+    /// program exited — the machine-check-style outcome bounding
+    /// runaway or hostile programs without wall-clock dependence.
+    BudgetExhausted {
+        /// Dynamic instructions retired when the budget tripped.
+        steps: u64,
+        /// `true` when a watchdog deadline, not fuel, stopped the run.
+        cancelled: bool,
+    },
     /// A compressed instruction ROM that does not cover the program: its
     /// text base or size disagrees with the loaded image.
     RomMismatch,
@@ -106,6 +116,13 @@ impl fmt::Display for EmuError {
             }
             EmuError::StepLimitExceeded { limit } => {
                 write!(f, "program did not exit within {limit} instructions")
+            }
+            EmuError::BudgetExhausted { steps, cancelled } => {
+                if cancelled {
+                    write!(f, "run cancelled by deadline after {steps} instructions")
+                } else {
+                    write!(f, "step budget exhausted after {steps} instructions")
+                }
             }
             EmuError::RomMismatch => {
                 write!(f, "compressed ROM does not cover the program text")

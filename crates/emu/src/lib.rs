@@ -45,7 +45,7 @@ mod memory;
 mod state;
 mod trace;
 
-pub use ccrp::DegradePolicy;
+pub use ccrp::{BudgetExhausted, DegradePolicy, StepBudget};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use error::EmuError;
 pub use machine::{Machine, MachineConfig, RunSummary};
@@ -360,6 +360,65 @@ mod tests {
         );
         let err = m.run(&mut NullSink).unwrap_err();
         assert!(matches!(err, EmuError::StepLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn step_budget_bounds_runaway_program() {
+        let image = assemble("main: b main").unwrap();
+        let mut m = Machine::new(&image);
+        let mut budget = StepBudget::limited(50);
+        let err = m.run_budgeted(&mut NullSink, &mut budget).unwrap_err();
+        assert!(matches!(
+            err,
+            EmuError::BudgetExhausted {
+                steps: 50,
+                cancelled: false
+            }
+        ));
+        assert_eq!(m.steps(), 50);
+    }
+
+    #[test]
+    fn step_budget_is_invisible_when_sufficient() {
+        let src = "
+            main:
+                li   $t0, 10
+                li   $t1, 0
+            loop:
+                addu $t1, $t1, $t0
+                addiu $t0, $t0, -1
+                bnez $t0, loop
+                li   $v0, 10
+                syscall
+            ";
+        let (_, plain) = run_src(src);
+        let image = assemble(src).expect("assembles");
+        let mut m = Machine::new(&image);
+        let mut budget = StepBudget::limited(1_000_000);
+        let budgeted = m.run_budgeted(&mut NullSink, &mut budget).expect("runs");
+        assert_eq!(budgeted, plain);
+        assert_eq!(budget.spent(), budgeted.instructions);
+    }
+
+    #[test]
+    fn cancellation_flag_stops_the_run() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let image = assemble("main: b main").unwrap();
+        let mut m = Machine::new(&image);
+        let flag = Arc::new(AtomicBool::new(true));
+        let mut budget = StepBudget::unlimited().with_cancel(flag);
+        let err = m.run_budgeted(&mut NullSink, &mut budget).unwrap_err();
+        assert!(matches!(
+            err,
+            EmuError::BudgetExhausted {
+                cancelled: true,
+                ..
+            }
+        ));
+        // A raised flag is observed within one poll interval.
+        assert!(m.steps() < 1024);
     }
 
     #[test]

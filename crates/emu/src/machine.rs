@@ -1,6 +1,6 @@
 use std::collections::VecDeque;
 
-use ccrp::{crc32, CompressedImage, DegradePolicy};
+use ccrp::{crc32, CompressedImage, DegradePolicy, StepBudget};
 use ccrp_asm::ProgramImage;
 use ccrp_isa::{
     decode, AluOp, BranchOp, BranchZOp, Cp1MoveOp, FpCond, FpFmt, FpOp, FpReg, FpUnaryOp, HiLoOp,
@@ -344,10 +344,39 @@ impl Machine {
     /// Any [`EmuError`] fault, including exceeding the configured step
     /// budget.
     pub fn run(&mut self, sink: &mut impl TraceSink) -> Result<RunSummary, EmuError> {
+        self.run_budgeted(sink, &mut StepBudget::unlimited())
+    }
+
+    /// Runs until the program exits via syscall, charging `budget` one
+    /// unit per retired instruction on top of the configured
+    /// `max_steps` ceiling.
+    ///
+    /// This is the guard rail for programs that cannot be trusted to
+    /// terminate — hostile service uploads, or difftest programs should
+    /// the generator's termination-by-construction invariant ever be
+    /// violated. Fuel exhaustion is deterministic (it depends only on
+    /// the program), while an attached cancellation flag lets a
+    /// watchdog thread stop the run on a wall-clock deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`EmuError::BudgetExhausted`] when `budget` trips; otherwise as
+    /// [`run`](Self::run).
+    pub fn run_budgeted(
+        &mut self,
+        sink: &mut impl TraceSink,
+        budget: &mut StepBudget,
+    ) -> Result<RunSummary, EmuError> {
         while self.state.exit.is_none() {
             if self.state.steps >= self.config.max_steps {
                 return Err(EmuError::StepLimitExceeded {
                     limit: self.config.max_steps,
+                });
+            }
+            if let Err(exhausted) = budget.charge(1) {
+                return Err(EmuError::BudgetExhausted {
+                    steps: self.state.steps,
+                    cancelled: exhausted.cancelled,
                 });
             }
             self.step(sink)?;

@@ -8,7 +8,9 @@
 //!
 //! * [`Event`] — the typed hierarchy events: cache misses, refill
 //!   start/completion, CLB hit/miss/evict, memory bursts, integrity
-//!   failures, and retry backoffs;
+//!   failures, retry backoffs, and (one level up, from `ccrp-served`)
+//!   request-lifecycle events: request start/done/rejected and
+//!   decoded-image cache hits;
 //! * [`Probe`] — the sink trait. Emitters are generic over it, so the
 //!   no-op [`NullProbe`] monomorphizes to nothing: probe-off runs are
 //!   bit-identical to uninstrumented ones;
@@ -108,6 +110,36 @@ pub enum Event {
         /// at the boundary.
         retired: u64,
     },
+    /// A service request was admitted and began executing (stamped at
+    /// the service's logical tick, not wall clock).
+    RequestStart {
+        /// Server-assigned request sequence number.
+        id: u64,
+    },
+    /// An admitted service request finished with a response.
+    RequestDone {
+        /// Server-assigned request sequence number.
+        id: u64,
+        /// Fuel (emulated steps / simulated cycles) the request spent;
+        /// the request-level timeline renders this as its duration.
+        ticks: u64,
+        /// Whether the response was a success (not a typed error).
+        ok: bool,
+    },
+    /// A service request was refused before execution — malformed,
+    /// oversized, or shed by admission control.
+    RequestRejected {
+        /// Server-assigned request sequence number.
+        id: u64,
+        /// The stable name of the typed error kind returned.
+        reason: &'static str,
+    },
+    /// A decoded-image cache lookup hit: the hot path skipped re-parsing
+    /// and re-expanding an uploaded container.
+    CacheHit {
+        /// Content hash of the cached container.
+        key: u64,
+    },
 }
 
 impl Event {
@@ -125,6 +157,10 @@ impl Event {
             Event::IntegrityFailure { .. } => "integrity_failure",
             Event::RetryBackoff { .. } => "retry_backoff",
             Event::SegmentBoundary { .. } => "segment_boundary",
+            Event::RequestStart { .. } => "request_start",
+            Event::RequestDone { .. } => "request_done",
+            Event::RequestRejected { .. } => "request_rejected",
+            Event::CacheHit { .. } => "cache_hit",
         }
     }
 }
@@ -334,5 +370,24 @@ mod tests {
             Event::MemoryBurst { words: 2, done: 5 }.kind(),
             "memory_burst"
         );
+        assert_eq!(Event::RequestStart { id: 1 }.kind(), "request_start");
+        assert_eq!(
+            Event::RequestDone {
+                id: 1,
+                ticks: 5,
+                ok: true
+            }
+            .kind(),
+            "request_done"
+        );
+        assert_eq!(
+            Event::RequestRejected {
+                id: 2,
+                reason: "overload"
+            }
+            .kind(),
+            "request_rejected"
+        );
+        assert_eq!(Event::CacheHit { key: 7 }.kind(), "cache_hit");
     }
 }

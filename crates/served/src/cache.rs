@@ -1,0 +1,229 @@
+//! Content-addressed LRU cache of decoded container images.
+//!
+//! Upload-style endpoints (`verify`, `inspect`, `expand-line`, `attest`)
+//! all start by parsing container bytes. The cache keys the *content*
+//! (FNV-1a 64 over the raw bytes), so a byte-identical re-upload skips
+//! the parse while any corruption — even a single flipped bit — misses
+//! and re-parses. Quarantine handles the failure path: when a handler
+//! panics while a cached image is in play, the key is evicted *and*
+//! blacklisted so the possibly-poisoned entry can never be served again
+//! for the remainder of the process.
+
+use std::sync::{Arc, Mutex};
+
+use ccrp::CompressedImage;
+
+/// FNV-1a 64-bit hash of a byte string — the cache key for container
+/// content.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+struct Entry {
+    key: u64,
+    image: Arc<CompressedImage>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    quarantined: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// A bounded LRU cache of parsed images keyed by content hash, with a
+/// quarantine list for keys touched by a panicking handler.
+pub struct ImageCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+/// Hit/miss/quarantine counters, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including quarantined keys).
+    pub misses: u64,
+    /// Keys currently quarantined.
+    pub quarantined: u64,
+}
+
+impl ImageCache {
+    /// Creates a cache holding at most `capacity` images.
+    pub fn new(capacity: usize) -> ImageCache {
+        ImageCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                quarantined: Vec::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    // A panicking handler can poison this mutex; the guarded state is a
+    // plain LRU list that is valid at every step, so recovering the
+    // inner value is safe — quarantine handles semantic poisoning.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Looks up the image for `key`, returning `None` on a miss or a
+    /// quarantined key.
+    pub fn get(&self, key: u64) -> Option<Arc<CompressedImage>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.quarantined.contains(&key) {
+            inner.misses += 1;
+            return None;
+        }
+        if let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) {
+            entry.last_used = tick;
+            let image = Arc::clone(&entry.image);
+            inner.hits += 1;
+            Some(image)
+        } else {
+            inner.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts `image` under `key`, evicting the least-recently-used
+    /// entry when full. Quarantined keys are never (re-)admitted.
+    pub fn insert(&self, key: u64, image: Arc<CompressedImage>) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.quarantined.contains(&key) {
+            return;
+        }
+        if let Some(entry) = inner.entries.iter_mut().find(|e| e.key == key) {
+            entry.image = image;
+            entry.last_used = tick;
+            return;
+        }
+        if inner.entries.len() >= self.capacity {
+            if let Some(lru) = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+            {
+                inner.entries.swap_remove(lru);
+            }
+        }
+        inner.entries.push(Entry {
+            key,
+            image,
+            last_used: tick,
+        });
+    }
+
+    /// Evicts `key` and blacklists it for the rest of the process —
+    /// called when a handler panicked while this entry was in play.
+    pub fn quarantine(&self, key: u64) {
+        let mut inner = self.lock();
+        inner.entries.retain(|e| e.key != key);
+        if !inner.quarantined.contains(&key) {
+            inner.quarantined.push(key);
+        }
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> CacheCounters {
+        let inner = self.lock();
+        CacheCounters {
+            hits: inner.hits,
+            misses: inner.misses,
+            quarantined: inner.quarantined.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+
+    fn image(fill: u8) -> Arc<CompressedImage> {
+        let text = vec![fill; 64];
+        let code = ByteCode::preselected(&ByteHistogram::of(&text)).unwrap();
+        Arc::new(CompressedImage::build(0, &text, code, BlockAlignment::Word).unwrap())
+    }
+
+    #[test]
+    fn content_hash_is_fnv1a() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(content_hash(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(content_hash(b"a"), 0xAF63_DC4C_8601_EC8C);
+        // Single-bit corruption changes the key.
+        assert_ne!(content_hash(&[0u8; 64]), content_hash(&[1u8; 64]));
+    }
+
+    #[test]
+    fn hit_after_insert_miss_after_corruption() {
+        let cache = ImageCache::new(4);
+        let bytes = vec![0x24u8; 128];
+        let key = content_hash(&bytes);
+        assert!(cache.get(key).is_none());
+        cache.insert(key, image(0x24));
+        assert!(cache.get(key).is_some());
+        // Corrupt one byte: different key, guaranteed miss.
+        let mut corrupt = bytes.clone();
+        corrupt[100] ^= 0x40;
+        assert!(cache.get(content_hash(&corrupt)).is_none());
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses), (1, 2));
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let cache = ImageCache::new(2);
+        cache.insert(1, image(1));
+        cache.insert(2, image(2));
+        assert!(cache.get(1).is_some()); // 1 is now warmer than 2
+        cache.insert(3, image(3)); // evicts 2
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn quarantine_evicts_and_blocks_readmission() {
+        let cache = ImageCache::new(4);
+        cache.insert(7, image(7));
+        cache.quarantine(7);
+        assert!(cache.get(7).is_none());
+        cache.insert(7, image(7));
+        assert!(cache.get(7).is_none(), "quarantined key was re-admitted");
+        assert_eq!(cache.counters().quarantined, 1);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let cache = Arc::new(ImageCache::new(2));
+        let inner = Arc::clone(&cache);
+        // Poison the mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.inner.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        cache.insert(1, image(1));
+        assert!(cache.get(1).is_some());
+    }
+}

@@ -1,0 +1,867 @@
+//! The request dispatcher: bounded inputs, fuel budgets, per-request
+//! isolation, and the content-addressed image cache.
+//!
+//! [`Service`] is transport-agnostic — the TCP [server](crate::server)
+//! drives it, but tests and the hostile-input campaign can call
+//! [`Service::handle`] directly. Every request runs under
+//! `catch_unwind`: a panicking handler is converted into a typed
+//! [`ErrorKind::Internal`] response and any cached image the handler
+//! touched is quarantined, so one poisoned request cannot corrupt the
+//! next (the "per-request isolation" contract).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ccrp::{CcrpError, CompressedImage, DegradePolicy, StepBudget};
+use ccrp_asm::assemble;
+use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+use ccrp_emu::{EmuError, Machine, MachineConfig, NullSink, ProgramTrace};
+use ccrp_probe::{Event, EventLog, Probe, TimedEvent};
+use ccrp_sim::{
+    simulate_ccrp_budgeted, simulate_standard_budgeted, MemoryModel, SimError, SystemConfig,
+};
+
+use crate::attest::attest_digest;
+use crate::cache::{content_hash, CacheCounters, ImageCache};
+use crate::proto::{ErrorKind, Request, Response, MAX_RUN_OUTPUT_BYTES};
+
+/// Limits and budgets the service enforces on every request.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Largest frame the transport will read (enforced pre-allocation).
+    pub max_frame_bytes: u32,
+    /// Largest text a `compress` request may submit.
+    pub max_text_bytes: usize,
+    /// Largest container an upload endpoint may submit.
+    pub max_container_bytes: usize,
+    /// Largest assembly source `run`/`sweep-cell` may submit.
+    pub max_source_bytes: usize,
+    /// Default (and maximum) fuel budget for emulation and replay.
+    pub default_fuel: u64,
+    /// Wall-clock deadline per request; the watchdog sets the cancel
+    /// flag when it passes.
+    pub deadline: Duration,
+    /// Socket read timeout — the slow-loris guard.
+    pub read_timeout: Duration,
+    /// Bounded request queue depth; requests beyond it are shed.
+    pub queue_depth: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Capacity of the decoded-image cache.
+    pub cache_entries: usize,
+    /// Allow [`Request::Chaos`] to actually misbehave (testing only).
+    pub enable_chaos: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_frame_bytes: 1 << 20,
+            max_text_bytes: 256 << 10,
+            max_container_bytes: 1 << 20,
+            max_source_bytes: 64 << 10,
+            default_fuel: 2_000_000,
+            deadline: Duration::from_secs(2),
+            read_timeout: Duration::from_millis(250),
+            queue_depth: 32,
+            workers: 2,
+            cache_entries: 8,
+            enable_chaos: false,
+        }
+    }
+}
+
+/// Monotonic counters the service maintains, for reports and the
+/// campaign's invariants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Requests dispatched (including ones that failed).
+    pub requests: u64,
+    /// Requests answered with an error response.
+    pub failures: u64,
+    /// Handler panics converted into `Internal` errors.
+    pub panics_caught: u64,
+    /// Requests shed before dispatch (queue full or expired while
+    /// queued) — counted by [`Service::note_rejected`].
+    pub rejected: u64,
+}
+
+/// Event sink plus a logical clock; `None` log means probes are off and
+/// the service does no event work at all.
+struct Telemetry {
+    log: Option<Mutex<EventLog>>,
+    clock: AtomicU64,
+}
+
+impl Telemetry {
+    fn emit(&self, event: Event) {
+        if let Some(log) = &self.log {
+            let cycle = self.clock.fetch_add(1, Ordering::Relaxed);
+            // An EventLog append cannot leave the log torn; recover a
+            // poison left by an unrelated panicking thread.
+            log.lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .emit(cycle, event);
+        }
+    }
+}
+
+/// The transport-agnostic request handler.
+pub struct Service {
+    config: ServiceConfig,
+    cache: ImageCache,
+    telemetry: Telemetry,
+    next_id: AtomicU64,
+    requests: AtomicU64,
+    failures: AtomicU64,
+    panics_caught: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Service {
+    /// Creates a service with probes off (zero telemetry overhead).
+    pub fn new(config: ServiceConfig) -> Service {
+        Service::build(config, None)
+    }
+
+    /// Creates a service that records request-lifecycle events into an
+    /// in-memory [`EventLog`] (drained by [`Service::take_events`]).
+    pub fn with_event_log(config: ServiceConfig) -> Service {
+        Service::build(config, Some(Mutex::new(EventLog::new())))
+    }
+
+    fn build(config: ServiceConfig, log: Option<Mutex<EventLog>>) -> Service {
+        let cache = ImageCache::new(config.cache_entries);
+        Service {
+            config,
+            cache,
+            telemetry: Telemetry {
+                log,
+                clock: AtomicU64::new(0),
+            },
+            next_id: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            panics_caught: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Snapshot of the monotonic counters.
+    pub fn counters(&self) -> ServiceCounters {
+        ServiceCounters {
+            requests: self.requests.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the image-cache counters.
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Drains the recorded request-lifecycle events (empty when the
+    /// service was built without an event log).
+    pub fn take_events(&self) -> Vec<TimedEvent> {
+        match &self.telemetry.log {
+            Some(log) => {
+                std::mem::take(&mut *log.lock().unwrap_or_else(|p| p.into_inner())).into_events()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Records a request shed before dispatch (queue full, or expired
+    /// while queued) so rejected work still appears in the trace.
+    pub fn note_rejected(&self, reason: &'static str) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.emit(Event::RequestRejected { id, reason });
+    }
+
+    /// Handles one request with no external cancellation (the fuel
+    /// budget still bounds execution).
+    pub fn handle(&self, request: &Request) -> Response {
+        self.handle_cancellable(request, &Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Handles one request; `cancel` is the watchdog's deadline flag,
+    /// polled by the fuel budget during emulation and replay.
+    ///
+    /// Never panics: handler panics are caught, counted, converted to
+    /// [`ErrorKind::Internal`], and any cached image the handler was
+    /// using is quarantined.
+    pub fn handle_cancellable(&self, request: &Request, cancel: &Arc<AtomicBool>) -> Response {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.emit(Event::RequestStart { id });
+        let started = Instant::now();
+        let touched = Mutex::new(None::<u64>);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.dispatch(request, cancel, &touched)
+        }));
+        let response = match outcome {
+            Ok(response) => response,
+            Err(_) => {
+                self.panics_caught.fetch_add(1, Ordering::Relaxed);
+                let key = *touched.lock().unwrap_or_else(|p| p.into_inner());
+                if let Some(key) = key {
+                    self.cache.quarantine(key);
+                }
+                Response::Error {
+                    kind: ErrorKind::Internal,
+                    detail: "request handler panicked; cached state quarantined".to_owned(),
+                }
+            }
+        };
+        let ok = response.error_kind().is_none();
+        if !ok {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        let ticks = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.telemetry.emit(Event::RequestDone { id, ticks, ok });
+        response
+    }
+
+    fn dispatch(
+        &self,
+        request: &Request,
+        cancel: &Arc<AtomicBool>,
+        touched: &Mutex<Option<u64>>,
+    ) -> Response {
+        match request {
+            Request::Compress {
+                text_base,
+                v2,
+                text,
+            } => self.compress(*text_base, *v2, text),
+            Request::Verify { container } => match self.load_image(container, touched) {
+                Ok(image) => self.verify(&image),
+                Err(response) => response,
+            },
+            Request::Inspect { container } => match self.load_image(container, touched) {
+                Ok(image) => inspect(&image),
+                Err(response) => response,
+            },
+            Request::ExpandLine { container, address } => {
+                match self.load_image(container, touched) {
+                    Ok(image) => expand_line(&image, *address),
+                    Err(response) => response,
+                }
+            }
+            Request::Run { source, fuel } => self.run(source, *fuel, cancel),
+            Request::SweepCell {
+                source,
+                cache_bytes,
+                memory,
+                fuel,
+            } => self.sweep_cell(source, *cache_bytes, *memory, *fuel, cancel),
+            Request::Attest {
+                container,
+                nonce,
+                samples,
+            } => match self.load_image(container, touched) {
+                Ok(image) => match attest_digest(&image, *nonce, *samples) {
+                    Ok((digest, sampled)) => Response::Attested { digest, sampled },
+                    Err(e) => error(classify_ccrp(&e), &e),
+                },
+                Err(response) => response,
+            },
+            Request::Chaos { kind } => self.chaos(*kind),
+        }
+    }
+
+    /// Parses (or cache-loads) a container, recording the touched cache
+    /// key for quarantine-on-panic.
+    fn load_image(
+        &self,
+        container: &[u8],
+        touched: &Mutex<Option<u64>>,
+    ) -> Result<Arc<CompressedImage>, Response> {
+        if container.len() > self.config.max_container_bytes {
+            return Err(Response::Error {
+                kind: ErrorKind::Malformed,
+                detail: format!(
+                    "container of {} bytes exceeds the {}-byte limit",
+                    container.len(),
+                    self.config.max_container_bytes
+                ),
+            });
+        }
+        let key = content_hash(container);
+        *touched.lock().unwrap_or_else(|p| p.into_inner()) = Some(key);
+        if let Some(image) = self.cache.get(key) {
+            self.telemetry.emit(Event::CacheHit { key });
+            return Ok(image);
+        }
+        let image = CompressedImage::from_bytes(container)
+            .map(Arc::new)
+            .map_err(|e| error(classify_ccrp(&e), &e))?;
+        self.cache.insert(key, Arc::clone(&image));
+        Ok(image)
+    }
+
+    fn compress(&self, text_base: u32, v2: bool, text: &[u8]) -> Response {
+        if text.is_empty() {
+            return malformed("compress text is empty");
+        }
+        if text.len() > self.config.max_text_bytes {
+            return Response::Error {
+                kind: ErrorKind::Malformed,
+                detail: format!(
+                    "text of {} bytes exceeds the {}-byte limit",
+                    text.len(),
+                    self.config.max_text_bytes
+                ),
+            };
+        }
+        let mut padded = text.to_vec();
+        while !padded.len().is_multiple_of(32) {
+            padded.push(0);
+        }
+        let code = match ByteCode::preselected(&ByteHistogram::of(&padded)) {
+            Ok(code) => code,
+            Err(e) => return error(ErrorKind::Malformed, &e),
+        };
+        match CompressedImage::build(text_base, &padded, code, BlockAlignment::Word) {
+            Ok(image) => Response::Compressed {
+                container: if v2 {
+                    image.to_bytes_v2()
+                } else {
+                    image.to_bytes()
+                },
+            },
+            Err(e) => error(ErrorKind::Malformed, &e),
+        }
+    }
+
+    fn verify(&self, image: &CompressedImage) -> Response {
+        match image.verify() {
+            Ok(()) => Response::Verified {
+                lines: image.line_count() as u32,
+                version: if image.block_crcs().is_some() { 2 } else { 1 },
+                stored_bytes: image.total_stored_bytes(true),
+            },
+            Err(e) => error(ErrorKind::IntegrityFailure, &e),
+        }
+    }
+
+    fn run(&self, source: &str, fuel: u64, cancel: &Arc<AtomicBool>) -> Response {
+        let image = match self.assemble_bounded(source) {
+            Ok(image) => image,
+            Err(response) => return response,
+        };
+        let mut machine = Machine::with_config(&image, MachineConfig::default());
+        let mut budget = self.budget(fuel, cancel);
+        match machine.run_budgeted(&mut NullSink, &mut budget) {
+            Ok(summary) => Response::Ran {
+                steps: summary.instructions,
+                exit_code: summary.exit_code,
+                output: truncated_output(machine.output()),
+            },
+            Err(e) => error(classify_emu(&e), &e),
+        }
+    }
+
+    fn sweep_cell(
+        &self,
+        source: &str,
+        cache_bytes: u32,
+        memory: u8,
+        fuel: u64,
+        cancel: &Arc<AtomicBool>,
+    ) -> Response {
+        let Some(model) = MemoryModel::ALL.get(usize::from(memory)).copied() else {
+            return malformed("memory model index out of range");
+        };
+        let image = match self.assemble_bounded(source) {
+            Ok(image) => image,
+            Err(response) => return response,
+        };
+        let mut machine = Machine::with_config(&image, MachineConfig::default());
+        let mut trace = ProgramTrace::new();
+        let mut budget = self.budget(fuel, cancel);
+        if let Err(e) = machine.run_budgeted(&mut trace, &mut budget) {
+            return error(classify_emu(&e), &e);
+        }
+        let code = match ByteCode::preselected(&ByteHistogram::of(image.text_bytes())) {
+            Ok(code) => code,
+            Err(e) => return error(ErrorKind::Malformed, &e),
+        };
+        let rom = match CompressedImage::build(
+            image.text_base(),
+            image.text_bytes(),
+            code,
+            BlockAlignment::Word,
+        ) {
+            Ok(rom) => rom,
+            Err(e) => return error(classify_ccrp(&e), &e),
+        };
+        let config = SystemConfig::new()
+            .with_cache_bytes(cache_bytes)
+            .with_memory(model);
+        let mut standard_budget = self.budget(fuel, cancel);
+        let standard = match simulate_standard_budgeted(trace.iter(), &config, &mut standard_budget)
+        {
+            Ok(stats) => stats,
+            Err(e) => return error(classify_sim(&e), &e),
+        };
+        let mut ccrp_budget = self.budget(fuel, cancel);
+        let ccrp = match simulate_ccrp_budgeted(&rom, trace.iter(), &config, &mut ccrp_budget) {
+            Ok(stats) => stats,
+            Err(e) => return error(classify_sim(&e), &e),
+        };
+        let standard_cycles = standard.total_cycles().round() as u64;
+        let ccrp_cycles = ccrp.total_cycles().round() as u64;
+        let relative_milli = if standard_cycles == 0 {
+            0
+        } else {
+            ((ccrp.total_cycles() / standard.total_cycles()) * 1000.0).round() as u32
+        };
+        Response::SweptCell {
+            standard_cycles,
+            ccrp_cycles,
+            relative_milli,
+        }
+    }
+
+    fn chaos(&self, kind: u8) -> Response {
+        if !self.config.enable_chaos {
+            return malformed("chaos endpoint is disabled");
+        }
+        match kind {
+            // The isolation test fixture: prove catch_unwind + quarantine
+            // turn a handler panic into a typed Internal error.
+            0 => panic!("chaos: deliberate handler panic"), // panic-ok: the isolation fixture itself
+            _ => malformed("unknown chaos kind"),
+        }
+    }
+
+    fn assemble_bounded(&self, source: &str) -> Result<ccrp_asm::ProgramImage, Response> {
+        if source.len() > self.config.max_source_bytes {
+            return Err(Response::Error {
+                kind: ErrorKind::Malformed,
+                detail: format!(
+                    "source of {} bytes exceeds the {}-byte limit",
+                    source.len(),
+                    self.config.max_source_bytes
+                ),
+            });
+        }
+        assemble(source).map_err(|e| error(ErrorKind::Malformed, &e))
+    }
+
+    /// A fuel budget from the request's ask, clamped to the server
+    /// default, wired to the watchdog's cancel flag.
+    fn budget(&self, requested: u64, cancel: &Arc<AtomicBool>) -> StepBudget {
+        let fuel = if requested == 0 {
+            self.config.default_fuel
+        } else {
+            requested.min(self.config.default_fuel)
+        };
+        StepBudget::limited(fuel).with_cancel(Arc::clone(cancel))
+    }
+}
+
+/// Expands one line, honoring a `Retry`-style policy for transient
+/// faults: persistent corruption still fails after the attempts are
+/// spent, matching [`DegradePolicy::Retry`] semantics in the refill
+/// engine.
+fn expand_line(image: &CompressedImage, address: u32) -> Response {
+    let policy = DegradePolicy::Retry { attempts: 3 };
+    let attempts = match policy {
+        DegradePolicy::Retry { attempts } => attempts.max(1),
+        _ => 1,
+    };
+    let mut last = None;
+    for _ in 0..attempts {
+        match image.expand_line(address) {
+            Ok(bytes) => return Response::Line { bytes },
+            Err(e) => last = Some(e),
+        }
+    }
+    match last {
+        Some(e) => error(classify_ccrp(&e), &e),
+        None => malformed("line expansion made no attempts"),
+    }
+}
+
+fn inspect(image: &CompressedImage) -> Response {
+    Response::Inspected {
+        lines: image.line_count() as u32,
+        version: if image.block_crcs().is_some() { 2 } else { 1 },
+        text_base: image.text_base(),
+        original_bytes: image.original_bytes(),
+        stored_bytes: image.total_stored_bytes(true),
+        bypass_lines: image.bypass_count() as u32,
+        ratio_milli: (image.compression_ratio() * 1000.0).round() as u32,
+    }
+}
+
+fn truncated_output(output: &str) -> Vec<u8> {
+    let bytes = output.as_bytes();
+    bytes[..bytes.len().min(MAX_RUN_OUTPUT_BYTES)].to_vec()
+}
+
+fn malformed(detail: &str) -> Response {
+    Response::Error {
+        kind: ErrorKind::Malformed,
+        detail: detail.to_owned(),
+    }
+}
+
+fn error(kind: ErrorKind, source: &dyn std::fmt::Display) -> Response {
+    Response::Error {
+        kind,
+        detail: source.to_string(),
+    }
+}
+
+/// Structural container errors are the client's fault; everything else
+/// that surfaces from a *parsed* image is an integrity failure.
+fn classify_ccrp(e: &CcrpError) -> ErrorKind {
+    match e {
+        CcrpError::BadContainer { .. }
+        | CcrpError::AddressOutOfRange { .. }
+        | CcrpError::MisalignedTextBase { .. }
+        | CcrpError::Compress(_) => ErrorKind::Malformed,
+        _ => ErrorKind::IntegrityFailure,
+    }
+}
+
+fn classify_emu(e: &EmuError) -> ErrorKind {
+    match e {
+        EmuError::BudgetExhausted { .. } | EmuError::StepLimitExceeded { .. } => ErrorKind::Timeout,
+        _ => ErrorKind::Fault,
+    }
+}
+
+fn classify_sim(e: &SimError) -> ErrorKind {
+    match e {
+        SimError::Budget(_) => ErrorKind::Timeout,
+        SimError::Cache(_) => ErrorKind::Malformed,
+        _ => ErrorKind::IntegrityFailure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUM_SRC: &str = "
+        main:
+            li   $t0, 10
+            li   $t1, 0
+        loop:
+            addu $t1, $t1, $t0
+            addiu $t0, $t0, -1
+            bnez $t0, loop
+            li   $v0, 1
+            move $a0, $t1
+            syscall
+            li   $v0, 10
+            syscall
+        ";
+
+    fn chaos_config() -> ServiceConfig {
+        ServiceConfig {
+            enable_chaos: true,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn sample_text() -> Vec<u8> {
+        (0..2048u32).map(|i| (i % 53) as u8).collect()
+    }
+
+    fn v2_container(service: &Service) -> Vec<u8> {
+        match service.handle(&Request::Compress {
+            text_base: 0,
+            v2: true,
+            text: sample_text(),
+        }) {
+            Response::Compressed { container } => container,
+            other => panic!("compress failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compress_verify_inspect_expand_roundtrip() {
+        let service = Service::new(ServiceConfig::default());
+        let container = v2_container(&service);
+        match service.handle(&Request::Verify {
+            container: container.clone(),
+        }) {
+            Response::Verified { lines, version, .. } => {
+                assert_eq!(lines, 64);
+                assert_eq!(version, 2);
+            }
+            other => panic!("verify failed: {other:?}"),
+        }
+        match service.handle(&Request::Inspect {
+            container: container.clone(),
+        }) {
+            Response::Inspected {
+                lines,
+                version,
+                original_bytes,
+                ..
+            } => {
+                assert_eq!((lines, version, original_bytes), (64, 2, 2048));
+            }
+            other => panic!("inspect failed: {other:?}"),
+        }
+        match service.handle(&Request::ExpandLine {
+            container,
+            address: 32,
+        }) {
+            Response::Line { bytes } => {
+                let expected: Vec<u8> = (32..64u32).map(|i| (i % 53) as u8).collect();
+                assert_eq!(bytes.to_vec(), expected);
+            }
+            other => panic!("expand failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_container_gets_typed_error_not_panic() {
+        let service = Service::new(ServiceConfig::default());
+        let mut container = v2_container(&service);
+        // Flip a bit inside the packed blocks.
+        let mid = container.len() / 2;
+        container[mid] ^= 0x10;
+        let response = service.handle(&Request::Verify { container });
+        match response {
+            Response::Error { kind, .. } => assert!(
+                matches!(kind, ErrorKind::IntegrityFailure | ErrorKind::Malformed),
+                "unexpected kind {kind:?}"
+            ),
+            other => panic!("corruption accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_executes_and_timeout_is_typed() {
+        let service = Service::new(ServiceConfig::default());
+        match service.handle(&Request::Run {
+            source: SUM_SRC.to_owned(),
+            fuel: 0,
+        }) {
+            Response::Ran {
+                output, exit_code, ..
+            } => {
+                assert_eq!(output, b"55");
+                assert_eq!(exit_code, 0);
+            }
+            other => panic!("run failed: {other:?}"),
+        }
+        match service.handle(&Request::Run {
+            source: "main: b main".to_owned(),
+            fuel: 1000,
+        }) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Timeout),
+            other => panic!("runaway not bounded: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_is_clamped_to_server_default() {
+        let config = ServiceConfig {
+            default_fuel: 500,
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(config);
+        // Asking for far more fuel than the server allows still times out.
+        match service.handle(&Request::Run {
+            source: "main: b main".to_owned(),
+            fuel: u64::MAX,
+        }) {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Timeout),
+            other => panic!("clamp failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_cell_reports_both_processors() {
+        let service = Service::new(ServiceConfig::default());
+        match service.handle(&Request::SweepCell {
+            source: SUM_SRC.to_owned(),
+            cache_bytes: 1024,
+            memory: 1,
+            fuel: 0,
+        }) {
+            Response::SweptCell {
+                standard_cycles,
+                ccrp_cycles,
+                relative_milli,
+            } => {
+                assert!(standard_cycles > 0);
+                assert!(ccrp_cycles > 0);
+                assert!(relative_milli > 0);
+            }
+            other => panic!("sweep failed: {other:?}"),
+        }
+        // Bad memory-model index is malformed, not a panic.
+        assert_eq!(
+            service
+                .handle(&Request::SweepCell {
+                    source: SUM_SRC.to_owned(),
+                    cache_bytes: 1024,
+                    memory: 9,
+                    fuel: 0,
+                })
+                .error_kind(),
+            Some(ErrorKind::Malformed)
+        );
+    }
+
+    #[test]
+    fn attest_round_trips_against_local_digest() {
+        let service = Service::new(ServiceConfig::default());
+        let container = v2_container(&service);
+        let image = CompressedImage::from_bytes(&container).unwrap();
+        let (expected, expected_sampled) = attest_digest(&image, 99, 16).unwrap();
+        match service.handle(&Request::Attest {
+            container,
+            nonce: 99,
+            samples: 16,
+        }) {
+            Response::Attested { digest, sampled } => {
+                assert_eq!(digest, expected);
+                assert_eq!(sampled, expected_sampled);
+            }
+            other => panic!("attest failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_panic_is_isolated_and_service_stays_usable() {
+        let service = Service::new(chaos_config());
+        let response = service.handle(&Request::Chaos { kind: 0 });
+        assert_eq!(response.error_kind(), Some(ErrorKind::Internal));
+        assert_eq!(service.counters().panics_caught, 1);
+        // The service still answers the next request correctly.
+        let container = v2_container(&service);
+        assert!(matches!(
+            service.handle(&Request::Verify { container }),
+            Response::Verified { .. }
+        ));
+    }
+
+    #[test]
+    fn chaos_is_rejected_when_disabled() {
+        let service = Service::new(ServiceConfig::default());
+        assert_eq!(
+            service.handle(&Request::Chaos { kind: 0 }).error_kind(),
+            Some(ErrorKind::Malformed)
+        );
+        assert_eq!(service.counters().panics_caught, 0);
+    }
+
+    #[test]
+    fn cache_serves_repeat_uploads_and_quarantines_after_panic() {
+        let service = Service::with_event_log(chaos_config());
+        let container = v2_container(&service);
+        let request = Request::Verify {
+            container: container.clone(),
+        };
+        service.handle(&request);
+        service.handle(&request);
+        let counters = service.cache_counters();
+        assert_eq!(counters.hits, 1, "second upload should hit the cache");
+        let events = service.take_events();
+        assert!(events.iter().any(|t| t.event.kind() == "cache_hit"));
+    }
+
+    #[test]
+    fn oversized_inputs_rejected_with_typed_errors() {
+        let config = ServiceConfig {
+            max_text_bytes: 64,
+            max_container_bytes: 64,
+            max_source_bytes: 16,
+            ..ServiceConfig::default()
+        };
+        let service = Service::new(config);
+        assert_eq!(
+            service
+                .handle(&Request::Compress {
+                    text_base: 0,
+                    v2: false,
+                    text: vec![0; 65],
+                })
+                .error_kind(),
+            Some(ErrorKind::Malformed)
+        );
+        assert_eq!(
+            service
+                .handle(&Request::Verify {
+                    container: vec![0; 65],
+                })
+                .error_kind(),
+            Some(ErrorKind::Malformed)
+        );
+        assert_eq!(
+            service
+                .handle(&Request::Run {
+                    source: "x".repeat(17),
+                    fuel: 0,
+                })
+                .error_kind(),
+            Some(ErrorKind::Malformed)
+        );
+    }
+
+    #[test]
+    fn probe_off_responses_are_byte_identical() {
+        let plain = Service::new(ServiceConfig::default());
+        let probed = Service::with_event_log(ServiceConfig::default());
+        let requests = [
+            Request::Compress {
+                text_base: 0,
+                v2: true,
+                text: sample_text(),
+            },
+            Request::Verify {
+                container: v2_container(&plain),
+            },
+            Request::Run {
+                source: SUM_SRC.to_owned(),
+                fuel: 0,
+            },
+            Request::Run {
+                source: "garbage !!".to_owned(),
+                fuel: 0,
+            },
+        ];
+        for request in &requests {
+            let a = plain.handle(request).encode();
+            let b = probed.handle(request).encode();
+            assert_eq!(a, b, "probed response diverged for {request:?}");
+        }
+        assert!(plain.take_events().is_empty());
+        assert!(!probed.take_events().is_empty());
+    }
+
+    #[test]
+    fn request_lifecycle_events_pair_up() {
+        let service = Service::with_event_log(ServiceConfig::default());
+        service.handle(&Request::Inspect { container: vec![] });
+        service.note_rejected("overload");
+        let events = service.take_events();
+        let kinds: Vec<_> = events.iter().map(|t| t.event.kind()).collect();
+        assert_eq!(kinds, ["request_start", "request_done", "request_rejected"]);
+        // The logical clock strictly increases.
+        for pair in events.windows(2) {
+            assert!(pair[0].cycle < pair[1].cycle);
+        }
+    }
+}

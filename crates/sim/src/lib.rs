@@ -44,11 +44,13 @@ mod memory;
 mod stepper;
 mod system;
 
+pub use ccrp::{BudgetExhausted, StepBudget};
 pub use dcache::DataCacheModel;
 pub use icache::{BadCacheSize, CacheStats, ICache, ICacheSnapshot, LINE_BYTES};
 pub use memory::{standard_refill_cycles, MemoryModel, MemorySim, MemorySimSnapshot};
 pub use stepper::{CcrpSim, CcrpSimSnapshot, SimCounters, StandardSim, StandardSimSnapshot};
 pub use system::{
-    compare, compare_probed, simulate_ccrp, simulate_ccrp_probed, simulate_standard,
-    simulate_standard_probed, Comparison, RunStats, SimError, SystemConfig,
+    compare, compare_probed, simulate_ccrp, simulate_ccrp_budgeted, simulate_ccrp_probed,
+    simulate_standard, simulate_standard_budgeted, simulate_standard_probed, Comparison, RunStats,
+    SimError, SystemConfig,
 };

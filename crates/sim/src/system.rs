@@ -11,7 +11,7 @@
 use std::error::Error;
 use std::fmt;
 
-use ccrp::{CcrpError, ClbStats, CompressedImage, RefillConfig};
+use ccrp::{BudgetExhausted, CcrpError, ClbStats, CompressedImage, RefillConfig, StepBudget};
 use ccrp_probe::{NullProbe, Probe};
 
 use crate::dcache::DataCacheModel;
@@ -118,6 +118,10 @@ pub enum SimError {
     /// A trace address the compressed image cannot serve, or another
     /// CCRP-level failure.
     Ccrp(CcrpError),
+    /// A caller-supplied [`StepBudget`] ran out before the trace was
+    /// fully replayed (the deadline-aware refill guard: simulated
+    /// cycles — including refill latency — are what get charged).
+    Budget(BudgetExhausted),
 }
 
 impl fmt::Display for SimError {
@@ -125,6 +129,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::Cache(e) => write!(f, "{e}"),
             SimError::Ccrp(e) => write!(f, "{e}"),
+            SimError::Budget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -134,7 +139,14 @@ impl Error for SimError {
         match self {
             SimError::Cache(e) => Some(e),
             SimError::Ccrp(e) => Some(e),
+            SimError::Budget(e) => Some(e),
         }
+    }
+}
+
+impl From<BudgetExhausted> for SimError {
+    fn from(e: BudgetExhausted) -> Self {
+        SimError::Budget(e)
     }
 }
 
@@ -257,6 +269,54 @@ pub fn simulate_ccrp_probed<P: Probe>(
     Ok(sim.stats())
 }
 
+/// [`simulate_standard`] with a cooperative deadline: every trace entry
+/// charges `budget` with the simulated cycles it consumed (base cycle
+/// plus any refill latency), so a hostile trace or pathological memory
+/// model is bounded by fuel, not wall clock.
+///
+/// # Errors
+///
+/// [`SimError::Budget`] when the budget trips; otherwise as
+/// [`simulate_standard`].
+pub fn simulate_standard_budgeted(
+    trace: impl IntoIterator<Item = (u32, u8)>,
+    config: &SystemConfig,
+    budget: &mut StepBudget,
+) -> Result<RunStats, SimError> {
+    let mut sim = StandardSim::new(config)?;
+    for (pc, data) in trace {
+        let before = sim.counters().cycle;
+        sim.step(pc, data);
+        budget.charge((sim.counters().cycle - before).max(1))?;
+    }
+    Ok(sim.stats())
+}
+
+/// [`simulate_ccrp`] with a cooperative deadline — the deadline-aware
+/// refill path. The charge per trace entry is the simulated cycles it
+/// consumed, so refill storms (CLB misses, integrity retries, slow
+/// memory models) burn fuel proportionally to the time they model and a
+/// corrupt or adversarial image cannot stall a worker past its budget.
+///
+/// # Errors
+///
+/// [`SimError::Budget`] when the budget trips; otherwise as
+/// [`simulate_ccrp`].
+pub fn simulate_ccrp_budgeted(
+    image: &CompressedImage,
+    trace: impl IntoIterator<Item = (u32, u8)>,
+    config: &SystemConfig,
+    budget: &mut StepBudget,
+) -> Result<RunStats, SimError> {
+    let mut sim = CcrpSim::new(config)?;
+    for (pc, data) in trace {
+        let before = sim.counters().cycle;
+        sim.step(image, pc, data)?;
+        budget.charge((sim.counters().cycle - before).max(1))?;
+    }
+    Ok(sim.stats())
+}
+
 /// Both processors' results over the same trace and configuration — one
 /// cell of the paper's Tables 1–13.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -373,6 +433,48 @@ mod tests {
             }
         }
         (image, trace)
+    }
+
+    #[test]
+    fn budgeted_replay_matches_plain_when_fuel_suffices() {
+        let (image, trace) = fixture(2048);
+        let config = SystemConfig::new().with_cache_bytes(256);
+        let plain = simulate_ccrp(&image, trace.iter().copied(), &config).unwrap();
+        let mut budget = StepBudget::limited(u64::MAX / 2);
+        let budgeted =
+            simulate_ccrp_budgeted(&image, trace.iter().copied(), &config, &mut budget).unwrap();
+        assert_eq!(budgeted, plain);
+        // The charge is cycle-accurate: fuel spent equals the simulated
+        // end-to-end cycle count (every entry charges its cycles, min 1).
+        assert!(budget.spent() >= plain.instructions);
+
+        let std_plain = simulate_standard(trace.iter().copied(), &config).unwrap();
+        let mut std_budget = StepBudget::unlimited();
+        let std_budgeted =
+            simulate_standard_budgeted(trace.iter().copied(), &config, &mut std_budget).unwrap();
+        assert_eq!(std_budgeted, std_plain);
+    }
+
+    #[test]
+    fn budgeted_replay_trips_on_refill_heavy_traces() {
+        let (image, trace) = fixture(2048);
+        // EPROM refills are slow; a tiny cycle budget must trip long
+        // before the trace ends, and deterministically so.
+        let config = SystemConfig::new()
+            .with_cache_bytes(256)
+            .with_memory(MemoryModel::Eprom);
+        let mut budget = StepBudget::limited(200);
+        let err = simulate_ccrp_budgeted(&image, trace.iter().copied(), &config, &mut budget)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Budget(_)));
+        let mut again = StepBudget::limited(200);
+        let err2 =
+            simulate_ccrp_budgeted(&image, trace.iter().copied(), &config, &mut again).unwrap_err();
+        assert_eq!(
+            format!("{err}"),
+            format!("{err2}"),
+            "fuel exhaustion is deterministic"
+        );
     }
 
     #[test]
