@@ -1,20 +1,32 @@
 #!/usr/bin/env bash
 # Benchmark reproduction gate.
 #
-# Two checks, both against the results files committed at the repo root:
+# Four checks, the first two against the results files committed at the
+# repo root:
 #
-#   1. Reproduction: re-run the tables1_8 and fig5 sweeps and require the
-#      deterministic sections of the fresh BENCH_<experiment>.json to be
-#      byte-identical to the committed files.  Only the `jobs` and
-#      `timing` keys are host-dependent; everything else (schema,
-#      experiment, cells, results — including every simulated cycle
-#      count) must reproduce exactly, on any machine, at any job count.
+#   1. Reproduction: re-run the tables1_8 and fig5 sweeps (trace-replay
+#      engine, the default) and require the deterministic sections of
+#      the fresh BENCH_<experiment>.json to be byte-identical to the
+#      committed files.  Only the `jobs` and `timing` keys are
+#      host-dependent; everything else (schema, experiment, cells,
+#      results — including every simulated cycle count) must reproduce
+#      exactly, on any machine, at any job count.
 #
 #   2. Decoder speedup: run the decoder_bench target and require the
 #      table-driven fast path to beat the canonical bit-walk reference
 #      by at least MIN_SPEEDUP (default 2.0).  The committed
 #      BENCH_decoder.json records one blessed run; the gate re-measures
 #      on the CI host rather than trusting the committed numbers.
+#
+#   3. Trace-engine worker independence: run the trace-replay sweep at
+#      --jobs 1 and --jobs 4 and require the deterministic sections to
+#      be byte-identical — the capture/replay decomposition must not
+#      leak scheduling into results.
+#
+#   4. Trace-replay speedup: run the tracereplay_bench target and
+#      require the capture-once/replay-many engine to beat per-cell
+#      re-execution by at least MIN_SPEEDUP (default 2.0), as recorded
+#      in the committed BENCH_tracereplay.json.
 #
 # Mirrors tests/observability.rs (probe_off_sweep_reproduces_committed_
 # bench_files) so the property holds both under `cargo test` and as a
@@ -29,7 +41,7 @@ trap 'rm -rf "$tmp"' EXIT
 
 echo "bench_gate: re-running sweeps into $tmp"
 cargo run --release -p ccrp-cli --bin ccrp-tools -- \
-    sweep --experiment tables1_8 --jobs 2 --out "$tmp"
+    sweep --experiment tables1_8 --engine trace --jobs 2 --out "$tmp"
 cargo run --release -p ccrp-cli --bin ccrp-tools -- \
     sweep --experiment fig5 --out "$tmp"
 
@@ -63,6 +75,17 @@ print(f"bench_gate: {committed_path} reproduces byte-for-byte")
 PY
 done
 
+echo "bench_gate: trace-engine jobs independence (--jobs 1 vs --jobs 4)"
+mkdir -p "$tmp/j1" "$tmp/j4"
+cargo run --release -p ccrp-cli --bin ccrp-tools -- \
+    sweep --experiment tables1_8 --engine trace --jobs 1 --out "$tmp/j1"
+cargo run --release -p ccrp-cli --bin ccrp-tools -- \
+    sweep --experiment tables1_8 --engine trace --jobs 4 --out "$tmp/j4"
+diff <(grep -vE '"jobs"|"total_wall_us"|"wall_us"|"suite_build_us"' "$tmp/j1/BENCH_tables1_8.json") \
+     <(grep -vE '"jobs"|"total_wall_us"|"wall_us"|"suite_build_us"' "$tmp/j4/BENCH_tables1_8.json") \
+    || { echo "bench_gate: FAIL trace engine diverged between 1 and 4 workers" >&2; exit 1; }
+echo "bench_gate: trace engine is worker-count independent"
+
 echo "bench_gate: measuring decoder speedup (gate: >= ${MIN_SPEEDUP}x)"
 cargo bench -p ccrp-bench --bench decoder_bench -- --out "$tmp/BENCH_decoder.json"
 
@@ -85,6 +108,30 @@ if speedup < minimum:
     )
     sys.exit(1)
 print(f"bench_gate: decoder speedup {speedup:.2f}x >= {minimum}x")
+PY
+
+echo "bench_gate: measuring trace-replay speedup (gate: >= ${MIN_SPEEDUP}x)"
+cargo bench -p ccrp-bench --bench tracereplay_bench -- --out "$tmp/BENCH_tracereplay.json"
+
+python3 - "$tmp/BENCH_tracereplay.json" "$MIN_SPEEDUP" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+minimum = float(sys.argv[2])
+speedup = report["speedup"]
+if report["schema"] != "ccrp-bench-tracereplay/1":
+    print(f"bench_gate: FAIL unexpected schema {report['schema']!r}", file=sys.stderr)
+    sys.exit(1)
+if speedup < minimum:
+    print(
+        f"bench_gate: FAIL trace-replay speedup {speedup:.2f}x < {minimum}x "
+        f"(reexec {report['reexec']['wall_us']:.0f} us, "
+        f"trace {report['trace']['wall_us']:.0f} us)",
+        file=sys.stderr,
+    )
+    sys.exit(1)
+print(f"bench_gate: trace-replay speedup {speedup:.2f}x >= {minimum}x")
 PY
 
 echo "bench_gate: all checks passed"

@@ -28,10 +28,17 @@
 # chaos-endpoint panic that tests that isolation carries a `panic-ok:`
 # marker.)
 #
+# The simulator's trace layer joined with the trace-replay sweep engine:
+# AccessTrace::from_bytes consumes untrusted `.trace` files and must
+# reject every corruption with a typed TraceError, and the Simulation
+# builder sits under it, so crates/sim/src/{trace,simulation}.rs are
+# scanned (the rest of ccrp-sim predates the guard and keeps its
+# documented internal expects).
+#
 # Scope and escape hatches:
 #   * only library source under
 #     crates/{core,compress,bitstream,testutil,difftest,emu,served}/src
-#     is scanned;
+#     plus crates/sim/src/{trace,simulation}.rs is scanned;
 #   * everything from the first `#[cfg(test)]` line to end-of-file is
 #     ignored (test modules may panic freely);
 #   * `//` comment and doc-comment lines are ignored;
@@ -42,10 +49,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-hits=$(find crates/core/src crates/compress/src crates/bitstream/src \
+hits=$( { find crates/core/src crates/compress/src crates/bitstream/src \
             crates/testutil/src crates/difftest/src crates/emu/src \
             crates/served/src \
-            -name '*.rs' | sort | while IFS= read -r file; do
+            -name '*.rs'; \
+          echo crates/sim/src/trace.rs; \
+          echo crates/sim/src/simulation.rs; } | sort | while IFS= read -r file; do
     awk '
         /^[[:space:]]*#\[cfg\(test\)\]/ { exit }
         /^[[:space:]]*\/\// { if (/panic-ok:/) skip = 1; next }
@@ -65,4 +74,4 @@ if [ -n "$hits" ]; then
     echo "       mark a documented contract with a 'panic-ok:' comment." >&2
     exit 1
 fi
-echo "forbid_panics: crates/{core,compress,bitstream,testutil,difftest,emu,served} library code is panic-free."
+echo "forbid_panics: crates/{core,compress,bitstream,testutil,difftest,emu,served} and sim trace/simulation library code is panic-free."

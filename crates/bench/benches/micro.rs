@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use ccrp::{CompressedImage, MemoryTiming, RefillConfig, RefillEngine};
 use ccrp_compress::{block, lzw, BlockAlignment, ByteCode, ByteHistogram};
-use ccrp_sim::{simulate_ccrp, simulate_standard, ICache, MemoryModel, SystemConfig};
+use ccrp_sim::{ICache, MemoryModel, Simulation, SystemConfig};
 use ccrp_workloads::{generate_text, CodeProfile, TracedWorkload};
 
 /// Times `f` over `batches` batches of `iters_per_batch` calls (after
@@ -121,10 +121,14 @@ fn system_benches() {
 
     println!("-- simulator ({} trace entries) --", workload.trace.len());
     bench("simulate_standard", None, || {
-        simulate_standard(workload.trace.iter(), &config).expect("simulates")
+        Simulation::new(config)
+            .standard(workload.trace.iter())
+            .expect("simulates")
     });
     bench("simulate_ccrp", None, || {
-        simulate_ccrp(&image, workload.trace.iter(), &config).expect("simulates")
+        Simulation::new(config)
+            .ccrp(&image, workload.trace.iter())
+            .expect("simulates")
     });
 }
 

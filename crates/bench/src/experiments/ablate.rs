@@ -4,7 +4,7 @@
 
 use ccrp::{CompactLatEntry, CompressedImage, COMPACT_ENTRY_BYTES, RECORDS_PER_ENTRY};
 use ccrp_compress::{BlockAlignment, PositionalCode, PositionalHistogram};
-use ccrp_sim::{compare, simulate_ccrp, simulate_standard, MemoryModel, SystemConfig};
+use ccrp_sim::{MemoryModel, Simulation, SystemConfig};
 use ccrp_workloads::other_isa::{self, IsaDialect};
 use ccrp_workloads::{figure5_corpus, preselected_code};
 
@@ -106,7 +106,8 @@ pub fn decoder_ablation(prepared: &Prepared) -> Vec<DecoderRow> {
                 .with_cache_bytes(256)
                 .with_memory(memory)
                 .with_decode_bytes_per_cycle(rate);
-            let cmp = compare(&prepared.image, prepared.workload.trace.iter(), &config)
+            let cmp = Simulation::new(config)
+                .compare(&prepared.image, prepared.workload.trace.iter())
                 .expect("paper configurations are valid");
             rows.push(DecoderRow {
                 memory,
@@ -245,9 +246,11 @@ pub fn bus_bandwidth_study(suite: &Suite) -> Vec<BusRow> {
     suite
         .iter()
         .map(|p| {
-            let std_run = simulate_standard(p.workload.trace.iter(), &config)
+            let std_run = Simulation::new(config)
+                .standard(p.workload.trace.iter())
                 .expect("paper configurations are valid");
-            let ccrp_run = simulate_ccrp(&p.image, p.workload.trace.iter(), &config)
+            let ccrp_run = Simulation::new(config)
+                .ccrp(&p.image, p.workload.trace.iter())
                 .expect("paper configurations are valid");
             let standard_demand = std_run.bytes_from_memory as f64 / std_run.total_cycles();
             let ccrp_demand = ccrp_run.bytes_from_memory as f64 / ccrp_run.total_cycles();

@@ -1,7 +1,7 @@
 //! Tables 9–10: the effect of CLB size (4, 8, 16 entries) on relative
 //! performance for NASA7 and espresso.
 
-use ccrp_sim::{compare, MemoryModel, SystemConfig};
+use ccrp_sim::{MemoryModel, Simulation, SystemConfig};
 
 use crate::experiments::perf::CACHE_SIZES;
 use crate::suite::{Prepared, Suite};
@@ -40,7 +40,8 @@ pub fn clb_sweep(prepared: &Prepared) -> Vec<ClbRow> {
                     .with_cache_bytes(cache_bytes)
                     .with_memory(memory)
                     .with_clb_entries(clb_entries);
-                let cmp = compare(&prepared.image, prepared.workload.trace.iter(), &config)
+                let cmp = Simulation::new(config)
+                    .compare(&prepared.image, prepared.workload.trace.iter())
                     .expect("paper configurations are valid");
                 relative[slot] = cmp.relative_execution_time();
                 clb_miss[slot] = cmp.ccrp.clb.expect("CCRP runs track the CLB").miss_rate();

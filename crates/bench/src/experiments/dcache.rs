@@ -2,7 +2,7 @@
 //! performance (1 KB instruction cache, data-cache miss rates from 0% to
 //! 100%).
 
-use ccrp_sim::{compare, DataCacheModel, MemoryModel, SystemConfig};
+use ccrp_sim::{DataCacheModel, MemoryModel, Simulation, SystemConfig};
 
 use crate::suite::{Prepared, Suite};
 
@@ -34,7 +34,8 @@ pub fn dcache_sweep(prepared: &Prepared) -> Vec<DcacheRow> {
                 .with_cache_bytes(1024)
                 .with_memory(memory)
                 .with_dcache(DataCacheModel::with_miss_rate(f64::from(pct) / 100.0));
-            let cmp = compare(&prepared.image, prepared.workload.trace.iter(), &config)
+            let cmp = Simulation::new(config)
+                .compare(&prepared.image, prepared.workload.trace.iter())
                 .expect("paper configurations are valid");
             rows.push(DcacheRow {
                 memory,

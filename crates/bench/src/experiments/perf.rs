@@ -1,7 +1,7 @@
 //! Tables 1–8 (relative performance vs cache size) and Figure 9
 //! (relative performance vs miss rate).
 
-use ccrp_sim::{compare, DataCacheModel, MemoryModel, SystemConfig};
+use ccrp_sim::{DataCacheModel, MemoryModel, Simulation, SystemConfig};
 
 use crate::suite::Prepared;
 
@@ -44,7 +44,8 @@ pub fn performance_sweep(
                 .with_memory(memory)
                 .with_clb_entries(clb_entries)
                 .with_dcache(dcache);
-            let cmp = compare(&prepared.image, prepared.workload.trace.iter(), &config)
+            let cmp = Simulation::new(config)
+                .compare(&prepared.image, prepared.workload.trace.iter())
                 .expect("paper configurations are valid");
             points.push(PerfPoint {
                 cache_bytes,

@@ -43,7 +43,7 @@ mod suite;
 mod table;
 
 pub use report::{chrome_trace, ToJson};
-pub use runner::{available_jobs, Experiment, SweepOptions, SweepReport};
+pub use runner::{available_jobs, Engine, Experiment, SweepOptions, SweepReport};
 pub use segments::{compare_segmented, SegmentError, SegmentReplayReport};
 pub use suite::{suite, suite_with_jobs, Prepared, Suite};
 pub use table::Table;

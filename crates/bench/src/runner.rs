@@ -6,20 +6,39 @@
 //! counters — into a structured [`SweepReport`] that serializes to
 //! `BENCH_<experiment>.json`.
 //!
+//! Two [`Engine`]s execute the simulation cells:
+//!
+//! * [`Engine::Trace`] (the default) runs two [`parallel_map`] stages:
+//!   *(workload → trace)* captures each workload's run-compacted
+//!   [`AccessTrace`] once, then *(trace → config rows)* replays every
+//!   one of the workload's configurations from the shared trace in one
+//!   pass over per-config simulator states
+//!   ([`Simulation::replay_sweep`]) — O(workloads + configs·trace)
+//!   instead of O(workloads × configs);
+//! * [`Engine::Reexec`] re-executes the full per-fetch trace for every
+//!   cell, one [`parallel_map`] item per cell — the pre-trace-engine
+//!   behaviour, kept as the cross-check baseline.
+//!
+//! Both engines produce bit-identical
+//! [`results_json`](SweepReport::results_json) output (debug builds
+//! assert one replayed cell per workload against its re-executed twin).
+//!
 //! Determinism: cells are generated in the exact nesting order of the
 //! serial experiment functions, each cell's simulation is itself
 //! deterministic, and results are merged back by cell index — so the
 //! folded rows (and their JSON) are bit-identical for any worker count.
-//! Only the `timing` section of the JSON varies between runs; the
-//! `results`/`cells` sections compare byte-for-byte.
+//! Only the `timing` section of the JSON varies between runs (under the
+//! trace engine a cell's wall time is its workload group's one-pass
+//! replay time); the `results`/`cells` sections compare byte-for-byte.
 
+use std::ops::Range;
 use std::panic;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ccrp_probe::{MetricSet, MetricsCollector, NullProbe};
-use ccrp_sim::{compare, compare_probed, Comparison, DataCacheModel, MemoryModel, SystemConfig};
+use ccrp_probe::{MetricSet, MetricsCollector};
+use ccrp_sim::{AccessTrace, Comparison, DataCacheModel, MemoryModel, Simulation, SystemConfig};
 use ccrp_workloads::figure5_corpus;
 
 use crate::experiments::clb::{ClbRow, CLB_SIZES};
@@ -129,6 +148,35 @@ impl Experiment {
     }
 }
 
+/// How a sweep executes its simulation cells (see the module docs for
+/// the two-stage trace pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Re-execute the full per-fetch trace for every cell.
+    Reexec,
+    /// Capture each workload's [`AccessTrace`] once, then replay all of
+    /// its configurations from the shared trace in one pass.
+    Trace,
+}
+
+impl Engine {
+    /// Every engine, trace (the default) first.
+    pub const ALL: [Engine; 2] = [Engine::Trace, Engine::Reexec];
+
+    /// The engine's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Reexec => "reexec",
+            Engine::Trace => "trace",
+        }
+    }
+
+    /// Parses a CLI name back to the engine.
+    pub fn from_name(name: &str) -> Option<Engine> {
+        Engine::ALL.into_iter().find(|e| e.name() == name)
+    }
+}
+
 /// Runner knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepOptions {
@@ -141,6 +189,9 @@ pub struct SweepOptions {
     /// unaffected. Off by default: the metrics run exercises the probed
     /// simulation path, the plain run the probe-free one.
     pub metrics: bool,
+    /// Cell execution engine; [`Engine::Trace`] by default. Both
+    /// engines fold to bit-identical results.
+    pub engine: Engine,
 }
 
 impl Default for SweepOptions {
@@ -148,6 +199,7 @@ impl Default for SweepOptions {
         Self {
             jobs: available_jobs(),
             metrics: false,
+            engine: Engine::Trace,
         }
     }
 }
@@ -432,12 +484,9 @@ impl SimCell {
 
     pub(crate) fn simulate(&self, suite: &Suite) -> Comparison {
         let prepared = suite.get(self.workload);
-        compare(
-            &prepared.image,
-            prepared.workload.trace.iter(),
-            &self.config(),
-        )
-        .expect("paper configurations are valid")
+        Simulation::new(self.config())
+            .compare(&prepared.image, prepared.workload.trace.iter())
+            .expect("paper configurations are valid")
     }
 
     /// Like [`simulate`](Self::simulate), but with a metrics collector
@@ -446,14 +495,10 @@ impl SimCell {
     fn simulate_with_metrics(&self, suite: &Suite) -> (Comparison, MetricSet) {
         let prepared = suite.get(self.workload);
         let mut collector = MetricsCollector::new();
-        let comparison = compare_probed(
-            &prepared.image,
-            prepared.workload.trace.iter(),
-            &self.config(),
-            &mut NullProbe,
-            &mut collector,
-        )
-        .expect("paper configurations are valid");
+        let comparison = Simulation::new(self.config())
+            .ccrp_probed(&mut collector)
+            .compare(&prepared.image, prepared.workload.trace.iter())
+            .expect("paper configurations are valid");
         (comparison, collector.into_metrics())
     }
 }
@@ -611,6 +656,102 @@ fn fold(experiment: Experiment, cells: &[SimCell], outcomes: &[Comparison]) -> E
     }
 }
 
+/// One contiguous range of cells sharing a workload — the unit of the
+/// trace engine's second stage.
+struct CellGroup<'a> {
+    workload: &'static str,
+    range: Range<usize>,
+    trace: &'a AccessTrace,
+}
+
+/// Splits `cells` into contiguous same-workload ranges. Cell generation
+/// follows the serial nesting order (workload outermost), so each
+/// workload forms exactly one range.
+fn workload_ranges(cells: &[SimCell]) -> Vec<(&'static str, Range<usize>)> {
+    let mut ranges: Vec<(&'static str, Range<usize>)> = Vec::new();
+    for (index, cell) in cells.iter().enumerate() {
+        match ranges.last_mut() {
+            Some((name, range)) if *name == cell.workload => range.end = index + 1,
+            _ => ranges.push((cell.workload, index..index + 1)),
+        }
+    }
+    ranges
+}
+
+/// The trace engine: stage one *(workload → trace)* captures each
+/// workload's [`AccessTrace`] once; stage two *(trace → config rows)*
+/// replays every cell of the workload from the shared trace — in one
+/// pass over per-config states for plain sweeps, or per cell with a
+/// probe attached when metrics were requested (the replayed event
+/// stream is identical to the re-executed one, so the histograms
+/// agree). Both stages run on [`parallel_map`], and the flattened
+/// outcomes keep cell generation order, so folding is unchanged.
+fn trace_engine_outcomes(
+    jobs: usize,
+    cells: &[SimCell],
+    suite: &Suite,
+    metrics: bool,
+) -> Vec<((Comparison, Option<MetricSet>), Duration)> {
+    let ranges = workload_ranges(cells);
+    let captures = parallel_map(jobs, &ranges, |(name, _)| {
+        AccessTrace::capture(suite.get(name).workload.trace.iter())
+    });
+    let groups: Vec<CellGroup<'_>> = ranges
+        .iter()
+        .zip(&captures)
+        .map(|((workload, range), (trace, _))| CellGroup {
+            workload,
+            range: range.clone(),
+            trace,
+        })
+        .collect();
+
+    let replayed = parallel_map(jobs, &groups, |group| {
+        let prepared = suite.get(group.workload);
+        let group_cells = &cells[group.range.clone()];
+        let outcomes: Vec<(Comparison, Option<MetricSet>)> = if metrics {
+            group_cells
+                .iter()
+                .map(|cell| {
+                    let mut collector = MetricsCollector::new();
+                    let comparison = Simulation::new(cell.config())
+                        .ccrp_probed(&mut collector)
+                        .compare(&prepared.image, group.trace)
+                        .expect("paper configurations are valid");
+                    (comparison, Some(collector.into_metrics()))
+                })
+                .collect()
+        } else {
+            let configs: Vec<SystemConfig> = group_cells.iter().map(SimCell::config).collect();
+            Simulation::replay_sweep(&prepared.image, group.trace, &configs)
+                .expect("paper configurations are valid")
+                .into_iter()
+                .map(|comparison| (comparison, None))
+                .collect()
+        };
+        // Cold-start consistency (debug builds): a replayed cell must
+        // equal its re-executed twin — one probe per workload group.
+        #[cfg(debug_assertions)]
+        if let (Some(cell), Some((comparison, _))) = (group_cells.first(), outcomes.first()) {
+            debug_assert_eq!(
+                *comparison,
+                cell.simulate(suite),
+                "replayed and re-executed stats diverge for {}",
+                cell.label()
+            );
+        }
+        outcomes
+    });
+
+    let mut flat = Vec::with_capacity(cells.len());
+    for (group_outcomes, wall) in replayed {
+        for outcome in group_outcomes {
+            flat.push((outcome, wall));
+        }
+    }
+    flat
+}
+
 /// Runs one experiment across `options.jobs` workers.
 pub fn run(experiment: Experiment, options: &SweepOptions) -> SweepReport {
     let jobs = options.jobs.max(1);
@@ -648,13 +789,13 @@ pub fn run(experiment: Experiment, options: &SweepOptions) -> SweepReport {
     let suite_build = build_start.elapsed();
 
     let sim_cells = sim_cells(experiment, suite);
-    let outcomes = if options.metrics {
-        parallel_map(jobs, &sim_cells, |cell| {
+    let outcomes = match options.engine {
+        Engine::Trace => trace_engine_outcomes(jobs, &sim_cells, suite, options.metrics),
+        Engine::Reexec if options.metrics => parallel_map(jobs, &sim_cells, |cell| {
             let (cmp, metrics) = cell.simulate_with_metrics(suite);
             (cmp, Some(metrics))
-        })
-    } else {
-        parallel_map(jobs, &sim_cells, |cell| (cell.simulate(suite), None))
+        }),
+        Engine::Reexec => parallel_map(jobs, &sim_cells, |cell| (cell.simulate(suite), None)),
     };
     let cells = sim_cells
         .iter()
@@ -793,6 +934,46 @@ mod tests {
     }
 
     #[test]
+    fn engines_fold_to_identical_results() {
+        // The trace engine (two-stage capture/replay) and the reexec
+        // engine (per-cell re-execution) must serialize their
+        // deterministic sections byte-for-byte identically.
+        for experiment in [Experiment::Tables11To13, Experiment::Tables9To10] {
+            let traced = run(
+                experiment,
+                &SweepOptions {
+                    jobs: 2,
+                    engine: Engine::Trace,
+                    ..Default::default()
+                },
+            );
+            let reexecuted = run(
+                experiment,
+                &SweepOptions {
+                    jobs: 3,
+                    engine: Engine::Reexec,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(traced.results, reexecuted.results, "{experiment:?}");
+            assert_eq!(
+                traced.results_json().to_compact(),
+                reexecuted.results_json().to_compact(),
+                "{experiment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for engine in Engine::ALL {
+            assert_eq!(Engine::from_name(engine.name()), Some(engine));
+        }
+        assert_eq!(Engine::from_name("replay"), None);
+        assert_eq!(SweepOptions::default().engine, Engine::Trace);
+    }
+
+    #[test]
     fn report_json_sections() {
         let options = SweepOptions {
             jobs: 2,
@@ -816,6 +997,7 @@ mod tests {
             &SweepOptions {
                 jobs: 2,
                 metrics: false,
+                ..Default::default()
             },
         );
         let probed = run(
@@ -823,6 +1005,7 @@ mod tests {
             &SweepOptions {
                 jobs: 3,
                 metrics: true,
+                ..Default::default()
             },
         );
         // Probing never perturbs the simulation itself.

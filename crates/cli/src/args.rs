@@ -4,10 +4,9 @@
 //! Two options are shared by every subcommand and parsed here rather
 //! than declared per command: `--out FILE` (the command's artifact path,
 //! or a redirect of its report for commands that only print) and
-//! `--json` (switch the report to machine-readable JSON). Older
-//! spellings of shared options are accepted as deprecated aliases and
-//! rewritten to the canonical name at parse time, so `args.option("out")`
-//! sees them all.
+//! `--json` (switch the report to machine-readable JSON). The old
+//! `--output`/`--out-file`/`--out-dir` aliases, deprecated since the
+//! shared options landed, are no longer accepted (see CHANGELOG.md).
 
 use std::collections::BTreeMap;
 
@@ -18,18 +17,6 @@ pub const SHARED_VALUE_OPTIONS: &[&str] = &["out"];
 
 /// Switches every subcommand accepts without declaring them.
 pub const SHARED_SWITCHES: &[&str] = &["json"];
-
-/// Deprecated option spellings, each rewritten to its canonical name.
-const DEPRECATED_ALIASES: &[(&str, &str)] =
-    &[("output", "out"), ("out-file", "out"), ("out-dir", "out")];
-
-/// The canonical name for `name`, resolving deprecated aliases.
-fn canonical(name: &str) -> &str {
-    DEPRECATED_ALIASES
-        .iter()
-        .find(|&&(alias, _)| alias == name)
-        .map_or(name, |&(_, canon)| canon)
-}
 
 /// Parsed arguments for one subcommand.
 #[derive(Debug, Clone, Default)]
@@ -42,8 +29,8 @@ pub struct Args {
 impl Args {
     /// Parses raw arguments. `value_options` lists the option names that
     /// consume a following value; any other `--name` is a switch. The
-    /// shared options (`SHARED_VALUE_OPTIONS`, `SHARED_SWITCHES`)
-    /// and their deprecated aliases are accepted on top of both lists.
+    /// shared options (`SHARED_VALUE_OPTIONS`, `SHARED_SWITCHES`) are
+    /// accepted on top of both lists.
     ///
     /// # Errors
     ///
@@ -58,7 +45,6 @@ impl Args {
         let mut iter = raw.iter();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let name = canonical(name);
                 if value_options.contains(&name) || SHARED_VALUE_OPTIONS.contains(&name) {
                     let value = iter.next().ok_or_else(|| {
                         CliError::Usage(format!("option --{name} expects a value"))
@@ -116,7 +102,7 @@ impl Args {
         self.switches.iter().any(|s| s == name)
     }
 
-    /// The shared `--out` path (canonical across deprecated aliases).
+    /// The shared `--out` path.
     pub fn out(&self) -> Option<&str> {
         self.option("out")
     }
@@ -175,10 +161,13 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_aliases_resolve_to_canonical_names() {
+    fn removed_aliases_are_rejected() {
+        // The --output/--out-file/--out-dir aliases were deprecated for
+        // several releases and are now gone; they must fail loudly
+        // rather than be silently ignored.
         for alias in ["--output", "--out-file", "--out-dir"] {
-            let args = Args::parse(&strings(&[alias, "f.bin"]), &[], &[]).unwrap();
-            assert_eq!(args.out(), Some("f.bin"), "{alias}");
+            let err = Args::parse(&strings(&[alias, "f.bin"]), &[], &[]).unwrap_err();
+            assert!(err.to_string().contains(&alias[2..]), "{alias}");
         }
     }
 

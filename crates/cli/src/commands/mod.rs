@@ -14,4 +14,5 @@ pub mod servesim;
 pub mod simulate;
 pub mod sweep;
 pub mod trace;
+pub mod trace_capture;
 pub mod workloads;

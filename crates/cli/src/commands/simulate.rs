@@ -13,7 +13,7 @@ use ccrp_bench::json::Json;
 use ccrp_bench::ToJson;
 use ccrp_compress::{ByteCode, ByteHistogram};
 use ccrp_emu::{Machine, ProgramTrace};
-use ccrp_sim::{compare, DataCacheModel, MemoryModel, SystemConfig};
+use ccrp_sim::{DataCacheModel, MemoryModel, Simulation, SystemConfig};
 use ccrp_workloads::preselected_code;
 
 use crate::args::Args;
@@ -105,7 +105,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     for memory in memories(args)? {
         for &cache_bytes in &caches {
             let config = system_config(args, memory, cache_bytes)?;
-            let result = compare(&compressed, trace.iter(), &config)?;
+            let result = Simulation::new(config).compare(&compressed, trace.iter())?;
             rows.push((memory, cache_bytes, result));
         }
     }

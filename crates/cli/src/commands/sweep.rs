@@ -1,23 +1,27 @@
-//! `ccrp-tools sweep [--experiment NAME|all] [--jobs N] [--out DIR]`
+//! `ccrp-tools sweep [--experiment NAME|all] [--engine trace|reexec]
+//! [--jobs N] [--out DIR]`
 //!
 //! Drives the parallel experiment runner: every paper experiment is
 //! decomposed into independent (workload, configuration) cells, swept
 //! across `--jobs` worker threads, and written as a machine-readable
-//! `BENCH_<experiment>.json` results file under `--out`. Results are
-//! bit-identical for any worker count; only the `timing` section of the
-//! JSON varies.
+//! `BENCH_<experiment>.json` results file under `--out`. The default
+//! `trace` engine executes each workload once, captures a compacted
+//! fetch trace, and replays it for every configuration; `--engine
+//! reexec` re-executes each cell from scratch. Both engines — and any
+//! worker count — produce bit-identical results; only the `timing`
+//! section of the JSON varies.
 
 use std::io::Write;
 use std::path::Path;
 
 use ccrp_bench::json::Json;
-use ccrp_bench::{render, runner, Experiment, SweepOptions, ToJson};
+use ccrp_bench::{render, runner, Engine, Experiment, SweepOptions, ToJson};
 
 use crate::args::Args;
 use crate::error::{write_file, CliError};
 
 /// Option names consuming a value.
-pub const VALUE_OPTIONS: &[&str] = &["experiment", "jobs", "out"];
+pub const VALUE_OPTIONS: &[&str] = &["experiment", "engine", "jobs", "out"];
 /// Switch names.
 pub const SWITCHES: &[&str] = &["tables", "metrics"];
 
@@ -25,8 +29,9 @@ pub const SWITCHES: &[&str] = &["tables", "metrics"];
 ///
 /// # Errors
 ///
-/// [`CliError::Usage`] for an unknown experiment name or a bad `--jobs`
-/// value; [`CliError::Io`] when a results file cannot be written.
+/// [`CliError::Usage`] for an unknown experiment or engine name or a
+/// bad `--jobs` value; [`CliError::Io`] when a results file cannot be
+/// written.
 pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let experiments: Vec<Experiment> = match args.option("experiment") {
         None | Some("all") => Experiment::ALL.to_vec(),
@@ -41,12 +46,25 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if jobs == 0 {
         return Err(CliError::Usage("--jobs must be at least 1".into()));
     }
+    let engine = match args.option("engine") {
+        None => Engine::Trace,
+        Some(name) => Engine::from_name(name).ok_or_else(|| {
+            CliError::Usage(format!("unknown engine `{name}`; expected trace or reexec"))
+        })?,
+    };
     let out_dir = args.option("out").unwrap_or(".");
     let metrics = args.switch("metrics");
 
     let mut summaries = Vec::new();
     for experiment in experiments {
-        let report = runner::run(experiment, &SweepOptions { jobs, metrics });
+        let report = runner::run(
+            experiment,
+            &SweepOptions {
+                jobs,
+                metrics,
+                engine,
+            },
+        );
         let path = Path::new(out_dir).join(format!("BENCH_{}.json", experiment.name()));
         let path = path.to_string_lossy().into_owned();
         write_file(&path, report.to_json().to_pretty().as_bytes())?;
@@ -109,6 +127,14 @@ mod tests {
 
         let args = Args::parse(&strings(&["--jobs", "0"]), VALUE_OPTIONS, SWITCHES).unwrap();
         assert!(run(&args, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_engine() {
+        let args = Args::parse(&strings(&["--engine", "replay"]), VALUE_OPTIONS, SWITCHES).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("replay"));
+        assert!(err.to_string().contains("reexec"));
     }
 
     #[test]

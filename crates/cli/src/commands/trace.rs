@@ -20,7 +20,7 @@ use std::io::Write;
 use ccrp_bench::json::Json;
 use ccrp_bench::{chrome_trace, ToJson};
 use ccrp_probe::{EventLog, MetricsCollector};
-use ccrp_sim::{simulate_ccrp_probed, simulate_standard_probed, MemoryModel};
+use ccrp_sim::{MemoryModel, Simulation};
 
 use crate::args::Args;
 use crate::error::{write_file, CliError};
@@ -73,10 +73,14 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     };
 
     let mut standard_log = event_log();
-    let standard = simulate_standard_probed(trace.iter(), &config, &mut standard_log)?;
+    let standard = Simulation::new(config)
+        .standard_probed(&mut standard_log)
+        .standard(trace.iter())?;
     // One pass feeds both the event log and the metrics registry.
     let mut probes = (event_log(), MetricsCollector::new());
-    let ccrp = simulate_ccrp_probed(&compressed, trace.iter(), &config, &mut probes)?;
+    let ccrp = Simulation::new(config)
+        .ccrp_probed(&mut probes)
+        .ccrp(&compressed, trace.iter())?;
     let (ccrp_log, collector) = probes;
 
     let Json::Obj(mut pairs) = chrome_trace(&[

@@ -1,0 +1,222 @@
+//! `ccrp-tools trace-capture <workload|in.s|file.trace> [--out f.trace]`
+//!
+//! Captures a workload's fetch trace into the run-compacted `.trace`
+//! container the sweep engine replays ([`ccrp_sim::AccessTrace`]), or
+//! inspects an existing `.trace` file. The operand is one of:
+//!
+//! * a paper workload name (`ccrp-tools workloads` lists them) — the
+//!   workload is executed once and its trace captured;
+//! * an assembly file (`.s` / `.asm`) — assembled, executed on the
+//!   emulator, and captured;
+//! * an existing `.trace` file — loaded and summarized (no `--out`).
+//!
+//! The trace fingerprint is the CRC-32 of the workload name (or input
+//! path), so a replayer can cheaply confirm which program a file
+//! belongs to.
+
+use std::io::Write;
+
+use ccrp::crc32;
+use ccrp_bench::json::Json;
+use ccrp_emu::{Machine, ProgramTrace};
+use ccrp_sim::AccessTrace;
+use ccrp_workloads::TracedWorkload;
+
+use crate::args::Args;
+use crate::error::{read_file, read_text, write_file, CliError};
+
+/// Option names consuming a value.
+pub const VALUE_OPTIONS: &[&str] = &[];
+/// Switch names.
+pub const SWITCHES: &[&str] = &[];
+
+/// A captured or loaded trace plus its provenance.
+struct Captured {
+    trace: AccessTrace,
+    fingerprint: u32,
+    /// What the trace was captured from (name, path, or file).
+    origin: String,
+    /// Raw per-fetch entries before compaction, when known.
+    raw_entries: Option<u64>,
+}
+
+fn capture(input: &str) -> Result<Captured, CliError> {
+    if input.ends_with(".trace") {
+        let bytes = read_file(input)?;
+        let (trace, fingerprint) = AccessTrace::from_bytes(&bytes)
+            .map_err(|e| CliError::Usage(format!("{input}: {e}")))?;
+        return Ok(Captured {
+            trace,
+            fingerprint,
+            origin: input.to_string(),
+            raw_entries: None,
+        });
+    }
+    if input.ends_with(".s") || input.ends_with(".asm") {
+        let image = ccrp_asm::assemble(&read_text(input)?)?;
+        let mut machine = Machine::new(&image);
+        let mut program_trace = ProgramTrace::new();
+        machine.run(&mut program_trace)?;
+        return Ok(Captured {
+            trace: AccessTrace::capture(program_trace.iter()),
+            fingerprint: crc32(input.as_bytes()),
+            origin: input.to_string(),
+            raw_entries: Some(program_trace.len() as u64),
+        });
+    }
+    let Some(workload) = TracedWorkload::ALL.into_iter().find(|w| w.name() == input) else {
+        return Err(CliError::Usage(format!(
+            "`{input}` is not a workload name, .s/.asm source, or .trace file; \
+             workloads: {}",
+            TracedWorkload::ALL.map(TracedWorkload::name).join(", ")
+        )));
+    };
+    let built = workload
+        .build()
+        .map_err(|e| CliError::Usage(format!("{input}: {e}")))?;
+    Ok(Captured {
+        trace: AccessTrace::capture(built.trace.iter()),
+        fingerprint: crc32(input.as_bytes()),
+        origin: input.to_string(),
+        raw_entries: Some(built.trace.len() as u64),
+    })
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for an unknown workload or a malformed `.trace`
+/// file; [`CliError::Io`] on file errors; assembly or runtime errors
+/// for `.s` inputs.
+pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let input = args.positional(0, "workload name, .s file, or .trace file")?;
+    let captured = capture(input)?;
+    let runs = captured.trace.runs().len() as u64;
+    let fetches = captured.trace.fetches();
+
+    let written = match args.out() {
+        Some(path) if !input.ends_with(".trace") => {
+            let bytes = captured.trace.to_bytes(captured.fingerprint);
+            write_file(path, &bytes)?;
+            Some((path.to_string(), bytes.len() as u64))
+        }
+        Some(_) => {
+            return Err(CliError::Usage(
+                "--out only applies when capturing (the input is already a .trace file)".into(),
+            ))
+        }
+        None => None,
+    };
+
+    if args.json() {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("schema".into(), Json::str("ccrp-trace-capture/1")),
+            ("input".into(), Json::str(&captured.origin)),
+            (
+                "fingerprint".into(),
+                Json::U64(u64::from(captured.fingerprint)),
+            ),
+            ("runs".into(), Json::U64(runs)),
+            ("fetches".into(), Json::U64(fetches)),
+            (
+                "data_accesses".into(),
+                Json::U64(captured.trace.data_accesses()),
+            ),
+        ];
+        if let Some(raw) = captured.raw_entries {
+            pairs.push(("raw_entries".into(), Json::U64(raw)));
+        }
+        if let Some((path, bytes)) = &written {
+            pairs.push(("out".into(), Json::str(path)));
+            pairs.push(("bytes".into(), Json::U64(*bytes)));
+        }
+        write!(out, "{}", Json::Obj(pairs).to_pretty()).ok();
+        return Ok(());
+    }
+
+    writeln!(
+        out,
+        "{}: {} fetches in {} line runs ({} data accesses), fingerprint {:#010x}",
+        captured.origin,
+        fetches,
+        runs,
+        captured.trace.data_accesses(),
+        captured.fingerprint,
+    )
+    .ok();
+    if let Some(raw) = captured.raw_entries {
+        let ratio = raw as f64 / (runs.max(1)) as f64;
+        writeln!(
+            out,
+            "compaction: {raw} trace entries -> {runs} runs ({ratio:.1}x)"
+        )
+        .ok();
+    }
+    if let Some((path, bytes)) = written {
+        writeln!(out, "wrote {bytes} bytes to {path}").ok();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{temp_path, write_temp};
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_with(raw: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(&strings(raw), VALUE_OPTIONS, SWITCHES)?;
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer)?;
+        Ok(String::from_utf8(buffer).unwrap())
+    }
+
+    #[test]
+    fn captures_workload_and_reinspects_the_file() {
+        let path = temp_path("eightq.trace");
+        let text = run_with(&["eightq", "--out", &path]).unwrap();
+        assert!(text.contains("eightq"));
+        assert!(text.contains("compaction"));
+        assert!(text.contains(&path));
+
+        // Round trip: the written file loads and reports the same totals.
+        let captured = run_with(&[&path]).unwrap();
+        let fetches = text.split(' ').find(|w| w.parse::<u64>().is_ok()).unwrap();
+        assert!(captured.contains(fetches));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn captures_assembly_source_as_json() {
+        let src = write_temp(
+            "capture.s",
+            "main: li $t0, 40\nloop: addiu $t0, $t0, -1\n bnez $t0, loop\n li $v0, 10\n syscall\n",
+        );
+        let text = run_with(&[&src, "--json"]).unwrap();
+        assert!(text.contains("\"schema\": \"ccrp-trace-capture/1\""));
+        assert!(text.contains("\"raw_entries\""));
+        std::fs::remove_file(&src).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_inputs_and_bad_files() {
+        let err = run_with(&["not_a_workload"]).unwrap_err();
+        assert!(err.to_string().contains("eightq"));
+
+        let bogus = write_temp("bogus.trace", "not a trace container");
+        assert!(run_with(&[&bogus]).is_err());
+        std::fs::remove_file(&bogus).ok();
+
+        // --out is capture-only.
+        let path = temp_path("real.trace");
+        let trace = AccessTrace::capture([(0u32, 0u8), (4, 1), (64, 0)]);
+        std::fs::write(&path, trace.to_bytes(0)).unwrap();
+        let err = run_with(&[&path, "--out", "elsewhere.trace"]).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -80,11 +80,18 @@ COMMANDS:
       cycles); --metrics adds the counter/histogram registry
   workloads [--verify]
       list (and self-check) the paper's benchmark programs
-  sweep [--experiment fig5|tables1_8|tables9_10|fig9|tables11_13|all] [--jobs N]
-        [--out DIR] [--tables] [--metrics]
+  sweep [--experiment fig5|tables1_8|tables9_10|fig9|tables11_13|all]
+        [--engine trace|reexec] [--jobs N] [--out DIR] [--tables] [--metrics]
       run the paper experiments across a worker pool and write
-      machine-readable BENCH_<experiment>.json results files;
-      --metrics folds probe-derived histograms into each report
+      machine-readable BENCH_<experiment>.json results files; the
+      default trace engine executes each workload once and replays
+      its captured trace for every configuration (--engine reexec
+      re-executes every cell); --metrics folds probe-derived
+      histograms into each report
+  trace-capture <workload|in.s|file.trace> [--out f.trace]
+      capture a workload or assembly program's fetch trace into the
+      run-compacted .trace container the sweep engine replays, or
+      summarize an existing .trace file
   faultsim [--trials N] [--seed N] [--jobs N] [--out FILE]
       run a seeded fault-injection campaign over the container format,
       write BENCH_faultsim.json, and fail on panics, hangs, or silent
@@ -116,7 +123,6 @@ COMMANDS:
 SHARED OPTIONS (every command):
   --out FILE   where the command writes its artifact or results; for
                report-only commands, redirects the report to FILE
-               (deprecated aliases: --output, --out-file, --out-dir)
   --json       emit the report as machine-readable JSON where the
                command supports it
 ";
@@ -230,6 +236,13 @@ const COMMANDS: &[Command] = &[
         value_options: commands::trace::VALUE_OPTIONS,
         switches: commands::trace::SWITCHES,
         run: commands::trace::run,
+        owns_out: true,
+    },
+    Command {
+        name: "trace-capture",
+        value_options: commands::trace_capture::VALUE_OPTIONS,
+        switches: commands::trace_capture::SWITCHES,
+        run: commands::trace_capture::run,
         owns_out: true,
     },
 ];

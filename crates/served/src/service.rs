@@ -19,9 +19,7 @@ use ccrp_asm::assemble;
 use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
 use ccrp_emu::{EmuError, Machine, MachineConfig, NullSink, ProgramTrace};
 use ccrp_probe::{Event, EventLog, Probe, TimedEvent};
-use ccrp_sim::{
-    simulate_ccrp_budgeted, simulate_standard_budgeted, MemoryModel, SimError, SystemConfig,
-};
+use ccrp_sim::{MemoryModel, SimError, Simulation, SystemConfig};
 
 use crate::attest::attest_digest;
 use crate::cache::{content_hash, CacheCounters, ImageCache};
@@ -410,13 +408,18 @@ impl Service {
             .with_cache_bytes(cache_bytes)
             .with_memory(model);
         let mut standard_budget = self.budget(fuel, cancel);
-        let standard = match simulate_standard_budgeted(trace.iter(), &config, &mut standard_budget)
+        let standard = match Simulation::new(config)
+            .budgeted(&mut standard_budget)
+            .standard(trace.iter())
         {
             Ok(stats) => stats,
             Err(e) => return error(classify_sim(&e), &e),
         };
         let mut ccrp_budget = self.budget(fuel, cancel);
-        let ccrp = match simulate_ccrp_budgeted(&rom, trace.iter(), &config, &mut ccrp_budget) {
+        let ccrp = match Simulation::new(config)
+            .budgeted(&mut ccrp_budget)
+            .ccrp(&rom, trace.iter())
+        {
             Ok(stats) => stats,
             Err(e) => return error(classify_sim(&e), &e),
         };

@@ -127,6 +127,18 @@ impl ICache {
         }
     }
 
+    /// Records `hits` fetches that are known to hit without touching
+    /// the tag array — the compacted-replay fast path for fetches that
+    /// stay within the line an immediately preceding [`access`] just
+    /// installed or found (see [`FetchRun`](crate::FetchRun)). Only the
+    /// fetch counter moves; calling this for an address whose line is
+    /// *not* resident would misreport a miss as a hit.
+    ///
+    /// [`access`]: Self::access
+    pub fn record_hits(&mut self, hits: u64) {
+        self.stats.fetches += hits;
+    }
+
     /// Invalidates the whole cache (statistics are kept).
     pub fn flush(&mut self) {
         self.tags.fill(None);

@@ -9,17 +9,27 @@
 //! * [`MemoryModel`] — the EPROM / Burst EPROM / static-column DRAM
 //!   timings of §4.2.1, implementing [`ccrp::MemoryTiming`];
 //! * [`DataCacheModel`] — the analytical data-side cost of §4.2.4;
-//! * [`simulate_standard`] / [`simulate_ccrp`] / [`compare`] — replay an
-//!   instruction trace through both processors and report the paper's
-//!   three metrics: relative execution time ("Relative Performance"),
-//!   instruction-cache miss rate, and relative memory traffic.
+//! * [`Simulation`] — the single simulation entry point: a
+//!   [`SystemConfig`] plus optional probes and budget, executed over a
+//!   live per-fetch trace or a captured [`AccessTrace`], reporting the
+//!   paper's three metrics: relative execution time ("Relative
+//!   Performance"), instruction-cache miss rate, and relative memory
+//!   traffic;
+//! * [`AccessTrace`] — a run-compacted, serializable fetch trace that
+//!   replays to bit-identical results, so a sweep captures each
+//!   workload once and replays it for every configuration
+//!   ([`Simulation::replay_sweep`]).
+//!
+//! The old free functions (`simulate_standard`, `simulate_ccrp`,
+//! `compare`, and their `_probed` / `_budgeted` variants) are
+//! deprecated thin wrappers over [`Simulation`].
 //!
 //! # Examples
 //!
 //! ```
 //! use ccrp::CompressedImage;
 //! use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
-//! use ccrp_sim::{compare, MemoryModel, SystemConfig};
+//! use ccrp_sim::{AccessTrace, MemoryModel, Simulation, SystemConfig};
 //!
 //! let text = vec![0u8; 2048];
 //! let code = ByteCode::preselected(&ByteHistogram::of(&text))?;
@@ -30,8 +40,16 @@
 //! let config = SystemConfig::new()
 //!     .with_cache_bytes(256)
 //!     .with_memory(MemoryModel::Eprom);
-//! let result = compare(&image, trace, &config)?;
+//! let result = Simulation::new(config).compare(&image, trace)?;
 //! assert!(result.memory_traffic_ratio() < 1.0);
+//!
+//! // Capture once, replay for many configurations in one pass.
+//! let captured = AccessTrace::capture(
+//!     (0..2).flat_map(|_| (0..2048u32).step_by(4)).map(|pc| (pc, 0)),
+//! );
+//! let configs = [config, config.with_cache_bytes(512)];
+//! let cells = Simulation::replay_sweep(&image, &captured, &configs)?;
+//! assert_eq!(cells[0], result);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -41,16 +59,21 @@
 mod dcache;
 mod icache;
 mod memory;
+mod simulation;
 mod stepper;
 mod system;
+mod trace;
 
 pub use ccrp::{BudgetExhausted, StepBudget};
 pub use dcache::DataCacheModel;
 pub use icache::{BadCacheSize, CacheStats, ICache, ICacheSnapshot, LINE_BYTES};
 pub use memory::{standard_refill_cycles, MemoryModel, MemorySim, MemorySimSnapshot};
+pub use simulation::{SimSource, Simulation};
 pub use stepper::{CcrpSim, CcrpSimSnapshot, SimCounters, StandardSim, StandardSimSnapshot};
+#[allow(deprecated)]
 pub use system::{
     compare, compare_probed, simulate_ccrp, simulate_ccrp_budgeted, simulate_ccrp_probed,
-    simulate_standard, simulate_standard_budgeted, simulate_standard_probed, Comparison, RunStats,
-    SimError, SystemConfig,
+    simulate_standard, simulate_standard_budgeted, simulate_standard_probed,
 };
+pub use system::{Comparison, RunStats, SimError, SystemConfig};
+pub use trace::{AccessTrace, FetchRun, TraceError, TRACE_FORMAT_VERSION};

@@ -1,11 +1,13 @@
 //! Incremental, checkpointable forms of the two trace-driven simulators.
 //!
 //! [`StandardSim`] and [`CcrpSim`] carry one trace entry's worth of
-//! simulation per [`step`](StandardSim::step): exactly the loop body of
-//! [`simulate_standard`](crate::simulate_standard) /
-//! [`simulate_ccrp`](crate::simulate_ccrp), which are now thin wrappers
-//! over these steppers — the whole-trace functions and an equivalent
-//! step loop are the same computation, operation for operation.
+//! simulation per [`step`](StandardSim::step): exactly the loop body
+//! the [`Simulation`](crate::Simulation) entry point drives — a
+//! whole-source execution and an equivalent step loop are the same
+//! computation, operation for operation. The compacted
+//! [`replay_run_probed`](StandardSim::replay_run_probed) fast path
+//! folds a [`FetchRun`] into one step plus a bulk hit update, which the
+//! trace-replay engine uses to advance many configurations per pass.
 //!
 //! Each stepper snapshots to a plain value ([`StandardSimSnapshot`] /
 //! [`CcrpSimSnapshot`]) capturing every piece of cross-step state: cache
@@ -22,6 +24,7 @@ use crate::dcache::DataCacheModel;
 use crate::icache::{ICache, ICacheSnapshot};
 use crate::memory::{MemorySim, MemorySimSnapshot};
 use crate::system::{RunStats, SimError, SystemConfig};
+use crate::trace::FetchRun;
 
 /// The running totals both steppers accumulate — the mutable scalar half
 /// of a simulation snapshot.
@@ -88,6 +91,24 @@ impl StandardSim {
     /// Replays one trace entry without probing.
     pub fn step(&mut self, pc: u32, data: u8) {
         self.step_probed(pc, data, &mut NullProbe);
+    }
+
+    /// Replays one compacted [`FetchRun`] — operation for operation the
+    /// same computation as stepping each of the run's fetches, because
+    /// only the run's first fetch can miss in the direct-mapped cache
+    /// (the remaining fetches stay in the just-accessed line) and every
+    /// other per-entry update is a sum. Emits the identical event
+    /// stream: misses and bursts occur only at run starts.
+    pub fn replay_run_probed<P: Probe>(&mut self, run: FetchRun, probe: &mut P) {
+        if run.fetches == 0 {
+            return;
+        }
+        self.step_probed(run.first_pc, 0, probe);
+        self.counters.data_accesses += u64::from(run.data);
+        let rest = u64::from(run.fetches) - 1;
+        self.counters.instructions += rest;
+        self.counters.cycle += rest;
+        self.cache.record_hits(rest);
     }
 
     /// The running totals.
@@ -207,6 +228,33 @@ impl CcrpSim {
         self.step_probed(image, pc, data, &mut NullProbe)
     }
 
+    /// Replays one compacted [`FetchRun`]; see
+    /// [`StandardSim::replay_run_probed`] for the equivalence argument
+    /// (it holds unchanged here — the LAT/CLB/decoder refill path is
+    /// only entered on a miss, which only the run's first fetch can
+    /// take).
+    ///
+    /// # Errors
+    ///
+    /// As [`step_probed`](Self::step_probed).
+    pub fn replay_run_probed<P: Probe>(
+        &mut self,
+        image: &CompressedImage,
+        run: FetchRun,
+        probe: &mut P,
+    ) -> Result<(), SimError> {
+        if run.fetches == 0 {
+            return Ok(());
+        }
+        self.step_probed(image, run.first_pc, 0, probe)?;
+        self.counters.data_accesses += u64::from(run.data);
+        let rest = u64::from(run.fetches) - 1;
+        self.counters.instructions += rest;
+        self.counters.cycle += rest;
+        self.cache.record_hits(rest);
+        Ok(())
+    }
+
     /// The running totals.
     pub fn counters(&self) -> SimCounters {
         self.counters
@@ -263,7 +311,7 @@ pub struct CcrpSimSnapshot {
 mod tests {
     use super::*;
     use crate::memory::MemoryModel;
-    use crate::system::{simulate_ccrp, simulate_standard};
+    use crate::simulation::Simulation;
     use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
 
     fn fixture(code_bytes: usize) -> (CompressedImage, Vec<(u32, u8)>) {
@@ -330,8 +378,12 @@ mod tests {
         let (image, trace) = fixture(4096);
         for model in MemoryModel::ALL {
             let config = SystemConfig::new().with_cache_bytes(256).with_memory(model);
-            let std_whole = simulate_standard(trace.iter().copied(), &config).unwrap();
-            let ccrp_whole = simulate_ccrp(&image, trace.iter().copied(), &config).unwrap();
+            let std_whole = Simulation::new(config)
+                .standard(trace.iter().copied())
+                .unwrap();
+            let ccrp_whole = Simulation::new(config)
+                .ccrp(&image, trace.iter().copied())
+                .unwrap();
             let mut std_sim = StandardSim::new(&config).unwrap();
             let mut ccrp_sim = CcrpSim::new(&config).unwrap();
             for &(pc, data) in &trace {

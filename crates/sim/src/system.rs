@@ -12,12 +12,12 @@ use std::error::Error;
 use std::fmt;
 
 use ccrp::{BudgetExhausted, CcrpError, ClbStats, CompressedImage, RefillConfig, StepBudget};
-use ccrp_probe::{NullProbe, Probe};
+use ccrp_probe::Probe;
 
 use crate::dcache::DataCacheModel;
 use crate::icache::{BadCacheSize, CacheStats};
 use crate::memory::MemoryModel;
-use crate::stepper::{CcrpSim, StandardSim};
+use crate::simulation::Simulation;
 
 /// Configuration of one simulated system.
 ///
@@ -205,31 +205,33 @@ impl RunStats {
 /// # Errors
 ///
 /// [`SimError::Cache`] for invalid cache geometry.
+#[deprecated(note = "use the `Simulation` builder: `Simulation::new(*config).standard(trace)`")]
 pub fn simulate_standard(
     trace: impl IntoIterator<Item = (u32, u8)>,
     config: &SystemConfig,
 ) -> Result<RunStats, SimError> {
-    simulate_standard_probed(trace, config, &mut NullProbe)
+    Simulation::new(*config).standard(trace)
 }
 
 /// [`simulate_standard`], reporting [`Event::CacheMiss`](ccrp_probe::Event::CacheMiss) and
 /// [`Event::MemoryBurst`](ccrp_probe::Event::MemoryBurst) to `probe` as the trace replays. The
 /// computation is identical — the plain function is this one with
-/// [`NullProbe`].
+/// [`NullProbe`](ccrp_probe::NullProbe).
 ///
 /// # Errors
 ///
 /// As [`simulate_standard`].
+#[deprecated(
+    note = "use the `Simulation` builder: `Simulation::new(*config).standard_probed(probe).standard(trace)`"
+)]
 pub fn simulate_standard_probed<P: Probe>(
     trace: impl IntoIterator<Item = (u32, u8)>,
     config: &SystemConfig,
     probe: &mut P,
 ) -> Result<RunStats, SimError> {
-    let mut sim = StandardSim::new(config)?;
-    for (pc, data) in trace {
-        sim.step_probed(pc, data, probe);
-    }
-    Ok(sim.stats())
+    Simulation::new(*config)
+        .standard_probed(probe)
+        .standard(trace)
 }
 
 /// Simulates the CCRP over `trace`, refilling through `image`'s
@@ -239,34 +241,36 @@ pub fn simulate_standard_probed<P: Probe>(
 ///
 /// [`SimError::Cache`] for invalid geometry, [`SimError::Ccrp`] when the
 /// trace fetches outside the compressed image.
+#[deprecated(note = "use the `Simulation` builder: `Simulation::new(*config).ccrp(image, trace)`")]
 pub fn simulate_ccrp(
     image: &CompressedImage,
     trace: impl IntoIterator<Item = (u32, u8)>,
     config: &SystemConfig,
 ) -> Result<RunStats, SimError> {
-    simulate_ccrp_probed(image, trace, config, &mut NullProbe)
+    Simulation::new(*config).ccrp(image, trace)
 }
 
 /// [`simulate_ccrp`], reporting the full event stream to `probe`:
 /// [`Event::CacheMiss`](ccrp_probe::Event::CacheMiss) per miss, plus everything
 /// [`RefillEngine::refill_probed`](ccrp::RefillEngine::refill_probed) emits (refill start/done, CLB
 /// hit/miss/evict, memory bursts). The computation is identical — the
-/// plain function is this one with [`NullProbe`].
+/// plain function is this one with [`NullProbe`](ccrp_probe::NullProbe).
 ///
 /// # Errors
 ///
 /// As [`simulate_ccrp`].
+#[deprecated(
+    note = "use the `Simulation` builder: `Simulation::new(*config).ccrp_probed(probe).ccrp(image, trace)`"
+)]
 pub fn simulate_ccrp_probed<P: Probe>(
     image: &CompressedImage,
     trace: impl IntoIterator<Item = (u32, u8)>,
     config: &SystemConfig,
     probe: &mut P,
 ) -> Result<RunStats, SimError> {
-    let mut sim = CcrpSim::new(config)?;
-    for (pc, data) in trace {
-        sim.step_probed(image, pc, data, probe)?;
-    }
-    Ok(sim.stats())
+    Simulation::new(*config)
+        .ccrp_probed(probe)
+        .ccrp(image, trace)
 }
 
 /// [`simulate_standard`] with a cooperative deadline: every trace entry
@@ -278,18 +282,15 @@ pub fn simulate_ccrp_probed<P: Probe>(
 ///
 /// [`SimError::Budget`] when the budget trips; otherwise as
 /// [`simulate_standard`].
+#[deprecated(
+    note = "use the `Simulation` builder: `Simulation::new(*config).budgeted(budget).standard(trace)`"
+)]
 pub fn simulate_standard_budgeted(
     trace: impl IntoIterator<Item = (u32, u8)>,
     config: &SystemConfig,
     budget: &mut StepBudget,
 ) -> Result<RunStats, SimError> {
-    let mut sim = StandardSim::new(config)?;
-    for (pc, data) in trace {
-        let before = sim.counters().cycle;
-        sim.step(pc, data);
-        budget.charge((sim.counters().cycle - before).max(1))?;
-    }
-    Ok(sim.stats())
+    Simulation::new(*config).budgeted(budget).standard(trace)
 }
 
 /// [`simulate_ccrp`] with a cooperative deadline — the deadline-aware
@@ -302,19 +303,16 @@ pub fn simulate_standard_budgeted(
 ///
 /// [`SimError::Budget`] when the budget trips; otherwise as
 /// [`simulate_ccrp`].
+#[deprecated(
+    note = "use the `Simulation` builder: `Simulation::new(*config).budgeted(budget).ccrp(image, trace)`"
+)]
 pub fn simulate_ccrp_budgeted(
     image: &CompressedImage,
     trace: impl IntoIterator<Item = (u32, u8)>,
     config: &SystemConfig,
     budget: &mut StepBudget,
 ) -> Result<RunStats, SimError> {
-    let mut sim = CcrpSim::new(config)?;
-    for (pc, data) in trace {
-        let before = sim.counters().cycle;
-        sim.step(image, pc, data)?;
-        budget.charge((sim.counters().cycle - before).max(1))?;
-    }
-    Ok(sim.stats())
+    Simulation::new(*config).budgeted(budget).ccrp(image, trace)
 }
 
 /// Both processors' results over the same trace and configuration — one
@@ -357,6 +355,9 @@ impl Comparison {
 /// # Errors
 ///
 /// As for [`simulate_standard`] and [`simulate_ccrp`].
+#[deprecated(
+    note = "use the `Simulation` builder: `Simulation::new(*config).compare(image, trace)`"
+)]
 pub fn compare<I>(
     image: &CompressedImage,
     trace: I,
@@ -366,14 +367,7 @@ where
     I: IntoIterator<Item = (u32, u8)>,
     I::IntoIter: Clone,
 {
-    let iter = trace.into_iter();
-    let standard = simulate_standard(iter.clone(), config)?;
-    let ccrp = simulate_ccrp(image, iter, config)?;
-    debug_assert_eq!(
-        standard.cache.misses, ccrp.cache.misses,
-        "caches see identical streams"
-    );
-    Ok(Comparison { standard, ccrp })
+    Simulation::new(*config).compare(image, trace)
 }
 
 /// [`compare`], with a separate probe observing each processor's run (so
@@ -382,6 +376,8 @@ where
 /// # Errors
 ///
 /// As [`compare`].
+#[deprecated(note = "use the `Simulation` builder: \
+            `Simulation::new(*config).standard_probed(p).ccrp_probed(q).compare(image, trace)`")]
 pub fn compare_probed<I, P, Q>(
     image: &CompressedImage,
     trace: I,
@@ -395,14 +391,10 @@ where
     P: Probe,
     Q: Probe,
 {
-    let iter = trace.into_iter();
-    let standard = simulate_standard_probed(iter.clone(), config, standard_probe)?;
-    let ccrp = simulate_ccrp_probed(image, iter, config, ccrp_probe)?;
-    debug_assert_eq!(
-        standard.cache.misses, ccrp.cache.misses,
-        "caches see identical streams"
-    );
-    Ok(Comparison { standard, ccrp })
+    Simulation::new(*config)
+        .standard_probed(standard_probe)
+        .ccrp_probed(ccrp_probe)
+        .compare(image, trace)
 }
 
 #[cfg(test)]
@@ -435,23 +427,39 @@ mod tests {
         (image, trace)
     }
 
+    fn compare(
+        image: &CompressedImage,
+        trace: impl IntoIterator<Item = (u32, u8), IntoIter: Clone>,
+        config: &SystemConfig,
+    ) -> Result<Comparison, SimError> {
+        Simulation::new(*config).compare(image, trace)
+    }
+
     #[test]
     fn budgeted_replay_matches_plain_when_fuel_suffices() {
         let (image, trace) = fixture(2048);
         let config = SystemConfig::new().with_cache_bytes(256);
-        let plain = simulate_ccrp(&image, trace.iter().copied(), &config).unwrap();
+        let plain = Simulation::new(config)
+            .ccrp(&image, trace.iter().copied())
+            .unwrap();
         let mut budget = StepBudget::limited(u64::MAX / 2);
-        let budgeted =
-            simulate_ccrp_budgeted(&image, trace.iter().copied(), &config, &mut budget).unwrap();
+        let budgeted = Simulation::new(config)
+            .budgeted(&mut budget)
+            .ccrp(&image, trace.iter().copied())
+            .unwrap();
         assert_eq!(budgeted, plain);
         // The charge is cycle-accurate: fuel spent equals the simulated
         // end-to-end cycle count (every entry charges its cycles, min 1).
         assert!(budget.spent() >= plain.instructions);
 
-        let std_plain = simulate_standard(trace.iter().copied(), &config).unwrap();
+        let std_plain = Simulation::new(config)
+            .standard(trace.iter().copied())
+            .unwrap();
         let mut std_budget = StepBudget::unlimited();
-        let std_budgeted =
-            simulate_standard_budgeted(trace.iter().copied(), &config, &mut std_budget).unwrap();
+        let std_budgeted = Simulation::new(config)
+            .budgeted(&mut std_budget)
+            .standard(trace.iter().copied())
+            .unwrap();
         assert_eq!(std_budgeted, std_plain);
     }
 
@@ -464,16 +472,87 @@ mod tests {
             .with_cache_bytes(256)
             .with_memory(MemoryModel::Eprom);
         let mut budget = StepBudget::limited(200);
-        let err = simulate_ccrp_budgeted(&image, trace.iter().copied(), &config, &mut budget)
+        let err = Simulation::new(config)
+            .budgeted(&mut budget)
+            .ccrp(&image, trace.iter().copied())
             .unwrap_err();
         assert!(matches!(err, SimError::Budget(_)));
         let mut again = StepBudget::limited(200);
-        let err2 =
-            simulate_ccrp_budgeted(&image, trace.iter().copied(), &config, &mut again).unwrap_err();
+        let err2 = Simulation::new(config)
+            .budgeted(&mut again)
+            .ccrp(&image, trace.iter().copied())
+            .unwrap_err();
         assert_eq!(
             format!("{err}"),
             format!("{err2}"),
             "fuel exhaustion is deterministic"
+        );
+    }
+
+    /// The `#[deprecated]` wrappers must keep returning exactly what
+    /// the builder they forward to returns.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_builder() {
+        use ccrp_probe::EventLog;
+
+        let (image, trace) = fixture(2048);
+        let config = SystemConfig::new()
+            .with_cache_bytes(256)
+            .with_memory(MemoryModel::Eprom);
+
+        let builder_cmp = Simulation::new(config)
+            .compare(&image, trace.iter().copied())
+            .unwrap();
+        assert_eq!(
+            super::compare(&image, trace.iter().copied(), &config).unwrap(),
+            builder_cmp
+        );
+        assert_eq!(
+            simulate_standard(trace.iter().copied(), &config).unwrap(),
+            builder_cmp.standard
+        );
+        assert_eq!(
+            simulate_ccrp(&image, trace.iter().copied(), &config).unwrap(),
+            builder_cmp.ccrp
+        );
+
+        let mut std_log = EventLog::new();
+        let mut ccrp_log = EventLog::new();
+        assert_eq!(
+            compare_probed(
+                &image,
+                trace.iter().copied(),
+                &config,
+                &mut std_log,
+                &mut ccrp_log,
+            )
+            .unwrap(),
+            builder_cmp
+        );
+        let mut std_log2 = EventLog::new();
+        assert_eq!(
+            simulate_standard_probed(trace.iter().copied(), &config, &mut std_log2).unwrap(),
+            builder_cmp.standard
+        );
+        assert_eq!(std_log.events(), std_log2.events());
+        let mut ccrp_log2 = EventLog::new();
+        assert_eq!(
+            simulate_ccrp_probed(&image, trace.iter().copied(), &config, &mut ccrp_log2).unwrap(),
+            builder_cmp.ccrp
+        );
+        assert_eq!(ccrp_log.events(), ccrp_log2.events());
+
+        let mut std_budget = StepBudget::unlimited();
+        assert_eq!(
+            simulate_standard_budgeted(trace.iter().copied(), &config, &mut std_budget).unwrap(),
+            builder_cmp.standard
+        );
+        let mut ccrp_budget = StepBudget::unlimited();
+        assert_eq!(
+            simulate_ccrp_budgeted(&image, trace.iter().copied(), &config, &mut ccrp_budget)
+                .unwrap(),
+            builder_cmp.ccrp
         );
     }
 
@@ -586,14 +665,11 @@ mod tests {
         let plain = compare(&image, trace.iter().copied(), &config).unwrap();
         let mut std_log = EventLog::new();
         let mut ccrp_log = EventLog::new();
-        let probed = compare_probed(
-            &image,
-            trace.iter().copied(),
-            &config,
-            &mut std_log,
-            &mut ccrp_log,
-        )
-        .unwrap();
+        let probed = Simulation::new(config)
+            .standard_probed(&mut std_log)
+            .ccrp_probed(&mut ccrp_log)
+            .compare(&image, trace.iter().copied())
+            .unwrap();
         assert_eq!(plain, probed, "probes must not perturb the simulation");
 
         let misses = |log: &EventLog| {
@@ -619,7 +695,9 @@ mod tests {
     fn out_of_image_trace_errors() {
         let (image, _) = fixture(256);
         let config = SystemConfig::default();
-        let err = simulate_ccrp(&image, [(0x0010_0000u32, 0u8)], &config).unwrap_err();
+        let err = Simulation::new(config)
+            .ccrp(&image, [(0x0010_0000u32, 0u8)])
+            .unwrap_err();
         assert!(matches!(err, SimError::Ccrp(_)));
     }
 

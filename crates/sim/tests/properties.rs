@@ -4,10 +4,33 @@
 use ccrp::CompressedImage;
 use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
 use ccrp_sim::{
-    compare, simulate_ccrp, simulate_standard, standard_refill_cycles, DataCacheModel, MemoryModel,
-    SystemConfig,
+    standard_refill_cycles, AccessTrace, Comparison, DataCacheModel, MemoryModel, RunStats,
+    SimError, Simulation, SystemConfig,
 };
 use proptest::prelude::*;
+
+fn simulate_standard(
+    trace: impl IntoIterator<Item = (u32, u8)>,
+    config: &SystemConfig,
+) -> Result<RunStats, SimError> {
+    Simulation::new(*config).standard(trace)
+}
+
+fn simulate_ccrp(
+    image: &CompressedImage,
+    trace: impl IntoIterator<Item = (u32, u8)>,
+    config: &SystemConfig,
+) -> Result<RunStats, SimError> {
+    Simulation::new(*config).ccrp(image, trace)
+}
+
+fn compare(
+    image: &CompressedImage,
+    trace: impl IntoIterator<Item = (u32, u8), IntoIter: Clone>,
+    config: &SystemConfig,
+) -> Result<Comparison, SimError> {
+    Simulation::new(*config).compare(image, trace)
+}
 
 /// A deterministic pseudo-program plus a looping trace over it.
 fn fixture(seed: u64, kib: usize) -> (CompressedImage, Vec<(u32, u8)>) {
@@ -144,5 +167,21 @@ proptest! {
         let mid = run(rate);
         let (min, max) = if lo <= hi { (lo, hi) } else { (hi, lo) };
         prop_assert!(mid >= min - 1e-9 && mid <= max + 1e-9);
+    }
+
+    /// Capture → serialize → load → replay equals direct simulation,
+    /// for every memory model over randomized programs.
+    #[test]
+    fn serialized_trace_replays_to_direct_results(seed: u64) {
+        let (image, trace) = fixture(seed, 2);
+        let bytes = AccessTrace::capture(trace.iter().copied()).to_bytes(seed as u32);
+        let (loaded, fingerprint) = AccessTrace::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(fingerprint, seed as u32);
+        for memory in MemoryModel::ALL {
+            let config = SystemConfig::new().with_cache_bytes(512).with_memory(memory);
+            let direct = compare(&image, trace.iter().copied(), &config).unwrap();
+            let replayed = Simulation::new(config).compare(&image, &loaded).unwrap();
+            prop_assert_eq!(replayed, direct);
+        }
     }
 }

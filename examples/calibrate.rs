@@ -4,7 +4,7 @@
 
 use ccrp::CompressedImage;
 use ccrp_compress::BlockAlignment;
-use ccrp_sim::{compare, MemoryModel, SystemConfig};
+use ccrp_sim::{MemoryModel, Simulation, SystemConfig};
 use ccrp_workloads::{preselected_code, TracedWorkload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let config = SystemConfig::new()
                     .with_cache_bytes(cache_bytes)
                     .with_memory(memory);
-                let cmp = compare(&image, w.trace.iter(), &config)?;
+                let cmp = Simulation::new(config).compare(&image, w.trace.iter())?;
                 miss = cmp.miss_rate();
                 traffic = cmp.memory_traffic_ratio();
                 if memory == MemoryModel::Eprom {

@@ -13,7 +13,7 @@ use ccrp::CompressedImage;
 use ccrp_asm::assemble;
 use ccrp_compress::BlockAlignment;
 use ccrp_emu::{Machine, ProgramTrace};
-use ccrp_sim::{compare, MemoryModel, SystemConfig};
+use ccrp_sim::{MemoryModel, Simulation, SystemConfig};
 use ccrp_workloads::preselected_code;
 
 const FIRMWARE: &str = r#"
@@ -151,7 +151,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let config = SystemConfig::new()
             .with_cache_bytes(256)
             .with_memory(memory);
-        let result = compare(&compressed, trace.iter(), &config)?;
+        let result = Simulation::new(config).compare(&compressed, trace.iter())?;
         let verdict = if result.relative_execution_time() < 1.0 {
             "CCRP faster"
         } else {

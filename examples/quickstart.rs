@@ -10,7 +10,7 @@ use ccrp::CompressedImage;
 use ccrp_asm::assemble;
 use ccrp_compress::BlockAlignment;
 use ccrp_emu::{Machine, ProgramTrace};
-use ccrp_sim::{compare, MemoryModel, SystemConfig};
+use ccrp_sim::{MemoryModel, Simulation, SystemConfig};
 use ccrp_workloads::preselected_code;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let config = SystemConfig::new()
             .with_cache_bytes(256)
             .with_memory(memory);
-        let result = compare(&compressed, trace.iter(), &config)?;
+        let result = Simulation::new(config).compare(&compressed, trace.iter())?;
         println!(
             "{:>12}: relative execution time {:.3} (miss rate {:.2}%, traffic {:.1}%)",
             memory.name(),

@@ -7,7 +7,7 @@ use ccrp::{CompressedImage, MemoryTiming, RefillConfig, RefillEngine};
 use ccrp_asm::assemble;
 use ccrp_compress::BlockAlignment;
 use ccrp_emu::{Machine, ProgramTrace};
-use ccrp_sim::{compare, simulate_standard, DataCacheModel, MemoryModel, SystemConfig};
+use ccrp_sim::{DataCacheModel, MemoryModel, Simulation, SystemConfig};
 use ccrp_workloads::preselected_code;
 
 /// A string-reverse + histogram program: branchy integer code with byte
@@ -120,7 +120,9 @@ fn compressed_system_matches_paper_claims() {
         let config = SystemConfig::new()
             .with_cache_bytes(256)
             .with_memory(memory);
-        let result = compare(&compressed, trace.iter(), &config).expect("simulates");
+        let result = Simulation::new(config)
+            .compare(&compressed, trace.iter())
+            .expect("simulates");
         // Traffic always shrinks; EPROM never loses by much; fast memory
         // never wins (it can only lose time to the decoder).
         assert!(result.memory_traffic_ratio() < 1.0);
@@ -143,7 +145,9 @@ fn refill_engine_agrees_with_system_simulator() {
     let config = SystemConfig::new()
         .with_cache_bytes(256)
         .with_memory(MemoryModel::Eprom);
-    let ccrp_run = ccrp_sim::simulate_ccrp(&compressed, trace.iter(), &config).expect("simulates");
+    let ccrp_run = Simulation::new(config)
+        .ccrp(&compressed, trace.iter())
+        .expect("simulates");
 
     // Drive the engine manually over the same miss stream.
     struct Eprom;
@@ -181,7 +185,9 @@ fn standard_simulator_baseline_sanity() {
         .with_cache_bytes(4096)
         .with_memory(MemoryModel::BurstEprom)
         .with_dcache(DataCacheModel::NONE);
-    let run = simulate_standard(trace.iter(), &config).expect("simulates");
+    let run = Simulation::new(config)
+        .standard(trace.iter())
+        .expect("simulates");
     let expected = run.instructions as f64 + (run.cache.misses * 10) as f64 + run.data_stall_cycles;
     assert_eq!(run.total_cycles(), expected);
 }

@@ -84,6 +84,7 @@ fn sweep_metrics_match_golden_and_are_jobs_independent() {
     let options = |jobs| SweepOptions {
         jobs,
         metrics: true,
+        ..Default::default()
     };
     let serial = runner::run(Experiment::Tables11To13, &options(1));
     let parallel = runner::run(Experiment::Tables11To13, &options(4));

@@ -4,7 +4,7 @@
 
 use ccrp::CompressedImage;
 use ccrp_compress::{block, BlockAlignment, ByteCode, ByteHistogram};
-use ccrp_sim::{compare, MemoryModel, SystemConfig};
+use ccrp_sim::{MemoryModel, Simulation, SystemConfig};
 use ccrp_workloads::{figure5_corpus, preselected_code, TracedWorkload};
 
 /// §1: "Experimental simulations show that a significant degree of
@@ -79,7 +79,8 @@ fn section_4_3_conclusions() {
                 let config = SystemConfig::new()
                     .with_cache_bytes(cache_bytes)
                     .with_memory(memory);
-                let rel = compare(&image, w.trace.iter(), &config)
+                let rel = Simulation::new(config)
+                    .compare(&image, w.trace.iter())
                     .expect("simulates")
                     .relative_execution_time();
                 match memory {
@@ -122,7 +123,8 @@ fn traffic_reduced_in_all_cases() {
             let config = SystemConfig::new()
                 .with_cache_bytes(cache_bytes)
                 .with_memory(MemoryModel::BurstEprom);
-            let traffic = compare(&image, w.trace.iter(), &config)
+            let traffic = Simulation::new(config)
+                .compare(&image, w.trace.iter())
                 .expect("simulates")
                 .memory_traffic_ratio();
             assert!(
