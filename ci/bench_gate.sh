@@ -5,12 +5,13 @@
 # repo root:
 #
 #   1. Reproduction: re-run the tables1_8 and fig5 sweeps (trace-replay
-#      engine, the default) and require the deterministic sections of
-#      the fresh BENCH_<experiment>.json to be byte-identical to the
-#      committed files.  Only the `jobs` and `timing` keys are
-#      host-dependent; everything else (schema, experiment, cells,
-#      results — including every simulated cycle count) must reproduce
-#      exactly, on any machine, at any job count.
+#      engine, the default) plus the codec × memory-model ablation
+#      matrix (`sweep --codecs`) and require the deterministic sections
+#      of the fresh BENCH_<experiment>.json / BENCH_codecs.json to be
+#      byte-identical to the committed files.  Only the `jobs` and
+#      `timing` keys are host-dependent; everything else (schema,
+#      experiment, cells, results — including every simulated cycle
+#      count) must reproduce exactly, on any machine, at any job count.
 #
 #   2. Decoder speedup: run the decoder_bench target and require the
 #      table-driven fast path to beat the canonical bit-walk reference
@@ -44,8 +45,10 @@ cargo run --release -p ccrp-cli --bin ccrp-tools -- \
     sweep --experiment tables1_8 --engine trace --jobs 2 --out "$tmp"
 cargo run --release -p ccrp-cli --bin ccrp-tools -- \
     sweep --experiment fig5 --out "$tmp"
+cargo run --release -p ccrp-cli --bin ccrp-tools -- \
+    sweep --codecs --jobs 2 --out "$tmp"
 
-for name in tables1_8 fig5; do
+for name in tables1_8 fig5 codecs; do
     python3 - "BENCH_${name}.json" "$tmp/BENCH_${name}.json" <<'PY'
 import json, sys
 

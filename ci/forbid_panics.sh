@@ -35,6 +35,14 @@
 # scanned (the rest of ccrp-sim predates the guard and keeps its
 # documented internal expects).
 #
+# With the pluggable LineCodec backends (codec.rs, positional.rs,
+# lzw.rs — all under the already-scanned crates/compress/src) the
+# pattern also catches `assert!` / `assert_eq!` / `assert_ne!` and
+# their `debug_assert` variants: codec_from_container feeds
+# attacker-controlled codec-params bytes into every backend, so even
+# an assertion on that path is a loader panic.  Assertions that state
+# a documented API contract carry `panic-ok:` markers.
+#
 # Scope and escape hatches:
 #   * only library source under
 #     crates/{core,compress,bitstream,testutil,difftest,emu,served}/src
@@ -60,7 +68,7 @@ hits=$( { find crates/core/src crates/compress/src crates/bitstream/src \
         /^[[:space:]]*\/\// { if (/panic-ok:/) skip = 1; next }
         /panic-ok:/ { next }
         skip { skip = 0; next }
-        /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
+        /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|assert!\(|assert_eq!\(|assert_ne!\(/ {
             printf "%s:%d: %s\n", FILENAME, FNR, $0
         }
     ' "$file"

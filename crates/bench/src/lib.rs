@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codecs;
 pub mod difftest;
 pub mod experiments;
 pub mod faultsim;

@@ -95,6 +95,7 @@ impl<'a> BitReader<'a> {
     ///
     /// Panics if `count` is 0 or greater than 32.
     pub fn read_bits(&mut self, count: u32) -> Result<u32, ReadBitsError> {
+        // panic-ok: documented contract — counts come from code tables, not input.
         assert!((1..=32).contains(&count), "bit count {count} out of range");
         if self.remaining() < u64::from(count) {
             return Err(ReadBitsError {
@@ -122,6 +123,7 @@ impl<'a> BitReader<'a> {
     ///
     /// Panics if `count` is 0 or greater than 32.
     pub fn peek_bits(&self, count: u32) -> u32 {
+        // panic-ok: documented contract — counts come from code tables, not input.
         assert!((1..=32).contains(&count), "bit count {count} out of range");
         let byte_index = (self.bit_pos / 8) as usize;
         let bit_in_byte = (self.bit_pos % 8) as u32;

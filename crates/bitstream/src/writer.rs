@@ -59,8 +59,10 @@ impl BitWriter {
     /// Panics if `count` is 0 or greater than 32, or if `value` has bits set
     /// above `count` (the caller is expected to mask).
     pub fn write_bits(&mut self, value: u32, count: u32) {
+        // panic-ok: documented contract — counts come from code tables, not input.
         assert!((1..=32).contains(&count), "bit count {count} out of range");
         if count < 32 {
+            // panic-ok: documented contract — callers mask before writing.
             assert!(
                 value < (1u32 << count),
                 "value {value:#x} wider than {count} bits"

@@ -1,24 +1,33 @@
 //! `ccrp-tools compress <input.s> [--out image.ccrp] [--alignment
-//! byte|word] [--code preselected|self] [--crc]`
+//! byte|word] [--codec byte-huffman|positional|lzw]
+//! [--code preselected|self] [--crc]`
 //!
 //! Compresses a program into a CCRP image (and optionally writes the
-//! container an embedded build would burn to ROM). `--crc` writes a
-//! version-2 container carrying a header CRC-32 and one CRC-32 record
-//! per cache line, so corruption is detected instead of silently
-//! decoding to wrong instructions.
+//! container an embedded build would burn to ROM). `--codec` picks the
+//! line-codec backend (default: the paper's byte-Huffman); `--code`
+//! picks the Huffman training source — the corpus-trained preselected
+//! tables, or tables trained on the input itself (`self`; ignored by
+//! the parameter-free LZW codec). `--crc` writes a version-2 container
+//! carrying a header CRC-32 and one CRC-32 record per cache line, so
+//! corruption is detected instead of silently decoding to wrong
+//! instructions.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use ccrp::CompressedImage;
-use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
-use ccrp_workloads::preselected_code;
+use ccrp_compress::{
+    BlockAlignment, ByteCode, ByteHistogram, CodecId, LineCodec, LzwLineCodec, PositionalCode,
+    PositionalHistogram,
+};
+use ccrp_workloads::{preselected_code, preselected_positional_code};
 
 use crate::args::Args;
 use crate::error::{write_file, CliError};
 use crate::load_text_bytes;
 
 /// Option names consuming a value.
-pub const VALUE_OPTIONS: &[&str] = &["out", "alignment", "code", "text-base"];
+pub const VALUE_OPTIONS: &[&str] = &["out", "alignment", "codec", "code", "text-base"];
 /// Switch names.
 pub const SWITCHES: &[&str] = &["crc"];
 
@@ -41,24 +50,46 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let input = args.positional(0, "input file (.s or raw text binary)")?;
     let text = load_text_bytes(input)?;
     let alignment = parse_alignment(args)?;
-    let code = match args.option("code").unwrap_or("preselected") {
-        "preselected" => preselected_code().clone(),
-        "self" => ByteCode::bounded(&ByteHistogram::of(&text)).map_err(ccrp::CcrpError::from)?,
+    let codec_id = match args.option("codec") {
+        None => CodecId::ByteHuffman,
+        Some(name) => CodecId::from_name(name).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--codec: `{name}` is not one of {}",
+                CodecId::ALL.map(CodecId::name).join("|")
+            ))
+        })?,
+    };
+    let self_trained = match args.option("code").unwrap_or("preselected") {
+        "preselected" => false,
+        "self" => true,
         other => {
             return Err(CliError::Usage(format!(
                 "--code: `{other}` is not preselected|self"
             )))
         }
     };
+    let codec: Arc<dyn LineCodec> = match (codec_id, self_trained) {
+        (CodecId::ByteHuffman, false) => Arc::new(preselected_code().clone()),
+        (CodecId::ByteHuffman, true) => {
+            Arc::new(ByteCode::bounded(&ByteHistogram::of(&text)).map_err(ccrp::CcrpError::from)?)
+        }
+        (CodecId::Positional, false) => Arc::new(preselected_positional_code().clone()),
+        (CodecId::Positional, true) => Arc::new(
+            PositionalCode::preselected(&PositionalHistogram::of(&text))
+                .map_err(ccrp::CcrpError::from)?,
+        ),
+        (CodecId::Lzw, _) => Arc::new(LzwLineCodec::new()),
+    };
     let text_base = args.option_u32("text-base", 0)?;
-    let image = CompressedImage::build(text_base, &text, code, alignment)?;
+    let image = CompressedImage::build_with_codec(text_base, &text, codec, alignment)?;
     image.verify()?;
     writeln!(
         out,
-        "{input}: {} -> {} bytes ({:.1}%) in {} lines ({} bypassed), LAT {} bytes at {:#x}",
+        "{input}: {} -> {} bytes ({:.1}%) with {} in {} lines ({} bypassed), LAT {} bytes at {:#x}",
         image.original_bytes(),
         image.total_stored_bytes(false),
         image.compression_ratio() * 100.0,
+        image.codec().id(),
         image.line_count(),
         image.bypass_count(),
         image.lat().storage_bytes(),
@@ -147,9 +178,48 @@ mod tests {
     }
 
     #[test]
+    fn non_default_codecs_roundtrip_through_the_container() {
+        let src = write_temp(
+            "cmp_codec.s",
+            "main: li $t0, 100\nloop: addiu $t0, $t0, -1\n bnez $t0, loop\n jr $ra\n",
+        );
+        for codec in ["positional", "lzw"] {
+            let out_path = temp_path(&format!("cmp_{codec}.ccrp"));
+            let args = Args::parse(
+                &[
+                    src.clone(),
+                    "--out".into(),
+                    out_path.clone(),
+                    "--codec".into(),
+                    codec.into(),
+                    "--code".into(),
+                    "self".into(),
+                    "--crc".into(),
+                ],
+                VALUE_OPTIONS,
+                SWITCHES,
+            )
+            .unwrap();
+            let mut buffer = Vec::new();
+            run(&args, &mut buffer).unwrap();
+            assert!(String::from_utf8(buffer).unwrap().contains(codec));
+            let bytes = std::fs::read(&out_path).unwrap();
+            let image = CompressedImage::from_bytes(&bytes).unwrap();
+            image.verify().unwrap();
+            assert_eq!(image.codec().id().name(), codec);
+            std::fs::remove_file(out_path).ok();
+        }
+        std::fs::remove_file(src).ok();
+    }
+
+    #[test]
     fn rejects_bad_flags() {
         let src = write_temp("cmp_bad.s", "main: jr $ra\n");
-        for (flag, value) in [("--alignment", "diagonal"), ("--code", "magic")] {
+        for (flag, value) in [
+            ("--alignment", "diagonal"),
+            ("--code", "magic"),
+            ("--codec", "arithmetic"),
+        ] {
             let raw = vec![src.clone(), flag.to_string(), value.to_string()];
             let args = Args::parse(&raw, VALUE_OPTIONS, SWITCHES).unwrap();
             assert!(run(&args, &mut Vec::new()).is_err(), "{flag} {value}");

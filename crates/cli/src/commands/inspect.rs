@@ -42,10 +42,25 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
                 ("bypass", Json::Bool(loc.bypass)),
             ]));
         }
+        let cost = image.codec().cost();
         let json = Json::obj([
             ("schema", Json::str("ccrp-inspect/1")),
             ("version", Json::U64(u64::from(version))),
             ("integrity", Json::Bool(image.block_crcs().is_some())),
+            (
+                "codec",
+                Json::obj([
+                    ("name", Json::str(image.codec().id().name())),
+                    ("table_bits", Json::U64(cost.table_bits)),
+                    (
+                        "max_bytes_per_cycle",
+                        match cost.max_bytes_per_cycle {
+                            Some(cap) => Json::U64(u64::from(cap)),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ),
             (
                 "original_bytes",
                 Json::U64(u64::from(image.original_bytes())),
@@ -74,12 +89,13 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     writeln!(
         out,
-        "{input}: container v{version} ({}), {} original bytes at {:#x}, stored {} ({:.1}%), {} lines, {} bypassed",
+        "{input}: container v{version} ({}), codec {}, {} original bytes at {:#x}, stored {} ({:.1}%), {} lines, {} bypassed",
         if image.block_crcs().is_some() {
             "per-line CRC-32"
         } else {
             "no integrity records"
         },
+        image.codec().id(),
         image.original_bytes(),
         image.text_base(),
         image.total_stored_bytes(false),
@@ -160,6 +176,7 @@ mod tests {
         run(&args, &mut buffer).unwrap();
         let text = String::from_utf8(buffer).unwrap();
         assert!(text.contains("container v1 (no integrity records)"));
+        assert!(text.contains("codec byte-huffman"));
         assert!(text.contains("LAT:"));
         assert!(text.contains("jr $ra"));
         std::fs::remove_file(path).ok();

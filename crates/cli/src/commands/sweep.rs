@@ -1,5 +1,5 @@
 //! `ccrp-tools sweep [--experiment NAME|all] [--engine trace|reexec]
-//! [--jobs N] [--out DIR]`
+//! [--jobs N] [--out DIR] [--codecs]`
 //!
 //! Drives the parallel experiment runner: every paper experiment is
 //! decomposed into independent (workload, configuration) cells, swept
@@ -10,12 +10,17 @@
 //! reexec` re-executes each cell from scratch. Both engines — and any
 //! worker count — produce bit-identical results; only the `timing`
 //! section of the JSON varies.
+//!
+//! `--codecs` runs the codec × memory-model ablation matrix instead:
+//! every workload compressed with each [`ccrp_compress::LineCodec`]
+//! backend, replayed under every memory model, written as
+//! `BENCH_codecs.json`.
 
 use std::io::Write;
 use std::path::Path;
 
 use ccrp_bench::json::Json;
-use ccrp_bench::{render, runner, Engine, Experiment, SweepOptions, ToJson};
+use ccrp_bench::{codecs, render, runner, Engine, Experiment, SweepOptions, ToJson};
 
 use crate::args::Args;
 use crate::error::{write_file, CliError};
@@ -23,7 +28,7 @@ use crate::error::{write_file, CliError};
 /// Option names consuming a value.
 pub const VALUE_OPTIONS: &[&str] = &["experiment", "engine", "jobs", "out"];
 /// Switch names.
-pub const SWITCHES: &[&str] = &["tables", "metrics"];
+pub const SWITCHES: &[&str] = &["tables", "metrics", "codecs"];
 
 /// Runs the subcommand.
 ///
@@ -54,6 +59,47 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     };
     let out_dir = args.option("out").unwrap_or(".");
     let metrics = args.switch("metrics");
+
+    // `--codecs` runs the codec × memory-model ablation matrix instead
+    // of the paper-experiment sweep.
+    if args.switch("codecs") {
+        let report = codecs::run(codecs::CodecsOptions { jobs });
+        let path = Path::new(out_dir).join("BENCH_codecs.json");
+        let path = path.to_string_lossy().into_owned();
+        write_file(&path, report.to_json().to_pretty().as_bytes())?;
+        if args.json() {
+            let json = Json::obj([
+                ("schema", Json::str("ccrp-sweep-summary/1")),
+                (
+                    "sweeps",
+                    Json::Arr(vec![Json::obj([
+                        ("experiment", Json::str("codecs")),
+                        ("cells", Json::U64(report.cells.len() as u64)),
+                        ("jobs", Json::U64(jobs as u64)),
+                        (
+                            "wall_us",
+                            Json::U64(
+                                u64::try_from(report.total_wall.as_micros()).unwrap_or(u64::MAX),
+                            ),
+                        ),
+                        ("results_file", Json::str(&path)),
+                    ])]),
+                ),
+            ]);
+            write!(out, "{}", json.to_pretty()).ok();
+        } else {
+            writeln!(
+                out,
+                "{:<12} {:>3} cells {:>2} jobs {:>9.2?}  -> {path}",
+                "codecs",
+                report.cells.len(),
+                jobs,
+                report.total_wall,
+            )
+            .ok();
+        }
+        return Ok(());
+    }
 
     let mut summaries = Vec::new();
     for experiment in experiments {
@@ -165,6 +211,28 @@ mod tests {
         let json = std::fs::read_to_string(Path::new(&dir).join("BENCH_fig5.json")).unwrap();
         assert!(json.contains("\"schema\": \"ccrp-bench-sweep/1\""));
         assert!(json.contains("\"weighted_average\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn codecs_sweep_writes_matrix_file() {
+        let dir = temp_path("sweep_codecs_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = Args::parse(
+            &strings(&["--codecs", "--jobs", "2", "--out", &dir]),
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("codecs"));
+        let json = std::fs::read_to_string(Path::new(&dir).join("BENCH_codecs.json")).unwrap();
+        assert!(json.contains("\"schema\": \"ccrp-bench-codecs/1\""));
+        for codec in ["byte-huffman", "positional", "lzw"] {
+            assert!(json.contains(&format!("\"codec\": \"{codec}\"")), "{codec}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -63,11 +63,13 @@ COMMANDS:
       serializes the machine state to --checkpoint-out every N retired
       instructions, --resume-from restores such a file (same program
       only) and continues from the recorded instruction
-  compress <in> [--out f.ccrp] [--alignment byte|word] [--code preselected|self] [--text-base N] [--crc]
-      compress into a CCRP ROM container (--crc: v2 container with
-      header and per-line CRC-32 integrity records)
+  compress <in> [--out f.ccrp] [--alignment byte|word] [--code preselected|self]
+           [--codec byte-huffman|positional|lzw] [--text-base N] [--crc]
+      compress into a CCRP ROM container (--codec: the line-codec
+      backend, default byte-huffman; --crc: v2 container with header
+      and per-line CRC-32 integrity records)
   inspect <in.ccrp> [--lines N] [--disasm]
-      report a container's layout and LAT
+      report a container's layout, codec, and LAT
   profile <in.s> [--top N]
       execute and rank the hottest cache lines
   simulate <in.s> [--cache N] [--memory eprom|burst|dram|all] [--clb N]
@@ -81,13 +83,15 @@ COMMANDS:
   workloads [--verify]
       list (and self-check) the paper's benchmark programs
   sweep [--experiment fig5|tables1_8|tables9_10|fig9|tables11_13|all]
-        [--engine trace|reexec] [--jobs N] [--out DIR] [--tables] [--metrics]
+        [--engine trace|reexec] [--codecs] [--jobs N] [--out DIR]
+        [--tables] [--metrics]
       run the paper experiments across a worker pool and write
       machine-readable BENCH_<experiment>.json results files; the
       default trace engine executes each workload once and replays
       its captured trace for every configuration (--engine reexec
-      re-executes every cell); --metrics folds probe-derived
-      histograms into each report
+      re-executes every cell); --codecs runs the codec × memory-model
+      ablation matrix into BENCH_codecs.json instead; --metrics folds
+      probe-derived histograms into each report
   trace-capture <workload|in.s|file.trace> [--out f.trace]
       capture a workload or assembly program's fetch trace into the
       run-compacted .trace container the sweep engine replays, or

@@ -6,9 +6,10 @@
 //! exceeds its original size — the paper's two-code special case that
 //! "only requires a bypass capability in the decoder".
 
-use ccrp_bitstream::{BitReader, BitWriter};
+use ccrp_bitstream::BitWriter;
 
 use crate::code::ByteCode;
+use crate::codec::LineCodec;
 use crate::error::CompressError;
 
 /// The paper's instruction-cache line size in bytes.
@@ -107,8 +108,21 @@ impl CompressedLine {
 ///
 /// Panics if `line` is not exactly [`LINE_SIZE`] bytes.
 pub fn compress_line(code: &ByteCode, line: &[u8], alignment: BlockAlignment) -> CompressedLine {
-    assert_eq!(line.len(), LINE_SIZE, "cache lines are {LINE_SIZE} bytes");
-    let bits = code.encoded_bits(line);
+    compress_line_with(code, line, alignment)
+}
+
+/// [`compress_line`] for any [`LineCodec`].
+///
+/// # Panics
+///
+/// Panics if `line` is not exactly [`LINE_SIZE`] bytes.
+pub fn compress_line_with(
+    codec: &dyn LineCodec,
+    line: &[u8],
+    alignment: BlockAlignment,
+) -> CompressedLine {
+    assert_eq!(line.len(), LINE_SIZE, "cache lines are {LINE_SIZE} bytes"); // panic-ok: documented contract
+    let bits = codec.encoded_bits(line);
     let bytes = alignment.round_up(bits.div_ceil(8) as usize);
     if bytes >= LINE_SIZE {
         return CompressedLine {
@@ -117,7 +131,7 @@ pub fn compress_line(code: &ByteCode, line: &[u8], alignment: BlockAlignment) ->
         };
     }
     let mut w = BitWriter::with_capacity(bytes);
-    code.encode_into(line, &mut w);
+    codec.encode_into(line, &mut w);
     let mut data = w.into_bytes();
     data.resize(bytes, 0);
     CompressedLine {
@@ -140,11 +154,24 @@ pub fn decompress_line_into(
     line: &CompressedLine,
     out: &mut [u8; LINE_SIZE],
 ) -> Result<(), CompressError> {
+    decompress_line_into_with(code, line, out)
+}
+
+/// [`decompress_line_into`] for any [`LineCodec`].
+///
+/// # Errors
+///
+/// As for [`decompress_line_into`].
+pub fn decompress_line_into_with(
+    codec: &dyn LineCodec,
+    line: &CompressedLine,
+    out: &mut [u8; LINE_SIZE],
+) -> Result<(), CompressError> {
     if line.bypass {
         out.copy_from_slice(&line.data[..LINE_SIZE]);
         return Ok(());
     }
-    code.decode_into(&mut BitReader::new(&line.data), out)
+    codec.decode_into(&line.data, out)
 }
 
 /// Decompresses a line produced by [`compress_line`] (a thin wrapper
@@ -170,14 +197,23 @@ pub fn compress_image(
     text: &[u8],
     alignment: BlockAlignment,
 ) -> Vec<CompressedLine> {
+    compress_image_with(code, text, alignment)
+}
+
+/// [`compress_image`] for any [`LineCodec`].
+pub fn compress_image_with(
+    codec: &dyn LineCodec,
+    text: &[u8],
+    alignment: BlockAlignment,
+) -> Vec<CompressedLine> {
     let mut lines = Vec::with_capacity(text.len().div_ceil(LINE_SIZE));
     for chunk in text.chunks(LINE_SIZE) {
         if chunk.len() == LINE_SIZE {
-            lines.push(compress_line(code, chunk, alignment));
+            lines.push(compress_line_with(codec, chunk, alignment));
         } else {
             let mut padded = [0u8; LINE_SIZE];
             padded[..chunk.len()].copy_from_slice(chunk);
-            lines.push(compress_line(code, &padded, alignment));
+            lines.push(compress_line_with(codec, &padded, alignment));
         }
     }
     lines

@@ -112,6 +112,7 @@ pub fn bounded_lengths(histogram: &ByteHistogram, max_len: u8) -> Result<[u8; 25
     // Select the cheapest 2(n-1) level-1 packages; each inclusion of an
     // item deepens its code by one bit.
     let take = 2 * (n - 1);
+    // panic-ok: debug-build invariant of the package-merge construction.
     debug_assert!(
         current.len() >= take,
         "package-merge produced too few packages"

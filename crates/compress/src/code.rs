@@ -195,6 +195,7 @@ impl ByteCode {
     pub fn encode_into(&self, data: &[u8], writer: &mut BitWriter) {
         for &b in data {
             let len = self.lengths[b as usize];
+            // panic-ok: documented contract — encoders only see alphabet bytes.
             assert!(len > 0, "byte {b:#04x} has no codeword");
             writer.write_bits(self.codes[b as usize], u32::from(len));
         }

@@ -35,6 +35,12 @@ pub enum CompressError {
         /// The offending code.
         code: u32,
     },
+    /// A codec-parameter section whose size does not match what the
+    /// codec id requires.
+    BadCodecParams {
+        /// The offending parameter-section size in bytes.
+        length: usize,
+    },
     /// A stored block size the LAT cannot represent: bypassed lines must
     /// be exactly 32 bytes, compressed ones 1..32.
     BadStoredLength {
@@ -63,6 +69,12 @@ impl fmt::Display for CompressError {
             }
             CompressError::Truncated(e) => write!(f, "compressed stream truncated: {e}"),
             CompressError::BadLzwCode { code } => write!(f, "LZW code {code} not in dictionary"),
+            CompressError::BadCodecParams { length } => {
+                write!(
+                    f,
+                    "codec parameter section of {length} bytes has the wrong size"
+                )
+            }
             CompressError::BadStoredLength { length, bypass } => write!(
                 f,
                 "stored {} block of {length} bytes is unrepresentable",

@@ -46,6 +46,7 @@
 pub mod block;
 mod bounded;
 mod code;
+pub mod codec;
 mod error;
 mod histogram;
 mod huffman;
@@ -56,6 +57,7 @@ mod table;
 pub use block::{BlockAlignment, CompressedLine, LINE_SIZE};
 pub use bounded::{bounded_lengths, PAPER_MAX_LEN};
 pub use code::ByteCode;
+pub use codec::{codec_from_container, CodecCost, CodecId, LineCodec, LzwLineCodec};
 pub use error::CompressError;
 pub use histogram::ByteHistogram;
 pub use huffman::traditional_lengths;

@@ -51,13 +51,10 @@ impl PositionalHistogram {
         h
     }
 
-    /// The histogram for one position.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `position >= 4`.
+    /// The histogram for one position (positions cycle mod 4, matching
+    /// how bytes are attributed during [`update`](Self::update)).
     pub fn position(&self, position: usize) -> &ByteHistogram {
-        &self.positions[position]
+        &self.positions[position % POSITIONS]
     }
 
     /// Merges another histogram set (corpus pooling).
@@ -113,13 +110,15 @@ impl PositionalCode {
         })
     }
 
-    /// The sub-code used at one position.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `position >= 4`.
+    /// Wraps four already-built sub-codes (the container loader's entry
+    /// point; `codes[p]` handles word offset `p`).
+    pub fn from_codes(codes: [ByteCode; POSITIONS]) -> Self {
+        Self { codes }
+    }
+
+    /// The sub-code used at one position (positions cycle mod 4).
     pub fn position(&self, position: usize) -> &ByteCode {
-        &self.codes[position]
+        &self.codes[position % POSITIONS]
     }
 
     /// Code length in bits for `byte` at word offset `position`.
@@ -139,19 +138,13 @@ impl PositionalCode {
     ///
     /// # Panics
     ///
-    /// Panics if a byte has no codeword (cannot happen for preselected
-    /// positional codes, which are smoothed complete).
+    /// Panics (via [`ByteCode::encode_into`]'s documented contract) if a
+    /// byte has no codeword — impossible for preselected positional
+    /// codes, which are smoothed complete at every position.
     pub fn encode_into(&self, data: &[u8], writer: &mut BitWriter) {
         for (i, &b) in data.iter().enumerate() {
-            let code = &self.codes[i % POSITIONS];
-            let len = code.length_of(b);
-            assert!(
-                len > 0,
-                "byte {b:#04x} has no codeword at position {}",
-                i % 4
-            );
             // Reuse the canonical encoder one byte at a time.
-            code.encode_into(&[b], writer);
+            self.codes[i % POSITIONS].encode_into(&[b], writer);
         }
     }
 
@@ -170,11 +163,28 @@ impl PositionalCode {
     /// corrupt input.
     pub fn decode(&self, bytes: &[u8], count: usize) -> Result<Vec<u8>, CompressError> {
         let mut reader = BitReader::new(bytes);
-        let mut out = Vec::with_capacity(count);
-        for i in 0..count {
-            out.push(self.codes[i % POSITIONS].decode_symbol(&mut reader)?);
-        }
+        let mut out = vec![0u8; count];
+        self.decode_into(&mut reader, &mut out)?;
         Ok(out)
+    }
+
+    /// Decodes exactly `out.len()` bytes into a caller-owned buffer
+    /// (positions cycle from 0) — the allocation-free path the refill
+    /// engine uses.
+    ///
+    /// # Errors
+    ///
+    /// As for [`decode`](Self::decode); `out` then holds the bytes
+    /// decoded before the failure.
+    pub fn decode_into(
+        &self,
+        reader: &mut BitReader<'_>,
+        out: &mut [u8],
+    ) -> Result<(), CompressError> {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.codes[i % POSITIONS].decode_symbol(reader)?;
+        }
+        Ok(())
     }
 }
 

@@ -96,7 +96,7 @@ proptest! {
         let total_bits = bytes.len() * 8;
         let keep_bits = cut_bits as usize % total_bits.max(1);
         let mut cut = bytes[..keep_bits.div_ceil(8)].to_vec();
-        if keep_bits % 8 != 0 {
+        if !keep_bits.is_multiple_of(8) {
             if let Some(last) = cut.last_mut() {
                 // Zero the dropped tail bits of the final partial byte.
                 *last &= 0xFFu8 << (8 - keep_bits % 8);

@@ -9,21 +9,28 @@
 //! 0       4     magic "CCRP"
 //! 4       2     format version (1 or 2)
 //! 6       1     alignment (0 = byte, 1 = word)
-//! 7       1     reserved (0)
+//! 7       1     codec id (0 = byte-Huffman, 1 = positional, 2 = LZW)
 //! 8       4     text base (CPU address)
 //! 12      4     original text bytes (multiple of 32)
 //! 16      4     packed block bytes
 //! 20      4     LAT base (physical address of the table)
 //! 24      256   code table: canonical length of each byte value
-//! 280     —     packed compressed blocks
+//! 280     —     codec parameters (positional: 3×256 more length tables)
+//! …       —     packed compressed blocks
 //! …       —     encoded LAT (8 bytes per entry)
 //! ```
 //!
+//! Byte 7 was written as a reserved zero before codecs existed, which is
+//! exactly the byte-Huffman codec id — every pre-codec container still
+//! loads, version-aware, as byte-Huffman with an empty codec-parameter
+//! section. Byte-Huffman and LZW containers carry no codec parameters,
+//! so their layout is bit-identical to the pre-codec format.
+//!
 //! Version 2 appends an integrity section after the LAT — a CRC-32 over
-//! the 280 header bytes, then one CRC-32 per stored block:
+//! the header and codec parameters, then one CRC-32 per stored block:
 //!
 //! ```text
-//! …       4     header CRC-32 (over bytes 0..280)
+//! …       4     header CRC-32 (over bytes 0..280+params)
 //! …       4×N   per-block CRC-32, one per cache line
 //! ```
 //!
@@ -36,7 +43,7 @@
 //! Deserialization rebuilds the original text by running every block
 //! through the decoder, so a loaded image is verified by construction.
 
-use ccrp_compress::{BlockAlignment, ByteCode};
+use ccrp_compress::{codec_from_container, BlockAlignment, CodecId};
 
 use crate::crc::crc32;
 use crate::error::CcrpError;
@@ -63,6 +70,7 @@ pub(crate) fn layout_of(bytes: &[u8]) -> Result<ContainerLayout, CcrpError> {
     if version != VERSION && version != VERSION_V2 {
         return Err(bad("unsupported format version"));
     }
+    let codec = CodecId::from_byte(bytes[7]).ok_or_else(|| bad("unknown codec id"))?;
     let word =
         |at: usize| u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
     let original_bytes = word(12) as usize;
@@ -85,7 +93,12 @@ pub(crate) fn layout_of(bytes: &[u8]) -> Result<ContainerLayout, CcrpError> {
             Ok(end)
         }
     };
-    let blocks_end = bounded(HEADER_BYTES.checked_add(block_bytes).ok_or_else(oversize)?)?;
+    let params_end = bounded(
+        HEADER_BYTES
+            .checked_add(codec.params_len())
+            .ok_or_else(oversize)?,
+    )?;
+    let blocks_end = bounded(params_end.checked_add(block_bytes).ok_or_else(oversize)?)?;
     let lat_bytes = lat_entries.checked_mul(ENTRY_BYTES).ok_or_else(oversize)?;
     let lat_end = bounded(blocks_end.checked_add(lat_bytes).ok_or_else(oversize)?)?;
     let crc_bytes = if version == VERSION_V2 {
@@ -97,7 +110,7 @@ pub(crate) fn layout_of(bytes: &[u8]) -> Result<ContainerLayout, CcrpError> {
         0
     };
     let crc_end = bounded(lat_end.checked_add(crc_bytes).ok_or_else(oversize)?)?;
-    let blocks = HEADER_BYTES..blocks_end;
+    let blocks = params_end..blocks_end;
     let lat = blocks_end..lat_end;
     let crc = lat_end..crc_end;
     if bytes.len() != crc.end {
@@ -107,6 +120,8 @@ pub(crate) fn layout_of(bytes: &[u8]) -> Result<ContainerLayout, CcrpError> {
         total: crc.end,
         header: 0..24,
         code_table: 24..HEADER_BYTES,
+        codec_params: HEADER_BYTES..params_end,
+        codec,
         blocks,
         lat,
         crc,
@@ -115,23 +130,28 @@ pub(crate) fn layout_of(bytes: &[u8]) -> Result<ContainerLayout, CcrpError> {
 }
 
 impl CompressedImage {
-    /// Serializes the image to the container format.
+    /// Serializes the image to the container format. The codec id lands
+    /// in header byte 7 (zero — the historical reserved value — for the
+    /// default byte-Huffman codec, so pre-codec readers and images
+    /// interoperate).
     pub fn to_bytes(&self) -> Vec<u8> {
         let blocks = self.packed_blocks();
         let lat = self.lat().encode();
-        let mut out = Vec::with_capacity(HEADER_BYTES + blocks.len() + lat.len());
+        let params = self.codec().extra_params();
+        let mut out = Vec::with_capacity(HEADER_BYTES + params.len() + blocks.len() + lat.len());
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.push(match self.alignment() {
             BlockAlignment::Byte => 0,
             BlockAlignment::Word => 1,
         });
-        out.push(0);
+        out.push(self.codec().id().byte());
         out.extend_from_slice(&self.text_base().to_le_bytes());
         out.extend_from_slice(&self.original_bytes().to_le_bytes());
         out.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.lat_base().to_le_bytes());
-        out.extend_from_slice(&self.code().lengths()[..]);
+        out.extend_from_slice(&self.codec().header_table());
+        out.extend_from_slice(&params);
         out.extend_from_slice(&blocks);
         out.extend_from_slice(&lat);
         out
@@ -139,11 +159,13 @@ impl CompressedImage {
 
     /// Serializes the image to the version-2 container format: identical
     /// to [`to_bytes`](Self::to_bytes) up through the LAT, with the
-    /// header CRC-32 and per-block CRC-32 records appended.
+    /// header CRC-32 (covering the fixed header plus any codec
+    /// parameters) and per-block CRC-32 records appended.
     pub fn to_bytes_v2(&self) -> Vec<u8> {
         let mut out = self.to_bytes();
         out[4..6].copy_from_slice(&VERSION_V2.to_le_bytes());
-        out.extend_from_slice(&crc32(&out[..HEADER_BYTES]).to_le_bytes());
+        let protected = HEADER_BYTES + self.codec().id().params_len();
+        out.extend_from_slice(&crc32(&out[..protected]).to_le_bytes());
         for record in self.block_crc_records() {
             out.extend_from_slice(&record.to_le_bytes());
         }
@@ -184,7 +206,7 @@ impl CompressedImage {
 
         let block_crcs = if layout.version == VERSION_V2 {
             let crc_section = &bytes[layout.crc.clone()];
-            if crc32(&bytes[..HEADER_BYTES]) != word(layout.crc.start) {
+            if crc32(&bytes[..layout.codec_params.end]) != word(layout.crc.start) {
                 return Err(bad("header CRC mismatch"));
             }
             Some(
@@ -197,14 +219,15 @@ impl CompressedImage {
             None
         };
 
-        let mut lengths = [0u8; 256];
-        lengths.copy_from_slice(&bytes[24..HEADER_BYTES]);
-        let code = ByteCode::from_lengths(lengths)?;
+        let mut table = [0u8; 256];
+        table.copy_from_slice(&bytes[24..HEADER_BYTES]);
+        let codec =
+            codec_from_container(layout.codec, &table, &bytes[layout.codec_params.clone()])?;
 
         CompressedImage::from_parts(
             text_base,
             alignment,
-            code,
+            codec,
             &bytes[layout.blocks.clone()],
             &bytes[layout.lat.clone()],
             lines,
@@ -217,7 +240,7 @@ impl CompressedImage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccrp_compress::ByteHistogram;
+    use ccrp_compress::{ByteCode, ByteHistogram};
 
     fn sample_image(alignment: BlockAlignment) -> CompressedImage {
         let mut text = vec![0u8; 1024];

@@ -13,6 +13,8 @@
 
 use std::ops::Range;
 
+use ccrp_compress::CodecId;
+
 use crate::error::CcrpError;
 
 /// A region of the serialized container a fault can land in.
@@ -60,7 +62,9 @@ impl FaultRegion {
     pub fn range(self, layout: &ContainerLayout) -> Range<usize> {
         match self {
             FaultRegion::Header => layout.header.clone(),
-            FaultRegion::CodeTable => layout.code_table.clone(),
+            // The codec-parameter section (when present) is more code
+            // table, so the region spans both.
+            FaultRegion::CodeTable => layout.code_table.start..layout.codec_params.end,
             FaultRegion::Blocks => layout.blocks.clone(),
             FaultRegion::Lat => layout.lat.clone(),
             FaultRegion::Crc => layout.crc.clone(),
@@ -106,6 +110,11 @@ pub struct ContainerLayout {
     pub header: Range<usize>,
     /// The 256-byte code-length table.
     pub code_table: Range<usize>,
+    /// Extra codec parameters following the fixed header (empty for
+    /// codecs that fit their tables in `code_table`).
+    pub codec_params: Range<usize>,
+    /// The line codec the container's blocks are encoded with.
+    pub codec: CodecId,
     /// The packed compressed blocks.
     pub blocks: Range<usize>,
     /// The encoded LAT.
@@ -316,6 +325,8 @@ mod tests {
         assert_eq!(layout.version, 1);
         assert_eq!(layout.header, 0..24);
         assert_eq!(layout.code_table, 24..280);
+        assert_eq!(layout.codec, CodecId::ByteHuffman);
+        assert!(layout.codec_params.is_empty());
         assert_eq!(layout.blocks.start, 280);
         assert_eq!(layout.blocks.end, layout.lat.start);
         assert_eq!(layout.lat.end, layout.total);

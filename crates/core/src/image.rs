@@ -1,7 +1,9 @@
 //! The compressed program image: packed compressed blocks plus the
 //! in-memory Line Address Table (Figure 4's "Instruction Memory | LAT").
 
-use ccrp_compress::{block, BlockAlignment, ByteCode, CompressedLine};
+use std::sync::Arc;
+
+use ccrp_compress::{block, BlockAlignment, ByteCode, CompressedLine, LineCodec};
 
 use crate::addr::{self, BYTES_PER_ENTRY, LINES_PER_ENTRY, LINE_SIZE};
 use crate::crc::crc32;
@@ -45,7 +47,7 @@ pub struct LineLocation {
 /// ```
 #[derive(Debug, Clone)]
 pub struct CompressedImage {
-    code: ByteCode,
+    codec: Arc<dyn LineCodec>,
     alignment: BlockAlignment,
     lines: Vec<CompressedLine>,
     block_addresses: Vec<u32>,
@@ -72,6 +74,21 @@ impl CompressedImage {
         code: ByteCode,
         alignment: BlockAlignment,
     ) -> Result<Self, CcrpError> {
+        Self::build_with_codec(text_base, text, Arc::new(code), alignment)
+    }
+
+    /// [`build`](Self::build) with any [`LineCodec`] — the paper's
+    /// byte-Huffman decoder is just the default backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`build`](Self::build).
+    pub fn build_with_codec(
+        text_base: u32,
+        text: &[u8],
+        codec: Arc<dyn LineCodec>,
+        alignment: BlockAlignment,
+    ) -> Result<Self, CcrpError> {
         if !text_base.is_multiple_of(BYTES_PER_ENTRY) {
             return Err(CcrpError::MisalignedTextBase { base: text_base });
         }
@@ -80,7 +97,7 @@ impl CompressedImage {
         let padded = original_text.len().div_ceil(LINE_SIZE as usize) * LINE_SIZE as usize;
         original_text.resize(padded, 0);
 
-        let lines = block::compress_image(&code, &original_text, alignment);
+        let lines = block::compress_image_with(codec.as_ref(), &original_text, alignment);
         let mut block_addresses = Vec::with_capacity(lines.len());
         let mut cursor: u32 = 0;
         for line in &lines {
@@ -112,7 +129,7 @@ impl CompressedImage {
         let lat_base = (cursor + 3) & !3;
 
         Ok(Self {
-            code,
+            codec,
             alignment,
             lines,
             block_addresses,
@@ -144,9 +161,16 @@ impl CompressedImage {
         self.lines.iter().map(|l| crc32(l.data())).collect()
     }
 
-    /// The code used for compression.
-    pub fn code(&self) -> &ByteCode {
-        &self.code
+    /// The line codec used for compression (byte-Huffman unless the
+    /// image was built or loaded with a non-default codec).
+    pub fn codec(&self) -> &dyn LineCodec {
+        self.codec.as_ref()
+    }
+
+    /// A shared handle to the line codec (for building sibling images
+    /// with the same decoder).
+    pub fn codec_handle(&self) -> Arc<dyn LineCodec> {
+        Arc::clone(&self.codec)
     }
 
     /// The block alignment the image was packed with.
@@ -189,7 +213,7 @@ impl CompressedImage {
     /// table; the hardwired preselected code does not).
     pub fn total_stored_bytes(&self, with_code_table: bool) -> u32 {
         let table = if with_code_table {
-            self.code.table_storage_bytes()
+            self.codec.table_storage_bytes() as u32
         } else {
             0
         };
@@ -281,7 +305,11 @@ impl CompressedImage {
                 });
             }
         }
-        Ok(block::decompress_line_into(&self.code, stored, out)?)
+        Ok(block::decompress_line_into_with(
+            self.codec.as_ref(),
+            stored,
+            out,
+        )?)
     }
 
     /// [`expand_line_into`](Self::expand_line_into), returning the
@@ -321,7 +349,7 @@ impl CompressedImage {
     pub(crate) fn from_parts(
         text_base: u32,
         alignment: BlockAlignment,
-        code: ByteCode,
+        codec: Arc<dyn LineCodec>,
         blocks: &[u8],
         lat_bytes: &[u8],
         line_count: usize,
@@ -371,13 +399,13 @@ impl CompressedImage {
                 data.to_vec(),
                 entry.is_uncompressed(slot),
             )?;
-            block::decompress_line_into(&code, &line, &mut expanded)?;
+            block::decompress_line_into_with(codec.as_ref(), &line, &mut expanded)?;
             original_text.extend_from_slice(&expanded);
             block_addresses.push(physical as u32);
             lines.push(line);
         }
         let image = CompressedImage {
-            code,
+            codec,
             alignment,
             lines,
             block_addresses,

@@ -89,6 +89,7 @@ impl LatEntry {
     ///
     /// Panics if `index >= 8`.
     pub fn block_address(&self, index: usize) -> u32 {
+        // panic-ok: documented contract — indices are line-local 0..8.
         assert!(
             index < RECORDS_PER_ENTRY,
             "block index {index} out of range"

@@ -8,7 +8,7 @@
 //! arrived yet. Bypassed (uncompressed) blocks refill exactly like a
 //! standard processor's.
 
-use ccrp_compress::ByteCode;
+use ccrp_compress::LineCodec;
 use ccrp_probe::{Event, NullProbe, Probe};
 
 use crate::addr::LINE_SIZE;
@@ -122,6 +122,7 @@ pub struct RefillEngine {
     policy: DegradePolicy,
     integrity: IntegrityCheck,
     scratch: Vec<u64>,
+    profile: [u64; LINE_SIZE as usize],
 }
 
 impl RefillEngine {
@@ -141,6 +142,7 @@ impl RefillEngine {
             policy: config.policy,
             integrity: config.integrity,
             scratch: Vec::with_capacity(8),
+            profile: [0; LINE_SIZE as usize],
         })
     }
 
@@ -404,24 +406,26 @@ impl RefillEngine {
                 // Timing oracle: the original bytes stand in for the
                 // decoder output (bit-exact for an uncorrupted image).
                 IntegrityCheck::Fast => decode_completion(
-                    image.code(),
+                    image.codec(),
                     image.original_line(address)?,
                     byte_offset_in_burst,
                     &self.scratch,
                     self.decode_rate,
                     start,
+                    &mut self.profile,
                 ),
                 // Actually run the decoder (surfacing CRC and decode
                 // errors) and time the bytes it really produced.
                 IntegrityCheck::Full => {
                     image.expand_line_into(address, &mut line_buf)?;
                     decode_completion(
-                        image.code(),
+                        image.codec(),
                         &line_buf,
                         byte_offset_in_burst,
                         &self.scratch,
                         self.decode_rate,
                         start,
+                        &mut self.profile,
                     )
                 }
             }
@@ -447,31 +451,36 @@ impl RefillEngineSnapshot {
 
 /// Completion cycle of the pipelined decoder.
 ///
-/// The decoder retires `rate` original bytes per cycle but can only
+/// The decoder retires `rate` original bytes per cycle — clamped to the
+/// codec's modeled [`max_bytes_per_cycle`](ccrp_compress::CodecCost)
+/// when its hardware cannot sustain the configured rate — but can only
 /// consume compressed bits that have arrived from memory. For each output
-/// group we find the last *input* byte its symbols need (from the actual
-/// code lengths — this is bit exact, not an estimate), map that byte to
-/// the word burst that delivers it, and stall accordingly.
+/// group we find the last *input* byte its symbols need (from the codec's
+/// exact bit profile — this is bit exact, not an estimate), map that byte
+/// to the word burst that delivers it, and stall accordingly.
 ///
 /// `byte_offset` is the block's starting byte within the first fetched
-/// word (nonzero only for byte-aligned images).
+/// word (nonzero only for byte-aligned images). `profile` is a caller
+/// scratch buffer so the refill hot path stays allocation-free.
 pub(crate) fn decode_completion(
-    code: &ByteCode,
+    codec: &dyn LineCodec,
     original_line: &[u8],
     byte_offset: u32,
     word_arrivals: &[u64],
     rate: u32,
     start: u64,
+    profile: &mut [u64; LINE_SIZE as usize],
 ) -> u64 {
+    // panic-ok: debug-build invariant — callers slice whole cache lines.
     debug_assert_eq!(original_line.len(), LINE_SIZE as usize);
+    let rate = codec.cost().effective_rate(rate);
+    codec.bit_profile(original_line, profile);
     let mut t = start;
-    let mut bits_consumed: u64 = 0;
     let mut index = 0usize;
     while index < original_line.len() {
         let group_end = (index + rate as usize).min(original_line.len());
-        for &byte in &original_line[index..group_end] {
-            bits_consumed += u64::from(code.length_of(byte));
-        }
+        // Cumulative compressed bits needed through the group's last byte.
+        let bits_consumed = profile[group_end - 1];
         // Last compressed byte needed, relative to the block start.
         let last_input_byte = (bits_consumed.max(1) - 1) / 8;
         let word = (u64::from(byte_offset) + last_input_byte) / 4;
@@ -485,7 +494,7 @@ pub(crate) fn decode_completion(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ccrp_compress::{BlockAlignment, ByteHistogram};
+    use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
 
     /// Memory that delivers the first word after `first` cycles and one
     /// word per cycle after (burst-EPROM-like), counting calls.
@@ -534,7 +543,7 @@ mod tests {
         let image = test_image(256);
         let original = image.original_line(0).unwrap();
         let arrivals = vec![0u64; 8];
-        let done = decode_completion(image.code(), original, 0, &arrivals, 2, 0);
+        let done = decode_completion(image.codec(), original, 0, &arrivals, 2, 0, &mut [0; 32]);
         assert_eq!(done, 16);
     }
 
@@ -547,7 +556,7 @@ mod tests {
         let loc = image.locate(0).unwrap();
         let words = loc.stored_len.div_ceil(4) as usize;
         let arrivals: Vec<u64> = (0..words).map(|i| 3 * (i as u64 + 1)).collect();
-        let done = decode_completion(image.code(), original, 0, &arrivals, 2, 0);
+        let done = decode_completion(image.codec(), original, 0, &arrivals, 2, 0, &mut [0; 32]);
         let last = *arrivals.last().unwrap();
         assert!(done > last, "decoder cannot finish before data arrives");
         assert!(done <= last + 16, "at most one full decode pipeline behind");
@@ -645,7 +654,7 @@ mod tests {
             *b = (x >> 17) as u8;
         }
         let code = ByteCode::preselected(&ByteHistogram::of(&vec![0u8; 4096])).unwrap();
-        let image = CompressedImage::build(0, &text, code, BlockAlignment::Word).unwrap();
+        let image = CompressedImage::build(0, &text, code.clone(), BlockAlignment::Word).unwrap();
         assert!(image.bypass_count() > 0, "expected bypassed lines");
 
         let mut engine = RefillEngine::new(RefillConfig {
@@ -666,7 +675,7 @@ mod tests {
                 // bytes; prove they are NOT decodable as this code's
                 // Huffman stream, so the successful refill above can
                 // only have come from the raw-copy path.
-                let decoded = image.code().decode(chunk, LINE_SIZE as usize);
+                let decoded = code.decode(chunk, LINE_SIZE as usize);
                 assert!(
                     decoded.map_or(true, |d| d != chunk),
                     "line {line}: bypass bytes happen to self-decode; \
@@ -970,9 +979,10 @@ mod tests {
         for addr in (0..512).step_by(32) {
             let original = image.original_line(addr).unwrap();
             let arrivals: Vec<u64> = (0..8).map(|i| 3 * (i + 1)).collect();
-            let d2 = decode_completion(image.code(), original, 0, &arrivals, 2, 0);
-            let d4 = decode_completion(image.code(), original, 0, &arrivals, 4, 0);
-            let d1 = decode_completion(image.code(), original, 0, &arrivals, 1, 0);
+            let mut p = [0u64; 32];
+            let d2 = decode_completion(image.codec(), original, 0, &arrivals, 2, 0, &mut p);
+            let d4 = decode_completion(image.codec(), original, 0, &arrivals, 4, 0, &mut p);
+            let d1 = decode_completion(image.codec(), original, 0, &arrivals, 1, 0, &mut p);
             assert!(d4 <= d2, "4 B/cy must not lose to 2 B/cy");
             assert!(d2 <= d1, "2 B/cy must not lose to 1 B/cy");
         }

@@ -14,7 +14,7 @@ use std::fmt;
 
 use ccrp::{CompressedImage, DegradePolicy, StepBudget};
 use ccrp_asm::ProgramImage;
-use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram};
+use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram, PositionalCode, PositionalHistogram};
 use ccrp_emu::{Machine, MachineConfig, TraceSink};
 use ccrp_isa::{disassemble_word, FpReg, Reg};
 
@@ -112,8 +112,10 @@ pub struct CosimVariant {
 
 /// Runs the standard variant matrix for `image`: the directly-built ROM
 /// under [`DegradePolicy::Abort`] (eager expansion), a v1-container
-/// round-trip under [`DegradePolicy::Trap`], and a v2-container
-/// round-trip (header + per-block CRCs) under [`DegradePolicy::Retry`].
+/// round-trip under [`DegradePolicy::Trap`], a v2-container round-trip
+/// (header + per-block CRCs) under [`DegradePolicy::Retry`], and a
+/// positional-codec v2 round-trip under [`DegradePolicy::Abort`] so the
+/// non-default codec path is lockstep-checked too.
 ///
 /// # Errors
 ///
@@ -132,6 +134,23 @@ pub(crate) fn standard_variants(image: &ProgramImage) -> Result<Vec<CosimVariant
         .map_err(|e| format!("v1 container round-trip failed: {e}"))?;
     let v2 = CompressedImage::from_bytes(&rom.to_bytes_v2())
         .map_err(|e| format!("v2 container round-trip failed: {e}"))?;
+    // A self-trained positional ROM, round-tripped through a v2
+    // container: exercises the codec-id byte, the codec-params section,
+    // and the positional decode path under lockstep comparison.
+    let positional = {
+        let text = image.text_bytes();
+        let code = PositionalCode::preselected(&PositionalHistogram::of(text))
+            .map_err(|e| format!("positional code selection failed: {e}"))?;
+        let rom = CompressedImage::build_with_codec(
+            image.text_base(),
+            text,
+            std::sync::Arc::new(code),
+            BlockAlignment::Word,
+        )
+        .map_err(|e| format!("positional image build failed: {e}"))?;
+        CompressedImage::from_bytes(&rom.to_bytes_v2())
+            .map_err(|e| format!("positional v2 container round-trip failed: {e}"))?
+    };
     Ok(vec![
         CosimVariant {
             label: "direct-abort",
@@ -147,6 +166,11 @@ pub(crate) fn standard_variants(image: &ProgramImage) -> Result<Vec<CosimVariant
             label: "v2-retry",
             rom: v2,
             policy: DegradePolicy::Retry { attempts: 2 },
+        },
+        CosimVariant {
+            label: "positional-v2",
+            rom: positional,
+            policy: DegradePolicy::Abort,
         },
     ])
 }

@@ -303,20 +303,20 @@ impl Machine {
 
     /// The double-precision value in the even/odd pair starting at `reg`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `reg` is odd (doubles live in even pairs on the R2010).
+    /// Doubles live in even pairs on the R2010; the pair is addressed by
+    /// the even number, so the low register-number bit is ignored. A
+    /// hand-encoded odd register therefore reads the enclosing pair
+    /// rather than faulting — arbitrary instruction words must never
+    /// panic the emulator.
     pub fn fp_double(&self, reg: FpReg) -> f64 {
-        let n = reg.number() as usize;
-        assert!(n.is_multiple_of(2), "double access to odd FP register ${n}");
+        let n = (reg.number() & !1) as usize;
         let lo = self.state.fpr[n] as u64;
         let hi = self.state.fpr[n + 1] as u64;
         f64::from_bits((hi << 32) | lo)
     }
 
     fn set_fp_double(&mut self, reg: FpReg, value: f64) {
-        let n = reg.number() as usize;
-        assert!(n.is_multiple_of(2), "double write to odd FP register ${n}");
+        let n = (reg.number() & !1) as usize;
         let bits = value.to_bits();
         self.state.fpr[n] = bits as u32;
         self.state.fpr[n + 1] = (bits >> 32) as u32;

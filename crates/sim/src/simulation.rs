@@ -270,6 +270,7 @@ impl<'e, SP: Probe, CP: Probe> Simulation<'e, SP, CP> {
             Some(probe) => drive_ccrp(&config, image, ccrp_source, probe, budget)?,
             None => drive_ccrp(&config, image, ccrp_source, &mut NullProbe, budget)?,
         };
+        // panic-ok: debug-build invariant — both drives replay one trace.
         debug_assert_eq!(
             standard.cache.misses, ccrp.cache.misses,
             "caches see identical streams"

@@ -4,7 +4,7 @@
 
 use std::sync::OnceLock;
 
-use ccrp_compress::{ByteCode, ByteHistogram};
+use ccrp_compress::{ByteCode, ByteHistogram, PositionalCode, PositionalHistogram};
 
 use crate::codegen::{generate_text, CodeProfile};
 use crate::workload::TracedWorkload;
@@ -112,6 +112,28 @@ pub fn preselected_code() -> &'static ByteCode {
     static CODE: OnceLock<ByteCode> = OnceLock::new();
     CODE.get_or_init(|| {
         ByteCode::preselected(&corpus_histogram()).expect("corpus histogram is non-empty")
+    })
+}
+
+/// The pooled per-byte-position histograms of the whole corpus — the
+/// positional analogue of [`corpus_histogram`], for the §5 extension
+/// that trains one code per byte offset within the instruction word.
+pub fn corpus_positional_histogram() -> PositionalHistogram {
+    let mut h = PositionalHistogram::new();
+    for program in figure5_corpus() {
+        h.update(&program.text);
+    }
+    h
+}
+
+/// The corpus-trained Preselected Positional code (§5's "more
+/// sophisticated encoding techniques") — built once and cached, like
+/// [`preselected_code`].
+pub fn preselected_positional_code() -> &'static PositionalCode {
+    static CODE: OnceLock<PositionalCode> = OnceLock::new();
+    CODE.get_or_init(|| {
+        PositionalCode::preselected(&corpus_positional_histogram())
+            .expect("corpus histogram is non-empty")
     })
 }
 

@@ -38,7 +38,10 @@ mod programs;
 mod workload;
 
 pub use codegen::{generate_text, CodeProfile};
-pub use corpus::{corpus_histogram, figure5_corpus, preselected_code, CorpusProgram};
+pub use corpus::{
+    corpus_histogram, corpus_positional_histogram, figure5_corpus, preselected_code,
+    preselected_positional_code, CorpusProgram,
+};
 pub use other_isa::IsaDialect;
 pub use workload::{TracedWorkload, Workload, WorkloadError};
 

@@ -63,7 +63,7 @@ fn run_chained(
         Machine::with_compressed_text(image, rom, policy, config()).expect("machine builds");
     while machine.exit_code().is_none() {
         machine.step(&mut NullSink).expect("program runs clean");
-        if machine.exit_code().is_none() && machine.steps() % every == 0 {
+        if machine.exit_code().is_none() && machine.steps().is_multiple_of(every) {
             let checkpoint = Checkpoint::from_bytes(&machine.checkpoint().to_bytes())
                 .expect("checkpoint bytes parse");
             let mut next = Machine::with_compressed_text(image, rom, policy, config())
@@ -102,7 +102,7 @@ fn taking_checkpoints_does_not_perturb_the_probe_stream() {
         machine.enable_probe();
         while machine.exit_code().is_none() {
             machine.step(&mut NullSink).expect("program runs clean");
-            if machine.steps() % 7 == 0 {
+            if machine.steps().is_multiple_of(7) {
                 let bytes = machine.checkpoint().to_bytes();
                 Checkpoint::from_bytes(&bytes).expect("checkpoint bytes parse");
             }

@@ -543,6 +543,42 @@ pub mod array {
     pub fn uniform8<S: Strategy>(element: S) -> Uniform8<S> {
         Uniform8(element)
     }
+
+    /// The strategy returned by [`uniform32`].
+    #[derive(Debug, Clone)]
+    pub struct Uniform32<S>(S);
+
+    impl<S: Strategy> Strategy for Uniform32<S>
+    where
+        S::Value: Clone,
+    {
+        type Value = [S::Value; 32];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 32] {
+            let drawn: Vec<S::Value> = (0..32).map(|_| self.0.generate(rng)).collect();
+            match drawn.try_into() {
+                Ok(array) => array,
+                Err(_) => unreachable!("drew exactly 32 elements"),
+            }
+        }
+        fn shrink(&self, value: &[S::Value; 32]) -> Vec<[S::Value; 32]> {
+            // Fixed length: only the elements can simplify.
+            let mut out = Vec::new();
+            for index in 0..32 {
+                for candidate in self.0.shrink(&value[index]) {
+                    let mut simpler = value.clone();
+                    simpler[index] = candidate;
+                    out.push(simpler);
+                }
+            }
+            out
+        }
+    }
+
+    /// An `[T; 32]` with every element drawn from `element` — sized for
+    /// one CCRP cache line.
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+        Uniform32(element)
+    }
 }
 
 /// Choosing from explicit value lists.
