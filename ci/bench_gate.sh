@@ -6,12 +6,14 @@
 #
 #   1. Reproduction: re-run the tables1_8 and fig5 sweeps (trace-replay
 #      engine, the default) plus the codec × memory-model ablation
-#      matrix (`sweep --codecs`) and require the deterministic sections
-#      of the fresh BENCH_<experiment>.json / BENCH_codecs.json to be
-#      byte-identical to the committed files.  Only the `jobs` and
-#      `timing` keys are host-dependent; everything else (schema,
-#      experiment, cells, results — including every simulated cycle
-#      count) must reproduce exactly, on any machine, at any job count.
+#      matrix (`sweep --codecs`) and the cross-ISA comparison
+#      (`sweep --isa-compare`) and require the deterministic sections
+#      of the fresh BENCH_<experiment>.json / BENCH_codecs.json /
+#      BENCH_isa_compare.json to be byte-identical to the committed
+#      files.  Only the `jobs` and `timing` keys are host-dependent;
+#      everything else (schema, experiment, cells, results — including
+#      every simulated cycle count) must reproduce exactly, on any
+#      machine, at any job count.
 #
 #   2. Decoder speedup: run the decoder_bench target and require the
 #      table-driven fast path to beat the canonical bit-walk reference
@@ -47,8 +49,10 @@ cargo run --release -p ccrp-cli --bin ccrp-tools -- \
     sweep --experiment fig5 --out "$tmp"
 cargo run --release -p ccrp-cli --bin ccrp-tools -- \
     sweep --codecs --jobs 2 --out "$tmp"
+cargo run --release -p ccrp-cli --bin ccrp-tools -- \
+    sweep --isa-compare --jobs 2 --out "$tmp"
 
-for name in tables1_8 fig5 codecs; do
+for name in tables1_8 fig5 codecs isa_compare; do
     python3 - "BENCH_${name}.json" "$tmp/BENCH_${name}.json" <<'PY'
 import json, sys
 

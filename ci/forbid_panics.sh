@@ -43,9 +43,15 @@
 # an assertion on that path is a loader panic.  Assertions that state
 # a documented API contract carry `panic-ok:` markers.
 #
+# The RV32 backend (ccrp-rv32) joined with the cross-ISA difftest: its
+# decoder, RVC expander, and machine run inside the same catch_unwind
+# campaign trials as the MIPS side, and its compressed-text refill path
+# consumes ROMs built from fuzzed programs, so every fault must surface
+# as a typed Rv32Error/Rv32Fault — never a panic.
+#
 # Scope and escape hatches:
 #   * only library source under
-#     crates/{core,compress,bitstream,testutil,difftest,emu,served}/src
+#     crates/{core,compress,bitstream,testutil,difftest,emu,served,rv32}/src
 #     plus crates/sim/src/{trace,simulation}.rs is scanned;
 #   * everything from the first `#[cfg(test)]` line to end-of-file is
 #     ignored (test modules may panic freely);
@@ -59,7 +65,7 @@ cd "$(dirname "$0")/.."
 
 hits=$( { find crates/core/src crates/compress/src crates/bitstream/src \
             crates/testutil/src crates/difftest/src crates/emu/src \
-            crates/served/src \
+            crates/served/src crates/rv32/src \
             -name '*.rs'; \
           echo crates/sim/src/trace.rs; \
           echo crates/sim/src/simulation.rs; } | sort | while IFS= read -r file; do
@@ -82,4 +88,4 @@ if [ -n "$hits" ]; then
     echo "       mark a documented contract with a 'panic-ok:' comment." >&2
     exit 1
 fi
-echo "forbid_panics: crates/{core,compress,bitstream,testutil,difftest,emu,served} and sim trace/simulation library code is panic-free."
+echo "forbid_panics: crates/{core,compress,bitstream,testutil,difftest,emu,served,rv32} and sim trace/simulation library code is panic-free."

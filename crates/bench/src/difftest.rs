@@ -15,7 +15,7 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use ccrp_difftest::{run_trial, run_trial_segmented, TrialOutcome, TrialReport};
+use ccrp_difftest::{run_trial, run_trial_rv32, run_trial_segmented, TrialOutcome, TrialReport};
 
 use crate::json::Json;
 use crate::report::ToJson;
@@ -69,6 +69,26 @@ impl Outcome {
     }
 }
 
+/// Which ISA's generator and lockstep driver a campaign runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DifftestIsa {
+    /// MIPS R2000 programs through [`run_trial`].
+    Mips,
+    /// RV32 programs (both RV32I and RVC encodings of each, plus the
+    /// cross-encoding final-state check) through [`run_trial_rv32`].
+    Rv32,
+}
+
+impl DifftestIsa {
+    /// Stable report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DifftestIsa::Mips => "mips",
+            DifftestIsa::Rv32 => "rv32",
+        }
+    }
+}
+
 /// Campaign knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct DifftestOptions {
@@ -81,8 +101,11 @@ pub struct DifftestOptions {
     /// Checkpoint interval: `Some(n)` routes every trial through the
     /// segmented co-simulator with a checkpoint every `n` retired
     /// instructions; `None` runs monolithically. Does not affect
-    /// verdicts.
+    /// verdicts. MIPS only — the RV32 runner has no segmented mode, so
+    /// the CLI rejects the combination.
     pub checkpoint_every: Option<u64>,
+    /// The instruction set the campaign generates and co-simulates.
+    pub isa: DifftestIsa,
 }
 
 impl Default for DifftestOptions {
@@ -92,6 +115,7 @@ impl Default for DifftestOptions {
             seed: 1,
             jobs: crate::runner::available_jobs(),
             checkpoint_every: None,
+            isa: DifftestIsa::Mips,
         }
     }
 }
@@ -161,9 +185,10 @@ pub fn run(options: DifftestOptions) -> DifftestReport {
         let seed = trial_seed(options.seed, trial);
         // catch_unwind so a harness bug is counted, not propagated.
         panic::catch_unwind(AssertUnwindSafe(|| {
-            record(match options.checkpoint_every {
-                Some(every) => run_trial_segmented(seed, every),
-                None => run_trial(seed),
+            record(match (options.isa, options.checkpoint_every) {
+                (DifftestIsa::Rv32, _) => run_trial_rv32(seed),
+                (DifftestIsa::Mips, Some(every)) => run_trial_segmented(seed, every),
+                (DifftestIsa::Mips, None) => run_trial(seed),
             })
         }))
         .unwrap_or(Trial {
@@ -223,10 +248,10 @@ impl DifftestReport {
     }
 
     /// The deterministic half of the report: identical for equal
-    /// `(programs, seed, checkpoint_every)` whatever the job count or
-    /// machine. The `checkpoint_every` and `segments` keys appear only
-    /// for segmented campaigns, so monolithic reports stay byte-for-byte
-    /// compatible with the pre-checkpointing schema.
+    /// `(programs, seed, checkpoint_every, isa)` whatever the job count
+    /// or machine. The `checkpoint_every`, `segments`, and `isa` keys
+    /// appear only for segmented / non-MIPS campaigns, so default
+    /// reports stay byte-for-byte compatible with the earlier schemas.
     pub fn results_json(&self) -> Json {
         let sum = |f: fn(&Trial) -> u64| Json::U64(self.trials.iter().map(f).sum());
         let base = Json::obj([
@@ -250,22 +275,32 @@ impl DifftestReport {
             ("failures", self.failures_json(8)),
             ("acceptable", Json::Bool(self.acceptable())),
         ]);
-        let Some(every) = self.options.checkpoint_every else {
-            return base;
-        };
-        let Json::Obj(mut pairs) = base else {
-            unreachable!("Json::obj returns an object");
+        let mut pairs = match base {
+            Json::Obj(pairs) => pairs,
+            _ => unreachable!("Json::obj returns an object"),
         };
         let seed_at = pairs
             .iter()
             .position(|(key, _)| key == "seed")
             .expect("seed key present");
-        pairs.insert(seed_at + 1, ("checkpoint_every".into(), Json::U64(every)));
-        let refills_at = pairs
-            .iter()
-            .position(|(key, _)| key == "refills")
-            .expect("refills key present");
-        pairs.insert(refills_at + 1, ("segments".into(), sum(|t| t.segments)));
+        if self.options.isa != DifftestIsa::Mips {
+            pairs.insert(
+                seed_at + 1,
+                ("isa".into(), Json::str(self.options.isa.name())),
+            );
+        }
+        if let Some(every) = self.options.checkpoint_every {
+            let seed_at = pairs
+                .iter()
+                .position(|(key, _)| key == "seed")
+                .expect("seed key present");
+            pairs.insert(seed_at + 1, ("checkpoint_every".into(), Json::U64(every)));
+            let refills_at = pairs
+                .iter()
+                .position(|(key, _)| key == "refills")
+                .expect("refills key present");
+            pairs.insert(refills_at + 1, ("segments".into(), sum(|t| t.segments)));
+        }
         Json::Obj(pairs)
     }
 }
@@ -298,7 +333,7 @@ mod tests {
             programs: 24,
             seed: 7,
             jobs,
-            checkpoint_every: None,
+            ..DifftestOptions::default()
         })
     }
 
@@ -308,13 +343,14 @@ mod tests {
             programs: 8,
             seed: 7,
             jobs: 2,
-            checkpoint_every: None,
+            ..DifftestOptions::default()
         });
         let segmented = run(DifftestOptions {
             programs: 8,
             seed: 7,
             jobs: 2,
             checkpoint_every: Some(64),
+            ..DifftestOptions::default()
         });
         // Verdicts and workload statistics agree; only the segment
         // counts (and the two extra JSON keys) differ.
@@ -340,6 +376,39 @@ mod tests {
             serial.results_json().to_compact(),
             parallel.results_json().to_compact()
         );
+    }
+
+    #[test]
+    fn rv32_campaign_is_clean_and_jobs_independent() {
+        let campaign = |jobs| {
+            run(DifftestOptions {
+                programs: 8,
+                seed: 7,
+                jobs,
+                isa: DifftestIsa::Rv32,
+                ..DifftestOptions::default()
+            })
+        };
+        let serial = campaign(1);
+        let parallel = campaign(4);
+        assert_eq!(serial.trials, parallel.trials);
+        let json = serial.results_json().to_compact();
+        assert_eq!(json, parallel.results_json().to_compact());
+        assert!(json.contains("\"isa\":\"rv32\""));
+        assert!(
+            serial.acceptable(),
+            "failures:\n{}",
+            serial
+                .trials
+                .iter()
+                .filter(|t| t.outcome != Outcome::Match)
+                .map(|t| t.detail.as_str())
+                .collect::<Vec<_>>()
+                .join("\n---\n")
+        );
+        // The MIPS report schema is untouched by the new key.
+        let mips = small_campaign(2).results_json().to_compact();
+        assert!(!mips.contains("\"isa\""));
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod codecs;
 pub mod difftest;
 pub mod experiments;
 pub mod faultsim;
+pub mod isa_compare;
 pub mod json;
 pub mod render;
 pub mod report;

@@ -1,17 +1,20 @@
 //! `ccrp-tools difftest [--programs N] [--seed N] [--jobs N]
-//! [--checkpoint-every N] [--out FILE]`
+//! [--isa mips|rv32] [--checkpoint-every N] [--out FILE]`
 //!
 //! Runs a differential co-simulation campaign: N seeded random programs
 //! executed in lockstep on the plain-ROM reference machine and on every
 //! compressed-ROM variant, with the refill timing invariants swept per
-//! program. With `--checkpoint-every` each trial runs through the
-//! segmented co-simulator: a checkpoint-recording pass over the
-//! reference, then per-segment restore-and-replay — same verdicts,
-//! exercising the checkpoint path on every program. Results go to a
-//! machine-readable JSON file (default `BENCH_difftest.json`). Verdicts
-//! are a pure function of `(--programs, --seed, --checkpoint-every)`,
-//! so the results section of the JSON is bit-identical for any `--jobs`
-//! value.
+//! program. `--isa rv32` generates RV32 programs instead of MIPS,
+//! running each in **both** encodings (RV32I and RVC) with a
+//! cross-encoding final-state check, and defaults the results file to
+//! `BENCH_difftest_rv32.json`. With `--checkpoint-every` (MIPS only)
+//! each trial runs through the segmented co-simulator: a
+//! checkpoint-recording pass over the reference, then per-segment
+//! restore-and-replay — same verdicts, exercising the checkpoint path
+//! on every program. Results go to a machine-readable JSON file
+//! (default `BENCH_difftest.json`). Verdicts are a pure function of
+//! `(--programs, --seed, --isa, --checkpoint-every)`, so the results
+//! section of the JSON is bit-identical for any `--jobs` value.
 //!
 //! The command exits nonzero on any divergence, timing-invariant
 //! violation, generator failure, or panic — the transparency contract
@@ -19,14 +22,14 @@
 
 use std::io::Write;
 
-use ccrp_bench::difftest::{self, DifftestOptions, Outcome};
+use ccrp_bench::difftest::{self, DifftestIsa, DifftestOptions, Outcome};
 use ccrp_bench::{runner, ToJson};
 
 use crate::args::Args;
 use crate::error::{write_file, CliError};
 
 /// Option names consuming a value.
-pub const VALUE_OPTIONS: &[&str] = &["programs", "seed", "jobs", "checkpoint-every", "out"];
+pub const VALUE_OPTIONS: &[&str] = &["programs", "seed", "jobs", "isa", "checkpoint-every", "out"];
 /// Switch names.
 pub const SWITCHES: &[&str] = &[];
 
@@ -52,19 +55,38 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     if jobs == 0 {
         return Err(CliError::Usage("--jobs must be at least 1".into()));
     }
+    let isa = match args.option("isa") {
+        None | Some("mips") => DifftestIsa::Mips,
+        Some("rv32") => DifftestIsa::Rv32,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--isa: unknown isa `{other}`; expected mips or rv32"
+            )));
+        }
+    };
     let checkpoint_every = match args.option("checkpoint-every") {
         None => None,
         Some(text) => Some(text.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
             CliError::Usage(format!("--checkpoint-every: bad interval `{text}`"))
         })?),
     };
-    let path = args.option("out").unwrap_or("BENCH_difftest.json");
+    if isa == DifftestIsa::Rv32 && checkpoint_every.is_some() {
+        return Err(CliError::Usage(
+            "--checkpoint-every is not supported with --isa rv32".into(),
+        ));
+    }
+    let default_out = match isa {
+        DifftestIsa::Mips => "BENCH_difftest.json",
+        DifftestIsa::Rv32 => "BENCH_difftest_rv32.json",
+    };
+    let path = args.option("out").unwrap_or(default_out);
 
     let report = difftest::run(DifftestOptions {
         programs,
         seed,
         jobs,
         checkpoint_every,
+        isa,
     });
     write_file(path, report.to_json().to_pretty().as_bytes())?;
 
@@ -77,7 +99,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
     writeln!(
         out,
-        "difftest: {programs} programs seed {seed} {jobs} jobs {:?}  -> {path}",
+        "difftest: {programs} {} programs seed {seed} {jobs} jobs {:?}  -> {path}",
+        isa.name(),
         report.total_wall,
     )
     .ok();
@@ -173,6 +196,49 @@ mod tests {
     }
 
     #[test]
+    fn rv32_campaign_writes_results_file_and_rejects_checkpointing() {
+        let path = temp_path("difftest_rv32.json");
+        let args = Args::parse(
+            &strings(&[
+                "--programs",
+                "4",
+                "--seed",
+                "7",
+                "--jobs",
+                "2",
+                "--isa",
+                "rv32",
+                "--out",
+                &path,
+            ]),
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("difftest: 4 rv32 programs"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"isa\": \"rv32\""));
+        assert!(json.contains("\"acceptable\": true"));
+        std::fs::remove_file(&path).ok();
+
+        let args = Args::parse(
+            &strings(&["--isa", "rv32", "--checkpoint-every", "50"]),
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-every"));
+
+        let args = Args::parse(&strings(&["--isa", "arm"]), VALUE_OPTIONS, SWITCHES).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("arm"));
+    }
+
+    #[test]
     fn small_campaign_writes_results_file() {
         let path = temp_path("difftest.json");
         let args = Args::parse(
@@ -193,7 +259,7 @@ mod tests {
         let mut buffer = Vec::new();
         run(&args, &mut buffer).unwrap();
         let text = String::from_utf8(buffer).unwrap();
-        assert!(text.contains("difftest: 8 programs"));
+        assert!(text.contains("difftest: 8 mips programs"));
         assert!(text.contains("match"));
         let json = std::fs::read_to_string(&path).unwrap();
         assert!(json.contains("\"schema\": \"ccrp-difftest/1\""));

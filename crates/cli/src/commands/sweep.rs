@@ -1,5 +1,5 @@
 //! `ccrp-tools sweep [--experiment NAME|all] [--engine trace|reexec]
-//! [--jobs N] [--out DIR] [--codecs]`
+//! [--jobs N] [--out DIR] [--codecs] [--isa-compare]`
 //!
 //! Drives the parallel experiment runner: every paper experiment is
 //! decomposed into independent (workload, configuration) cells, swept
@@ -15,12 +15,18 @@
 //! every workload compressed with each [`ccrp_compress::LineCodec`]
 //! backend, replayed under every memory model, written as
 //! `BENCH_codecs.json`.
+//!
+//! `--isa-compare` runs the cross-ISA comparison instead: MIPS+CCRP,
+//! RV32I+CCRP, RVC alone, and CCRP-over-RVC per workload and memory
+//! model, written as `BENCH_isa_compare.json`.
 
 use std::io::Write;
 use std::path::Path;
 
+use std::time::Duration;
+
 use ccrp_bench::json::Json;
-use ccrp_bench::{codecs, render, runner, Engine, Experiment, SweepOptions, ToJson};
+use ccrp_bench::{codecs, isa_compare, render, runner, Engine, Experiment, SweepOptions, ToJson};
 
 use crate::args::Args;
 use crate::error::{write_file, CliError};
@@ -28,7 +34,7 @@ use crate::error::{write_file, CliError};
 /// Option names consuming a value.
 pub const VALUE_OPTIONS: &[&str] = &["experiment", "engine", "jobs", "out"];
 /// Switch names.
-pub const SWITCHES: &[&str] = &["tables", "metrics", "codecs"];
+pub const SWITCHES: &[&str] = &["tables", "metrics", "codecs", "isa-compare"];
 
 /// Runs the subcommand.
 ///
@@ -60,45 +66,35 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let out_dir = args.option("out").unwrap_or(".");
     let metrics = args.switch("metrics");
 
-    // `--codecs` runs the codec × memory-model ablation matrix instead
-    // of the paper-experiment sweep.
+    // `--codecs` and `--isa-compare` run their ablation matrices
+    // instead of the paper-experiment sweep.
     if args.switch("codecs") {
         let report = codecs::run(codecs::CodecsOptions { jobs });
-        let path = Path::new(out_dir).join("BENCH_codecs.json");
-        let path = path.to_string_lossy().into_owned();
-        write_file(&path, report.to_json().to_pretty().as_bytes())?;
-        if args.json() {
-            let json = Json::obj([
-                ("schema", Json::str("ccrp-sweep-summary/1")),
-                (
-                    "sweeps",
-                    Json::Arr(vec![Json::obj([
-                        ("experiment", Json::str("codecs")),
-                        ("cells", Json::U64(report.cells.len() as u64)),
-                        ("jobs", Json::U64(jobs as u64)),
-                        (
-                            "wall_us",
-                            Json::U64(
-                                u64::try_from(report.total_wall.as_micros()).unwrap_or(u64::MAX),
-                            ),
-                        ),
-                        ("results_file", Json::str(&path)),
-                    ])]),
-                ),
-            ]);
-            write!(out, "{}", json.to_pretty()).ok();
-        } else {
-            writeln!(
-                out,
-                "{:<12} {:>3} cells {:>2} jobs {:>9.2?}  -> {path}",
-                "codecs",
-                report.cells.len(),
-                jobs,
-                report.total_wall,
-            )
-            .ok();
-        }
-        return Ok(());
+        return write_matrix(
+            args,
+            out,
+            out_dir,
+            "codecs",
+            "BENCH_codecs.json",
+            report.cells.len(),
+            report.total_wall,
+            jobs,
+            &report.to_json(),
+        );
+    }
+    if args.switch("isa-compare") {
+        let report = isa_compare::run(isa_compare::IsaCompareOptions { jobs });
+        return write_matrix(
+            args,
+            out,
+            out_dir,
+            "isa-compare",
+            "BENCH_isa_compare.json",
+            report.cells.len(),
+            report.total_wall,
+            jobs,
+            &report.to_json(),
+        );
     }
 
     let mut summaries = Vec::new();
@@ -146,6 +142,51 @@ pub fn run(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
             ("sweeps", Json::Arr(summaries)),
         ]);
         write!(out, "{}", json.to_pretty()).ok();
+    }
+    Ok(())
+}
+
+/// Writes one ablation-matrix report and its one-line (or `--json`)
+/// summary, shared by `--codecs` and `--isa-compare`.
+#[allow(clippy::too_many_arguments)]
+fn write_matrix(
+    args: &Args,
+    out: &mut dyn Write,
+    out_dir: &str,
+    name: &str,
+    file: &str,
+    cells: usize,
+    total_wall: Duration,
+    jobs: usize,
+    report: &Json,
+) -> Result<(), CliError> {
+    let path = Path::new(out_dir).join(file);
+    let path = path.to_string_lossy().into_owned();
+    write_file(&path, report.to_pretty().as_bytes())?;
+    if args.json() {
+        let json = Json::obj([
+            ("schema", Json::str("ccrp-sweep-summary/1")),
+            (
+                "sweeps",
+                Json::Arr(vec![Json::obj([
+                    ("experiment", Json::str(name)),
+                    ("cells", Json::U64(cells as u64)),
+                    ("jobs", Json::U64(jobs as u64)),
+                    (
+                        "wall_us",
+                        Json::U64(u64::try_from(total_wall.as_micros()).unwrap_or(u64::MAX)),
+                    ),
+                    ("results_file", Json::str(&path)),
+                ])]),
+            ),
+        ]);
+        write!(out, "{}", json.to_pretty()).ok();
+    } else {
+        writeln!(
+            out,
+            "{name:<12} {cells:>3} cells {jobs:>2} jobs {total_wall:>9.2?}  -> {path}",
+        )
+        .ok();
     }
     Ok(())
 }
@@ -211,6 +252,31 @@ mod tests {
         let json = std::fs::read_to_string(Path::new(&dir).join("BENCH_fig5.json")).unwrap();
         assert!(json.contains("\"schema\": \"ccrp-bench-sweep/1\""));
         assert!(json.contains("\"weighted_average\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn isa_compare_sweep_writes_matrix_file() {
+        let dir = temp_path("sweep_isa_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = Args::parse(
+            &strings(&["--isa-compare", "--jobs", "2", "--out", &dir]),
+            VALUE_OPTIONS,
+            SWITCHES,
+        )
+        .unwrap();
+        let mut buffer = Vec::new();
+        run(&args, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        assert!(text.contains("isa-compare"));
+        let json = std::fs::read_to_string(Path::new(&dir).join("BENCH_isa_compare.json")).unwrap();
+        assert!(json.contains("\"schema\": \"ccrp-isa-compare/1\""));
+        for variant in ["mips-ccrp", "rv32i-ccrp", "rv32c", "rv32c-ccrp"] {
+            assert!(
+                json.contains(&format!("\"variant\": \"{variant}\"")),
+                "{variant}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

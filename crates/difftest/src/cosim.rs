@@ -12,11 +12,13 @@
 
 use std::fmt;
 
-use ccrp::{CompressedImage, DegradePolicy, StepBudget};
+use ccrp::{CompressedImage, DegradePolicy};
 use ccrp_asm::ProgramImage;
 use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram, PositionalCode, PositionalHistogram};
 use ccrp_emu::{Machine, MachineConfig, TraceSink};
 use ccrp_isa::{disassemble_word, FpReg, Reg};
+
+use crate::lockstep::{run_lockstep, LockstepVariant};
 
 /// Records the data accesses one instruction performed, in order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -176,9 +178,10 @@ pub(crate) fn standard_variants(image: &ProgramImage) -> Result<Vec<CosimVariant
 }
 
 /// Runs `image` on the reference machine and on each variant in
-/// lockstep. A variant that fails to construct (eager expansion of a
-/// corrupt ROM under Abort) is reported as a step-0 divergence — the
-/// integrity machinery caught the corruption before execution.
+/// lockstep, through the ISA-generic [`run_lockstep`] driver. A variant
+/// that fails to construct (eager expansion of a corrupt ROM under
+/// Abort) is reported as a step-0 divergence — the integrity machinery
+/// caught the corruption before execution.
 ///
 /// # Errors
 ///
@@ -193,69 +196,30 @@ pub fn run_cosim_with(
         max_steps,
         ..MachineConfig::default()
     };
-    let mut reference = Machine::with_config(image, config.clone());
-    let mut running: Vec<(&'static str, Machine, RecordingSink)> = Vec::new();
-    for variant in variants {
-        match Machine::with_compressed_text(image, &variant.rom, variant.policy, config.clone()) {
-            Ok(machine) => running.push((variant.label, machine, RecordingSink::default())),
-            Err(err) => {
-                return Ok(CosimVerdict::Divergence(Box::new(DivergenceReport {
-                    step: 0,
-                    pc: image.entry(),
-                    variant: variant.label,
-                    field: "construction".to_string(),
-                    detail: format!("reference constructed, variant failed: {err:?}"),
-                    window: disasm_window(image, image.entry()),
-                    minimized: None,
-                })));
-            }
-        }
-    }
-    let mut ref_sink = RecordingSink::default();
-    // The fuel guard backing the generator's termination-by-construction
-    // invariant: if a generated program ever loops, the campaign reports
-    // a budget error instead of hanging a worker.
-    let mut budget = StepBudget::limited(max_steps);
-    let mut step: u64 = 0;
-    loop {
-        if budget.charge(1).is_err() {
-            return Err(format!("reference exceeded step budget {max_steps}"));
-        }
-        let pc = reference.pc();
-        ref_sink.accesses.clear();
-        let ref_result = reference.step(&mut ref_sink);
-        step += 1;
-        for (label, machine, sink) in &mut running {
-            sink.accesses.clear();
-            let var_result = machine.step(sink);
-            let mismatch = match (&ref_result, &var_result) {
-                (Ok(()), Ok(())) => {
-                    compare_state(&reference, machine, &ref_sink.accesses, &sink.accesses)
-                }
-                (Err(a), Err(b)) if a == b => None,
-                (a, b) => Some(("fault".to_string(), format!("reference {a:?} vs {b:?}"))),
-            };
-            if let Some((field, detail)) = mismatch {
-                return Ok(CosimVerdict::Divergence(Box::new(DivergenceReport {
-                    step,
-                    pc,
-                    variant: label,
-                    field,
-                    detail,
-                    window: disasm_window(image, pc),
-                    minimized: None,
-                })));
-            }
-        }
-        if let Err(err) = ref_result {
-            // All variants reproduced the same fault (else we returned
-            // above), so this is a generator bug, not a divergence.
-            return Err(format!("generated program faulted identically: {err:?}"));
-        }
-        if reference.exit_code().is_some() {
-            return Ok(CosimVerdict::Match { instructions: step });
-        }
-    }
+    let reference = Machine::with_config(image, config.clone());
+    let variants = variants
+        .into_iter()
+        .map(|variant| LockstepVariant {
+            label: variant.label,
+            machine: Machine::with_compressed_text(
+                image,
+                &variant.rom,
+                variant.policy,
+                config.clone(),
+            )
+            .map_err(|err| format!("{err:?}")),
+        })
+        .collect();
+    run_lockstep(
+        reference,
+        variants,
+        image.entry(),
+        max_steps,
+        |reference, variant, ref_accesses, var_accesses| {
+            compare_state(reference, variant, ref_accesses, var_accesses)
+        },
+        |pc| disasm_window(image, pc),
+    )
 }
 
 /// Compares the full post-step architectural state, returning the first

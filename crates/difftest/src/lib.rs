@@ -23,13 +23,21 @@
 //! [`run_trial`] composes the three into one deterministic trial — a
 //! pure function of the seed — which `ccrp-bench` fans out across
 //! workers and `ccrp-tools difftest` exposes on the command line.
+//!
+//! The loop itself is ISA-generic: [`run_lockstep`] drives any
+//! [`IsaCore`](ccrp_emu::IsaCore) machine pair, and the [`rv32`]
+//! module reuses it for an RV32I/RVC campaign ([`run_trial_rv32`])
+//! that additionally cross-checks the two encodings of each generated
+//! program against each other.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cosim;
+pub mod lockstep;
 pub mod progen;
 pub mod rng;
+pub mod rv32;
 pub mod segmented;
 pub mod timing;
 
@@ -37,8 +45,10 @@ pub use cosim::{
     build_rom, minimize_lines, run_cosim, run_cosim_with, CosimVariant, CosimVerdict,
     DivergenceReport, RecordingSink,
 };
+pub use lockstep::{compare_cores, run_lockstep, LockstepVariant};
 pub use progen::{GeneratedProgram, ProgGen, SCRATCH_BASE, SCRATCH_SIZE};
 pub use rng::SplitMix64;
+pub use rv32::{build_rv32_rom, run_rv32_cosim, run_trial_rv32};
 pub use segmented::{run_cosim_segmented, SegmentedVerdict};
 pub use timing::{check_refill_invariants, LinearMemory, TimingReport};
 

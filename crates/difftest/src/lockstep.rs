@@ -1,0 +1,288 @@
+//! The ISA-generic lockstep driver.
+//!
+//! [`run_lockstep`] is the co-simulation loop itself, factored out of
+//! the MIPS-specific [`cosim`](crate::cosim) module and made generic
+//! over [`IsaCore`]: one reference machine and any number of variant
+//! machines execute the same program an instruction at a time, and
+//! after every retired instruction a caller-supplied comparator checks
+//! the full architectural state. The MIPS path
+//! ([`run_cosim_with`](crate::cosim::run_cosim_with)) and the RV32 path
+//! ([`run_rv32_cosim`](crate::rv32::run_rv32_cosim)) are both thin
+//! wrappers: they construct the machines and supply the per-ISA
+//! comparator and disassembly-window hooks, while the stepping,
+//! fault-matching, budget, and reporting logic lives here once.
+//!
+//! The driver's observable behaviour is pinned by the MIPS campaign's
+//! committed `BENCH_difftest.json`: construction failures surface as
+//! step-0 divergences, matching faults on both sides end the run as an
+//! infrastructure error (the *generated program* is broken, not the
+//! compression), and the first state mismatch wins.
+
+use ccrp::StepBudget;
+use ccrp_emu::IsaCore;
+use ccrp_isa::Isa;
+
+use crate::cosim::{CosimVerdict, DivergenceReport, RecordingSink};
+
+/// One variant machine for [`run_lockstep`]: a label plus either the
+/// constructed machine or the construction failure's rendered detail
+/// (reported as a step-0 divergence — for compressed ROMs, eager
+/// expansion of a corrupt image fails here).
+pub struct LockstepVariant<M> {
+    /// Display label, e.g. `"v1-trap"`.
+    pub label: &'static str,
+    /// The machine, or why it could not be built.
+    pub machine: Result<M, String>,
+}
+
+/// Runs `reference` and every variant in lockstep until the reference
+/// exits, comparing with `compare` after each retired instruction and
+/// rendering divergence windows with `window`. `entry` is the program
+/// entry point (the PC reported for construction failures).
+///
+/// # Errors
+///
+/// Infrastructure failures: the reference exceeded `max_steps`, or it
+/// faulted and every variant reproduced the identical fault — either
+/// way the generated program is invalid, which is a harness bug rather
+/// than a compression divergence.
+pub fn run_lockstep<M, C, W>(
+    mut reference: M,
+    variants: Vec<LockstepVariant<M>>,
+    entry: u32,
+    max_steps: u64,
+    compare: C,
+    window: W,
+) -> Result<CosimVerdict, String>
+where
+    M: IsaCore,
+    C: Fn(&M, &M, &[(u32, bool)], &[(u32, bool)]) -> Option<(String, String)>,
+    W: Fn(u32) -> Vec<String>,
+{
+    let mut running: Vec<(&'static str, M, RecordingSink)> = Vec::new();
+    for variant in variants {
+        match variant.machine {
+            Ok(machine) => running.push((variant.label, machine, RecordingSink::default())),
+            Err(err) => {
+                return Ok(CosimVerdict::Divergence(Box::new(DivergenceReport {
+                    step: 0,
+                    pc: entry,
+                    variant: variant.label,
+                    field: "construction".to_string(),
+                    detail: format!("reference constructed, variant failed: {err}"),
+                    window: window(entry),
+                    minimized: None,
+                })));
+            }
+        }
+    }
+    let mut ref_sink = RecordingSink::default();
+    // The fuel guard backing the generator's termination-by-construction
+    // invariant: if a generated program ever loops, the campaign reports
+    // a budget error instead of hanging a worker.
+    let mut budget = StepBudget::limited(max_steps);
+    let mut step: u64 = 0;
+    loop {
+        if budget.charge(1).is_err() {
+            return Err(format!("reference exceeded step budget {max_steps}"));
+        }
+        let pc = reference.pc();
+        ref_sink.accesses.clear();
+        let ref_result = reference.step_traced(&mut ref_sink);
+        step += 1;
+        for (label, machine, sink) in &mut running {
+            sink.accesses.clear();
+            let var_result = machine.step_traced(sink);
+            let mismatch = match (&ref_result, &var_result) {
+                (Ok(()), Ok(())) => {
+                    compare(&reference, machine, &ref_sink.accesses, &sink.accesses)
+                }
+                (Err(a), Err(b)) if a == b => None,
+                (a, b) => Some(("fault".to_string(), format!("reference {a:?} vs {b:?}"))),
+            };
+            if let Some((field, detail)) = mismatch {
+                return Ok(CosimVerdict::Divergence(Box::new(DivergenceReport {
+                    step,
+                    pc,
+                    variant: label,
+                    field,
+                    detail,
+                    window: window(pc),
+                    minimized: None,
+                })));
+            }
+        }
+        if let Err(err) = ref_result {
+            // All variants reproduced the same fault (else we returned
+            // above), so this is a generator bug, not a divergence.
+            return Err(format!("generated program faulted identically: {err:?}"));
+        }
+        if reference.exit_code().is_some() {
+            return Ok(CosimVerdict::Match { instructions: step });
+        }
+    }
+}
+
+/// The ISA-generic half of a state comparison: PC, every GPR (named via
+/// [`Isa::gpr_name`]), exit status, the ordered data-access log, the
+/// memory words this instruction touched, and console output — in that
+/// order, mirroring the MIPS comparator so reports read the same across
+/// architectures. ISA-private state (MIPS HI/LO, the FPA file) is the
+/// per-ISA comparator's job; this function covers everything the
+/// [`IsaCore`] surface exposes.
+pub fn compare_cores<M: IsaCore>(
+    reference: &M,
+    variant: &M,
+    ref_accesses: &[(u32, bool)],
+    var_accesses: &[(u32, bool)],
+) -> Option<(String, String)> {
+    if reference.pc() != variant.pc() {
+        return Some((
+            "pc".to_string(),
+            format!("{:#010x} vs {:#010x}", reference.pc(), variant.pc()),
+        ));
+    }
+    for index in 0..<M::Isa as Isa>::GPR_COUNT {
+        let (a, b) = (reference.gpr(index), variant.gpr(index));
+        if a != b {
+            return Some((
+                <M::Isa as Isa>::gpr_name(index).to_string(),
+                format!("{a:#010x} vs {b:#010x}"),
+            ));
+        }
+    }
+    if reference.exit_code() != variant.exit_code() {
+        return Some((
+            "exit_code".to_string(),
+            format!("{:?} vs {:?}", reference.exit_code(), variant.exit_code()),
+        ));
+    }
+    if ref_accesses != var_accesses {
+        return Some((
+            "data-access log".to_string(),
+            format!("{ref_accesses:x?} vs {var_accesses:x?}"),
+        ));
+    }
+    for &(addr, _store) in ref_accesses {
+        let word = addr & !3;
+        let (a, b) = (reference.read_word(word), variant.read_word(word));
+        if a != b {
+            return Some((format!("mem[{word:#010x}]"), format!("{a:x?} vs {b:x?}")));
+        }
+    }
+    if reference.output() != variant.output() {
+        return Some((
+            "output".to_string(),
+            format!("{:?} vs {:?}", reference.output(), variant.output()),
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccrp_emu::{Machine, MachineConfig};
+    use ccrp_isa::Mips;
+
+    fn machine(source: &str) -> Machine {
+        let image = ccrp_asm::assemble(source).expect("assembles");
+        Machine::with_config(&image, MachineConfig::default())
+    }
+
+    const EXITING: &str = "
+        main:
+            li   $t0, 3
+            li   $v0, 10
+            syscall
+        ";
+
+    #[test]
+    fn identical_machines_match_through_the_generic_driver() {
+        let verdict = run_lockstep(
+            machine(EXITING),
+            vec![LockstepVariant {
+                label: "twin",
+                machine: Ok(machine(EXITING)),
+            }],
+            0,
+            1000,
+            compare_cores::<Machine>,
+            |_| Vec::new(),
+        )
+        .expect("runs");
+        assert!(matches!(verdict, CosimVerdict::Match { instructions: 3 }));
+    }
+
+    #[test]
+    fn construction_failure_is_a_step_zero_divergence() {
+        let verdict = run_lockstep(
+            machine(EXITING),
+            vec![LockstepVariant {
+                label: "broken",
+                machine: Err("deliberately unbuildable".to_string()),
+            }],
+            0x40_0000,
+            1000,
+            compare_cores::<Machine>,
+            |pc| vec![format!("window at {pc:#x}")],
+        )
+        .expect("runs");
+        let CosimVerdict::Divergence(report) = verdict else {
+            panic!("expected a divergence");
+        };
+        assert_eq!(report.step, 0);
+        assert_eq!(report.pc, 0x40_0000);
+        assert_eq!(report.field, "construction");
+        assert!(report.detail.contains("deliberately unbuildable"));
+    }
+
+    #[test]
+    fn diverging_machines_are_caught_with_the_gpr_named() {
+        // Same length, same exit path, one differing register value.
+        let other = "
+        main:
+            li   $t0, 4
+            li   $v0, 10
+            syscall
+        ";
+        let verdict = run_lockstep(
+            machine(EXITING),
+            vec![LockstepVariant {
+                label: "other",
+                machine: Ok(machine(other)),
+            }],
+            0,
+            1000,
+            compare_cores::<Machine>,
+            |_| Vec::new(),
+        )
+        .expect("runs");
+        let CosimVerdict::Divergence(report) = verdict else {
+            panic!("expected a divergence");
+        };
+        assert_eq!(report.step, 1);
+        assert_eq!(report.field, Mips::gpr_name(8), "diverged in $t0");
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_infrastructure_error() {
+        let looping = "
+        main:
+            j    main
+        ";
+        let err = run_lockstep(
+            machine(looping),
+            vec![LockstepVariant {
+                label: "twin",
+                machine: Ok(machine(looping)),
+            }],
+            0,
+            16,
+            compare_cores::<Machine>,
+            |_| Vec::new(),
+        )
+        .expect_err("must trip the budget");
+        assert!(err.contains("step budget"), "{err}");
+    }
+}

@@ -40,6 +40,7 @@
 
 mod checkpoint;
 mod error;
+mod isa_core;
 mod machine;
 mod memory;
 mod state;
@@ -48,6 +49,7 @@ mod trace;
 pub use ccrp::{BudgetExhausted, DegradePolicy, StepBudget};
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use error::EmuError;
+pub use isa_core::IsaCore;
 pub use machine::{Machine, MachineConfig, RunSummary};
 pub use memory::{Memory, PAGE_BYTES};
 pub use state::ArchState;

@@ -11,6 +11,20 @@ pub trait TraceSink {
     fn data_access(&mut self, addr: u32, store: bool);
 }
 
+/// Forwarding impl so trait objects (`&mut dyn TraceSink`) satisfy
+/// `impl TraceSink` bounds — the ISA-generic [`IsaCore`] surface steps
+/// machines through a `dyn` sink.
+///
+/// [`IsaCore`]: crate::IsaCore
+impl<T: TraceSink + ?Sized> TraceSink for &mut T {
+    fn instruction(&mut self, pc: u32) {
+        (**self).instruction(pc);
+    }
+    fn data_access(&mut self, addr: u32, store: bool) {
+        (**self).data_access(addr, store);
+    }
+}
+
 /// Discards all events; used when only architectural results matter.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSink;

@@ -1,0 +1,177 @@
+//! The cross-ISA abstraction the rest of the suite is generic over.
+//!
+//! CCRP itself is ISA-blind: it compresses 32-byte cache lines of
+//! little-endian code bytes and refills them on demand, so the
+//! compression container, refill engine, and trace-driven timing models
+//! never look inside an instruction. What *does* vary between
+//! architectures is the front end — how wide an instruction is, how it
+//! decodes, what the register file looks like — and that is exactly the
+//! surface [`Isa`] captures. The MIPS R2000 path the paper measures is
+//! one implementation ([`Mips`]); the RV32I/RV32C backend in
+//! `ccrp-rv32` is another, and a new architecture is a new impl, not a
+//! fork of the emulator and difftest stack.
+//!
+//! The trait deliberately works on **code bytes**, not pre-parsed
+//! words: variable-length ISAs (RVC's 16-bit forms) cannot promise a
+//! fixed word per instruction, so decoding starts from the low
+//! halfword at the PC and [`Isa::instr_bytes`] says how far to look.
+//!
+//! # Examples
+//!
+//! ```
+//! use ccrp_isa::{Isa, Mips};
+//!
+//! // MIPS is fixed-width: every instruction is 4 bytes, whatever the
+//! // leading halfword says.
+//! assert_eq!(Mips::instr_bytes(0xffff), 4);
+//! assert_eq!(Mips::NAME, "mips-r2000");
+//! assert_eq!(Mips::gpr_name(29), "$sp");
+//!
+//! // `addu $v0, $a0, $a1`, as little-endian code bytes.
+//! let bytes = 0x00851021u32.to_le_bytes();
+//! let (inst, len) = Mips::decode_bytes(&bytes).unwrap();
+//! assert_eq!(len, 4);
+//! assert_eq!(Mips::disassemble_bytes(&bytes), "addu $v0, $a0, $a1");
+//! ```
+
+use std::fmt;
+
+use crate::{decode, disassemble_word, Instruction, IsaError};
+
+/// An instruction-set architecture, as seen by the ISA-generic layers
+/// (emulator front ends, the lockstep difftest driver, program
+/// generators, and the cross-ISA benchmark campaigns).
+///
+/// Implementations describe *static* architecture facts; dynamic state
+/// (register values, memory) lives in each backend's machine type.
+pub trait Isa {
+    /// Stable lower-case identifier, used in report JSON and filenames
+    /// (e.g. `"mips-r2000"`, `"rv32i"`).
+    const NAME: &'static str;
+
+    /// Number of general-purpose registers the difftest compares.
+    const GPR_COUNT: usize;
+
+    /// The smallest instruction encoding, in bytes — the PC granularity
+    /// of the architecture (4 for MIPS, 2 once RVC is in play).
+    const MIN_INSTR_BYTES: u32;
+
+    /// A decoded, field-validated instruction.
+    type Instr: Clone + PartialEq + fmt::Debug;
+
+    /// Why a byte sequence failed to decode.
+    type DecodeError: fmt::Debug + fmt::Display;
+
+    /// Length in bytes of the instruction whose **little-endian low
+    /// halfword** is `low_halfword`. Fixed-width ISAs ignore the
+    /// argument; RISC-V's length is encoded in its low two bits.
+    fn instr_bytes(low_halfword: u16) -> u32;
+
+    /// The conventional ABI name of GPR `index` (including any sigil,
+    /// so difftest divergence reports read naturally).
+    ///
+    /// Implementations may panic for `index >= GPR_COUNT`; callers
+    /// iterate `0..GPR_COUNT`.
+    fn gpr_name(index: usize) -> &'static str;
+
+    /// Decodes the instruction starting at `bytes[0]` (little-endian
+    /// code bytes, at least [`instr_bytes`](Self::instr_bytes) long),
+    /// returning it with its encoded length.
+    fn decode_bytes(bytes: &[u8]) -> Result<(Self::Instr, u32), Self::DecodeError>;
+
+    /// Human-readable form of the instruction at `bytes[0]`, falling
+    /// back to a raw hex spelling for undecodable encodings (the
+    /// difftest shows windows around arbitrary PCs, so this must not
+    /// fail).
+    fn disassemble_bytes(bytes: &[u8]) -> String;
+}
+
+/// The MIPS R2000 — the architecture the paper's experiments ran on.
+///
+/// A unit marker: the actual decode/disassembly lives in this crate's
+/// long-standing free functions, which remain the primary API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Mips;
+
+/// Reads the little-endian u32 at the front of `bytes`, if present.
+fn word_at(bytes: &[u8]) -> Option<u32> {
+    let chunk: [u8; 4] = bytes.get(..4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(chunk))
+}
+
+impl Isa for Mips {
+    const NAME: &'static str = "mips-r2000";
+    const GPR_COUNT: usize = 32;
+    const MIN_INSTR_BYTES: u32 = 4;
+
+    type Instr = Instruction;
+    type DecodeError = IsaError;
+
+    fn instr_bytes(_low_halfword: u16) -> u32 {
+        4
+    }
+
+    fn gpr_name(index: usize) -> &'static str {
+        // panic-ok: caller contract — index < GPR_COUNT.
+        MIPS_SIGILED_NAMES[index]
+    }
+
+    fn decode_bytes(bytes: &[u8]) -> Result<(Self::Instr, u32), Self::DecodeError> {
+        let word = word_at(bytes).ok_or(IsaError::InvalidEncoding { word: 0 })?;
+        Ok((decode(word)?, 4))
+    }
+
+    fn disassemble_bytes(bytes: &[u8]) -> String {
+        match word_at(bytes) {
+            Some(word) => disassemble_word(word),
+            None => "<truncated>".to_string(),
+        }
+    }
+}
+
+/// [`ABI_NAMES`] with the `$` sigil MIPS disassembly uses, matching
+/// `Reg`'s `Display` output byte for byte.
+const MIPS_SIGILED_NAMES: [&str; 32] = [
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3", "$t4",
+    "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7", "$t8", "$t9",
+    "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Reg, ABI_NAMES};
+
+    #[test]
+    fn sigiled_names_match_reg_display() {
+        for (i, reg) in Reg::all().enumerate() {
+            assert_eq!(Mips::gpr_name(i), reg.to_string());
+            assert_eq!(Mips::gpr_name(i), format!("${}", ABI_NAMES[i]));
+        }
+    }
+
+    #[test]
+    fn decode_bytes_matches_word_decode() {
+        let word = 0x00851021u32; // addu $v0, $a0, $a1
+        let (inst, len) = Mips::decode_bytes(&word.to_le_bytes()).unwrap();
+        assert_eq!(len, 4);
+        assert_eq!(inst, decode(word).unwrap());
+        assert_eq!(
+            Mips::disassemble_bytes(&word.to_le_bytes()),
+            disassemble_word(word)
+        );
+    }
+
+    #[test]
+    fn truncated_bytes_are_rejected_not_panicked() {
+        assert!(Mips::decode_bytes(&[0x21, 0x10]).is_err());
+        assert_eq!(Mips::disassemble_bytes(&[0x21]), "<truncated>");
+    }
+
+    #[test]
+    fn fixed_width() {
+        for low in [0u16, 1, 2, 3, 0xffff] {
+            assert_eq!(Mips::instr_bytes(low), 4);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! A small structured assembler for RV32 programs.
+//!
+//! The MIPS side of the suite assembles textual source; the RV32
+//! backend builds programs directly from [`Rv32Instr`] values plus
+//! labels, which keeps the workload ports and the difftest generator
+//! typed end to end. One item list assembles to **two** encodings of
+//! the same program:
+//!
+//! * [`Encoding::Rv32I`] — every instruction as its 32-bit form;
+//! * [`Encoding::Rv32C`] — each non-control-transfer instruction
+//!   shortened to its RVC form when [`rvc::compress`] has one.
+//!
+//! Label-referencing items (branches and jumps) always stay 32-bit, so
+//! item sizes are fixed before displacements are known and assembly
+//! needs no relaxation fixpoint. That costs a little density versus a
+//! relaxing assembler — the C-extension ratio this backend reports is
+//! therefore slightly conservative — but keeps both encodings of a
+//! program trivially in step, which is what the cross-encoding
+//! difftest leans on.
+
+use crate::{rvc, Rv32Error, Rv32Instr, XReg};
+
+/// Which instruction encoding to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Base 32-bit encodings only.
+    Rv32I,
+    /// RVC halfwords wherever a canonical compression exists.
+    Rv32C,
+}
+
+/// A forward reference into an [`Rv32Asm`] item stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+#[derive(Debug, Clone)]
+enum Item {
+    Plain(Rv32Instr),
+    BranchTo {
+        op: crate::BranchOp,
+        rs1: XReg,
+        rs2: XReg,
+        target: Label,
+    },
+    JalTo {
+        rd: XReg,
+        target: Label,
+    },
+    Bind(Label),
+}
+
+/// An assembled RV32 program: little-endian text at base 0, entry 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rv32Image {
+    text: Vec<u8>,
+}
+
+impl Rv32Image {
+    /// Wraps raw little-endian code bytes as an image, padding to a
+    /// word boundary with `0x00` (the RVC illegal encoding). Used by
+    /// tests and the difftest to execute exact byte sequences.
+    pub fn from_raw_text(mut text: Vec<u8>) -> Self {
+        while !text.len().is_multiple_of(4) {
+            text.push(0);
+        }
+        Rv32Image { text }
+    }
+
+    /// The program text, little-endian code bytes.
+    pub fn text(&self) -> &[u8] {
+        &self.text
+    }
+
+    /// Base address of the text segment (always 0 for this backend).
+    pub fn text_base(&self) -> u32 {
+        0
+    }
+
+    /// Entry point (always the first text byte).
+    pub fn entry(&self) -> u32 {
+        0
+    }
+
+    /// Text size in bytes.
+    pub fn text_size(&self) -> u32 {
+        self.text.len() as u32
+    }
+
+    /// Number of 32-byte cache lines the text spans.
+    pub fn text_lines(&self) -> u32 {
+        (self.text.len() as u32).div_ceil(32)
+    }
+}
+
+/// The program builder. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Rv32Asm {
+    items: Vec<Item>,
+    labels: usize,
+}
+
+impl Rv32Asm {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        let label = Label(self.labels);
+        self.labels += 1;
+        label
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        self.items.push(Item::Bind(label));
+    }
+
+    /// Appends one instruction.
+    pub fn push(&mut self, instr: Rv32Instr) {
+        self.items.push(Item::Plain(instr));
+    }
+
+    /// Appends a conditional branch to `target`.
+    pub fn branch_to(&mut self, op: crate::BranchOp, rs1: XReg, rs2: XReg, target: Label) {
+        self.items.push(Item::BranchTo {
+            op,
+            rs1,
+            rs2,
+            target,
+        });
+    }
+
+    /// Appends a `jal` to `target` (use `rd = zero` for a plain jump).
+    pub fn jal_to(&mut self, rd: XReg, target: Label) {
+        self.items.push(Item::JalTo { rd, target });
+    }
+
+    /// Loads a full 32-bit constant: a single `addi` when it fits 12
+    /// signed bits, else `lui` + `addi`.
+    pub fn li(&mut self, rd: XReg, value: i32) {
+        if (-2048..2048).contains(&value) {
+            self.push(Rv32Instr::AluImm {
+                op: crate::AluImmOp::Addi,
+                rd,
+                rs1: XReg::ZERO,
+                imm: value,
+            });
+        } else {
+            // Split so `lui` + sign-extending `addi` reconstruct value.
+            let low = (value << 20) >> 20;
+            let upper = value.wrapping_sub(low) as u32 >> 12;
+            self.push(Rv32Instr::Lui { rd, imm20: upper });
+            if low != 0 {
+                self.push(Rv32Instr::AluImm {
+                    op: crate::AluImmOp::Addi,
+                    rd,
+                    rs1: rd,
+                    imm: low,
+                });
+            }
+        }
+    }
+
+    /// Number of items pushed so far (labels included).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Size in bytes one item occupies under `encoding`.
+    fn item_bytes(item: &Item, encoding: Encoding) -> Result<u32, Rv32Error> {
+        Ok(match item {
+            Item::Bind(_) => 0,
+            Item::BranchTo { .. } | Item::JalTo { .. } => 4,
+            Item::Plain(instr) => match encoding {
+                Encoding::Rv32I => 4,
+                Encoding::Rv32C => {
+                    if rvc::compress(instr.encode()?).is_some() {
+                        2
+                    } else {
+                        4
+                    }
+                }
+            },
+        })
+    }
+
+    /// Assembles the item stream under `encoding`.
+    ///
+    /// # Errors
+    ///
+    /// [`Rv32Error::UnboundLabel`] for a reference to a never-bound
+    /// label, [`Rv32Error::BranchOutOfRange`] when a displacement
+    /// exceeds its field, and field-range errors from
+    /// [`Rv32Instr::encode`].
+    pub fn assemble(&self, encoding: Encoding) -> Result<Rv32Image, Rv32Error> {
+        // Pass 1: fixed item sizes → label offsets.
+        let mut offsets = vec![None; self.labels];
+        let mut at = 0u32;
+        for item in &self.items {
+            if let Item::Bind(Label(index)) = item {
+                offsets[*index] = Some(at);
+            }
+            at += Self::item_bytes(item, encoding)?;
+        }
+        // Pass 2: emit.
+        let mut text = Vec::with_capacity(at as usize);
+        for item in &self.items {
+            let pc = text.len() as u32;
+            let resolve = |target: &Label| -> Result<i32, Rv32Error> {
+                let target = offsets[target.0].ok_or(Rv32Error::UnboundLabel)?;
+                let displacement = i64::from(target) - i64::from(pc);
+                i32::try_from(displacement)
+                    .map_err(|_| Rv32Error::BranchOutOfRange { displacement })
+            };
+            match item {
+                Item::Bind(_) => {}
+                Item::BranchTo {
+                    op,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
+                    let offset = resolve(target)?;
+                    let word = Rv32Instr::Branch {
+                        op: *op,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset,
+                    }
+                    .encode()
+                    .map_err(|_| Rv32Error::BranchOutOfRange {
+                        displacement: i64::from(offset),
+                    })?;
+                    text.extend_from_slice(&word.to_le_bytes());
+                }
+                Item::JalTo { rd, target } => {
+                    let offset = resolve(target)?;
+                    let word = Rv32Instr::Jal { rd: *rd, offset }.encode().map_err(|_| {
+                        Rv32Error::BranchOutOfRange {
+                            displacement: i64::from(offset),
+                        }
+                    })?;
+                    text.extend_from_slice(&word.to_le_bytes());
+                }
+                Item::Plain(instr) => {
+                    let word = instr.encode()?;
+                    match encoding {
+                        Encoding::Rv32C => match rvc::compress(word) {
+                            Some(half) => text.extend_from_slice(&half.to_le_bytes()),
+                            None => text.extend_from_slice(&word.to_le_bytes()),
+                        },
+                        Encoding::Rv32I => text.extend_from_slice(&word.to_le_bytes()),
+                    }
+                }
+            }
+        }
+        // Pad to a word boundary (the CCRP container and trace tooling
+        // work in word-multiple texts; 0x0000 is the RVC illegal
+        // encoding, so padding can never execute silently).
+        while !text.len().is_multiple_of(4) {
+            text.push(0);
+        }
+        Ok(Rv32Image { text })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluImmOp, BranchOp, Rv32Instr};
+
+    #[test]
+    fn branches_resolve_in_both_encodings() {
+        let mut asm = Rv32Asm::new();
+        let top = asm.label();
+        let done = asm.label();
+        asm.li(XReg::T0, 3);
+        asm.bind(top);
+        asm.push(Rv32Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: XReg::T0,
+            rs1: XReg::T0,
+            imm: -1,
+        });
+        asm.branch_to(BranchOp::Beq, XReg::T0, XReg::ZERO, done);
+        asm.jal_to(XReg::ZERO, top);
+        asm.bind(done);
+        asm.li(XReg::A7, 10);
+        asm.push(Rv32Instr::Ecall);
+
+        let i = asm.assemble(Encoding::Rv32I).unwrap();
+        let c = asm.assemble(Encoding::Rv32C).unwrap();
+        assert_eq!(i.text_size() % 4, 0);
+        assert_eq!(c.text_size() % 4, 0);
+        // `addi t0, t0, -1` and the two `li`s compress, so the C image
+        // is strictly smaller.
+        assert!(c.text_size() < i.text_size());
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Rv32Asm::new();
+        let never = asm.label();
+        asm.jal_to(XReg::ZERO, never);
+        assert_eq!(asm.assemble(Encoding::Rv32I), Err(Rv32Error::UnboundLabel));
+    }
+
+    #[test]
+    fn li_covers_the_full_range() {
+        for value in [0, 1, -1, 2047, -2048, 2048, 0x12345678, i32::MIN, i32::MAX] {
+            let mut asm = Rv32Asm::new();
+            asm.li(XReg::T1, value);
+            assert!(asm.assemble(Encoding::Rv32I).is_ok(), "li {value}");
+        }
+    }
+}

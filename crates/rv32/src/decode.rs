@@ -1,0 +1,227 @@
+use crate::instr::{AluImmOp, AluOp, BranchOp, LoadOp, MulOp, Rv32Instr, ShiftImmOp, StoreOp};
+use crate::{Rv32Error, XReg};
+
+/// Sign-extends the low `bits` bits of `value`.
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn xreg(field: u32) -> XReg {
+    // The field is a 5-bit slice, so the range check cannot fail.
+    XReg::new((field & 0x1f) as u8).unwrap_or(XReg::ZERO)
+}
+
+/// Decodes a full 32-bit RV32IM instruction word.
+///
+/// # Errors
+///
+/// [`Rv32Error::InvalidEncoding`] for anything that is not a supported
+/// user-mode RV32IM instruction — including 16-bit (compressed)
+/// encodings, which belong to [`expand`](crate::rvc::expand).
+pub fn decode32(word: u32) -> Result<Rv32Instr, Rv32Error> {
+    let illegal = Err(Rv32Error::InvalidEncoding { word });
+    if word & 0b11 != 0b11 {
+        return illegal;
+    }
+    let opcode = word & 0x7f;
+    let rd = xreg(word >> 7);
+    let funct3 = (word >> 12) & 0x7;
+    let rs1 = xreg(word >> 15);
+    let rs2 = xreg(word >> 20);
+    let funct7 = word >> 25;
+    Ok(match opcode {
+        0b0110111 => Rv32Instr::Lui {
+            rd,
+            imm20: word >> 12,
+        },
+        0b0010111 => Rv32Instr::Auipc {
+            rd,
+            imm20: word >> 12,
+        },
+        0b1101111 => {
+            let imm = ((word >> 31) & 1) << 20
+                | ((word >> 12) & 0xff) << 12
+                | ((word >> 20) & 1) << 11
+                | ((word >> 21) & 0x3ff) << 1;
+            Rv32Instr::Jal {
+                rd,
+                offset: sext(imm, 21),
+            }
+        }
+        0b1100111 => {
+            if funct3 != 0 {
+                return illegal;
+            }
+            Rv32Instr::Jalr {
+                rd,
+                rs1,
+                offset: sext(word >> 20, 12),
+            }
+        }
+        0b1100011 => {
+            let op = match funct3 {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return illegal,
+            };
+            let imm = ((word >> 31) & 1) << 12
+                | ((word >> 7) & 1) << 11
+                | ((word >> 25) & 0x3f) << 5
+                | ((word >> 8) & 0xf) << 1;
+            Rv32Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: sext(imm, 13),
+            }
+        }
+        0b0000011 => {
+            let op = match funct3 {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                _ => return illegal,
+            };
+            Rv32Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset: sext(word >> 20, 12),
+            }
+        }
+        0b0100011 => {
+            let op = match funct3 {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                _ => return illegal,
+            };
+            let imm = ((word >> 25) & 0x7f) << 5 | ((word >> 7) & 0x1f);
+            Rv32Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset: sext(imm, 12),
+            }
+        }
+        0b0010011 => match funct3 {
+            0b001 | 0b101 => {
+                let shamt = ((word >> 20) & 0x1f) as u8;
+                let op = match (funct3, funct7) {
+                    (0b001, 0) => ShiftImmOp::Slli,
+                    (0b101, 0) => ShiftImmOp::Srli,
+                    (0b101, 0b010_0000) => ShiftImmOp::Srai,
+                    _ => return illegal,
+                };
+                Rv32Instr::ShiftImm { op, rd, rs1, shamt }
+            }
+            _ => {
+                let op = match funct3 {
+                    0b000 => AluImmOp::Addi,
+                    0b010 => AluImmOp::Slti,
+                    0b011 => AluImmOp::Sltiu,
+                    0b100 => AluImmOp::Xori,
+                    0b110 => AluImmOp::Ori,
+                    0b111 => AluImmOp::Andi,
+                    _ => return illegal,
+                };
+                Rv32Instr::AluImm {
+                    op,
+                    rd,
+                    rs1,
+                    imm: sext(word >> 20, 12),
+                }
+            }
+        },
+        0b0110011 => match funct7 {
+            0 | 0b010_0000 => {
+                let op = match (funct3, funct7) {
+                    (0b000, 0) => AluOp::Add,
+                    (0b000, _) => AluOp::Sub,
+                    (0b001, 0) => AluOp::Sll,
+                    (0b010, 0) => AluOp::Slt,
+                    (0b011, 0) => AluOp::Sltu,
+                    (0b100, 0) => AluOp::Xor,
+                    (0b101, 0) => AluOp::Srl,
+                    (0b101, _) => AluOp::Sra,
+                    (0b110, 0) => AluOp::Or,
+                    (0b111, 0) => AluOp::And,
+                    _ => return illegal,
+                };
+                Rv32Instr::Alu { op, rd, rs1, rs2 }
+            }
+            1 => {
+                let op = match funct3 {
+                    0b000 => MulOp::Mul,
+                    0b001 => MulOp::Mulh,
+                    0b010 => MulOp::Mulhsu,
+                    0b011 => MulOp::Mulhu,
+                    0b100 => MulOp::Div,
+                    0b101 => MulOp::Divu,
+                    0b110 => MulOp::Rem,
+                    _ => MulOp::Remu,
+                };
+                Rv32Instr::Mul { op, rd, rs1, rs2 }
+            }
+            _ => return illegal,
+        },
+        0b1110011 => match word >> 7 {
+            0 => Rv32Instr::Ecall,
+            0x2000 => Rv32Instr::Ebreak,
+            _ => return illegal,
+        },
+        0b0001111 => {
+            if funct3 != 0 {
+                return illegal;
+            }
+            Rv32Instr::Fence
+        }
+        _ => return illegal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_words_decode() {
+        // addi sp, sp, -16
+        assert_eq!(
+            decode32(0xff010113).unwrap(),
+            Rv32Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: XReg::SP,
+                rs1: XReg::SP,
+                imm: -16
+            }
+        );
+        // lw a0, 8(sp)
+        assert_eq!(
+            decode32(0x00812503).unwrap(),
+            Rv32Instr::Load {
+                op: LoadOp::Lw,
+                rd: XReg::A0,
+                rs1: XReg::SP,
+                offset: 8
+            }
+        );
+        // ecall / ebreak
+        assert_eq!(decode32(0x00000073).unwrap(), Rv32Instr::Ecall);
+        assert_eq!(decode32(0x00100073).unwrap(), Rv32Instr::Ebreak);
+    }
+
+    #[test]
+    fn compressed_and_junk_are_rejected() {
+        assert!(decode32(0x0001).is_err()); // 16-bit encoding space
+        assert!(decode32(0xffff_ffff).is_err());
+        assert!(decode32(0).is_err());
+    }
+}

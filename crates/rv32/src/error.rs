@@ -1,0 +1,136 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from constructing, encoding, or decoding RV32 instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rv32Error {
+    /// A 32-bit word that does not encode a supported RV32IM
+    /// instruction.
+    InvalidEncoding {
+        /// The undecodable instruction word.
+        word: u32,
+    },
+    /// A 16-bit halfword that is not a supported RVC form (including
+    /// the all-zero illegal encoding and reserved slots).
+    InvalidCompressed {
+        /// The undecodable halfword.
+        half: u16,
+    },
+    /// A field value too large (or misaligned) for its encoding slot.
+    FieldOutOfRange {
+        /// Name of the instruction field.
+        field: &'static str,
+        /// The value that did not fit.
+        value: i64,
+    },
+    /// A branch or jump bound to a label whose displacement does not
+    /// fit the instruction's offset field.
+    BranchOutOfRange {
+        /// The displacement in bytes.
+        displacement: i64,
+    },
+    /// An assembly item referenced a label that was never bound.
+    UnboundLabel,
+}
+
+impl fmt::Display for Rv32Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rv32Error::InvalidEncoding { word } => {
+                write!(f, "word {word:#010x} is not a supported RV32 instruction")
+            }
+            Rv32Error::InvalidCompressed { half } => {
+                write!(f, "halfword {half:#06x} is not a supported RVC instruction")
+            }
+            Rv32Error::FieldOutOfRange { field, value } => {
+                write!(f, "value {value} does not fit instruction field `{field}`")
+            }
+            Rv32Error::BranchOutOfRange { displacement } => {
+                write!(f, "displacement {displacement} exceeds the offset field")
+            }
+            Rv32Error::UnboundLabel => write!(f, "assembly references an unbound label"),
+        }
+    }
+}
+
+impl Error for Rv32Error {}
+
+/// Faults raised while executing on [`Rv32Machine`](crate::Rv32Machine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rv32Fault {
+    /// PC left the text segment or lost 2-byte alignment.
+    BadFetch {
+        /// The faulting PC.
+        pc: u32,
+    },
+    /// The fetched bytes do not decode.
+    IllegalInstruction {
+        /// PC of the undecodable instruction.
+        pc: u32,
+        /// The fetched (low) 32 bits.
+        word: u32,
+    },
+    /// A load or store with an address misaligned for its width.
+    MisalignedAccess {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The misaligned effective address.
+        addr: u32,
+    },
+    /// A load from memory no store or loader ever touched.
+    UnmappedLoad {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The unmapped effective address.
+        addr: u32,
+    },
+    /// An `ecall` with an unsupported code in `a7`.
+    BadSyscall {
+        /// PC of the `ecall`.
+        pc: u32,
+        /// The unsupported code.
+        code: u32,
+    },
+    /// An `ebreak` was executed.
+    Breakpoint {
+        /// PC of the `ebreak`.
+        pc: u32,
+    },
+    /// A compressed-ROM line failed to expand.
+    RomFault {
+        /// Line index within the text segment.
+        line: u32,
+    },
+    /// The configured step budget ran out before the program exited.
+    StepLimit,
+    /// `step` was called after the program exited.
+    Exited,
+}
+
+impl fmt::Display for Rv32Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rv32Fault::BadFetch { pc } => write!(f, "bad fetch at pc {pc:#010x}"),
+            Rv32Fault::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            Rv32Fault::MisalignedAccess { pc, addr } => {
+                write!(f, "misaligned access to {addr:#010x} at pc {pc:#010x}")
+            }
+            Rv32Fault::UnmappedLoad { pc, addr } => {
+                write!(f, "load from unmapped {addr:#010x} at pc {pc:#010x}")
+            }
+            Rv32Fault::BadSyscall { pc, code } => {
+                write!(f, "unsupported ecall code {code} at pc {pc:#010x}")
+            }
+            Rv32Fault::Breakpoint { pc } => write!(f, "ebreak at pc {pc:#010x}"),
+            Rv32Fault::RomFault { line } => write!(f, "compressed line {line} failed to expand"),
+            Rv32Fault::StepLimit => write!(f, "step limit exhausted"),
+            Rv32Fault::Exited => write!(f, "stepped after exit"),
+        }
+    }
+}
+
+impl Error for Rv32Fault {}

@@ -1,0 +1,586 @@
+use std::fmt;
+
+use crate::{Rv32Error, XReg};
+
+/// Conditional-branch comparisons (`BRANCH` major opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BranchOp {
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+}
+
+impl BranchOp {
+    /// All comparisons, for generators.
+    pub const ALL: [BranchOp; 6] = [
+        BranchOp::Beq,
+        BranchOp::Bne,
+        BranchOp::Blt,
+        BranchOp::Bge,
+        BranchOp::Bltu,
+        BranchOp::Bgeu,
+    ];
+
+    pub(crate) fn funct3(self) -> u32 {
+        match self {
+            BranchOp::Beq => 0b000,
+            BranchOp::Bne => 0b001,
+            BranchOp::Blt => 0b100,
+            BranchOp::Bge => 0b101,
+            BranchOp::Bltu => 0b110,
+            BranchOp::Bgeu => 0b111,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            BranchOp::Beq => "beq",
+            BranchOp::Bne => "bne",
+            BranchOp::Blt => "blt",
+            BranchOp::Bge => "bge",
+            BranchOp::Bltu => "bltu",
+            BranchOp::Bgeu => "bgeu",
+        }
+    }
+}
+
+/// Load widths (`LOAD` major opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum LoadOp {
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+}
+
+impl LoadOp {
+    pub(crate) fn funct3(self) -> u32 {
+        match self {
+            LoadOp::Lb => 0b000,
+            LoadOp::Lh => 0b001,
+            LoadOp::Lw => 0b010,
+            LoadOp::Lbu => 0b100,
+            LoadOp::Lhu => 0b101,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            LoadOp::Lb => "lb",
+            LoadOp::Lh => "lh",
+            LoadOp::Lw => "lw",
+            LoadOp::Lbu => "lbu",
+            LoadOp::Lhu => "lhu",
+        }
+    }
+}
+
+/// Store widths (`STORE` major opcode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum StoreOp {
+    Sb,
+    Sh,
+    Sw,
+}
+
+impl StoreOp {
+    pub(crate) fn funct3(self) -> u32 {
+        match self {
+            StoreOp::Sb => 0b000,
+            StoreOp::Sh => 0b001,
+            StoreOp::Sw => 0b010,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            StoreOp::Sb => "sb",
+            StoreOp::Sh => "sh",
+            StoreOp::Sw => "sw",
+        }
+    }
+}
+
+/// Register-immediate ALU operations (`OP-IMM`, excluding shifts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluImmOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+}
+
+impl AluImmOp {
+    pub(crate) fn funct3(self) -> u32 {
+        match self {
+            AluImmOp::Addi => 0b000,
+            AluImmOp::Slti => 0b010,
+            AluImmOp::Sltiu => 0b011,
+            AluImmOp::Xori => 0b100,
+            AluImmOp::Ori => 0b110,
+            AluImmOp::Andi => 0b111,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Xori => "xori",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Andi => "andi",
+        }
+    }
+}
+
+/// Shift-by-immediate operations (`OP-IMM`, shamt encodings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum ShiftImmOp {
+    Slli,
+    Srli,
+    Srai,
+}
+
+impl ShiftImmOp {
+    fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftImmOp::Slli => "slli",
+            ShiftImmOp::Srli => "srli",
+            ShiftImmOp::Srai => "srai",
+        }
+    }
+}
+
+/// Register-register ALU operations (`OP`, funct7 ∈ {0, 0x20}).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+}
+
+impl AluOp {
+    pub(crate) fn funct3(self) -> u32 {
+        match self {
+            AluOp::Add | AluOp::Sub => 0b000,
+            AluOp::Sll => 0b001,
+            AluOp::Slt => 0b010,
+            AluOp::Sltu => 0b011,
+            AluOp::Xor => 0b100,
+            AluOp::Srl | AluOp::Sra => 0b101,
+            AluOp::Or => 0b110,
+            AluOp::And => 0b111,
+        }
+    }
+
+    pub(crate) fn funct7(self) -> u32 {
+        match self {
+            AluOp::Sub | AluOp::Sra => 0b010_0000,
+            _ => 0,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Sll => "sll",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Xor => "xor",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Or => "or",
+            AluOp::And => "and",
+        }
+    }
+}
+
+/// M-extension multiply/divide operations (`OP`, funct7 = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum MulOp {
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+impl MulOp {
+    pub(crate) fn funct3(self) -> u32 {
+        match self {
+            MulOp::Mul => 0b000,
+            MulOp::Mulh => 0b001,
+            MulOp::Mulhsu => 0b010,
+            MulOp::Mulhu => 0b011,
+            MulOp::Div => 0b100,
+            MulOp::Divu => 0b101,
+            MulOp::Rem => 0b110,
+            MulOp::Remu => 0b111,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            MulOp::Mul => "mul",
+            MulOp::Mulh => "mulh",
+            MulOp::Mulhsu => "mulhsu",
+            MulOp::Mulhu => "mulhu",
+            MulOp::Div => "div",
+            MulOp::Divu => "divu",
+            MulOp::Rem => "rem",
+            MulOp::Remu => "remu",
+        }
+    }
+}
+
+/// A decoded, field-validated RV32IM instruction.
+///
+/// Offsets and immediates are stored as byte/value quantities, not raw
+/// encoding fields; [`encode`](Self::encode) validates ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rv32Instr {
+    /// `lui rd, imm` — `rd = imm20 << 12` (the 20-bit field value).
+    Lui {
+        /// Destination register.
+        rd: XReg,
+        /// The 20-bit upper-immediate field, `0..2^20`.
+        imm20: u32,
+    },
+    /// `auipc rd, imm` — `rd = pc + (imm20 << 12)`.
+    Auipc {
+        /// Destination register.
+        rd: XReg,
+        /// The 20-bit upper-immediate field, `0..2^20`.
+        imm20: u32,
+    },
+    /// `jal rd, offset` — link `pc + len`, jump `pc + offset`.
+    Jal {
+        /// Link register (`x0` for a plain jump).
+        rd: XReg,
+        /// Signed byte displacement, even, ±1 MiB.
+        offset: i32,
+    },
+    /// `jalr rd, offset(rs1)`.
+    Jalr {
+        /// Link register.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Signed byte displacement, 12-bit.
+        offset: i32,
+    },
+    /// Conditional branch to `pc + offset`.
+    Branch {
+        /// The comparison.
+        op: BranchOp,
+        /// Left operand.
+        rs1: XReg,
+        /// Right operand.
+        rs2: XReg,
+        /// Signed byte displacement, even, ±4 KiB.
+        offset: i32,
+    },
+    /// Load from `rs1 + offset`.
+    Load {
+        /// The width/extension.
+        op: LoadOp,
+        /// Destination register.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Signed byte displacement, 12-bit.
+        offset: i32,
+    },
+    /// Store to `rs1 + offset`.
+    Store {
+        /// The width.
+        op: StoreOp,
+        /// Source register.
+        rs2: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Signed byte displacement, 12-bit.
+        offset: i32,
+    },
+    /// Register-immediate ALU operation.
+    AluImm {
+        /// The operation.
+        op: AluImmOp,
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rs1: XReg,
+        /// Signed immediate, 12-bit.
+        imm: i32,
+    },
+    /// Shift by immediate amount.
+    ShiftImm {
+        /// The shift.
+        op: ShiftImmOp,
+        /// Destination register.
+        rd: XReg,
+        /// Source register.
+        rs1: XReg,
+        /// Shift amount, 0..32.
+        shamt: u8,
+    },
+    /// Register-register ALU operation.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register.
+        rd: XReg,
+        /// Left source.
+        rs1: XReg,
+        /// Right source.
+        rs2: XReg,
+    },
+    /// M-extension multiply/divide.
+    Mul {
+        /// The operation.
+        op: MulOp,
+        /// Destination register.
+        rd: XReg,
+        /// Left source.
+        rs1: XReg,
+        /// Right source.
+        rs2: XReg,
+    },
+    /// Environment call (SPIM-style services keyed on `a7`).
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// Memory fence (a no-op for this single-hart model).
+    Fence,
+}
+
+/// Validates that `value` fits a signed `bits`-bit field.
+fn check_signed(field: &'static str, value: i32, bits: u32) -> Result<(), Rv32Error> {
+    let bound = 1i32 << (bits - 1);
+    if (-bound..bound).contains(&value) {
+        Ok(())
+    } else {
+        Err(Rv32Error::FieldOutOfRange {
+            field,
+            value: i64::from(value),
+        })
+    }
+}
+
+/// Validates an even signed displacement for a `bits`-bit (including
+/// the implicit zero bit) branch/jump field.
+fn check_offset(field: &'static str, value: i32, bits: u32) -> Result<(), Rv32Error> {
+    if value % 2 != 0 {
+        return Err(Rv32Error::FieldOutOfRange {
+            field,
+            value: i64::from(value),
+        });
+    }
+    check_signed(field, value, bits)
+}
+
+impl Rv32Instr {
+    /// Encodes to the 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// [`Rv32Error::FieldOutOfRange`] when an immediate, shift amount,
+    /// or displacement does not fit its field.
+    pub fn encode(&self) -> Result<u32, Rv32Error> {
+        let r = |v: XReg| u32::from(v.number());
+        Ok(match *self {
+            Rv32Instr::Lui { rd, imm20 } => {
+                check_upper(imm20)?;
+                (imm20 << 12) | (r(rd) << 7) | 0b0110111
+            }
+            Rv32Instr::Auipc { rd, imm20 } => {
+                check_upper(imm20)?;
+                (imm20 << 12) | (r(rd) << 7) | 0b0010111
+            }
+            Rv32Instr::Jal { rd, offset } => {
+                check_offset("jal offset", offset, 21)?;
+                let imm = offset as u32;
+                let encoded = ((imm >> 20) & 1) << 31
+                    | ((imm >> 1) & 0x3ff) << 21
+                    | ((imm >> 11) & 1) << 20
+                    | ((imm >> 12) & 0xff) << 12;
+                encoded | (r(rd) << 7) | 0b1101111
+            }
+            Rv32Instr::Jalr { rd, rs1, offset } => {
+                check_signed("jalr offset", offset, 12)?;
+                ((offset as u32) & 0xfff) << 20 | (r(rs1) << 15) | (r(rd) << 7) | 0b1100111
+            }
+            Rv32Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                check_offset("branch offset", offset, 13)?;
+                let imm = offset as u32;
+                ((imm >> 12) & 1) << 31
+                    | ((imm >> 5) & 0x3f) << 25
+                    | (r(rs2) << 20)
+                    | (r(rs1) << 15)
+                    | (op.funct3() << 12)
+                    | ((imm >> 1) & 0xf) << 8
+                    | ((imm >> 11) & 1) << 7
+                    | 0b1100011
+            }
+            Rv32Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
+                check_signed("load offset", offset, 12)?;
+                ((offset as u32) & 0xfff) << 20
+                    | (r(rs1) << 15)
+                    | (op.funct3() << 12)
+                    | (r(rd) << 7)
+                    | 0b0000011
+            }
+            Rv32Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                check_signed("store offset", offset, 12)?;
+                let imm = offset as u32;
+                ((imm >> 5) & 0x7f) << 25
+                    | (r(rs2) << 20)
+                    | (r(rs1) << 15)
+                    | (op.funct3() << 12)
+                    | (imm & 0x1f) << 7
+                    | 0b0100011
+            }
+            Rv32Instr::AluImm { op, rd, rs1, imm } => {
+                check_signed("immediate", imm, 12)?;
+                ((imm as u32) & 0xfff) << 20
+                    | (r(rs1) << 15)
+                    | (op.funct3() << 12)
+                    | (r(rd) << 7)
+                    | 0b0010011
+            }
+            Rv32Instr::ShiftImm { op, rd, rs1, shamt } => {
+                if shamt >= 32 {
+                    return Err(Rv32Error::FieldOutOfRange {
+                        field: "shamt",
+                        value: i64::from(shamt),
+                    });
+                }
+                let (funct3, funct7) = match op {
+                    ShiftImmOp::Slli => (0b001, 0),
+                    ShiftImmOp::Srli => (0b101, 0),
+                    ShiftImmOp::Srai => (0b101, 0b010_0000),
+                };
+                (funct7 << 25)
+                    | (u32::from(shamt) << 20)
+                    | (r(rs1) << 15)
+                    | (funct3 << 12)
+                    | (r(rd) << 7)
+                    | 0b0010011
+            }
+            Rv32Instr::Alu { op, rd, rs1, rs2 } => {
+                (op.funct7() << 25)
+                    | (r(rs2) << 20)
+                    | (r(rs1) << 15)
+                    | (op.funct3() << 12)
+                    | (r(rd) << 7)
+                    | 0b0110011
+            }
+            Rv32Instr::Mul { op, rd, rs1, rs2 } => {
+                (1 << 25)
+                    | (r(rs2) << 20)
+                    | (r(rs1) << 15)
+                    | (op.funct3() << 12)
+                    | (r(rd) << 7)
+                    | 0b0110011
+            }
+            Rv32Instr::Ecall => 0b1110011,
+            Rv32Instr::Ebreak => (1 << 20) | 0b1110011,
+            Rv32Instr::Fence => 0b0001111,
+        })
+    }
+}
+
+fn check_upper(imm20: u32) -> Result<(), Rv32Error> {
+    if imm20 < (1 << 20) {
+        Ok(())
+    } else {
+        Err(Rv32Error::FieldOutOfRange {
+            field: "imm20",
+            value: i64::from(imm20),
+        })
+    }
+}
+
+impl fmt::Display for Rv32Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Rv32Instr::Lui { rd, imm20 } => write!(f, "lui {rd}, {imm20:#x}"),
+            Rv32Instr::Auipc { rd, imm20 } => write!(f, "auipc {rd}, {imm20:#x}"),
+            Rv32Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Rv32Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Rv32Instr::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs1}, {rs2}, {offset}", op.mnemonic()),
+            Rv32Instr::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => write!(f, "{} {rd}, {offset}({rs1})", op.mnemonic()),
+            Rv32Instr::Store {
+                op,
+                rs2,
+                rs1,
+                offset,
+            } => write!(f, "{} {rs2}, {offset}({rs1})", op.mnemonic()),
+            Rv32Instr::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{} {rd}, {rs1}, {imm}", op.mnemonic())
+            }
+            Rv32Instr::ShiftImm { op, rd, rs1, shamt } => {
+                write!(f, "{} {rd}, {rs1}, {shamt}", op.mnemonic())
+            }
+            Rv32Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Rv32Instr::Mul { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Rv32Instr::Ecall => f.write_str("ecall"),
+            Rv32Instr::Ebreak => f.write_str("ebreak"),
+            Rv32Instr::Fence => f.write_str("fence"),
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! The RVC (compressed) extension: 16-bit instruction forms.
+//!
+//! Every RVC instruction is architecturally *defined as* a 32-bit base
+//! instruction — the specification gives each form an expansion, and a
+//! conforming core may implement RVC entirely in the fetch path. This
+//! module implements both directions for the RV32C subset:
+//!
+//! * [`expand`] — halfword → the defining 32-bit encoding (what the
+//!   [`Rv32Machine`](crate::Rv32Machine) fetch path does);
+//! * [`compress`] — 32-bit word → its canonical 16-bit form, when one
+//!   exists (what the [`Rv32Asm`](crate::Rv32Asm) builder and the
+//!   RV32C text encoder use).
+//!
+//! `compress` is deliberately conservative: it emits only forms whose
+//! expansion is bit-for-bit the original word, so
+//! `expand(compress(w)) == w` always holds — the differential proptest
+//! suite in `tests/rvc_differential.rs` checks this and the stronger
+//! architectural-equivalence property (executing the halfword ≡
+//! executing its expansion).
+//!
+//! Floating-point forms (`c.flw`/`c.fsw` and the SP variants) are
+//! outside this integer-only backend and stay reserved.
+
+use crate::Rv32Error;
+
+/// The three-bit register fields address `x8`..`x15`.
+fn creg(field: u16) -> u32 {
+    8 + u32::from(field & 0x7)
+}
+
+fn bit(half: u16, at: u32) -> u32 {
+    u32::from(half >> at) & 1
+}
+
+fn bits(half: u16, at: u32, len: u32) -> u32 {
+    (u32::from(half) >> at) & ((1 << len) - 1)
+}
+
+/// Assembles an I-type word from pre-masked fields.
+fn itype(imm12: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (imm12 & 0xfff) << 20 | rs1 << 15 | funct3 << 12 | rd << 7 | opcode
+}
+
+/// Length in bytes of the RISC-V instruction whose low halfword is
+/// `low`: 2 unless the two low bits are `11`.
+pub fn instr_bytes(low: u16) -> u32 {
+    if low & 0b11 == 0b11 {
+        4
+    } else {
+        2
+    }
+}
+
+/// Expands one 16-bit RVC instruction to its defining 32-bit encoding.
+///
+/// # Errors
+///
+/// [`Rv32Error::InvalidCompressed`] for the all-zero illegal encoding,
+/// reserved slots, RV64-only forms, floating-point forms, and 32-bit
+/// encodings (low bits `11`).
+pub fn expand(half: u16) -> Result<u32, Rv32Error> {
+    let reserved = Err(Rv32Error::InvalidCompressed { half });
+    let quadrant = half & 0b11;
+    let funct3 = bits(half, 13, 3);
+    match (quadrant, funct3) {
+        // ---- Quadrant 0 ----
+        (0b00, 0b000) => {
+            // c.addi4spn rd', nzuimm → addi rd', sp, nzuimm
+            let imm = bits(half, 11, 2) << 4
+                | bits(half, 7, 4) << 6
+                | bit(half, 6) << 2
+                | bit(half, 5) << 3;
+            if imm == 0 {
+                return reserved; // includes the all-zero illegal encoding
+            }
+            Ok(itype(imm, 2, 0b000, creg(half >> 2), 0b0010011))
+        }
+        (0b00, 0b010) => {
+            // c.lw rd', uimm(rs1') → lw rd', uimm(rs1')
+            let imm = bits(half, 10, 3) << 3 | bit(half, 6) << 2 | bit(half, 5) << 6;
+            Ok(itype(
+                imm,
+                creg(half >> 7),
+                0b010,
+                creg(half >> 2),
+                0b0000011,
+            ))
+        }
+        (0b00, 0b110) => {
+            // c.sw rs2', uimm(rs1') → sw rs2', uimm(rs1')
+            let imm = bits(half, 10, 3) << 3 | bit(half, 6) << 2 | bit(half, 5) << 6;
+            let rs1 = creg(half >> 7);
+            let rs2 = creg(half >> 2);
+            Ok((imm >> 5) << 25
+                | rs2 << 20
+                | rs1 << 15
+                | 0b010 << 12
+                | (imm & 0x1f) << 7
+                | 0b0100011)
+        }
+        // ---- Quadrant 1 ----
+        (0b01, 0b000) => {
+            // c.addi rd, nzimm (c.nop when rd=0, imm=0)
+            let rd = bits(half, 7, 5);
+            let imm = sext6(half);
+            Ok(itype(imm, rd, 0b000, rd, 0b0010011))
+        }
+        (0b01, 0b001) => Ok(cj_jump(half, 1)), // c.jal → jal ra, offset
+        (0b01, 0b010) => {
+            // c.li rd, imm → addi rd, zero, imm
+            Ok(itype(sext6(half), 0, 0b000, bits(half, 7, 5), 0b0010011))
+        }
+        (0b01, 0b011) => {
+            let rd = bits(half, 7, 5);
+            if rd == 2 {
+                // c.addi16sp nzimm → addi sp, sp, nzimm
+                let imm = bit(half, 12) << 9
+                    | bit(half, 6) << 4
+                    | bit(half, 5) << 6
+                    | bits(half, 3, 2) << 7
+                    | bit(half, 2) << 5;
+                let imm = sext_field(imm, 10);
+                if imm == 0 {
+                    return reserved;
+                }
+                Ok(itype(imm, 2, 0b000, 2, 0b0010011))
+            } else {
+                // c.lui rd, nzimm → lui rd, sext(nzimm)
+                let imm = sext6(half);
+                if imm == 0 {
+                    return reserved;
+                }
+                Ok((imm & 0xfffff) << 12 | rd << 7 | 0b0110111)
+            }
+        }
+        (0b01, 0b100) => {
+            let rd = creg(half >> 7);
+            match bits(half, 10, 2) {
+                0b00 | 0b01 => {
+                    // c.srli / c.srai rd', shamt
+                    if bit(half, 12) != 0 {
+                        return reserved; // shamt[5] is RV64-only
+                    }
+                    let shamt = bits(half, 2, 5);
+                    let funct7 = if bits(half, 10, 2) == 0b01 {
+                        0b010_0000
+                    } else {
+                        0
+                    };
+                    Ok(funct7 << 25 | shamt << 20 | rd << 15 | 0b101 << 12 | rd << 7 | 0b0010011)
+                }
+                0b10 => {
+                    // c.andi rd', imm
+                    Ok(itype(sext6(half), rd, 0b111, rd, 0b0010011))
+                }
+                _ => {
+                    if bit(half, 12) != 0 {
+                        return reserved; // c.subw/c.addw are RV64-only
+                    }
+                    // c.sub / c.xor / c.or / c.and rd', rs2'
+                    let rs2 = creg(half >> 2);
+                    let (funct7, funct3) = match bits(half, 5, 2) {
+                        0b00 => (0b010_0000, 0b000),
+                        0b01 => (0, 0b100),
+                        0b10 => (0, 0b110),
+                        _ => (0, 0b111),
+                    };
+                    Ok(funct7 << 25 | rs2 << 20 | rd << 15 | funct3 << 12 | rd << 7 | 0b0110011)
+                }
+            }
+        }
+        (0b01, 0b101) => Ok(cj_jump(half, 0)), // c.j → jal zero, offset
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // c.beqz / c.bnez rs1', offset → beq/bne rs1', zero, offset
+            let imm = bit(half, 12) << 8
+                | bits(half, 10, 2) << 3
+                | bits(half, 5, 2) << 6
+                | bits(half, 3, 2) << 1
+                | bit(half, 2) << 5;
+            let imm = sext_field(imm, 9);
+            let funct3 = if funct3 == 0b110 { 0b000 } else { 0b001 };
+            let rs1 = creg(half >> 7);
+            Ok((imm >> 12) << 31
+                | ((imm >> 5) & 0x3f) << 25
+                | rs1 << 15
+                | funct3 << 12
+                | ((imm >> 1) & 0xf) << 8
+                | ((imm >> 11) & 1) << 7
+                | 0b1100011)
+        }
+        // ---- Quadrant 2 ----
+        (0b10, 0b000) => {
+            // c.slli rd, shamt
+            if bit(half, 12) != 0 {
+                return reserved; // shamt[5] is RV64-only
+            }
+            let rd = bits(half, 7, 5);
+            let shamt = bits(half, 2, 5);
+            Ok(shamt << 20 | rd << 15 | 0b001 << 12 | rd << 7 | 0b0010011)
+        }
+        (0b10, 0b010) => {
+            // c.lwsp rd, uimm(sp)
+            let rd = bits(half, 7, 5);
+            if rd == 0 {
+                return reserved;
+            }
+            let imm = bit(half, 12) << 5 | bits(half, 4, 3) << 2 | bits(half, 2, 2) << 6;
+            Ok(itype(imm, 2, 0b010, rd, 0b0000011))
+        }
+        (0b10, 0b100) => {
+            let rd = bits(half, 7, 5);
+            let rs2 = bits(half, 2, 5);
+            match (bit(half, 12), rs2 == 0) {
+                (0, false) => {
+                    // c.mv rd, rs2 → add rd, zero, rs2
+                    Ok(rs2 << 20 | rd << 7 | 0b0110011)
+                }
+                (0, true) => {
+                    // c.jr rs1 → jalr zero, 0(rs1)
+                    if rd == 0 {
+                        return reserved;
+                    }
+                    Ok(itype(0, rd, 0b000, 0, 0b1100111))
+                }
+                (_, false) => {
+                    // c.add rd, rs2 → add rd, rd, rs2
+                    Ok(rs2 << 20 | rd << 15 | rd << 7 | 0b0110011)
+                }
+                (_, true) => {
+                    if rd == 0 {
+                        // c.ebreak
+                        Ok(1 << 20 | 0b1110011)
+                    } else {
+                        // c.jalr rs1 → jalr ra, 0(rs1)
+                        Ok(itype(0, rd, 0b000, 1, 0b1100111))
+                    }
+                }
+            }
+        }
+        (0b10, 0b110) => {
+            // c.swsp rs2, uimm(sp)
+            let imm = bits(half, 9, 4) << 2 | bits(half, 7, 2) << 6;
+            let rs2 = bits(half, 2, 5);
+            Ok(
+                (imm >> 5) << 25
+                    | rs2 << 20
+                    | 2 << 15
+                    | 0b010 << 12
+                    | (imm & 0x1f) << 7
+                    | 0b0100011,
+            )
+        }
+        _ => reserved,
+    }
+}
+
+/// The CI-format 6-bit immediate `[12|6:2]`, sign-extended, as a masked
+/// 12-bit field value.
+fn sext6(half: u16) -> u32 {
+    sext_field(bit(half, 12) << 5 | bits(half, 2, 5), 6)
+}
+
+/// Sign-extends the low `bits` bits into a masked 32-bit field value
+/// (callers re-mask to their field width).
+fn sext_field(value: u32, bits: u32) -> u32 {
+    let shift = 32 - bits;
+    (((value << shift) as i32) >> shift) as u32
+}
+
+/// Builds the `jal rd, offset` expansion of a CJ-format jump.
+fn cj_jump(half: u16, rd: u32) -> u32 {
+    let imm = bit(half, 12) << 11
+        | bit(half, 11) << 4
+        | bits(half, 9, 2) << 8
+        | bit(half, 8) << 10
+        | bit(half, 7) << 6
+        | bit(half, 6) << 7
+        | bits(half, 3, 3) << 1
+        | bit(half, 2) << 5;
+    let imm = sext_field(imm, 12);
+    ((imm >> 20) & 1) << 31
+        | ((imm >> 1) & 0x3ff) << 21
+        | ((imm >> 11) & 1) << 20
+        | ((imm >> 12) & 0xff) << 12
+        | rd << 7
+        | 0b1101111
+}
+
+/// Compresses a 32-bit instruction word to its canonical RVC form, when
+/// one exists. Returns `None` for words with no 16-bit equivalent.
+///
+/// Only emits encodings whose [`expand`] is bit-for-bit `word`, so the
+/// round-trip `expand(compress(w)?) == Ok(w)` always holds.
+pub fn compress(word: u32) -> Option<u16> {
+    let opcode = word & 0x7f;
+    let rd = (word >> 7) & 0x1f;
+    let funct3 = (word >> 12) & 0x7;
+    let rs1 = (word >> 15) & 0x1f;
+    let rs2 = (word >> 20) & 0x1f;
+    let funct7 = word >> 25;
+    let c = |r: u32| (8..16).contains(&r);
+    let cfield = |r: u32| (r - 8) as u16;
+    match opcode {
+        0b0010011 => {
+            let imm = sext_field(word >> 20, 12) as i32;
+            match funct3 {
+                0b000 => {
+                    let fits6 = (-32..32).contains(&imm);
+                    if rd == rs1 && rd != 0 && fits6 && imm != 0 {
+                        // c.addi
+                        return Some(ci(0b000, 0b01, rd, imm as u32));
+                    }
+                    if rd == 0 && rs1 == 0 && imm == 0 {
+                        // c.nop
+                        return Some(0x0001);
+                    }
+                    if rs1 == 0 && rd != 0 && fits6 {
+                        // c.li
+                        return Some(ci(0b010, 0b01, rd, imm as u32));
+                    }
+                    if rd == 2
+                        && rs1 == 2
+                        && imm != 0
+                        && imm % 16 == 0
+                        && (-512..512).contains(&imm)
+                    {
+                        // c.addi16sp
+                        let u = imm as u32;
+                        return Some(
+                            0b011 << 13
+                                | (((u >> 9) & 1) << 12
+                                    | (2 << 7)
+                                    | ((u >> 4) & 1) << 6
+                                    | ((u >> 6) & 1) << 5
+                                    | ((u >> 7) & 3) << 3
+                                    | ((u >> 5) & 1) << 2) as u16
+                                | 0b01,
+                        );
+                    }
+                    if rs1 == 2 && c(rd) && imm > 0 && imm % 4 == 0 && imm < 1024 {
+                        // c.addi4spn
+                        let u = imm as u32;
+                        return Some(
+                            (((u >> 4) & 3) << 11
+                                | ((u >> 6) & 0xf) << 7
+                                | ((u >> 2) & 1) << 6
+                                | ((u >> 3) & 1) << 5) as u16
+                                | cfield(rd) << 2,
+                        );
+                    }
+                    None
+                }
+                0b111 if rd == rs1 && c(rd) && (-32..32).contains(&imm) => {
+                    // c.andi
+                    Some(cb_alu(0b10, rd, imm as u32))
+                }
+                0b001 if funct7 == 0 && rd == rs1 && rd != 0 && rs2 != 0 => {
+                    // c.slli (shamt in rs2 slot; nonzero canonical form)
+                    Some(ci(0b000, 0b10, rd, rs2))
+                }
+                0b101 if rd == rs1 && c(rd) && rs2 != 0 => match funct7 {
+                    // c.srli / c.srai
+                    0 => Some(cb_alu(0b00, rd, rs2)),
+                    0b010_0000 => Some(cb_alu(0b01, rd, rs2)),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+        0b0110111 => {
+            // c.lui: imm20 must sign-extend from its low 6 bits, be
+            // nonzero, and rd must be neither x0-adjacent special.
+            let imm20 = word >> 12;
+            if rd != 0 && rd != 2 && imm20 != 0 && sext_field(imm20, 6) & 0xfffff == imm20 {
+                Some(ci(0b011, 0b01, rd, imm20))
+            } else {
+                None
+            }
+        }
+        0b0000011 if funct3 == 0b010 => {
+            let imm = sext_field(word >> 20, 12) as i32;
+            if c(rd) && c(rs1) && imm >= 0 && imm % 4 == 0 && imm < 128 {
+                // c.lw
+                let u = imm as u32;
+                Some(
+                    (0b010 << 13 | ((u >> 3) & 7) << 10 | ((u >> 2) & 1) << 6 | ((u >> 6) & 1) << 5)
+                        as u16
+                        | cfield(rs1) << 7
+                        | cfield(rd) << 2,
+                )
+            } else if rs1 == 2 && rd != 0 && imm >= 0 && imm % 4 == 0 && imm < 256 {
+                // c.lwsp
+                let u = imm as u32;
+                Some(
+                    (0b010 << 13 | ((u >> 5) & 1) << 12 | ((u >> 2) & 7) << 4 | ((u >> 6) & 3) << 2)
+                        as u16
+                        | (rd as u16) << 7
+                        | 0b10,
+                )
+            } else {
+                None
+            }
+        }
+        0b0100011 if funct3 == 0b010 => {
+            let imm = sext_field((funct7 << 5) | rd, 12) as i32;
+            if c(rs2) && c(rs1) && imm >= 0 && imm % 4 == 0 && imm < 128 {
+                // c.sw
+                let u = imm as u32;
+                Some(
+                    (0b110 << 13 | ((u >> 3) & 7) << 10 | ((u >> 2) & 1) << 6 | ((u >> 6) & 1) << 5)
+                        as u16
+                        | cfield(rs1) << 7
+                        | cfield(rs2) << 2,
+                )
+            } else if rs1 == 2 && imm >= 0 && imm % 4 == 0 && imm < 256 {
+                // c.swsp
+                let u = imm as u32;
+                Some(
+                    (0b110 << 13 | ((u >> 2) & 0xf) << 9 | ((u >> 6) & 3) << 7) as u16
+                        | (rs2 as u16) << 2
+                        | 0b10,
+                )
+            } else {
+                None
+            }
+        }
+        0b0110011 => match (funct3, funct7) {
+            (0b000, 0) if rd != 0 && rs2 != 0 && rs1 == 0 => {
+                // c.mv
+                Some(0b100 << 13 | (rd as u16) << 7 | (rs2 as u16) << 2 | 0b10)
+            }
+            (0b000, 0) if rd != 0 && rs2 != 0 && rs1 == rd => {
+                // c.add
+                Some(0b100 << 13 | 1 << 12 | (rd as u16) << 7 | (rs2 as u16) << 2 | 0b10)
+            }
+            (0b000, 0b010_0000) if rd == rs1 && c(rd) && c(rs2) => Some(ca(rd, 0b00, rs2)),
+            (0b100, 0) if rd == rs1 && c(rd) && c(rs2) => Some(ca(rd, 0b01, rs2)),
+            (0b110, 0) if rd == rs1 && c(rd) && c(rs2) => Some(ca(rd, 0b10, rs2)),
+            (0b111, 0) if rd == rs1 && c(rd) && c(rs2) => Some(ca(rd, 0b11, rs2)),
+            _ => None,
+        },
+        0b1101111 => {
+            // c.jal (rd=ra) / c.j (rd=zero), for ±2 KiB even offsets.
+            let imm = ((word >> 31) & 1) << 20
+                | ((word >> 12) & 0xff) << 12
+                | ((word >> 20) & 1) << 11
+                | ((word >> 21) & 0x3ff) << 1;
+            let offset = sext_field(imm, 21) as i32;
+            if !(-2048..2048).contains(&offset) {
+                return None;
+            }
+            let funct3 = match rd {
+                0 => 0b101u16,
+                1 => 0b001,
+                _ => return None,
+            };
+            let u = offset as u32;
+            Some(
+                funct3 << 13
+                    | (((u >> 11) & 1) << 12
+                        | ((u >> 4) & 1) << 11
+                        | ((u >> 8) & 3) << 9
+                        | ((u >> 10) & 1) << 8
+                        | ((u >> 6) & 1) << 7
+                        | ((u >> 7) & 1) << 6
+                        | ((u >> 1) & 7) << 3
+                        | ((u >> 5) & 1) << 2) as u16
+                    | 0b01,
+            )
+        }
+        0b1100111 if funct3 == 0 && (word >> 20) & 0xfff == 0 && rs1 != 0 => match rd {
+            // c.jr / c.jalr
+            0 => Some(0b100 << 13 | (rs1 as u16) << 7 | 0b10),
+            1 => Some(0b100 << 13 | 1 << 12 | (rs1 as u16) << 7 | 0b10),
+            _ => None,
+        },
+        0b1100011 if (funct3 == 0b000 || funct3 == 0b001) && rs2 == 0 && c(rs1) => {
+            // c.beqz / c.bnez, for ±256 B even offsets.
+            let imm = ((word >> 31) & 1) << 12
+                | ((word >> 7) & 1) << 11
+                | ((word >> 25) & 0x3f) << 5
+                | ((word >> 8) & 0xf) << 1;
+            let offset = sext_field(imm, 13) as i32;
+            if !(-256..256).contains(&offset) {
+                return None;
+            }
+            let u = offset as u32;
+            let f3 = if funct3 == 0 { 0b110u16 } else { 0b111 };
+            Some(
+                f3 << 13
+                    | (((u >> 8) & 1) << 12
+                        | ((u >> 3) & 3) << 10
+                        | ((u >> 6) & 3) << 5
+                        | ((u >> 1) & 3) << 3
+                        | ((u >> 5) & 1) << 2) as u16
+                    | cfield(rs1) << 7
+                    | 0b01,
+            )
+        }
+        0b1110011 if word == (1 << 20) | 0b1110011 => Some(0b100 << 13 | 1 << 12 | 0b10), // c.ebreak
+        _ => None,
+    }
+}
+
+/// CI-format encoder: `funct3 | imm[5] | rd | imm[4:0] | op`.
+fn ci(funct3: u16, op: u16, rd: u32, imm: u32) -> u16 {
+    funct3 << 13
+        | (((imm >> 5) & 1) << 12) as u16
+        | (rd as u16) << 7
+        | ((imm & 0x1f) << 2) as u16
+        | op
+}
+
+/// CB-format ALU encoder (srli/srai/andi): quadrant 1, funct3 100.
+fn cb_alu(kind: u16, rd: u32, imm: u32) -> u16 {
+    0b100 << 13
+        | (((imm >> 5) & 1) << 12) as u16
+        | kind << 10
+        | ((rd - 8) as u16) << 7
+        | ((imm & 0x1f) << 2) as u16
+        | 0b01
+}
+
+/// CA-format encoder (sub/xor/or/and).
+fn ca(rd: u32, funct2: u16, rs2: u32) -> u16 {
+    0b100011 << 10 | ((rd - 8) as u16) << 7 | funct2 << 5 | ((rs2 - 8) as u16) << 2 | 0b01
+}

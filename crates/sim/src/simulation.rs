@@ -403,6 +403,29 @@ mod tests {
     }
 
     #[test]
+    fn captured_source_matches_live_for_halfword_strides() {
+        // RVC-style traces fetch at 2-byte granularity, so PCs land on
+        // arbitrary halfwords; nothing in the capture/replay path may
+        // assume the MIPS 4-byte stride.
+        let (image, _) = fixture(4096);
+        let mut trace = Vec::new();
+        for _ in 0..4 {
+            for pc in (0..4096u32).step_by(2) {
+                trace.push((pc, u8::from(pc % 64 == 30)));
+            }
+        }
+        let captured = AccessTrace::capture(trace.iter().copied());
+        for model in MemoryModel::ALL {
+            let config = SystemConfig::new().with_cache_bytes(512).with_memory(model);
+            let live = Simulation::new(config)
+                .compare(&image, trace.iter().copied())
+                .unwrap();
+            let replayed = Simulation::new(config).compare(&image, &captured).unwrap();
+            assert_eq!(live, replayed, "{model:?}");
+        }
+    }
+
+    #[test]
     fn replay_sweep_matches_per_config_compares() {
         let (image, trace) = fixture(4096);
         let captured = AccessTrace::capture(trace.iter().copied());

@@ -368,6 +368,56 @@ mod tests {
     }
 
     #[test]
+    fn halfword_stride_capture_compacts_by_line() {
+        // An RVC-style fetch stream advances the PC by 2 bytes, so one
+        // 32-byte line holds 16 fetches — the compaction key is
+        // pc / LINE_BYTES, never a 4-byte instruction index.
+        let fetches: Vec<(u32, u8)> = (0..64u32).step_by(2).map(|pc| (pc, 0)).collect();
+        let trace = AccessTrace::capture(fetches);
+        assert_eq!(trace.runs().len(), 2);
+        for (index, run) in trace.runs().iter().enumerate() {
+            assert_eq!(
+                *run,
+                FetchRun {
+                    first_pc: index as u32 * LINE_BYTES,
+                    fetches: 16,
+                    data: 0
+                }
+            );
+        }
+        assert_eq!(trace.fetches(), 32);
+    }
+
+    #[test]
+    fn runs_may_start_at_any_halfword() {
+        // A branch landing on the last halfword of line 1 (0x3E), then
+        // falling through into line 2: the run splits exactly at the
+        // line crossing even though no PC is word-aligned, and the
+        // halfword PCs survive the on-disk round-trip.
+        let trace = AccessTrace::capture([(0x3E, 0), (0x40, 1), (0x42, 0)]);
+        assert_eq!(trace.runs().len(), 2);
+        assert_eq!(
+            trace.runs()[0],
+            FetchRun {
+                first_pc: 0x3E,
+                fetches: 1,
+                data: 0
+            }
+        );
+        assert_eq!(
+            trace.runs()[1],
+            FetchRun {
+                first_pc: 0x40,
+                fetches: 2,
+                data: 1
+            }
+        );
+        let bytes = trace.to_bytes(3);
+        let (loaded, _) = AccessTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
     fn empty_trace_round_trips() {
         let trace = AccessTrace::capture(std::iter::empty());
         assert!(trace.is_empty());

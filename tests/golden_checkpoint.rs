@@ -75,6 +75,7 @@ fn segmented_difftest_report_matches_golden() {
         seed: 7,
         jobs: 2,
         checkpoint_every: Some(50),
+        ..DifftestOptions::default()
     });
     // results_json is the jobs- and timing-independent half, so the
     // snapshot is stable across machines and worker counts.

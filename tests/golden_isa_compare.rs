@@ -1,0 +1,30 @@
+//! Golden-file snapshot of the cross-ISA comparison matrix JSON. The
+//! snapshot is the deterministic half of the report ([`results_json`]:
+//! no job counts, no timing), so it is stable across runs, worker
+//! counts, and machines — and it is byte-for-byte the same document the
+//! committed repo-root `BENCH_isa_compare.json` carries minus those two
+//! run-specific keys, which `ci/bench_gate.sh` cross-checks on every
+//! build. Refresh an intentionally changed snapshot with
+//! `UPDATE_GOLDEN=1 cargo test --test golden_isa_compare` (and
+//! regenerate the committed benchmark file with
+//! `ccrp-tools sweep --isa-compare --out .`).
+//!
+//! [`results_json`]: ccrp_bench::isa_compare::IsaCompareReport::results_json
+
+use std::path::PathBuf;
+
+use ccrp_bench::isa_compare::{self, IsaCompareOptions};
+use ccrp_testutil::GoldenDir;
+
+fn golden() -> GoldenDir {
+    GoldenDir::new(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden"),
+        "cargo test --test golden_isa_compare",
+    )
+}
+
+#[test]
+fn isa_compare_matrix_json_matches_golden() {
+    let report = isa_compare::run(IsaCompareOptions { jobs: 2 });
+    golden().check("isa_compare.json", &report.results_json().to_pretty());
+}

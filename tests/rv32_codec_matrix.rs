@@ -1,0 +1,92 @@
+//! Cross-codec acceptance properties for the RV32 backend, mirroring
+//! `codec_matrix.rs` on the MIPS side: every RV32 workload, in **both**
+//! encodings (RV32I and RVC), must round-trip through the v1 and v2
+//! containers under every [`LineCodec`] backend. RVC text is the
+//! interesting half — instruction boundaries land on arbitrary
+//! halfwords, so the 32-byte compression lines slice instructions in
+//! half, which the byte-oriented codecs must not care about.
+
+use ccrp::CompressedImage;
+use ccrp_bench::codecs::codec_instance;
+use ccrp_compress::{BlockAlignment, ByteCode, ByteHistogram, CodecId};
+use ccrp_rv32::workloads::Rv32Workload;
+use ccrp_rv32::Encoding;
+
+#[test]
+fn every_rv32_workload_round_trips_under_every_codec() {
+    for workload in Rv32Workload::ALL {
+        for (encoding, tag) in [(Encoding::Rv32I, "rv32i"), (Encoding::Rv32C, "rv32c")] {
+            let image = workload.padded_image(encoding).expect("workload assembles");
+            let text = image.text();
+            for id in CodecId::ALL {
+                let built = CompressedImage::build_with_codec(
+                    image.text_base(),
+                    text,
+                    codec_instance(id),
+                    BlockAlignment::Word,
+                )
+                .unwrap_or_else(|e| panic!("{} {tag} must build under {id}: {e}", workload.name()));
+                for (container, label) in [(built.to_bytes(), "v1"), (built.to_bytes_v2(), "v2")] {
+                    let loaded = CompressedImage::from_bytes(&container).unwrap_or_else(|e| {
+                        panic!("{} {tag} {label} under {id}: {e}", workload.name())
+                    });
+                    assert_eq!(loaded.codec().id(), id, "{label} preserves the codec id");
+                    loaded.verify().expect("loaded image verifies");
+                    let mut line = [0u8; 32];
+                    for (index, chunk) in text.chunks(32).enumerate() {
+                        loaded
+                            .expand_line_into(image.text_base() + index as u32 * 32, &mut line)
+                            .unwrap_or_else(|e| {
+                                panic!(
+                                    "{} {tag} {label} line {index} under {id}: {e}",
+                                    workload.name()
+                                )
+                            });
+                        assert_eq!(
+                            &line[..chunk.len()],
+                            chunk,
+                            "{} {tag} {label} line {index} miscompares under {id}",
+                            workload.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rvc_text_is_denser_and_still_compresses() {
+    // The composition claim behind the isa-compare matrix, checked at
+    // the image layer: RVC shrinks the text, and CCRP still compresses
+    // the RVC bytes further on every workload.
+    for workload in Rv32Workload::ALL {
+        let text_i = workload
+            .padded_image(Encoding::Rv32I)
+            .expect("rv32i assembles");
+        let text_c = workload
+            .padded_image(Encoding::Rv32C)
+            .expect("rv32c assembles");
+        assert!(
+            text_c.text_size() < text_i.text_size(),
+            "{}: RVC must shrink the text",
+            workload.name()
+        );
+        // Self-trained, as the isa-compare matrix builds its ROMs — the
+        // corpus-trained instances above are tuned to MIPS bytes.
+        let code =
+            ByteCode::preselected(&ByteHistogram::of(text_c.text())).expect("RVC histogram trains");
+        let built = CompressedImage::build(
+            text_c.text_base(),
+            text_c.text(),
+            code,
+            BlockAlignment::Word,
+        )
+        .expect("RVC text compresses");
+        assert!(
+            built.compression_ratio() < 1.0,
+            "{}: CCRP must compress RVC text",
+            workload.name()
+        );
+    }
+}
